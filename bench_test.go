@@ -1,0 +1,317 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure:
+//
+//	BenchmarkFigure9   — total/response time vs. objects per constituent class
+//	BenchmarkFigure10  — vs. number of component databases
+//	BenchmarkFigure11  — vs. local-predicate selectivity
+//	BenchmarkTable1T2  — the workload generator itself (Tables 1 and 2)
+//	BenchmarkSignatureAblation — E7, the Section 5 signature extension
+//	BenchmarkNetworkRates      — E8, sensitivity to T_net
+//
+// Each iteration executes one full strategy run over a generated Table 2
+// federation inside the discrete-event simulator. The simulated response
+// and total execution times are attached as custom metrics (resp_ms,
+// total_ms), so `go test -bench` output directly reports the paper's two
+// y-axes alongside wall-clock cost. Micro-benchmarks for the substrates
+// (parser, predicate evaluation, DES kernel, isomerism identification,
+// outerjoin materialization) follow.
+package hetfed_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/des"
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/workload"
+)
+
+// benchWorkload generates one deterministic Table 2 sample.
+func benchWorkload(b *testing.B, mutate func(*workload.Ranges)) *workload.Workload {
+	b.Helper()
+	ranges := workload.DefaultRanges()
+	ranges.NObjects = [2]int{900, 1100} // keep per-iteration cost tractable
+	if mutate != nil {
+		mutate(&ranges)
+	}
+	rng := rand.New(rand.NewSource(1))
+	w, err := workload.Generate(ranges.Draw(rng), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchEngine(b *testing.B, w *workload.Workload, sigs *signature.Index) *exec.Engine {
+	b.Helper()
+	engine, err := exec.New(exec.Config{
+		Global:      w.Global,
+		Coordinator: "G",
+		Databases:   w.Databases,
+		Tables:      w.Tables,
+		Signatures:  sigs,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return engine
+}
+
+// runStrategy executes the strategy b.N times in the simulator and reports
+// the paper's metrics.
+func runStrategy(b *testing.B, engine *exec.Engine, w *workload.Workload, alg exec.Algorithm) {
+	b.Helper()
+	var last fabric.Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := fabric.NewSim(fabric.DefaultRates(), engine.Sites())
+		_, m, err := engine.Run(rt, alg, w.Bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	b.ReportMetric(last.ResponseMicros/1e3, "resp_ms")
+	b.ReportMetric(last.TotalBusyMicros/1e3, "total_ms")
+	b.ReportMetric(float64(last.NetBytes)/1e3, "net_kB")
+}
+
+// BenchmarkFigure9 regenerates Figure 9's points: every strategy at small
+// and large extents.
+func BenchmarkFigure9(b *testing.B) {
+	for _, objects := range []int{500, 2000} {
+		objects := objects
+		w := benchWorkload(b, func(r *workload.Ranges) {
+			r.NObjects = [2]int{objects - objects/10, objects + objects/10}
+		})
+		for _, alg := range exec.Algorithms() {
+			engine := benchEngine(b, w, nil)
+			b.Run(fmt.Sprintf("%v/objects=%d", alg, objects), func(b *testing.B) {
+				runStrategy(b, engine, w, alg)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10's points: every strategy at few
+// and many component databases.
+func BenchmarkFigure10(b *testing.B) {
+	for _, ndb := range []int{2, 6} {
+		ndb := ndb
+		w := benchWorkload(b, func(r *workload.Ranges) { r.NDB = ndb })
+		for _, alg := range exec.Algorithms() {
+			engine := benchEngine(b, w, nil)
+			b.Run(fmt.Sprintf("%v/dbs=%d", alg, ndb), func(b *testing.B) {
+				runStrategy(b, engine, w, alg)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11's points: every strategy at low
+// and high local-predicate selectivity.
+func BenchmarkFigure11(b *testing.B) {
+	for _, sel := range []float64{0.2, 0.8} {
+		sel := sel
+		w := benchWorkload(b, func(r *workload.Ranges) {
+			r.Selectivity = sel
+			r.NObjects = [2]int{1000, 1100} // the paper's Figure 11 setting, scaled
+		})
+		for _, alg := range exec.Algorithms() {
+			engine := benchEngine(b, w, nil)
+			b.Run(fmt.Sprintf("%v/sel=%.1f", alg, sel), func(b *testing.B) {
+				runStrategy(b, engine, w, alg)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1T2 measures the workload generator (the machinery behind
+// Tables 1 and 2): one full federation per iteration.
+func BenchmarkTable1T2(b *testing.B) {
+	ranges := workload.DefaultRanges()
+	ranges.NObjects = [2]int{900, 1100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := workload.Generate(ranges.Draw(rng), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignatureAblation compares the localized strategies with and
+// without the signature index on an equality-predicate workload (E7).
+func BenchmarkSignatureAblation(b *testing.B) {
+	w := benchWorkload(b, func(r *workload.Ranges) { r.EqualityPreds = true })
+	sigs := signature.Build(w.Databases)
+	for _, alg := range []exec.Algorithm{exec.BL, exec.SBL, exec.PL, exec.SPL} {
+		engine := benchEngine(b, w, sigs)
+		b.Run(alg.String(), func(b *testing.B) {
+			runStrategy(b, engine, w, alg)
+		})
+	}
+}
+
+// BenchmarkNetworkRates measures strategy sensitivity to the network rate
+// (E8): the same workload under a fast and a slow medium.
+func BenchmarkNetworkRates(b *testing.B) {
+	w := benchWorkload(b, nil)
+	for _, netRate := range []float64{2, 32} {
+		netRate := netRate
+		for _, alg := range exec.Algorithms() {
+			engine := benchEngine(b, w, nil)
+			b.Run(fmt.Sprintf("%v/tnet=%g", alg, netRate), func(b *testing.B) {
+				rates := fabric.DefaultRates()
+				rates.NetPerByte = netRate
+				var last fabric.Metrics
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rt := fabric.NewSim(rates, engine.Sites())
+					_, m, err := engine.Run(rt, alg, w.Bound)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = m
+				}
+				b.StopTimer()
+				b.ReportMetric(last.ResponseMicros/1e3, "resp_ms")
+				b.ReportMetric(last.TotalBusyMicros/1e3, "total_ms")
+			})
+		}
+	}
+}
+
+// BenchmarkParse measures the SQL/X parser on the paper's Q1.
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(school.Q1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalEval measures one site's full local-query evaluation (scan,
+// three-valued predicates, unsolved-item extraction) on a generated extent.
+func BenchmarkLocalEval(b *testing.B) {
+	w := benchWorkload(b, nil)
+	site := federation.NewSite(w.Databases["DB1"], w.Global, w.Tables)
+	rt := fabric.NewReal(fabric.DefaultRates())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run("bench", func(p fabric.Proc) {
+			site.EvalLocalBasic(p, w.Bound, nil)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaterialize measures the centralized approach's outerjoin
+// integration over GOids.
+func BenchmarkMaterialize(b *testing.B) {
+	w := benchWorkload(b, nil)
+	coord := federation.NewCoordinator("G", w.Global, w.Tables)
+	var replies []federation.RetrieveReply
+	rt := fabric.NewReal(fabric.DefaultRates())
+	if _, err := rt.Run("retrieve", func(p fabric.Proc) {
+		for _, id := range w.Bound.InvolvedSites() {
+			site := federation.NewSite(w.Databases[id], w.Global, w.Tables)
+			replies = append(replies, site.Retrieve(p, w.Bound))
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run("materialize", func(p fabric.Proc) {
+			coord.Materialize(p, w.Bound, replies)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIsomerIdentify measures key-based isomerism identification.
+func BenchmarkIsomerIdentify(b *testing.B) {
+	w := benchWorkload(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isomer.Identify(w.Global, w.Databases); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDESKernel measures the discrete-event kernel: fan-out of 1000
+// processes contending on shared resources.
+func BenchmarkDESKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := des.New()
+		cpu := sim.NewResource("cpu")
+		net := sim.NewResource("net")
+		sim.Spawn("root", func(p *des.Proc) {
+			children := make([]*des.Proc, 0, 1000)
+			for j := 0; j < 1000; j++ {
+				children = append(children, p.Spawn("w", func(c *des.Proc) {
+					c.Use(cpu, 1)
+					c.Use(net, 0.5)
+				}))
+			}
+			p.Join(children...)
+		})
+		if err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignatureBuild measures signature-index construction.
+func BenchmarkSignatureBuild(b *testing.B) {
+	w := benchWorkload(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signature.Build(w.Databases)
+	}
+}
+
+// BenchmarkIndexAblation compares scan-based and index-assisted BL (E10).
+func BenchmarkIndexAblation(b *testing.B) {
+	w := benchWorkload(b, func(r *workload.Ranges) { r.Selectivity = 0.1 })
+	for _, db := range w.Databases {
+		for _, a := range db.Schema().Class("C1").Attrs {
+			if !a.IsComplex() && !a.MultiValued && a.Name[0] == 'p' {
+				if _, err := db.CreateIndex("C1", a.Name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, useIdx := range []bool{false, true} {
+		name := "scan"
+		if useIdx {
+			name = "indexed"
+		}
+		engine, err := exec.New(exec.Config{
+			Global:      w.Global,
+			Coordinator: "G",
+			Databases:   w.Databases,
+			Tables:      w.Tables,
+			UseIndexes:  useIdx,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			runStrategy(b, engine, w, exec.BL)
+		})
+	}
+}

@@ -1,0 +1,241 @@
+// Command hetql runs global queries against the paper's example federation
+// (the school databases DB1, DB2, DB3 of Figures 1–5) under any of the
+// execution strategies, printing certain and maybe results, cost metrics,
+// and optionally the executed step flow (the paper's Figure 8).
+//
+// Usage:
+//
+//	hetql                              # run the paper's Q1 under CA, BL, PL
+//	hetql -alg BL -trace               # one strategy, with its step flow
+//	hetql -query 'select name from Student where age > 25'
+//	hetql -show                        # print the federation's contents
+//	hetql -export > my.json            # dump the federation as JSON
+//	hetql -fed my.json -alg auto       # query a JSON-defined federation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/fedfile"
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/planner"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hetql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hetql", flag.ContinueOnError)
+	var (
+		queryText = fs.String("query", school.Q1, "global query (SQL/X-like)")
+		algName   = fs.String("alg", "all", "strategy: CA, BL, PL, SBL, SPL, auto (planner), or all")
+		showTrace = fs.Bool("trace", false, "print the executed step flow (Figure 8)")
+		show      = fs.Bool("show", false, "print the federation's schemas and objects, then exit")
+		export    = fs.Bool("export", false, "dump the federation as a JSON document, then exit")
+		stats     = fs.Bool("stats", false, "print the planner's catalog statistics, then exit")
+		fedPath   = fs.String("fed", "", "load the federation from this JSON document instead of the built-in example")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The federation: the paper's school example by default, or a
+	// user-supplied JSON document.
+	var (
+		schemas   map[object.SiteID]*schema.Schema
+		global    *schema.Global
+		databases map[object.SiteID]*store.Database
+		tables    *gmap.Tables
+	)
+	if *fedPath != "" {
+		fed, err := fedfile.Load(*fedPath)
+		if err != nil {
+			return err
+		}
+		schemas, global, databases, tables = fed.Schemas, fed.Global, fed.Databases, fed.Tables
+	} else {
+		fx := school.New()
+		schemas, global, databases, tables = fx.Schemas, fx.Global, fx.Databases, fx.Mapping
+	}
+
+	if *export {
+		data, err := fedfile.Export(schemas, global, databases)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if *show {
+		printFederation(global, databases)
+		return nil
+	}
+	if *stats {
+		printCatalog(global, databases, tables)
+		return nil
+	}
+
+	q, err := query.Parse(*queryText)
+	if err != nil {
+		return err
+	}
+	b, err := query.Bind(q, global)
+	if err != nil {
+		return err
+	}
+
+	var tracer trace.Tracer
+	engine, err := exec.New(exec.Config{
+		Global:      global,
+		Coordinator: "G",
+		Databases:   databases,
+		Tables:      tables,
+		Tracer:      &tracer,
+		Signatures:  signature.Build(databases),
+	})
+	if err != nil {
+		return err
+	}
+
+	var algs []exec.Algorithm
+	if strings.EqualFold(*algName, "auto") {
+		cat := planner.BuildCatalog(global, databases, tables)
+		chosen := planner.Choose(cat, b, fabric.DefaultRates())
+		fmt.Printf("planner chose %v:\n", chosen)
+		for _, est := range planner.Estimates(cat, b, fabric.DefaultRates()) {
+			fmt.Printf("  %-3v predicted response %8.2f ms, total %8.2f ms\n",
+				est.Alg, est.ResponseMicros/1e3, est.TotalMicros/1e3)
+		}
+		algs = []exec.Algorithm{chosen}
+	} else {
+		algs, err = pickAlgorithms(*algName)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("query: %s\n", q)
+	for _, alg := range algs {
+		tracer.Reset()
+		ans, m, err := engine.Run(fabric.NewSim(fabric.DefaultRates(), engine.Sites()), alg, b)
+		if err != nil {
+			return fmt.Errorf("%v: %w", alg, err)
+		}
+		fmt.Printf("\n=== %v ===\n", alg)
+		printAnswer(ans, b)
+		fmt.Printf("simulated: response %.2f ms, total execution %.2f ms "+
+			"(disk %d B, cpu %d ops, net %d B)\n",
+			m.ResponseMicros/1e3, m.TotalBusyMicros/1e3, m.DiskBytes, m.CPUOps, m.NetBytes)
+		if *showTrace {
+			fmt.Println("\nstep flow:")
+			fmt.Print(tracer.Render())
+		}
+	}
+	return nil
+}
+
+func pickAlgorithms(name string) ([]exec.Algorithm, error) {
+	if strings.EqualFold(name, "all") {
+		return exec.Algorithms(), nil
+	}
+	for _, alg := range exec.AllAlgorithms() {
+		if strings.EqualFold(alg.String(), name) {
+			return []exec.Algorithm{alg}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want CA, BL, PL, SBL, SPL, all)", name)
+}
+
+func printAnswer(ans *federation.Answer, b *query.Bound) {
+	fmt.Printf("certain results (%d):\n", len(ans.Certain))
+	for _, r := range ans.Certain {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Printf("maybe results (%d):\n", len(ans.Maybe))
+	for _, r := range ans.Maybe {
+		fmt.Printf("  %s\n", r)
+		if len(r.Unknown) > 0 {
+			var parts []string
+			for _, i := range r.Unknown {
+				parts = append(parts, b.Preds[i].Predicate().String())
+			}
+			fmt.Printf("    unknown: %s\n", strings.Join(parts, "; "))
+		}
+	}
+}
+
+func printCatalog(global *schema.Global, databases map[object.SiteID]*store.Database, tables *gmap.Tables) {
+	cat := planner.BuildCatalog(global, databases, tables)
+	for _, class := range global.ClassNames() {
+		gc := global.Class(class)
+		cs := cat.Classes[class]
+		fmt.Printf("%s: %d entities, %.2f avg copies, %.0f%% isomeric\n",
+			class, cs.Entities, cs.AvgCopies, 100*cs.IsomericRatio)
+		for _, site := range gc.Sites() {
+			ext := cat.Extents[schema.Constituent{Site: site, Class: class}]
+			fmt.Printf("  %s: %d objects, %d bytes\n", site, ext.Objects, ext.Bytes)
+			for _, attr := range gc.AttrNames() {
+				if !gc.Holds(site, attr) {
+					continue
+				}
+				s := ext.Attrs[attr]
+				if s.Numeric {
+					fmt.Printf("    %-12s non-null %d/%d, distinct %d, range [%g, %g]\n",
+						attr, s.NonNull, ext.Objects, s.Distinct, s.Min, s.Max)
+				} else {
+					fmt.Printf("    %-12s non-null %d/%d, distinct %d\n",
+						attr, s.NonNull, ext.Objects, s.Distinct)
+				}
+			}
+		}
+	}
+}
+
+func printFederation(global *schema.Global, databases map[object.SiteID]*store.Database) {
+	sites := make([]string, 0, len(databases))
+	for site := range databases {
+		sites = append(sites, string(site))
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		db := databases[object.SiteID(site)]
+		fmt.Printf("=== %s ===\n", site)
+		for _, class := range db.Schema().ClassNames() {
+			ext := db.Extent(class)
+			fmt.Printf("%s (%d objects):\n", class, ext.Len())
+			ext.Scan(func(o *object.Object) bool {
+				fmt.Printf("  %s\n", o)
+				return true
+			})
+		}
+	}
+	fmt.Println("=== global schema ===")
+	for _, name := range global.ClassNames() {
+		gc := global.Class(name)
+		fmt.Printf("%s(%s)\n", name, strings.Join(gc.AttrNames(), ", "))
+		for _, site := range gc.Sites() {
+			miss := gc.MissingAttrs(site)
+			if len(miss) > 0 {
+				fmt.Printf("  missing at %s: %s\n", site, strings.Join(miss, ", "))
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestRunDefaultQ1(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-alg", "BL"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"gs4(Hedy, Kelly)", "gs2(Tony, Haley)", "unknown:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	out, err := capture(t, func() error { return run(nil) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"=== CA ===", "=== BL ===", "=== PL ==="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-alg", "PL", "-trace"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"step flow:", "PL_C1", "PL_C2", "PL_G2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAuto(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-alg", "auto"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "planner chose") {
+		t.Errorf("output missing planner line:\n%s", out)
+	}
+}
+
+func TestRunShow(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-show"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"=== DB1 ===", "missing at DB1: speciality", "global schema"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show missing %q", want)
+		}
+	}
+}
+
+func TestRunExportAndReload(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-export"}) })
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "fed.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := capture(t, func() error { return run([]string{"-fed", path, "-alg", "CA"}) })
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if !strings.Contains(out2, "Hedy, Kelly") {
+		t.Errorf("reloaded federation answered wrong:\n%s", out2)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-alg", "NOPE"}) }); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-query", "not a query"}) }); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-fed", "/nonexistent.json"}) }); err == nil {
+		t.Error("missing federation file accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Command hetserve deploys the example federation over real TCP: it runs a
+// component-database site server, or acts as the global processing site
+// (coordinator) querying a running cluster.
+//
+// Start the three school sites (each in its own terminal or with &):
+//
+//	hetserve -site DB1 -listen 127.0.0.1:7101 \
+//	    -peers DB2=127.0.0.1:7102,DB3=127.0.0.1:7103
+//	hetserve -site DB2 -listen 127.0.0.1:7102 \
+//	    -peers DB1=127.0.0.1:7101,DB3=127.0.0.1:7103
+//	hetserve -site DB3 -listen 127.0.0.1:7103 \
+//	    -peers DB1=127.0.0.1:7101,DB2=127.0.0.1:7102
+//
+// Then query the cluster:
+//
+//	hetserve -coordinator \
+//	    -peers DB1=127.0.0.1:7101,DB2=127.0.0.1:7102,DB3=127.0.0.1:7103 \
+//	    -alg BL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fedfile"
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/remote"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hetserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hetserve", flag.ContinueOnError)
+	var (
+		siteName    = fs.String("site", "", "serve this component site (DB1, DB2 or DB3)")
+		listen      = fs.String("listen", "127.0.0.1:0", "listen address for -site mode")
+		coordinator = fs.Bool("coordinator", false, "act as the global processing site")
+		peersFlag   = fs.String("peers", "", "comma-separated SITE=ADDR pairs")
+		queryText   = fs.String("query", school.Q1, "query to run in -coordinator mode")
+		algName     = fs.String("alg", "BL", "strategy for -coordinator mode: CA, BL, PL, SBL, SPL")
+		fedPath     = fs.String("fed", "", "serve/query this JSON federation instead of the built-in example")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	fed, err := loadFederation(*fedPath)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *coordinator:
+		return runCoordinator(fed, peers, *queryText, *algName)
+	case *siteName != "":
+		return runSite(fed, object.SiteID(*siteName), *listen, peers)
+	default:
+		return fmt.Errorf("pass -site NAME or -coordinator")
+	}
+}
+
+// federationBundle is what both modes need, from either source.
+type federationBundle struct {
+	Global    *schema.Global
+	Databases map[object.SiteID]*store.Database
+	Mapping   *gmap.Tables
+}
+
+func loadFederation(path string) (*federationBundle, error) {
+	if path == "" {
+		fx := school.New()
+		return &federationBundle{Global: fx.Global, Databases: fx.Databases, Mapping: fx.Mapping}, nil
+	}
+	fed, err := fedfile.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &federationBundle{Global: fed.Global, Databases: fed.Databases, Mapping: fed.Tables}, nil
+}
+
+func parsePeers(s string) (map[object.SiteID]string, error) {
+	peers := make(map[object.SiteID]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want SITE=ADDR)", pair)
+		}
+		peers[object.SiteID(name)] = addr
+	}
+	return peers, nil
+}
+
+func runSite(fed *federationBundle, site object.SiteID, listen string, peers map[object.SiteID]string) error {
+	db, ok := fed.Databases[site]
+	if !ok {
+		return fmt.Errorf("unknown site %q in this federation", site)
+	}
+	srv, err := remote.NewServer(remote.ServerConfig{
+		DB:         db,
+		Global:     fed.Global,
+		Tables:     fed.Mapping,
+		Peers:      peers,
+		Signatures: signature.Build(fed.Databases),
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(listen); err != nil {
+		return err
+	}
+	fmt.Printf("site %s serving on %s (%d objects)\n", site, srv.Addr(), db.Len())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return srv.Close()
+}
+
+func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string) error {
+	var alg exec.Algorithm
+	found := false
+	for _, a := range exec.AllAlgorithms() {
+		if strings.EqualFold(a.String(), algName) {
+			alg, found = a, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown algorithm %q", algName)
+	}
+	coord := &remote.Coordinator{
+		ID:     "G",
+		Global: fed.Global,
+		Tables: fed.Mapping,
+		Sites:  peers,
+	}
+	if err := coord.Ping(); err != nil {
+		return err
+	}
+	ans, elapsed, err := coord.Query(queryText, alg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\nstrategy: %v  (%.2f ms over TCP)\n", queryText, alg,
+		float64(elapsed.Microseconds())/1e3)
+	fmt.Printf("certain results (%d):\n", len(ans.Certain))
+	for _, r := range ans.Certain {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Printf("maybe results (%d):\n", len(ans.Maybe))
+	for _, r := range ans.Maybe {
+		fmt.Printf("  %s\n", r)
+	}
+	return nil
+}

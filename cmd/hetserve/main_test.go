@@ -1,0 +1,99 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/remote"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("DB1=127.0.0.1:7101, DB2=127.0.0.1:7102")
+	if err != nil {
+		t.Fatalf("parsePeers: %v", err)
+	}
+	if peers["DB1"] != "127.0.0.1:7101" || peers["DB2"] != "127.0.0.1:7102" {
+		t.Errorf("peers = %v", peers)
+	}
+	if p, err := parsePeers(""); err != nil || len(p) != 0 {
+		t.Errorf("empty peers = %v, %v", p, err)
+	}
+	for _, bad := range []string{"DB1", "=addr", "DB1=", "DB1=a,=b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-site", "DB9"}); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if err := run([]string{"-coordinator", "-alg", "NOPE"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-peers", "garbage"}); err == nil {
+		t.Error("bad peers accepted")
+	}
+}
+
+// TestCoordinatorAgainstCluster starts the school sites in-process (via the
+// remote package, as runSite would) and drives runCoordinator against them.
+func TestCoordinatorAgainstCluster(t *testing.T) {
+	fx := school.New()
+	sigs := signature.Build(fx.Databases)
+	addrs := make(map[object.SiteID]string)
+	var servers []*remote.Server
+	for _, site := range school.Sites {
+		srv, err := remote.NewServer(remote.ServerConfig{
+			DB: fx.Databases[site], Global: fx.Global, Tables: fx.Mapping, Signatures: sigs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		addrs[site] = srv.Addr()
+	}
+	for _, srv := range servers {
+		srv.SetPeers(addrs)
+	}
+
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	bundle := &federationBundle{Global: fx.Global, Databases: fx.Databases, Mapping: fx.Mapping}
+	err := runCoordinator(bundle, addrs, school.Q1, "BL")
+	w.Close()
+	os.Stdout = old
+	out := <-done
+
+	if err != nil {
+		t.Fatalf("runCoordinator: %v", err)
+	}
+	if !strings.Contains(out, "Hedy, Kelly") || !strings.Contains(out, "Tony, Haley") {
+		t.Errorf("coordinator output wrong:\n%s", out)
+	}
+
+	// Unreachable cluster errors out.
+	bad := map[object.SiteID]string{"DB1": "127.0.0.1:1", "DB2": "127.0.0.1:1", "DB3": "127.0.0.1:1"}
+	if err := runCoordinator(bundle, bad, school.Q1, "BL"); err == nil {
+		t.Error("unreachable cluster accepted")
+	}
+}

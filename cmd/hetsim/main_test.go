@@ -1,0 +1,111 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+// tinyArgs keeps CLI tests fast: one sample, 2 % extents.
+func tinyArgs(extra ...string) []string {
+	return append([]string{"-samples", "1", "-scale", "0.02"}, extra...)
+}
+
+func TestRunFigure9(t *testing.T) {
+	out, err := capture(t, func() error { return run(tinyArgs("-figure", "9")) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"total execution time", "response time", "CA", "BL", "PL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFigure11WithCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "out.csv")
+	out, err := capture(t, func() error {
+		return run(tinyArgs("-figure", "11", "-csv", csvPath))
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "selectivity") {
+		t.Errorf("output missing selectivity sweep:\n%s", out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "figure,x,algorithm,") {
+		t.Errorf("csv header wrong: %.40s", data)
+	}
+	if !strings.Contains(string(data), "figure11,") {
+		t.Error("csv missing figure11 rows")
+	}
+}
+
+func TestRunSignatures(t *testing.T) {
+	out, err := capture(t, func() error { return run(tinyArgs("-figure", "signatures")) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"SBL", "SPL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunPlanner(t *testing.T) {
+	out, err := capture(t, func() error { return run(tinyArgs("-figure", "planner", "-samples", "2")) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "picked the fastest strategy") {
+		t.Errorf("output missing planner report:\n%s", out)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-figure", "99"}) }); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestScaledCounts(t *testing.T) {
+	got := scaledCounts(0.5, []int{1000, 2000})
+	if got[0] != 500 || got[1] != 1000 {
+		t.Errorf("scaledCounts = %v", got)
+	}
+	got = scaledCounts(0.001, []int{1000})
+	if got[0] != 10 {
+		t.Errorf("floor = %v", got)
+	}
+	base := []int{100}
+	if &scaledCounts(1.0, base)[0] != &base[0] {
+		t.Error("identity scale should not copy")
+	}
+}

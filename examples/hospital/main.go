@@ -1,0 +1,204 @@
+// Hospital builds a federation from scratch — two hospitals and an
+// insurance registry holding overlapping patient populations — and walks
+// the full pipeline a downstream user of this library follows:
+//
+//  1. declare component schemas,
+//
+//  2. integrate them into a global schema (missing attributes fall out of
+//     the attribute union),
+//
+//  3. load objects, including original null values,
+//
+//  4. discover isomeric objects by entity key and build the GOid mapping
+//     tables automatically (hetfed.Identify),
+//
+//  5. execute a query whose predicates hit missing data, and watch the
+//     certification rule turn local maybe results into certain results or
+//     eliminate them.
+//
+//     go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hetfed "github.com/hetfed/hetfed"
+)
+
+func main() {
+	// --- 1. Component schemas -------------------------------------------
+	hospA := hetfed.NewSchema("HospA")
+	hospA.MustAddClass(hetfed.MustClass("Patient", []hetfed.Attribute{
+		hetfed.Prim("ssn", hetfed.KindInt),
+		hetfed.Prim("name", hetfed.KindString),
+		hetfed.Prim("age", hetfed.KindInt),
+		hetfed.Complex("doctor", "Doctor"),
+	}, "ssn"))
+	hospA.MustAddClass(hetfed.MustClass("Doctor", []hetfed.Attribute{
+		hetfed.Prim("name", hetfed.KindString),
+		hetfed.Prim("specialty", hetfed.KindString),
+	}, "name"))
+
+	hospB := hetfed.NewSchema("HospB")
+	hospB.MustAddClass(hetfed.MustClass("Patient", []hetfed.Attribute{
+		hetfed.Prim("ssn", hetfed.KindInt),
+		hetfed.Prim("name", hetfed.KindString),
+		hetfed.Prim("bloodtype", hetfed.KindString),
+		hetfed.Complex("doctor", "Doctor"),
+	}, "ssn"))
+	hospB.MustAddClass(hetfed.MustClass("Doctor", []hetfed.Attribute{
+		hetfed.Prim("name", hetfed.KindString),
+		hetfed.Prim("specialty", hetfed.KindString),
+	}, "name"))
+
+	registry := hetfed.NewSchema("Registry")
+	registry.MustAddClass(hetfed.MustClass("Patient", []hetfed.Attribute{
+		hetfed.Prim("ssn", hetfed.KindInt),
+		hetfed.Prim("name", hetfed.KindString),
+		hetfed.Prim("insurer", hetfed.KindString),
+		hetfed.Prim("age", hetfed.KindInt),
+	}, "ssn"))
+
+	schemas := map[hetfed.SiteID]*hetfed.Schema{
+		"HospA": hospA, "HospB": hospB, "Registry": registry,
+	}
+
+	// --- 2. Global schema by integration --------------------------------
+	global, err := hetfed.Integrate(schemas, []hetfed.Correspondence{
+		{GlobalClass: "Patient", Members: []hetfed.Constituent{
+			{Site: "HospA", Class: "Patient"},
+			{Site: "HospB", Class: "Patient"},
+			{Site: "Registry", Class: "Patient"},
+		}},
+		{GlobalClass: "Doctor", Members: []hetfed.Constituent{
+			{Site: "HospA", Class: "Doctor"},
+			{Site: "HospB", Class: "Doctor"},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat := global.Class("Patient")
+	fmt.Printf("global Patient%v\n", pat.AttrNames())
+	for _, site := range pat.Sites() {
+		fmt.Printf("  missing at %-9s %v\n", site+":", pat.MissingAttrs(site))
+	}
+
+	// --- 3. Objects ------------------------------------------------------
+	dbA := hetfed.MustNewDatabase(hospA)
+	dbA.MustInsert(hetfed.NewObject("dA1", "Doctor", map[string]hetfed.Value{
+		"name": hetfed.Str("Chen"), "specialty": hetfed.Str("cardiology"),
+	}))
+	dbA.MustInsert(hetfed.NewObject("dA2", "Doctor", map[string]hetfed.Value{
+		"name": hetfed.Str("Silva"), // specialty unknown here (null)
+	}))
+	dbA.MustInsert(hetfed.NewObject("pA1", "Patient", map[string]hetfed.Value{
+		"ssn": hetfed.Int(1001), "name": hetfed.Str("Ines"), "age": hetfed.Int(62),
+		"doctor": hetfed.Ref("dA1"),
+	}))
+	dbA.MustInsert(hetfed.NewObject("pA2", "Patient", map[string]hetfed.Value{
+		"ssn": hetfed.Int(1002), "name": hetfed.Str("Jonas"), "age": hetfed.Int(71),
+		"doctor": hetfed.Ref("dA2"), // Silva's specialty must come from HospB
+	}))
+	dbA.MustInsert(hetfed.NewObject("pA3", "Patient", map[string]hetfed.Value{
+		"ssn": hetfed.Int(1003), "name": hetfed.Str("Mara"), "age": hetfed.Int(44),
+		"doctor": hetfed.Ref("dA1"),
+	}))
+
+	dbB := hetfed.MustNewDatabase(hospB)
+	dbB.MustInsert(hetfed.NewObject("dB1", "Doctor", map[string]hetfed.Value{
+		"name": hetfed.Str("Silva"), "specialty": hetfed.Str("cardiology"),
+	}))
+	dbB.MustInsert(hetfed.NewObject("dB2", "Doctor", map[string]hetfed.Value{
+		"name": hetfed.Str("Okafor"), "specialty": hetfed.Str("oncology"),
+	}))
+	// Jonas is also a HospB patient: the isomeric record.
+	dbB.MustInsert(hetfed.NewObject("pB1", "Patient", map[string]hetfed.Value{
+		"ssn": hetfed.Int(1002), "name": hetfed.Str("Jonas"),
+		"bloodtype": hetfed.Str("A+"), "doctor": hetfed.Ref("dB1"),
+	}))
+	// Priya exists only at HospB, which has no age attribute at all.
+	dbB.MustInsert(hetfed.NewObject("pB2", "Patient", map[string]hetfed.Value{
+		"ssn": hetfed.Int(1004), "name": hetfed.Str("Priya"),
+		"bloodtype": hetfed.Str("O-"), "doctor": hetfed.Ref("dB1"),
+	}))
+
+	dbR := hetfed.MustNewDatabase(registry)
+	// The registry knows Priya's age — her assistant object for the age
+	// predicate lives here.
+	dbR.MustInsert(hetfed.NewObject("r1", "Patient", map[string]hetfed.Value{
+		"ssn": hetfed.Int(1004), "name": hetfed.Str("Priya"),
+		"insurer": hetfed.Str("Acme"), "age": hetfed.Int(58),
+	}))
+	dbR.MustInsert(hetfed.NewObject("r2", "Patient", map[string]hetfed.Value{
+		"ssn": hetfed.Int(1001), "name": hetfed.Str("Ines"),
+		"insurer": hetfed.Str("Umbrella"), "age": hetfed.Int(62),
+	}))
+
+	dbs := map[hetfed.SiteID]*hetfed.Database{
+		"HospA": dbA, "HospB": dbB, "Registry": dbR,
+	}
+
+	// --- 4. Isomerism identification ------------------------------------
+	tables, err := hetfed.Identify(global, dbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hetfed.ValidateMapping(global, dbs, tables); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nisomeric entities per class: %v\n", hetfed.CountIsomeric(tables))
+
+	// --- 5. Query with missing data --------------------------------------
+	src := `select name, doctor.name from Patient ` +
+		`where age > 50 and doctor.specialty = "cardiology"`
+	q := mustParse(src)
+	b, err := hetfed.BindQuery(q, global)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery: %s\n", q)
+
+	engine, err := hetfed.NewEngine(hetfed.EngineConfig{
+		Global:      global,
+		Coordinator: "G",
+		Databases:   dbs,
+		Tables:      tables,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, alg := range hetfed.Algorithms() {
+		ans, _, err := engine.Run(hetfed.NewRealRuntime(hetfed.DefaultRates()), alg, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%v:\n", alg)
+		for _, r := range ans.Certain {
+			fmt.Printf("  certain: %s\n", r)
+		}
+		for _, r := range ans.Maybe {
+			fmt.Printf("  maybe:   %s\n", r)
+		}
+	}
+
+	fmt.Println(`
+why:
+  Ines  (62, Dr. Chen, cardiology)  -> certain at HospA alone.
+  Jonas (71, Dr. Silva)             -> maybe at HospA (Silva's specialty is
+          null there), but Silva's isomeric record at HospB says cardiology:
+          the assistant check certifies Jonas into a certain result.
+  Priya (HospB only, no age)        -> maybe at HospB, but her registry
+          record says age 58: certified certain through the root merge.
+  Mara  (44)                        -> eliminated by the age predicate.`)
+}
+
+// mustParse keeps the example terse.
+func mustParse(src string) *hetfed.Query {
+	q, err := hetfed.ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

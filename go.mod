@@ -1,0 +1,3 @@
+module github.com/hetfed/hetfed
+
+go 1.22

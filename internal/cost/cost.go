@@ -1,0 +1,56 @@
+// Package cost defines the cost-event sink through which every layer
+// reports the abstract operations of the paper's cost model (Table 1):
+// bytes read from disk and CPU operations (comparisons, reference
+// navigations, mapping-table lookups). Network transfer costs are charged by
+// the fabric per message and do not pass through a Sink.
+//
+// Implementations either count the events (real executions) or additionally
+// block the calling process for the corresponding virtual time (the
+// discrete-event fabric).
+package cost
+
+import "sync/atomic"
+
+// Sink receives cost events. Implementations may block the caller to model
+// the time the operation takes.
+type Sink interface {
+	// DiskRead reports bytes read from the local disk.
+	DiskRead(bytes int)
+	// CPU reports abstract CPU operations (one comparison each).
+	CPU(ops int)
+}
+
+// Counter is a Sink that tallies events. It is safe for concurrent use.
+// The zero value is ready to use.
+type Counter struct {
+	diskBytes atomic.Int64
+	cpuOps    atomic.Int64
+}
+
+var _ Sink = (*Counter)(nil)
+
+// DiskRead implements Sink.
+func (c *Counter) DiskRead(bytes int) { c.diskBytes.Add(int64(bytes)) }
+
+// CPU implements Sink.
+func (c *Counter) CPU(ops int) { c.cpuOps.Add(int64(ops)) }
+
+// DiskBytes returns the accumulated disk bytes.
+func (c *Counter) DiskBytes() int64 { return c.diskBytes.Load() }
+
+// CPUOps returns the accumulated CPU operations.
+func (c *Counter) CPUOps() int64 { return c.cpuOps.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.diskBytes.Store(0)
+	c.cpuOps.Store(0)
+}
+
+// Discard is a Sink that ignores all events.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+func (discard) DiskRead(int) {}
+func (discard) CPU(int)      {}

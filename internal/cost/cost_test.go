@@ -1,0 +1,42 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.DiskRead(100)
+	c.DiskRead(50)
+	c.CPU(7)
+	if c.DiskBytes() != 150 || c.CPUOps() != 7 {
+		t.Errorf("counter = %d/%d", c.DiskBytes(), c.CPUOps())
+	}
+	c.Reset()
+	if c.DiskBytes() != 0 || c.CPUOps() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.DiskRead(1)
+			c.CPU(2)
+		}()
+	}
+	wg.Wait()
+	if c.DiskBytes() != 100 || c.CPUOps() != 200 {
+		t.Errorf("concurrent counter = %d/%d", c.DiskBytes(), c.CPUOps())
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	Discard.DiskRead(1 << 30)
+	Discard.CPU(1 << 30) // must not panic or accumulate anything
+}

@@ -1,0 +1,348 @@
+// Package exec implements the paper's three query execution strategies for
+// global queries involving missing data:
+//
+//   - CA, the centralized approach (phase order O → I → P): every involved
+//     site ships its projected local root and branch class objects to the
+//     global processing site, which materializes the global classes by
+//     outerjoin over GOids and evaluates the predicates centrally.
+//   - BL, the basic localized approach (P → O → I): each site evaluates its
+//     local predicates first, then looks up and dispatches assistant-object
+//     checks for the surviving maybe results; the coordinator certifies.
+//   - PL, the parallel localized approach (O → P → I): each site dispatches
+//     assistant-object checks for every object holding missing data first,
+//     then evaluates its local predicates while the checks proceed in
+//     parallel at the other sites.
+//
+// All three run over package fabric, so one implementation serves both real
+// executions and the discrete-event timing simulation, and all three return
+// the same answers (certain results plus maybe results) — the localized
+// strategies trade extra coordination for inter-site parallelism, not for
+// answer quality.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+// Algorithm identifies an execution strategy.
+type Algorithm int
+
+// The execution strategies. SBL and SPL are the signature-assisted
+// variants of BL and PL (the paper's Section 5 extension); they require
+// Config.Signatures.
+const (
+	CA  Algorithm = iota + 1 // centralized approach
+	BL                       // basic localized approach
+	PL                       // parallel localized approach
+	SBL                      // signature-assisted basic localized
+	SPL                      // signature-assisted parallel localized
+)
+
+// String returns the paper's abbreviation for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case CA:
+		return "CA"
+	case BL:
+		return "BL"
+	case PL:
+		return "PL"
+	case SBL:
+		return "SBL"
+	case SPL:
+		return "SPL"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists the paper's strategies in paper order.
+func Algorithms() []Algorithm { return []Algorithm{CA, BL, PL} }
+
+// AllAlgorithms additionally includes the signature-assisted variants.
+func AllAlgorithms() []Algorithm { return []Algorithm{CA, BL, PL, SBL, SPL} }
+
+// Engine executes global queries against a federation.
+type Engine struct {
+	global *schema.Global
+	coord  *federation.Coordinator
+	sites  map[object.SiteID]*federation.Site
+	tracer *trace.Tracer
+	sigs   *signature.Index
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Global is the integrated global schema.
+	Global *schema.Global
+	// Coordinator names the global processing site.
+	Coordinator object.SiteID
+	// Databases are the component databases, keyed by site.
+	Databases map[object.SiteID]*store.Database
+	// Tables are the GOid mapping tables; each site works against this
+	// replica (the tables are read-only during query processing).
+	Tables *gmap.Tables
+	// Tracer, when non-nil, records the executed steps (Figure 8 flows).
+	Tracer *trace.Tracer
+	// Signatures, when non-nil, is the replicated object-signature index
+	// required by the SBL and SPL strategies.
+	Signatures *signature.Index
+	// UseIndexes lets the localized strategies probe the databases'
+	// secondary indexes (store.Database.CreateIndex) to select candidate
+	// objects for conjunctive queries.
+	UseIndexes bool
+}
+
+// New builds an engine from a federation configuration.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Global == nil {
+		return nil, fmt.Errorf("exec: nil global schema")
+	}
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("exec: empty coordinator site")
+	}
+	if _, clash := cfg.Databases[cfg.Coordinator]; clash {
+		return nil, fmt.Errorf("exec: coordinator %s clashes with a component site", cfg.Coordinator)
+	}
+	e := &Engine{
+		global: cfg.Global,
+		coord:  federation.NewCoordinator(cfg.Coordinator, cfg.Global, cfg.Tables),
+		sites:  make(map[object.SiteID]*federation.Site, len(cfg.Databases)),
+		tracer: cfg.Tracer,
+		sigs:   cfg.Signatures,
+	}
+	for id, db := range cfg.Databases {
+		if db.Site() != id {
+			return nil, fmt.Errorf("exec: database registered under %s reports site %s", id, db.Site())
+		}
+		site := federation.NewSite(db, cfg.Global, cfg.Tables)
+		if cfg.UseIndexes {
+			site.EnableIndexes()
+		}
+		e.sites[id] = site
+	}
+	return e, nil
+}
+
+// Sites returns every site identifier including the coordinator, sorted —
+// the site set a simulated runtime must register.
+func (e *Engine) Sites() []object.SiteID {
+	out := make([]object.SiteID, 0, len(e.sites)+1)
+	for id := range e.sites {
+		out = append(out, id)
+	}
+	out = append(out, e.coord.ID())
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Coordinator returns the global processing site's identifier.
+func (e *Engine) Coordinator() object.SiteID { return e.coord.ID() }
+
+// Run executes the query under the given strategy on the given runtime and
+// returns the answer with the runtime's metrics.
+func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federation.Answer, fabric.Metrics, error) {
+	var (
+		ans *federation.Answer
+		err error
+	)
+	if (alg == SBL || alg == SPL) && e.sigs == nil {
+		return nil, fabric.Metrics{}, fmt.Errorf("exec: %v requires a signature index (Config.Signatures)", alg)
+	}
+	m, runErr := rt.Run(alg.String(), func(p fabric.Proc) {
+		switch alg {
+		case CA:
+			ans = e.runCA(p, b)
+		case BL:
+			ans = e.runBL(p, b, nil)
+		case PL:
+			ans = e.runPL(p, b, nil)
+		case SBL:
+			ans = e.runBL(p, b, e.sigs)
+		case SPL:
+			ans = e.runPL(p, b, e.sigs)
+		default:
+			err = fmt.Errorf("exec: unknown algorithm %v", alg)
+		}
+	})
+	if runErr != nil {
+		return nil, m, runErr
+	}
+	if err != nil {
+		return nil, m, err
+	}
+	return ans, m, nil
+}
+
+func (e *Engine) step(site object.SiteID, name, detail string) {
+	if e.tracer != nil {
+		e.tracer.Step(site, name, detail)
+	}
+}
+
+// runCA is the centralized approach: O → I → P.
+func (e *Engine) runCA(p fabric.Proc, b *query.Bound) *federation.Answer {
+	coord := e.coord.ID()
+	sites := b.InvolvedSites()
+	replies := make([]federation.RetrieveReply, len(sites))
+
+	// CA_G1 ∥ CA_C1: every involved site retrieves and ships its objects.
+	fns := make([]func(fabric.Proc), len(sites))
+	for i, siteID := range sites {
+		i, siteID := i, siteID
+		fns[i] = func(p fabric.Proc) {
+			site := e.sites[siteID]
+			p.Transfer(coord, siteID, federation.QueryWireSize(b))
+			reply := site.Retrieve(p, b)
+			e.step(siteID, "CA_C1", fmt.Sprintf("retrieve %d classes", len(reply.Classes)))
+			p.Transfer(siteID, coord, reply.WireSize())
+			replies[i] = reply
+		}
+	}
+	e.step(coord, "CA_G1", fmt.Sprintf("request objects from %d sites", len(sites)))
+	p.Fork(fns...)
+
+	// CA_G2: outerjoin integration over GOids (phases O and I).
+	view := e.coord.Materialize(p, b, replies)
+	e.step(coord, "CA_G2", fmt.Sprintf("materialized %d objects", view.Len()))
+
+	// CA_G3: evaluate the predicates (phase P).
+	ans := e.coord.EvaluateView(p, b, view)
+	e.step(coord, "CA_G3", fmt.Sprintf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)))
+	return ans
+}
+
+// dispatchChecks ships check requests to their target sites, has the
+// targets check the assistant objects, and routes the verdicts to the
+// coordinator. It returns one task function per target site.
+func (e *Engine) dispatchChecks(origin object.SiteID, checks map[object.SiteID][]federation.CheckItem,
+	sink func(federation.CheckReply)) []func(fabric.Proc) {
+	targets := make([]object.SiteID, 0, len(checks))
+	for t := range checks {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	coord := e.coord.ID()
+	fns := make([]func(fabric.Proc), 0, len(targets))
+	for _, target := range targets {
+		target := target
+		items := checks[target]
+		fns = append(fns, func(p fabric.Proc) {
+			req := federation.CheckRequest{From: origin, Items: items}
+			p.Transfer(origin, target, req.WireSize())
+			reply := e.sites[target].CheckAssistants(p, items)
+			e.step(target, "C3", fmt.Sprintf("checked %d assistants from %s", len(items), origin))
+			p.Transfer(target, coord, reply.WireSize())
+			sink(reply)
+		})
+	}
+	return fns
+}
+
+// runBL is the basic localized approach: P → O → I. A non-nil sigs runs
+// the signature-assisted variant.
+func (e *Engine) runBL(p fabric.Proc, b *query.Bound, sigs *signature.Index) *federation.Answer {
+	coord := e.coord.ID()
+	rootSites := b.RootSites()
+	results := make([]federation.LocalResult, len(rootSites))
+
+	var mu sync.Mutex
+	var replies []federation.CheckReply
+	addReply := func(r federation.CheckReply) {
+		mu.Lock()
+		defer mu.Unlock()
+		replies = append(replies, r)
+	}
+
+	// BL_G1 ∥ per-site BL_C1/BL_C2, with BL_C3 at the check targets.
+	fns := make([]func(fabric.Proc), len(rootSites))
+	for i, siteID := range rootSites {
+		i, siteID := i, siteID
+		fns[i] = func(p fabric.Proc) {
+			site := e.sites[siteID]
+			p.Transfer(coord, siteID, federation.QueryWireSize(b))
+			res, checks := site.EvalLocalBasic(p, b, sigs)
+			e.step(siteID, "BL_C1+C2", fmt.Sprintf("%d local rows, %d check targets", len(res.Rows), len(checks)))
+			results[i] = res
+
+			// The local results travel to the coordinator while the check
+			// requests are processed at the other sites.
+			sub := []func(fabric.Proc){func(p fabric.Proc) {
+				p.Transfer(siteID, coord, res.WireSize())
+			}}
+			sub = append(sub, e.dispatchChecks(siteID, checks, addReply)...)
+			p.Fork(sub...)
+		}
+	}
+	e.step(coord, "BL_G1", fmt.Sprintf("local queries to %d sites", len(rootSites)))
+	p.Fork(fns...)
+
+	// BL_G2: certification (phase I).
+	ans := e.coord.Certify(p, b, results, replies)
+	e.step(coord, "BL_G2", fmt.Sprintf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)))
+	return ans
+}
+
+// runPL is the parallel localized approach: O → P → I. The difference from
+// BL is the order of the component-site steps: assistant lookups and check
+// dispatch happen before local predicate evaluation, so checking at other
+// sites (PL_C3) runs in parallel with the local evaluation (PL_C2).
+// A non-nil sigs runs the signature-assisted variant.
+func (e *Engine) runPL(p fabric.Proc, b *query.Bound, sigs *signature.Index) *federation.Answer {
+	coord := e.coord.ID()
+	rootSites := b.RootSites()
+	results := make([]federation.LocalResult, len(rootSites))
+
+	var mu sync.Mutex
+	var replies []federation.CheckReply
+	addReply := func(r federation.CheckReply) {
+		mu.Lock()
+		defer mu.Unlock()
+		replies = append(replies, r)
+	}
+
+	fns := make([]func(fabric.Proc), len(rootSites))
+	for i, siteID := range rootSites {
+		i, siteID := i, siteID
+		fns[i] = func(p fabric.Proc) {
+			site := e.sites[siteID]
+			p.Transfer(coord, siteID, federation.QueryWireSize(b))
+
+			// PL_C1 (phase O): locate unsolved items for every object and
+			// dispatch the checks immediately.
+			nav, checks := site.NavigateAll(p, b, sigs)
+			e.step(siteID, "PL_C1", fmt.Sprintf("%d check targets", len(checks)))
+			checkH := make([]fabric.Handle, 0, len(checks))
+			for j, fn := range e.dispatchChecks(siteID, checks, addReply) {
+				checkH = append(checkH, p.Go(fmt.Sprintf("%s-check-%d", siteID, j), fn))
+			}
+
+			// PL_C2 (phase P) runs while the checks are in flight.
+			res := site.EvalNavigated(p, b, nav)
+			e.step(siteID, "PL_C2", fmt.Sprintf("%d local rows", len(res.Rows)))
+			results[i] = res
+			p.Transfer(siteID, coord, res.WireSize())
+			p.Wait(checkH...)
+		}
+	}
+	e.step(coord, "PL_G1", fmt.Sprintf("local queries to %d sites", len(rootSites)))
+	p.Fork(fns...)
+
+	// PL_G2: certification (phase I).
+	ans := e.coord.Certify(p, b, results, replies)
+	e.step(coord, "PL_G2", fmt.Sprintf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)))
+	return ans
+}

@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/store"
+)
+
+// multiFixture builds a two-site federation exercising multi-valued
+// attributes (the paper's Section 5 open problem): teams with set-valued
+// member references and set-valued primitive tags. Site S1 stores the
+// teams; employee skills are split across the sites.
+func multiFixture(t *testing.T) (*Engine, *schema.Global) {
+	t.Helper()
+
+	s1 := schema.NewSchema("S1")
+	s1.MustAddClass(schema.MustClass("Employee", []schema.Attribute{
+		schema.Prim("name", object.KindString),
+		schema.Prim("skill", object.KindString),
+	}, "name"))
+	s1.MustAddClass(schema.MustClass("Team", []schema.Attribute{
+		schema.Prim("name", object.KindString),
+		{Name: "members", Domain: "Employee", MultiValued: true},
+		{Name: "tags", Prim: object.KindString, MultiValued: true},
+	}, "name"))
+
+	s2 := schema.NewSchema("S2")
+	s2.MustAddClass(schema.MustClass("Employee", []schema.Attribute{
+		schema.Prim("name", object.KindString),
+		schema.Prim("skill", object.KindString),
+	}, "name"))
+
+	schemas := map[object.SiteID]*schema.Schema{"S1": s1, "S2": s2}
+	global, err := schema.Integrate(schemas, []schema.Correspondence{
+		{GlobalClass: "Team", Members: []schema.Constituent{{Site: "S1", Class: "Team"}}},
+		{GlobalClass: "Employee", Members: []schema.Constituent{
+			{Site: "S1", Class: "Employee"}, {Site: "S2", Class: "Employee"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db1 := store.MustNewDatabase(s1)
+	db1.MustInsert(object.New("e1", "Employee", map[string]object.Value{
+		"name": object.Str("Ada"), // skill unknown at S1
+	}))
+	db1.MustInsert(object.New("e2", "Employee", map[string]object.Value{
+		"name": object.Str("Ben"), "skill": object.Str("go"),
+	}))
+	db1.MustInsert(object.New("e3", "Employee", map[string]object.Value{
+		"name": object.Str("Cem"), // skill unknown everywhere
+	}))
+	db1.MustInsert(object.New("t1", "Team", map[string]object.Value{
+		"name":    object.Str("Core"),
+		"members": object.List(object.Ref("e1"), object.Ref("e2")),
+		"tags":    object.List(object.Str("infra"), object.Str("db")),
+	}))
+	db1.MustInsert(object.New("t2", "Team", map[string]object.Value{
+		"name":    object.Str("Edge"),
+		"members": object.List(object.Ref("e2"), object.Ref("e3")),
+		"tags":    object.List(object.Str("web")),
+	}))
+
+	db2 := store.MustNewDatabase(s2)
+	db2.MustInsert(object.New("e1'", "Employee", map[string]object.Value{
+		"name": object.Str("Ada"), "skill": object.Str("rust"),
+	}))
+
+	dbs := map[object.SiteID]*store.Database{"S1": db1, "S2": db2}
+	tables, err := isomer.Identify(global, dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := New(Config{Global: global, Coordinator: "G", Databases: dbs, Tables: tables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, global
+}
+
+func runMulti(t *testing.T, e *Engine, g *schema.Global, src string) map[Algorithm]string {
+	t.Helper()
+	b := query.MustBind(query.MustParse(src), g)
+	out := make(map[Algorithm]string, 3)
+	for _, alg := range Algorithms() {
+		ans, _, err := e.Run(fabric.NewReal(fabric.DefaultRates()), alg, b)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		out[alg] = answerSummary(ans)
+	}
+	return out
+}
+
+// TestMultiValuedAnySemantics: a predicate through a multi-valued reference
+// holds when ANY element satisfies it.
+func TestMultiValuedAnySemantics(t *testing.T) {
+	e, g := multiFixture(t)
+
+	// Ben (go) is on both teams: both certain everywhere.
+	got := runMulti(t, e, g, `select name from Team where members.skill = "go"`)
+	for alg, s := range got {
+		if s != `certain: gTeam:1(Core) gTeam:2(Edge) maybe:` {
+			t.Errorf("%v: %s", alg, s)
+		}
+	}
+
+	// Rust: Ada's skill is missing at S1 but her S2 record says rust — the
+	// assistant check certifies team Core. Team Edge's unknown member Cem
+	// has no record elsewhere: stays maybe.
+	got = runMulti(t, e, g, `select name from Team where members.skill = "rust"`)
+	for alg, s := range got {
+		if s != `certain: gTeam:1(Core) maybe: gTeam:2(Edge)` {
+			t.Errorf("%v: %s", alg, s)
+		}
+	}
+
+	// Cobol: Ada's assistant refutes her element, Ben is go — all elements
+	// of Core are definitively non-cobol, so Core is eliminated under the
+	// localized strategies too. Edge keeps the unknown Cem: maybe.
+	got = runMulti(t, e, g, `select name from Team where members.skill = "cobol"`)
+	for alg, s := range got {
+		if s != `certain: maybe: gTeam:2(Edge)` {
+			t.Errorf("%v: %s", alg, s)
+		}
+	}
+}
+
+// TestMultiValuedPrimitive: set-valued primitive attributes compare under
+// ANY semantics locally.
+func TestMultiValuedPrimitive(t *testing.T) {
+	e, g := multiFixture(t)
+	got := runMulti(t, e, g, `select name from Team where tags = "db"`)
+	for alg, s := range got {
+		if s != `certain: gTeam:1(Core) maybe:` {
+			t.Errorf("%v: %s", alg, s)
+		}
+	}
+	got = runMulti(t, e, g, `select name from Team where tags = "nope"`)
+	for alg, s := range got {
+		if s != `certain: maybe:` {
+			t.Errorf("%v: %s", alg, s)
+		}
+	}
+}
+
+// TestMultiValuedWithConjunction mixes a multi-valued predicate with a
+// scalar one.
+func TestMultiValuedWithConjunction(t *testing.T) {
+	e, g := multiFixture(t)
+	got := runMulti(t, e, g,
+		`select name from Team where members.skill = "rust" and tags = "infra"`)
+	for alg, s := range got {
+		if s != `certain: gTeam:1(Core) maybe:` {
+			t.Errorf("%v: %s", alg, s)
+		}
+	}
+}
+
+// TestMultiValuedTargetProjection: a set-valued complex target projects as
+// global references under every strategy.
+func TestMultiValuedTargetProjection(t *testing.T) {
+	e, g := multiFixture(t)
+	b := query.MustBind(query.MustParse(`select members from Team where tags = "db"`), g)
+	for _, alg := range Algorithms() {
+		ans, _, err := e.Run(fabric.NewReal(fabric.DefaultRates()), alg, b)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(ans.Certain) != 1 {
+			t.Fatalf("%v: %v", alg, ans.Certain)
+		}
+		members := ans.Certain[0].Targets[0]
+		if members.Kind() != object.KindList || len(members.Elems()) != 2 {
+			t.Fatalf("%v: members = %v", alg, members)
+		}
+		for _, m := range members.Elems() {
+			if m.Kind() != object.KindGRef {
+				t.Errorf("%v: member %v is not a global reference", alg, m)
+			}
+		}
+	}
+}

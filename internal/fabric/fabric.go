@@ -1,0 +1,95 @@
+// Package fabric abstracts the execution environment the query strategies
+// run on. Algorithm code is written once against Proc — structured
+// spawn/join parallelism, per-site metered cost sinks, and network
+// transfers — and executes on two runtimes:
+//
+//   - Real: goroutines and wall-clock time; cost events are counted.
+//   - Sim: the discrete-event simulator of package des; cost events
+//     additionally block the calling process for the virtual time they take
+//     under the paper's Table 1 rates, with per-site CPU and disk resources
+//     and a shared network medium.
+//
+// Both runtimes account the same byte and operation counts, which is tested
+// as an invariant: an execution strategy performs identical work on either
+// runtime.
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/hetfed/hetfed/internal/cost"
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Rates are the cost-model parameters of the paper's Table 1.
+type Rates struct {
+	// DiskPerByte is the average disk access time, µs per byte (T_d).
+	DiskPerByte float64
+	// NetPerByte is the average network transfer time, µs per byte (T_net).
+	NetPerByte float64
+	// CPUPerOp is the average CPU processing time, µs per comparison (T_c).
+	CPUPerOp float64
+}
+
+// DefaultRates are the Table 1 settings: 15 µs/byte disk, 8 µs/byte
+// network, 0.5 µs/comparison.
+func DefaultRates() Rates {
+	return Rates{DiskPerByte: 15, NetPerByte: 8, CPUPerOp: 0.5}
+}
+
+// Work converts event counts into modeled execution time (µs).
+func (r Rates) Work(diskBytes, cpuOps, netBytes int64) float64 {
+	return float64(diskBytes)*r.DiskPerByte +
+		float64(cpuOps)*r.CPUPerOp +
+		float64(netBytes)*r.NetPerByte
+}
+
+// Handle identifies a spawned task for Wait.
+type Handle interface{ isHandle() }
+
+// Proc is the execution context of one logical task (a coordinator step or
+// a component-site step).
+type Proc interface {
+	// Go spawns a concurrent task. Every spawned task must be waited on
+	// (directly or transitively) before the root task returns.
+	Go(name string, fn func(Proc)) Handle
+	// Wait blocks until the given tasks complete.
+	Wait(hs ...Handle)
+	// Fork runs the functions concurrently and waits for all of them.
+	Fork(fns ...func(Proc))
+	// Sink returns the cost sink charging CPU and disk work to the given
+	// site, bound to this task.
+	Sink(site object.SiteID) cost.Sink
+	// Transfer charges a network transfer of the given size between sites.
+	// On the simulated runtime the task blocks while the shared medium is
+	// occupied.
+	Transfer(from, to object.SiteID, bytes int)
+}
+
+// Metrics summarizes one execution.
+type Metrics struct {
+	// ResponseMicros is the end-to-end time: virtual makespan on the
+	// simulated runtime, wall-clock time on the real runtime.
+	ResponseMicros float64
+	// TotalBusyMicros is the summed modeled work across all resources —
+	// the paper's "total execution time".
+	TotalBusyMicros float64
+	// Event counts underlying the modeled work.
+	DiskBytes int64
+	CPUOps    int64
+	NetBytes  int64
+}
+
+// Runtime executes a root task and reports metrics.
+type Runtime interface {
+	// Run executes fn to completion, including all tasks it spawned.
+	Run(name string, fn func(Proc)) (Metrics, error)
+}
+
+func forkImpl(p Proc, fns []func(Proc)) {
+	hs := make([]Handle, len(fns))
+	for i, fn := range fns {
+		hs[i] = p.Go(fmt.Sprintf("fork-%d", i), fn)
+	}
+	p.Wait(hs...)
+}

@@ -1,0 +1,135 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/cost"
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Real is the goroutine-backed runtime: spawned tasks are goroutines, cost
+// events are counted atomically, and the response time is wall-clock. Use
+// it for functional execution (examples, correctness tests, the TCP
+// deployment); use Sim for the paper's timing experiments.
+type Real struct {
+	rates Rates
+
+	mu    sync.Mutex
+	sinks map[object.SiteID]*cost.Counter
+	net   int64
+	err   error
+}
+
+var _ Runtime = (*Real)(nil)
+
+// NewReal returns a real runtime with the given cost rates (used only to
+// convert counts into modeled work for Metrics).
+func NewReal(rates Rates) *Real {
+	return &Real{rates: rates, sinks: make(map[object.SiteID]*cost.Counter)}
+}
+
+// Run implements Runtime.
+func (r *Real) Run(name string, fn func(Proc)) (Metrics, error) {
+	r.mu.Lock()
+	r.sinks = make(map[object.SiteID]*cost.Counter)
+	r.net = 0
+	r.err = nil
+	r.mu.Unlock()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	root := &realProc{rt: r, wg: &wg}
+	wg.Add(1)
+	go root.exec(name, fn)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := Metrics{ResponseMicros: float64(elapsed.Nanoseconds()) / 1e3}
+	for _, c := range r.sinks {
+		m.DiskBytes += c.DiskBytes()
+		m.CPUOps += c.CPUOps()
+	}
+	m.NetBytes = r.net
+	m.TotalBusyMicros = r.rates.Work(m.DiskBytes, m.CPUOps, m.NetBytes)
+	return m, r.err
+}
+
+func (r *Real) sink(site object.SiteID) *cost.Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.sinks[site]
+	if c == nil {
+		c = &cost.Counter{}
+		r.sinks[site] = c
+	}
+	return c
+}
+
+func (r *Real) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+type realProc struct {
+	rt *Real
+	wg *sync.WaitGroup
+}
+
+var _ Proc = (*realProc)(nil)
+
+type realHandle struct{ done chan struct{} }
+
+func (*realHandle) isHandle() {}
+
+func (p *realProc) exec(name string, fn func(Proc)) {
+	defer p.wg.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.rt.fail(fmt.Errorf("fabric: task %s panicked: %v", name, rec))
+		}
+	}()
+	fn(p)
+}
+
+// Go implements Proc.
+func (p *realProc) Go(name string, fn func(Proc)) Handle {
+	h := &realHandle{done: make(chan struct{})}
+	child := &realProc{rt: p.rt, wg: p.wg}
+	p.wg.Add(1)
+	go func() {
+		defer close(h.done)
+		child.exec(name, fn)
+	}()
+	return h
+}
+
+// Wait implements Proc.
+func (p *realProc) Wait(hs ...Handle) {
+	for _, h := range hs {
+		rh, ok := h.(*realHandle)
+		if !ok {
+			panic("fabric: foreign handle passed to real runtime")
+		}
+		<-rh.done
+	}
+}
+
+// Fork implements Proc.
+func (p *realProc) Fork(fns ...func(Proc)) { forkImpl(p, fns) }
+
+// Sink implements Proc.
+func (p *realProc) Sink(site object.SiteID) cost.Sink { return p.rt.sink(site) }
+
+// Transfer implements Proc.
+func (p *realProc) Transfer(_, _ object.SiteID, bytes int) {
+	p.rt.mu.Lock()
+	p.rt.net += int64(bytes)
+	p.rt.mu.Unlock()
+}

@@ -1,0 +1,152 @@
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/hetfed/hetfed/internal/cost"
+	"github.com/hetfed/hetfed/internal/des"
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Sim is the simulated runtime: tasks are discrete-event processes, every
+// site has a CPU and a disk resource, and all sites share one network
+// medium (the paper's observation that "the transfer time gets longer when
+// more component databases transfer data simultaneously" follows from the
+// shared medium). Virtual time advances per the Table 1 rates.
+//
+// A Sim value is single-use: create one per execution.
+type Sim struct {
+	rates Rates
+	sim   *des.Simulator
+	cpu   map[object.SiteID]*des.Resource
+	disk  map[object.SiteID]*des.Resource
+	net   *des.Resource
+
+	diskBytes int64
+	cpuOps    int64
+	netBytes  int64
+	used      bool
+}
+
+var _ Runtime = (*Sim)(nil)
+
+// NewSim returns a simulated runtime for the given sites (component
+// databases plus the global processing site).
+func NewSim(rates Rates, sites []object.SiteID) *Sim {
+	s := &Sim{
+		rates: rates,
+		sim:   des.New(),
+		cpu:   make(map[object.SiteID]*des.Resource, len(sites)),
+		disk:  make(map[object.SiteID]*des.Resource, len(sites)),
+	}
+	for _, site := range sites {
+		s.cpu[site] = s.sim.NewResource(string(site) + ".cpu")
+		s.disk[site] = s.sim.NewResource(string(site) + ".disk")
+	}
+	s.net = s.sim.NewResource("net")
+	return s
+}
+
+// Run implements Runtime.
+func (s *Sim) Run(name string, fn func(Proc)) (Metrics, error) {
+	if s.used {
+		return Metrics{}, fmt.Errorf("fabric: Sim is single-use; create a new one per Run")
+	}
+	s.used = true
+	s.sim.Spawn(name, func(p *des.Proc) {
+		fn(&simProc{rt: s, p: p})
+	})
+	if err := s.sim.Run(); err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		ResponseMicros:  s.sim.Now(),
+		TotalBusyMicros: s.sim.TotalBusy(),
+		DiskBytes:       s.diskBytes,
+		CPUOps:          s.cpuOps,
+		NetBytes:        s.netBytes,
+	}, nil
+}
+
+// BusyBySite returns per-resource busy time grouped by site, available
+// after Run.
+func (s *Sim) BusyBySite() map[string]float64 {
+	return des.BusyByPrefix(s.sim.Resources())
+}
+
+type simProc struct {
+	rt *Sim
+	p  *des.Proc
+}
+
+var _ Proc = (*simProc)(nil)
+
+type simHandle struct{ p *des.Proc }
+
+func (*simHandle) isHandle() {}
+
+// Go implements Proc.
+func (sp *simProc) Go(name string, fn func(Proc)) Handle {
+	child := sp.p.Spawn(name, func(p *des.Proc) {
+		fn(&simProc{rt: sp.rt, p: p})
+	})
+	return &simHandle{p: child}
+}
+
+// Wait implements Proc.
+func (sp *simProc) Wait(hs ...Handle) {
+	procs := make([]*des.Proc, len(hs))
+	for i, h := range hs {
+		sh, ok := h.(*simHandle)
+		if !ok {
+			panic("fabric: foreign handle passed to sim runtime")
+		}
+		procs[i] = sh.p
+	}
+	sp.p.Join(procs...)
+}
+
+// Fork implements Proc.
+func (sp *simProc) Fork(fns ...func(Proc)) { forkImpl(sp, fns) }
+
+// Sink implements Proc.
+func (sp *simProc) Sink(site object.SiteID) cost.Sink {
+	cpu, okC := sp.rt.cpu[site]
+	disk, okD := sp.rt.disk[site]
+	if !okC || !okD {
+		panic(fmt.Sprintf("fabric: unregistered site %s", site))
+	}
+	return &simSink{rt: sp.rt, p: sp.p, cpu: cpu, disk: disk}
+}
+
+// Transfer implements Proc.
+func (sp *simProc) Transfer(_, _ object.SiteID, bytes int) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("fabric: negative transfer %d", bytes))
+	}
+	sp.rt.netBytes += int64(bytes)
+	sp.p.Use(sp.rt.net, float64(bytes)*sp.rt.rates.NetPerByte)
+}
+
+// simSink charges CPU and disk events as virtual time on the site's
+// resources. It is bound to one process and must not be shared.
+type simSink struct {
+	rt   *Sim
+	p    *des.Proc
+	cpu  *des.Resource
+	disk *des.Resource
+}
+
+var _ cost.Sink = (*simSink)(nil)
+
+// DiskRead implements cost.Sink.
+func (s *simSink) DiskRead(bytes int) {
+	s.rt.diskBytes += int64(bytes)
+	s.p.Use(s.disk, float64(bytes)*s.rt.rates.DiskPerByte)
+}
+
+// CPU implements cost.Sink.
+func (s *simSink) CPU(ops int) {
+	s.rt.cpuOps += int64(ops)
+	s.p.Use(s.cpu, float64(ops)*s.rt.rates.CPUPerOp)
+}

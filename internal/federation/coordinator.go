@@ -1,0 +1,425 @@
+package federation
+
+import (
+	"sort"
+
+	"github.com/hetfed/hetfed/internal/cost"
+	"github.com/hetfed/hetfed/internal/eval"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/tvl"
+)
+
+// Coordinator is the global processing site: it materializes global classes
+// for the centralized approach and certifies local results for the
+// localized approaches.
+type Coordinator struct {
+	id     object.SiteID
+	global *schema.Global
+	tables *gmap.Tables
+}
+
+// NewCoordinator returns a coordinator with its replica of the GOid mapping
+// tables.
+func NewCoordinator(id object.SiteID, global *schema.Global, tables *gmap.Tables) *Coordinator {
+	return &Coordinator{id: id, global: global, tables: tables}
+}
+
+// ID returns the global processing site's identifier.
+func (co *Coordinator) ID() object.SiteID { return co.id }
+
+func (co *Coordinator) charge(p fabric.Proc, c *cost.Counter) {
+	sink := p.Sink(co.id)
+	if b := c.DiskBytes(); b > 0 {
+		sink.DiskRead(int(b))
+	}
+	if o := c.CPUOps(); o > 0 {
+		sink.CPU(int(o))
+	}
+	c.Reset()
+}
+
+// View is the materialized global view built by the centralized approach:
+// integrated objects keyed by their GOid (stored in the LOid slot, so the
+// shared path-navigation evaluator works unchanged), with complex attribute
+// values rewritten to global references.
+type View struct {
+	objects map[object.LOid]*object.Object
+	roots   []*object.Object
+}
+
+var _ eval.Source = (*View)(nil)
+
+// Fetch implements eval.Source over the materialized objects: the view is
+// in memory at the global site, so an access costs one CPU operation.
+func (v *View) Fetch(id object.LOid, sink cost.Sink) (*object.Object, bool) {
+	o, ok := v.objects[id]
+	if ok {
+		sink.CPU(1)
+	}
+	return o, ok
+}
+
+// Deref resolves a materialized object without charging (diagnostics).
+func (v *View) Deref(id object.LOid) (*object.Object, bool) {
+	o, ok := v.objects[id]
+	return o, ok
+}
+
+// Roots returns the materialized range-class objects sorted by GOid.
+func (v *View) Roots() []*object.Object { return v.roots }
+
+// Len returns the number of materialized objects.
+func (v *View) Len() int { return len(v.objects) }
+
+// Materialize implements step CA_G2: integrate the constituent objects of
+// each involved global class by outerjoin over their GOids. Missing
+// attribute values are filled from isomeric objects (replies are merged in
+// site order; isomeric objects are assumed consistent, so the first
+// non-null value wins), and LOid-valued complex attributes are transformed
+// to GOids.
+func (co *Coordinator) Materialize(p fabric.Proc, b *query.Bound, replies []RetrieveReply) *View {
+	var c cost.Counter
+	v := &View{objects: make(map[object.LOid]*object.Object)}
+
+	sorted := append([]RetrieveReply(nil), replies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Site < sorted[j].Site })
+
+	for _, reply := range sorted {
+		for _, cls := range reply.Classes {
+			gc := co.global.Class(cls.GlobalClass)
+			table := co.tables.Table(cls.GlobalClass)
+			for _, o := range cls.Objects {
+				c.CPU(1) // GOid lookup: the outerjoin's join-attribute probe
+				goid, ok := table.GOidOf(reply.Site, o.LOid)
+				if !ok {
+					goid = object.GOid("!" + string(reply.Site) + ":" + string(o.LOid))
+				}
+				key := object.LOid(goid)
+				m := v.objects[key]
+				if m == nil {
+					m = object.New(key, cls.GlobalClass, nil)
+					v.objects[key] = m
+				}
+				co.mergeInto(m, gc, reply.Site, o, &c)
+			}
+		}
+	}
+
+	// Collect the materialized range-class objects, sorted by GOid.
+	for _, o := range v.objects {
+		if o.Class == b.Query.Range {
+			v.roots = append(v.roots, o)
+		}
+	}
+	sort.Slice(v.roots, func(i, j int) bool { return v.roots[i].LOid < v.roots[j].LOid })
+
+	co.charge(p, &c)
+	return v
+}
+
+// mergeInto merges one constituent object into a materialized object,
+// translating local references to global ones.
+func (co *Coordinator) mergeInto(m *object.Object, gc *schema.GlobalClass,
+	site object.SiteID, o *object.Object, c *cost.Counter) {
+	for _, name := range o.AttrNames() {
+		val := o.Attrs[name]
+		c.CPU(1) // merge step
+		if !m.Attr(name).IsNull() {
+			continue // first non-null value wins
+		}
+		switch val.Kind() {
+		case object.KindRef:
+			a, ok := gc.Attr(name)
+			if !ok {
+				continue
+			}
+			c.CPU(1) // reference translation lookup
+			g, ok := co.tables.Table(a.Domain).GOidOf(site, val.RefLOid())
+			if !ok {
+				continue
+			}
+			val = object.Ref(object.LOid(g))
+		case object.KindList:
+			// Multi-valued complex attributes: translate every element.
+			a, ok := gc.Attr(name)
+			if ok && a.IsComplex() {
+				elems := make([]object.Value, 0, len(val.Elems()))
+				for _, e := range val.Elems() {
+					c.CPU(1)
+					if g, ok := co.tables.Table(a.Domain).GOidOf(site, e.RefLOid()); ok {
+						elems = append(elems, object.Ref(object.LOid(g)))
+					}
+				}
+				val = object.List(elems...)
+			}
+		}
+		m.Set(name, val)
+	}
+}
+
+// EvaluateView implements step CA_G3: evaluate the query predicates on the
+// materialized global classes. In-memory navigation costs CPU rather than
+// disk (the view was just built at the global site).
+func (co *Coordinator) EvaluateView(p fabric.Proc, b *query.Bound, v *View) *Answer {
+	var c cost.Counter
+	ans := &Answer{}
+
+	conjunctive := b.Conjunctive()
+	for _, root := range v.roots {
+		verdicts := make([]tvl.Truth, len(b.Preds))
+		for i := range b.Preds {
+			pv, _ := eval.EvalPredicate(v, b.Preds[i], root, i, &c)
+			verdicts[i] = pv
+			// Conjunctive queries short-circuit on the first false
+			// predicate; disjunctive ones need every verdict.
+			if conjunctive && pv == tvl.False {
+				break
+			}
+		}
+		verdict := b.Fold(verdicts)
+		if verdict == tvl.False {
+			continue
+		}
+		row := ResultRow{GOid: object.GOid(root.LOid)}
+		if verdict == tvl.Unknown {
+			row.Unknown = unknownIdx(verdicts)
+		}
+		row.Targets = make([]object.Value, len(b.Targets))
+		for i, tp := range b.Targets {
+			tv := eval.EvalTarget(v, tp, root, &c)
+			switch tv.Kind() {
+			case object.KindRef:
+				tv = object.GRef(object.GOid(tv.RefLOid()))
+			case object.KindList:
+				if tp.Attr.IsComplex() {
+					elems := make([]object.Value, 0, len(tv.Elems()))
+					for _, e := range tv.Elems() {
+						elems = append(elems, object.GRef(object.GOid(e.RefLOid())))
+					}
+					tv = object.List(elems...)
+				}
+			}
+			row.Targets[i] = tv
+		}
+		if verdict == tvl.True {
+			ans.Certain = append(ans.Certain, row)
+		} else {
+			ans.Maybe = append(ans.Maybe, row)
+		}
+	}
+	sortRows(ans.Certain)
+	sortRows(ans.Maybe)
+	co.charge(p, &c)
+	return ans
+}
+
+// Certify implements step BL_G2 / PL_G2 (phase I): group the local rows of
+// isomeric root objects by GOid, combine their per-predicate verdicts,
+// apply the assistant-check verdicts under the certification rule, and
+// classify every entity as a certain result, a maybe result, or eliminated.
+//
+// Elimination evidence is threefold: a root object of the entity was
+// filtered out by its own site's local predicates (the entity appears in
+// the mapping tables at a queried root site that returned no row for it), a
+// check verdict reports an assistant violating an unsolved predicate, or —
+// defensively, with inconsistent isomeric data — a row carries a false
+// verdict.
+func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalResult, replies []CheckReply) *Answer {
+	var c cost.Counter
+
+	// Index check verdicts: any violation dominates, then satisfaction.
+	type vkey struct {
+		item      object.GOid
+		idx       int
+		suffixLen int
+	}
+	checkEvidence := make(map[vkey]tvl.Truth)
+	record := func(cv CheckVerdict) {
+		c.CPU(1)
+		k := vkey{item: cv.ItemGOid, idx: cv.SourceIdx, suffixLen: cv.SuffixLen}
+		prev, seen := checkEvidence[k]
+		switch {
+		case cv.Verdict == tvl.False || prev == tvl.False:
+			checkEvidence[k] = tvl.False
+		case cv.Verdict == tvl.True || (seen && prev == tvl.True):
+			checkEvidence[k] = tvl.True
+		default:
+			checkEvidence[k] = tvl.Unknown
+		}
+	}
+	for _, reply := range replies {
+		for _, cv := range reply.Verdicts {
+			record(cv)
+		}
+	}
+	for _, res := range results {
+		for _, cv := range res.SigVerdicts {
+			record(cv)
+		}
+	}
+
+	// Group rows by entity and by site.
+	sorted := append([]LocalResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Site < sorted[j].Site })
+	type entity struct {
+		rows  []LocalRow
+		sites map[object.SiteID]bool
+	}
+	entities := make(map[object.GOid]*entity)
+	var order []object.GOid
+	for _, res := range sorted {
+		for _, row := range res.Rows {
+			c.CPU(1)
+			e := entities[row.GOid]
+			if e == nil {
+				e = &entity{sites: make(map[object.SiteID]bool)}
+				entities[row.GOid] = e
+				order = append(order, row.GOid)
+			}
+			e.rows = append(e.rows, row)
+			e.sites[res.Site] = true
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	rootSites := make(map[object.SiteID]bool)
+	for _, s := range b.RootSites() {
+		rootSites[s] = true
+	}
+	rootTable := co.tables.Table(b.Query.Range)
+
+	ans := &Answer{}
+	for _, goid := range order {
+		e := entities[goid]
+
+		// A queried isomeric root object that returned no row was
+		// eliminated by its site's local predicates: the entity violates
+		// some predicate definitively.
+		eliminated := false
+		for _, loc := range rootTable.Locations(goid) {
+			c.CPU(1)
+			if rootSites[loc.Site] && !e.sites[loc.Site] {
+				eliminated = true
+				break
+			}
+		}
+		if eliminated {
+			continue
+		}
+
+		// Combine per-predicate evidence across the entity's rows. A
+		// definitive verdict (true or false) beats unknown; with
+		// consistent isomeric data true and false never conflict, and a
+		// violation dominates defensively if they do.
+		evidence := make([]tvl.Truth, len(b.Preds))
+		for i := range evidence {
+			evidence[i] = tvl.Unknown
+		}
+		for _, row := range e.rows {
+			for i, v := range row.Verdicts {
+				c.CPU(1)
+				switch v {
+				case tvl.True:
+					if evidence[i] != tvl.False {
+						evidence[i] = tvl.True
+					}
+				case tvl.False:
+					evidence[i] = tvl.False
+				}
+			}
+		}
+
+		// Apply the certification rule through the check verdicts of the
+		// rows' unsolved items. A predicate's items within one row combine
+		// under ANY semantics when they came through a multi-valued
+		// attribute: some satisfied item proves the predicate, and only
+		// all items violating disproves it. A scalar path has exactly one
+		// item per predicate, for which the rule degenerates to the
+		// paper's: satisfied solves, violated eliminates.
+		for _, row := range e.rows {
+			byPred := make(map[int][]UnsolvedItem)
+			for _, u := range row.Unsolved {
+				byPred[u.SourceIdx] = append(byPred[u.SourceIdx], u)
+			}
+			for idx, items := range byPred {
+				anyTrue := false
+				allFalse := true
+				for _, u := range items {
+					c.CPU(1)
+					cv, ok := checkEvidence[vkey{item: u.ItemGOid, idx: u.SourceIdx, suffixLen: len(u.Suffix.Path)}]
+					if !ok {
+						allFalse = false
+						continue
+					}
+					switch cv {
+					case tvl.True:
+						anyTrue = true
+						allFalse = false
+					case tvl.Unknown:
+						allFalse = false
+					}
+				}
+				switch {
+				case anyTrue:
+					if evidence[idx] != tvl.False {
+						evidence[idx] = tvl.True
+					}
+				case allFalse:
+					evidence[idx] = tvl.False
+				}
+			}
+		}
+
+		// Classify under the query's (possibly disjunctive) form.
+		switch b.Fold(evidence) {
+		case tvl.False:
+			continue
+		case tvl.True:
+			ans.Certain = append(ans.Certain, ResultRow{
+				GOid: goid, Targets: mergeTargets(e.rows, len(b.Targets), &c)})
+		default:
+			ans.Maybe = append(ans.Maybe, ResultRow{
+				GOid:    goid,
+				Targets: mergeTargets(e.rows, len(b.Targets), &c),
+				Unknown: unknownIdx(evidence),
+			})
+		}
+	}
+	sortRows(ans.Certain)
+	sortRows(ans.Maybe)
+	co.charge(p, &c)
+	return ans
+}
+
+// unknownIdx lists the predicate indexes whose truth value is unknown (or
+// was never established).
+func unknownIdx(verdicts []tvl.Truth) []int {
+	var out []int
+	for i, v := range verdicts {
+		if v == tvl.Unknown || v == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mergeTargets combines target values across the isomeric rows: the first
+// non-null value in site order wins.
+func mergeTargets(rows []LocalRow, n int, c *cost.Counter) []object.Value {
+	out := make([]object.Value, n)
+	for i := range out {
+		out[i] = object.Null()
+		for _, row := range rows {
+			c.CPU(1)
+			if i < len(row.Targets) && !row.Targets[i].IsNull() {
+				out[i] = row.Targets[i]
+				break
+			}
+		}
+	}
+	return out
+}

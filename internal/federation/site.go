@@ -1,0 +1,543 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetfed/hetfed/internal/cost"
+	"github.com/hetfed/hetfed/internal/eval"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/tvl"
+)
+
+// Site is one component database participating in the federation: its local
+// object store, the integrated global schema (every site knows it), and a
+// replica of the GOid mapping tables.
+type Site struct {
+	db         *store.Database
+	global     *schema.Global
+	tables     *gmap.Tables
+	useIndexes bool
+}
+
+// NewSite wraps a component database for federation duty. tables is the
+// site's replica of the GOid mapping tables (it is used as-is; clone before
+// passing if the caller mutates it later).
+func NewSite(db *store.Database, global *schema.Global, tables *gmap.Tables) *Site {
+	return &Site{db: db, global: global, tables: tables}
+}
+
+// EnableIndexes lets the basic localized flow probe the database's
+// secondary indexes to select candidate objects instead of scanning the
+// whole extent (conjunctive queries with a direct indexed predicate only).
+// The rows produced are identical; only the disk cost drops.
+func (s *Site) EnableIndexes() { s.useIndexes = true }
+
+// ID returns the site identifier.
+func (s *Site) ID() object.SiteID { return s.db.Site() }
+
+// DB returns the underlying component database.
+func (s *Site) DB() *store.Database { return s.db }
+
+// charge flushes accumulated cost events to the runtime, attributed to this
+// site, then resets the counter. Costs are batched per processing step so
+// the discrete-event runtime schedules one resource occupation per step.
+func (s *Site) charge(p fabric.Proc, c *cost.Counter) {
+	sink := p.Sink(s.ID())
+	if b := c.DiskBytes(); b > 0 {
+		sink.DiskRead(int(b))
+	}
+	if o := c.CPUOps(); o > 0 {
+		sink.CPU(int(o))
+	}
+	c.Reset()
+}
+
+// goidOf resolves a stored object's GOid from the mapping-table replica,
+// charging one lookup. Objects missing from the tables get a synthetic
+// singleton GOid so they still carry a global identity.
+func (s *Site) goidOf(class string, loid object.LOid, c *cost.Counter) object.GOid {
+	c.CPU(1)
+	if g, ok := s.tables.Table(class).GOidOf(s.ID(), loid); ok {
+		return g
+	}
+	return object.GOid(fmt.Sprintf("!%s:%s:%s", class, s.ID(), loid))
+}
+
+// Retrieve implements step CA_C1: read all objects of the local root and
+// branch classes of the query and return them projected on their LOids and
+// the attributes involved in the query.
+func (s *Site) Retrieve(p fabric.Proc, b *query.Bound) RetrieveReply {
+	var c cost.Counter
+	involved := b.InvolvedAttrs()
+	reply := RetrieveReply{Site: s.ID()}
+
+	// Deterministic class order.
+	classes := make([]string, 0, len(involved))
+	for class := range involved {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+
+	for _, class := range classes {
+		gc := s.global.Class(class)
+		localName, ok := gc.Constituents[s.ID()]
+		if !ok {
+			continue
+		}
+		ext := s.db.Extent(localName)
+		co := ClassObjects{GlobalClass: class, Attrs: involved[class]}
+		ext.Scan(func(o *object.Object) bool {
+			c.DiskRead(o.WireSize(nil)) // the disk reads the full object
+			c.CPU(1)                    // scan step
+			co.Objects = append(co.Objects, o.Project(involved[class]))
+			return true
+		})
+		reply.Classes = append(reply.Classes, co)
+	}
+	s.charge(p, &c)
+	return reply
+}
+
+// collector accumulates deduplicated check items grouped by target site,
+// plus the check verdicts synthesized locally from signature probes.
+type collector struct {
+	bySite map[object.SiteID][]CheckItem
+	seen   map[checkKey]bool
+	synth  []CheckVerdict
+}
+
+type checkKey struct {
+	site      object.SiteID
+	assistant object.LOid
+	item      object.GOid
+	sourceIdx int
+	suffixLen int
+}
+
+func newCollector() *collector {
+	return &collector{
+		bySite: make(map[object.SiteID][]CheckItem),
+		seen:   make(map[checkKey]bool),
+	}
+}
+
+func (cl *collector) add(site object.SiteID, item CheckItem) {
+	k := checkKey{
+		site:      site,
+		assistant: item.Assistant,
+		item:      item.ItemGOid,
+		sourceIdx: item.SourceIdx,
+		suffixLen: len(item.Suffix.Path),
+	}
+	if cl.seen[k] {
+		return
+	}
+	cl.seen[k] = true
+	cl.bySite[site] = append(cl.bySite[site], item)
+}
+
+// rootExtent returns the extent of the range class's constituent at this
+// site.
+func (s *Site) rootExtent(b *query.Bound) *store.Extent {
+	gc := s.global.Class(b.Query.Range)
+	return s.db.Extent(gc.Constituents[s.ID()])
+}
+
+// EvalLocalBasic runs steps BL_C1 + BL_C2 of the basic localized approach
+// (phase P, then phase O): scan the local root class, evaluate the local
+// predicates first (short-circuiting on the first false one), and only for
+// the surviving results locate the unsolved items and their assistant
+// objects. It returns the local rows plus the check items grouped by
+// target site.
+// sigs, when non-nil, enables the signature-assisted variant (the paper's
+// Section 5 extension): assistants provably violating a single-step
+// equality predicate are turned into local false verdicts instead of
+// network checks.
+func (s *Site) EvalLocalBasic(p fabric.Proc, b *query.Bound, sigs *signature.Index) (LocalResult, map[object.SiteID][]CheckItem) {
+	localIdx, removedIdx := eval.SplitPredIdx(b, s.ID())
+	res := LocalResult{Site: s.ID()}
+	checks := newCollector()
+	ext := s.rootExtent(b)
+	src := eval.NewCached(eval.DiskSource{DB: s.db})
+	var c cost.Counter
+
+	// BL_C1 (phase P): evaluate the local predicates, short-circuiting on
+	// the first false predicate.
+	type survivor struct {
+		obj      *object.Object
+		verdicts []tvl.Truth
+		unsolved []eval.Unsolved
+	}
+	conjunctive := b.Conjunctive()
+	iterate := ext.Scan
+	if s.useIndexes && conjunctive {
+		if loids, probeBytes, ok := s.indexProbe(b, ext, localIdx); ok {
+			c.DiskRead(probeBytes)
+			c.CPU(1 + len(loids))
+			iterate = func(fn func(*object.Object) bool) {
+				for _, id := range loids {
+					if o := ext.Get(id); o != nil && !fn(o) {
+						return
+					}
+				}
+			}
+		}
+	}
+	var survivors []survivor
+	iterate(func(o *object.Object) bool {
+		c.DiskRead(o.WireSize(nil))
+		src.Warm(o.LOid)
+		verdicts := make([]tvl.Truth, len(b.Preds))
+		var unsolved []eval.Unsolved
+		alive := true
+		for _, i := range localIdx {
+			v, uns := eval.EvalPredicate(src, b.Preds[i], o, i, &c)
+			verdicts[i] = v
+			// Conjunctive queries short-circuit on the first false local
+			// predicate; disjunctive ones need every local verdict before
+			// folding.
+			if conjunctive && v == tvl.False {
+				alive = false
+				break
+			}
+			unsolved = append(unsolved, uns...)
+		}
+		if !conjunctive {
+			// Removed predicates are unknown; the verdict slice already
+			// holds zero (= no information) for them.
+			alive = b.Fold(verdicts) != tvl.False
+		}
+		if alive {
+			survivors = append(survivors, survivor{obj: o, verdicts: verdicts, unsolved: unsolved})
+		}
+		return true
+	})
+	s.charge(p, &c)
+
+	// BL_C2 (phase O): for the surviving results, locate the unsolved
+	// items of the removed predicates and look up their assistant objects.
+	for _, sv := range survivors {
+		unsolved := sv.unsolved
+		for _, i := range removedIdx {
+			v, uns := eval.EvalPredicate(src, b.Preds[i], sv.obj, i, &c)
+			sv.verdicts[i] = v
+			unsolved = append(unsolved, uns...)
+		}
+		row := s.buildRow(src, b, sv.obj, sv.verdicts, unsolved, &c)
+		s.collectChecks(b, sv.obj, row.Unsolved, checks, sigs, &c)
+		res.Rows = append(res.Rows, row)
+	}
+	res.SigVerdicts = checks.synth
+	s.charge(p, &c)
+	return res, checks.bySite
+}
+
+// indexProbe selects candidate root objects through a secondary index when
+// some local predicate is a direct comparison on an indexed attribute. The
+// candidates are the value matches plus the objects whose attribute is null
+// (unknown under three-valued logic, so still potential maybe results).
+func (s *Site) indexProbe(b *query.Bound, ext *store.Extent, localIdx []int) ([]object.LOid, int, bool) {
+	for _, i := range localIdx {
+		bp := b.Preds[i]
+		if len(bp.Path) != 1 {
+			continue
+		}
+		ix := ext.Index(bp.Path[0])
+		if ix == nil {
+			continue
+		}
+		var matches []object.LOid
+		switch bp.Op {
+		case query.OpEq:
+			matches = ix.EqualTo(bp.Literal)
+		case query.OpNe:
+			matches = ix.NotEqualTo(bp.Literal)
+		case query.OpLt:
+			matches = ix.Range(bp.Literal, true, false)
+		case query.OpLe:
+			matches = ix.Range(bp.Literal, true, true)
+		case query.OpGt:
+			matches = ix.Range(bp.Literal, false, false)
+		case query.OpGe:
+			matches = ix.Range(bp.Literal, false, true)
+		default:
+			continue
+		}
+		loids := make([]object.LOid, 0, len(matches)+len(ix.Nulls()))
+		loids = append(loids, matches...)
+		loids = append(loids, ix.Nulls()...)
+		return loids, ix.ProbeCost(len(matches)), true
+	}
+	return nil, 0, false
+}
+
+// navigated is the phase-O state of one root object under the parallel
+// localized approach.
+type navigated struct {
+	obj      *object.Object
+	outcomes []eval.Outcome  // navigation outcome per predicate
+	unsolved []eval.Unsolved // unsolved points found during navigation
+}
+
+// Navigation is the opaque phase-O state NavigateAll hands to
+// EvalNavigated.
+type Navigation struct {
+	navs       []navigated
+	localIdx   []int
+	removedIdx []int
+	src        *eval.Cached // the local query's buffer, shared by both phases
+	synth      []CheckVerdict
+}
+
+// NavigateAll runs step PL_C1 of the parallel localized approach (phase O
+// before phase P): navigate every predicate path on every root object —
+// including objects the local predicates will later eliminate — and look up
+// the assistant objects of every unsolved item found. The returned check
+// items are dispatched immediately so remote checking overlaps the local
+// predicate evaluation of EvalNavigated.
+// sigs, when non-nil, enables the signature-assisted variant.
+func (s *Site) NavigateAll(p fabric.Proc, b *query.Bound, sigs *signature.Index) (*Navigation, map[object.SiteID][]CheckItem) {
+	localIdx, removedIdx := eval.SplitPredIdx(b, s.ID())
+	nav := &Navigation{
+		localIdx:   localIdx,
+		removedIdx: removedIdx,
+		src:        eval.NewCached(eval.DiskSource{DB: s.db}),
+	}
+	checks := newCollector()
+	var c cost.Counter
+
+	s.rootExtent(b).Scan(func(o *object.Object) bool {
+		c.DiskRead(o.WireSize(nil))
+		nav.src.Warm(o.LOid)
+		nv := navigated{obj: o, outcomes: make([]eval.Outcome, len(b.Preds))}
+		for i := range b.Preds {
+			out := eval.Navigate(nav.src, b.Preds[i], o, i, &c)
+			nv.outcomes[i] = out
+			nv.unsolved = append(nv.unsolved, out.Unsolved...)
+		}
+		items := s.toUnsolvedItems(b, o, nv.unsolved, &c)
+		s.collectChecks(b, o, items, checks, sigs, &c)
+		nav.navs = append(nav.navs, nv)
+		return true
+	})
+	nav.synth = checks.synth
+	s.charge(p, &c)
+	return nav, checks.bySite
+}
+
+// EvalNavigated runs step PL_C2 (phase P): evaluate the local predicates
+// over the values navigated by NavigateAll; unsolved predicates are
+// unknown. It returns the surviving local rows.
+func (s *Site) EvalNavigated(p fabric.Proc, b *query.Bound, nav *Navigation) LocalResult {
+	res := LocalResult{Site: s.ID()}
+	var c cost.Counter
+	conjunctive := b.Conjunctive()
+	for _, nv := range nav.navs {
+		verdicts := make([]tvl.Truth, len(b.Preds))
+		alive := true
+		for _, i := range nav.localIdx {
+			if out := nv.outcomes[i]; out.Done {
+				// The navigation already determined the verdict (missing
+				// data, or a multi-valued attribute evaluated under ANY
+				// semantics).
+				verdicts[i] = out.Verdict
+			} else {
+				c.CPU(1)
+				verdicts[i] = eval.Compare(b.Preds[i].Op, out.Value, b.Preds[i].Literal)
+			}
+			if conjunctive && verdicts[i] == tvl.False {
+				alive = false
+				break
+			}
+		}
+		if !conjunctive {
+			alive = b.Fold(verdicts) != tvl.False
+		}
+		if !alive {
+			continue
+		}
+		for _, i := range nav.removedIdx {
+			verdicts[i] = tvl.Unknown
+		}
+		row := s.buildRow(nav.src, b, nv.obj, verdicts, nv.unsolved, &c)
+		res.Rows = append(res.Rows, row)
+	}
+	res.SigVerdicts = nav.synth
+	s.charge(p, &c)
+	return res
+}
+
+// buildRow assembles a local result row: target values (complex values
+// translated to global references) and the unsolved items.
+func (s *Site) buildRow(src eval.Source, b *query.Bound, o *object.Object, verdicts []tvl.Truth,
+	unsolved []eval.Unsolved, c *cost.Counter) LocalRow {
+	row := LocalRow{
+		LOid:     o.LOid,
+		GOid:     s.goidOf(b.Query.Range, o.LOid, c),
+		Verdicts: verdicts,
+		Unsolved: s.toUnsolvedItems(b, o, unsolved, c),
+	}
+	row.Targets = make([]object.Value, len(b.Targets))
+	for i, tp := range b.Targets {
+		v := eval.EvalTarget(src, tp, o, c)
+		switch v.Kind() {
+		case object.KindRef:
+			v = object.GRef(s.goidOf(tp.Attr.Domain, v.RefLOid(), c))
+		case object.KindList:
+			if tp.Attr.IsComplex() {
+				elems := make([]object.Value, 0, len(v.Elems()))
+				for _, e := range v.Elems() {
+					elems = append(elems, object.GRef(s.goidOf(tp.Attr.Domain, e.RefLOid(), c)))
+				}
+				v = object.List(elems...)
+			}
+		}
+		row.Targets[i] = v
+	}
+	return row
+}
+
+// toUnsolvedItems attaches global identities to unsolved points.
+func (s *Site) toUnsolvedItems(b *query.Bound, root *object.Object,
+	unsolved []eval.Unsolved, c *cost.Counter) []UnsolvedItem {
+	if len(unsolved) == 0 {
+		return nil
+	}
+	items := make([]UnsolvedItem, len(unsolved))
+	for i, u := range unsolved {
+		items[i] = UnsolvedItem{
+			ItemGOid:  s.goidOf(u.ItemClass, u.ItemLOid, c),
+			ItemClass: u.ItemClass,
+			SelfItem:  u.ItemLOid == root.LOid,
+			Suffix:    u.Suffix,
+			SourceIdx: u.SourceIdx,
+			Multi:     u.Multi,
+		}
+	}
+	return items
+}
+
+// collectChecks looks up the assistant objects for each unsolved item and
+// queues check items toward the sites storing them. Items that are the root
+// object itself are skipped: the root's isomeric objects are evaluated by
+// their own sites' local queries. Assistants whose site cannot evaluate the
+// suffix predicate (a step is a missing attribute there too) are skipped,
+// as no data could be obtained from them.
+func (s *Site) collectChecks(b *query.Bound, root *object.Object,
+	items []UnsolvedItem, checks *collector, sigs *signature.Index, c *cost.Counter) {
+	for _, it := range items {
+		if it.SelfItem {
+			continue
+		}
+		c.CPU(1) // mapping-table lookup for the item's isomeric objects
+		locs := s.tables.Table(it.ItemClass).Locations(it.ItemGOid)
+		for _, loc := range locs {
+			if loc.Site == s.ID() {
+				continue
+			}
+			if !s.holdsSuffix(it.ItemClass, it.Suffix.Path, loc.Site) {
+				continue
+			}
+			item := CheckItem{
+				Assistant: loc.LOid,
+				ItemGOid:  it.ItemGOid,
+				ItemClass: it.ItemClass,
+				Suffix:    it.Suffix,
+				SourceIdx: it.SourceIdx,
+			}
+			if sigs != nil && s.probeSignature(sigs, loc, item, checks, c) {
+				continue // verdict synthesized locally; no check dispatched
+			}
+			checks.add(loc.Site, item)
+		}
+	}
+}
+
+// probeSignature consults the replicated signature of an assistant for a
+// single-step equality predicate. When the probe proves the assistant's
+// value present and different from the literal, a false verdict is recorded
+// locally and true is returned (the network check is unnecessary).
+func (s *Site) probeSignature(sigs *signature.Index, loc gmap.Location,
+	item CheckItem, checks *collector, c *cost.Counter) bool {
+	if len(item.Suffix.Path) != 1 || item.Suffix.Op != query.OpEq {
+		return false
+	}
+	sig, ok := sigs.Lookup(loc.Site, loc.LOid)
+	if !ok {
+		return false
+	}
+	c.CPU(1) // signature probe
+	if !sig.RulesOutEquality(item.Suffix.Path[0], item.Suffix.Literal) {
+		return false
+	}
+	k := checkKey{
+		site:      loc.Site,
+		assistant: item.Assistant,
+		item:      item.ItemGOid,
+		sourceIdx: item.SourceIdx,
+		suffixLen: len(item.Suffix.Path),
+	}
+	if checks.seen[k] {
+		return true
+	}
+	checks.seen[k] = true
+	checks.synth = append(checks.synth, CheckVerdict{
+		ItemGOid:  item.ItemGOid,
+		SourceIdx: item.SourceIdx,
+		SuffixLen: len(item.Suffix.Path),
+		Verdict:   tvl.False,
+	})
+	return true
+}
+
+// holdsSuffix reports whether every step of a suffix path rooted at the
+// given global class is held by the constituent classes at the site.
+func (s *Site) holdsSuffix(class string, path query.Path, site object.SiteID) bool {
+	cur := class
+	for _, step := range path {
+		gc := s.global.Class(cur)
+		if gc == nil || !gc.Holds(site, step) {
+			return false
+		}
+		a, _ := gc.Attr(step)
+		if a.IsComplex() {
+			cur = a.Domain
+		}
+	}
+	return true
+}
+
+// CheckAssistants implements steps BL_C3 / PL_C3: evaluate the appended
+// unsolved predicates on the listed assistant objects this site stores, and
+// report a three-valued verdict per item (the paper's "checking the
+// assistant objects").
+func (s *Site) CheckAssistants(p fabric.Proc, items []CheckItem) CheckReply {
+	var c cost.Counter
+	src := eval.NewCached(eval.DiskSource{DB: s.db})
+	reply := CheckReply{Site: s.ID()}
+	for _, it := range items {
+		verdict := tvl.Unknown
+		o, ok := src.Fetch(it.Assistant, &c)
+		if ok {
+			bp, err := query.BindPredicateAt(s.global, it.ItemClass, it.Suffix)
+			if err == nil {
+				verdict, _ = eval.EvalPredicate(src, bp, o, it.SourceIdx, &c)
+			}
+		}
+		reply.Verdicts = append(reply.Verdicts, CheckVerdict{
+			ItemGOid:  it.ItemGOid,
+			SourceIdx: it.SourceIdx,
+			SuffixLen: len(it.Suffix.Path),
+			Verdict:   verdict,
+		})
+	}
+	s.charge(p, &c)
+	return reply
+}

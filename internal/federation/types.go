@@ -1,0 +1,246 @@
+// Package federation implements the distributed machinery of the paper's
+// system: component-database sites that evaluate local queries and check
+// assistant objects, and the global processing site (coordinator) that
+// integrates constituent classes by outerjoin over GOids, merges local
+// results from isomeric objects, and applies the certification rule to turn
+// local maybe results into certain results or eliminate them.
+//
+// All operations charge their disk, CPU and network costs through package
+// fabric, so the same code runs both for real and inside the discrete-event
+// simulation.
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/tvl"
+)
+
+// requestOverhead is the modeled byte size of a small control message (a
+// local query, a retrieve request).
+const requestOverhead = 64
+
+// predicateWireSize is the modeled byte size of one predicate shipped in a
+// message.
+const predicateWireSize = object.AttrWireSize
+
+// verdictWireSize is the modeled byte size of one three-valued verdict plus
+// its predicate index.
+const verdictWireSize = 8
+
+// QueryWireSize models the transfer size of a query or local-query message:
+// a fixed envelope plus the predicates and the target list.
+func QueryWireSize(b *query.Bound) int {
+	return requestOverhead + predicateWireSize*len(b.Preds) + object.AttrWireSize*len(b.Targets)
+}
+
+// ResultRow is one entity in a query answer: its GOid and the merged target
+// values. Complex target values are global references.
+type ResultRow struct {
+	GOid    object.GOid
+	Targets []object.Value
+	// Unknown lists the indexes of the query predicates whose truth could
+	// not be established for this entity — the reason a maybe result is
+	// maybe. Empty for certain results. The centralized and localized
+	// strategies report identical sets (tested).
+	Unknown []int
+}
+
+// String renders the row for examples and diagnostics.
+func (r ResultRow) String() string {
+	parts := make([]string, len(r.Targets))
+	for i, v := range r.Targets {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s(%s)", r.GOid, strings.Join(parts, ", "))
+}
+
+// Answer is the result of a global query: the certain results and, because
+// of missing data, the maybe results. Rows are sorted by GOid.
+type Answer struct {
+	Certain []ResultRow
+	Maybe   []ResultRow
+}
+
+// CertainGOids returns the certain entities' GOids.
+func (a *Answer) CertainGOids() []object.GOid { return goids(a.Certain) }
+
+// MaybeGOids returns the maybe entities' GOids.
+func (a *Answer) MaybeGOids() []object.GOid { return goids(a.Maybe) }
+
+func goids(rows []ResultRow) []object.GOid {
+	out := make([]object.GOid, len(rows))
+	for i, r := range rows {
+		out[i] = r.GOid
+	}
+	return out
+}
+
+func sortRows(rows []ResultRow) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].GOid < rows[j].GOid })
+}
+
+// UnsolvedItem is an unsolved predicate of a local result row, attached to
+// the global identity of the object lacking the data (the row's own entity
+// or a nested item).
+type UnsolvedItem struct {
+	// ItemGOid identifies the unsolved item globally; check verdicts are
+	// matched against it during certification.
+	ItemGOid object.GOid
+	// ItemClass is the item's global class.
+	ItemClass string
+	// SelfItem marks that the item is the row's root object itself; its
+	// assistants are covered by the other sites' local queries, so no
+	// explicit check requests are sent for it.
+	SelfItem bool
+	// Suffix is the unsolved predicate rooted at ItemClass.
+	Suffix query.Predicate
+	// SourceIdx is the index of the originating global predicate.
+	SourceIdx int
+	// Multi marks items reached through multi-valued attributes (ANY
+	// semantics: one violating assistant does not falsify the predicate).
+	Multi bool
+}
+
+// LocalRow is one local result of a local query: a root object that
+// satisfied the site's local predicates certainly (no Unsolved entries) or
+// possibly (with Unsolved entries).
+type LocalRow struct {
+	LOid object.LOid
+	GOid object.GOid
+	// Targets holds the locally evaluated target values aligned with the
+	// query's target list; unavailable values are null, complex values are
+	// global references.
+	Targets []object.Value
+	// Verdicts holds the site's per-predicate truth values aligned with
+	// the bound query's predicates. Rows never carry False (such objects
+	// are eliminated locally and not returned).
+	Verdicts []tvl.Truth
+	// Unsolved lists the unsolved predicates with their items.
+	Unsolved []UnsolvedItem
+}
+
+// WireSize models the row's transfer size: the OIDs, the projected target
+// values, one verdict per predicate, and each unsolved item's identity and
+// predicate.
+func (r LocalRow) WireSize() int {
+	n := object.LOidWireSize + object.GOidWireSize
+	for _, v := range r.Targets {
+		n += v.WireSize()
+	}
+	n += verdictWireSize * len(r.Verdicts)
+	for range r.Unsolved {
+		n += object.GOidWireSize + predicateWireSize
+	}
+	return n
+}
+
+// LocalResult is a site's reply to a local query.
+type LocalResult struct {
+	Site object.SiteID
+	Rows []LocalRow
+	// SigVerdicts are check verdicts synthesized from signature probes at
+	// this site (the signature-assisted variants); they travel with the
+	// local result instead of through check requests.
+	SigVerdicts []CheckVerdict
+}
+
+// WireSize models the reply's transfer size.
+func (lr LocalResult) WireSize() int {
+	n := requestOverhead
+	for _, r := range lr.Rows {
+		n += r.WireSize()
+	}
+	n += (object.GOidWireSize + verdictWireSize) * len(lr.SigVerdicts)
+	return n
+}
+
+// CheckItem asks a site to evaluate an unsolved predicate on one assistant
+// object it stores.
+type CheckItem struct {
+	// Assistant is the assistant object's LOid at the receiving site.
+	Assistant object.LOid
+	// ItemGOid is the global identity of the unsolved item being certified
+	// (the assistant is one of its isomeric objects).
+	ItemGOid object.GOid
+	// ItemClass is the item's global class.
+	ItemClass string
+	// Suffix is the unsolved predicate rooted at ItemClass.
+	Suffix query.Predicate
+	// SourceIdx is the index of the originating global predicate.
+	SourceIdx int
+}
+
+// checkItemWireSize models one check item's transfer size: assistant LOid,
+// item GOid, and the predicate.
+const checkItemWireSize = object.LOidWireSize + object.GOidWireSize + predicateWireSize
+
+// CheckRequest is the batch of check items one site sends to another.
+type CheckRequest struct {
+	From  object.SiteID
+	Items []CheckItem
+}
+
+// WireSize models the request's transfer size.
+func (cr CheckRequest) WireSize() int {
+	return requestOverhead + checkItemWireSize*len(cr.Items)
+}
+
+// CheckVerdict is the outcome of evaluating an unsolved predicate on one
+// assistant object: True (the assistant satisfies it), False (the assistant
+// violates it) or Unknown (the assistant also lacks the data).
+//
+// SuffixLen distinguishes unsolved points of the same predicate that stop
+// at the same item through different path depths (possible in cyclic
+// composition hierarchies), which evaluate different suffix predicates.
+type CheckVerdict struct {
+	ItemGOid  object.GOid
+	SourceIdx int
+	SuffixLen int
+	Verdict   tvl.Truth
+}
+
+// CheckReply is a site's reply to a CheckRequest, routed to the global
+// processing site for certification.
+type CheckReply struct {
+	Site     object.SiteID
+	Verdicts []CheckVerdict
+}
+
+// WireSize models the reply's transfer size.
+func (cr CheckReply) WireSize() int {
+	return requestOverhead + (object.GOidWireSize+verdictWireSize)*len(cr.Verdicts)
+}
+
+// ClassObjects is one global class's projected constituent objects shipped
+// by a site to the global processing site (the centralized approach).
+type ClassObjects struct {
+	GlobalClass string
+	// Attrs is the projection the objects were restricted to.
+	Attrs []string
+	// Objects are the projected constituent objects.
+	Objects []*object.Object
+}
+
+// RetrieveReply is a site's reply to the centralized approach's retrieve
+// request.
+type RetrieveReply struct {
+	Site    object.SiteID
+	Classes []ClassObjects
+}
+
+// WireSize models the reply's transfer size: each object ships its LOid and
+// its projected attributes.
+func (rr RetrieveReply) WireSize() int {
+	n := requestOverhead
+	for _, c := range rr.Classes {
+		for _, o := range c.Objects {
+			n += o.WireSize(nil) // objects are already projected
+		}
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+// Package gmap implements GOid mapping tables: for each global class, the
+// mapping between global object identifiers and the (site, LOid) pairs of
+// the isomeric objects representing the same real-world entity.
+//
+// In the paper's system the mapping tables are replicated at every site;
+// Tables.Clone produces the replication snapshot a site works against.
+package gmap
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Location identifies one stored object: a site plus its local identifier.
+type Location struct {
+	Site object.SiteID
+	LOid object.LOid
+}
+
+// Table is the GOid mapping table of one global class.
+type Table struct {
+	class   string
+	byGOid  map[object.GOid]map[object.SiteID]object.LOid
+	byLocal map[Location]object.GOid
+}
+
+// NewTable returns an empty mapping table for the named global class.
+func NewTable(class string) *Table {
+	return &Table{
+		class:   class,
+		byGOid:  make(map[object.GOid]map[object.SiteID]object.LOid),
+		byLocal: make(map[Location]object.GOid),
+	}
+}
+
+// Class returns the global class this table maps.
+func (t *Table) Class() string { return t.class }
+
+// Bind records that the object loid at site is one of the isomeric objects
+// identified by goid. A site contributes at most one object per entity, and
+// a local object belongs to exactly one entity.
+func (t *Table) Bind(goid object.GOid, site object.SiteID, loid object.LOid) error {
+	loc := Location{Site: site, LOid: loid}
+	if prev, dup := t.byLocal[loc]; dup {
+		return fmt.Errorf("gmap %s: %s@%s already bound to %s", t.class, loid, site, prev)
+	}
+	sites := t.byGOid[goid]
+	if sites == nil {
+		sites = make(map[object.SiteID]object.LOid)
+		t.byGOid[goid] = sites
+	}
+	if prev, dup := sites[site]; dup {
+		return fmt.Errorf("gmap %s: %s already has %s at site %s", t.class, goid, prev, site)
+	}
+	sites[site] = loid
+	t.byLocal[loc] = goid
+	return nil
+}
+
+// MustBind is Bind that panics on error; intended for fixtures.
+func (t *Table) MustBind(goid object.GOid, site object.SiteID, loid object.LOid) {
+	if err := t.Bind(goid, site, loid); err != nil {
+		panic(err)
+	}
+}
+
+// GOidOf returns the global identifier of a stored object.
+func (t *Table) GOidOf(site object.SiteID, loid object.LOid) (object.GOid, bool) {
+	g, ok := t.byLocal[Location{Site: site, LOid: loid}]
+	return g, ok
+}
+
+// LOidAt returns the LOid of the entity's isomeric object at the given
+// site, if the entity is stored there.
+func (t *Table) LOidAt(goid object.GOid, site object.SiteID) (object.LOid, bool) {
+	l, ok := t.byGOid[goid][site]
+	return l, ok
+}
+
+// Locations returns every stored isomeric object of the entity, sorted by
+// site for determinism.
+func (t *Table) Locations(goid object.GOid) []Location {
+	sites := t.byGOid[goid]
+	out := make([]Location, 0, len(sites))
+	for s, l := range sites {
+		out = append(out, Location{Site: s, LOid: l})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// IsomericsOf returns the isomeric objects of the given stored object at
+// other sites (the candidates for assistant objects), sorted by site.
+func (t *Table) IsomericsOf(site object.SiteID, loid object.LOid) []Location {
+	goid, ok := t.GOidOf(site, loid)
+	if !ok {
+		return nil
+	}
+	all := t.Locations(goid)
+	out := all[:0]
+	for _, loc := range all {
+		if loc.Site != site {
+			out = append(out, loc)
+		}
+	}
+	return out
+}
+
+// GOids returns every mapped global identifier, sorted.
+func (t *Table) GOids() []object.GOid {
+	out := make([]object.GOid, 0, len(t.byGOid))
+	for g := range t.byGOid {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of entities in the table.
+func (t *Table) Len() int { return len(t.byGOid) }
+
+// Bindings returns the number of (site, LOid) bindings in the table; this is
+// the table's row count for cost accounting.
+func (t *Table) Bindings() int { return len(t.byLocal) }
+
+// Clone returns a deep copy, used to replicate the table to a site.
+func (t *Table) Clone() *Table {
+	cp := NewTable(t.class)
+	for g, sites := range t.byGOid {
+		m := make(map[object.SiteID]object.LOid, len(sites))
+		for s, l := range sites {
+			m[s] = l
+			cp.byLocal[Location{Site: s, LOid: l}] = g
+		}
+		cp.byGOid[g] = m
+	}
+	return cp
+}
+
+// Tables groups the mapping tables of all global classes.
+type Tables struct {
+	byClass map[string]*Table
+}
+
+// NewTables returns an empty table group.
+func NewTables() *Tables {
+	return &Tables{byClass: make(map[string]*Table)}
+}
+
+// Table returns the table of the named global class, creating it on first
+// use.
+func (ts *Tables) Table(class string) *Table {
+	t := ts.byClass[class]
+	if t == nil {
+		t = NewTable(class)
+		ts.byClass[class] = t
+	}
+	return t
+}
+
+// Has reports whether a table exists for the named global class.
+func (ts *Tables) Has(class string) bool {
+	_, ok := ts.byClass[class]
+	return ok
+}
+
+// Classes returns the mapped global class names, sorted.
+func (ts *Tables) Classes() []string {
+	out := make([]string, 0, len(ts.byClass))
+	for c := range ts.byClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies all tables (a full replication snapshot).
+func (ts *Tables) Clone() *Tables {
+	cp := NewTables()
+	for c, t := range ts.byClass {
+		cp.byClass[c] = t.Clone()
+	}
+	return cp
+}

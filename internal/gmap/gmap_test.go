@@ -1,0 +1,126 @@
+package gmap
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+func figure5Student() *Table {
+	t := NewTable("Student")
+	t.MustBind("gs1", "DB1", "s1")
+	t.MustBind("gs1", "DB2", "s2'")
+	t.MustBind("gs2", "DB1", "s2")
+	t.MustBind("gs3", "DB1", "s3")
+	t.MustBind("gs4", "DB2", "s1'")
+	t.MustBind("gs5", "DB2", "s3'")
+	return t
+}
+
+func TestBindAndLookups(t *testing.T) {
+	tab := figure5Student()
+	if tab.Class() != "Student" {
+		t.Error("Class wrong")
+	}
+	if g, ok := tab.GOidOf("DB2", "s2'"); !ok || g != "gs1" {
+		t.Errorf("GOidOf = %v %v", g, ok)
+	}
+	if _, ok := tab.GOidOf("DB2", "nope"); ok {
+		t.Error("GOidOf unknown succeeded")
+	}
+	if l, ok := tab.LOidAt("gs1", "DB1"); !ok || l != "s1" {
+		t.Errorf("LOidAt = %v %v", l, ok)
+	}
+	if _, ok := tab.LOidAt("gs2", "DB2"); ok {
+		t.Error("LOidAt for absent site succeeded")
+	}
+	if tab.Len() != 5 || tab.Bindings() != 6 {
+		t.Errorf("Len/Bindings = %d/%d", tab.Len(), tab.Bindings())
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	tab := figure5Student()
+	if err := tab.Bind("gs9", "DB1", "s1"); err == nil {
+		t.Error("rebinding local object accepted")
+	}
+	if err := tab.Bind("gs1", "DB1", "s99"); err == nil {
+		t.Error("second object per site per entity accepted")
+	}
+}
+
+func TestLocationsSorted(t *testing.T) {
+	tab := NewTable("T")
+	tab.MustBind("g1", "DB3", "c")
+	tab.MustBind("g1", "DB1", "a")
+	tab.MustBind("g1", "DB2", "b")
+	got := tab.Locations("g1")
+	want := []Location{{"DB1", "a"}, {"DB2", "b"}, {"DB3", "c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Locations = %v", got)
+	}
+	if tab.Locations("ghost") != nil && len(tab.Locations("ghost")) != 0 {
+		t.Error("Locations of unknown GOid should be empty")
+	}
+}
+
+func TestIsomericsOf(t *testing.T) {
+	tab := figure5Student()
+	got := tab.IsomericsOf("DB1", "s1")
+	want := []Location{{"DB2", "s2'"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("IsomericsOf = %v", got)
+	}
+	if got := tab.IsomericsOf("DB1", "s2"); len(got) != 0 {
+		t.Errorf("singleton entity has isomerics: %v", got)
+	}
+	if got := tab.IsomericsOf("DB9", "x"); got != nil {
+		t.Errorf("unknown object has isomerics: %v", got)
+	}
+}
+
+func TestGOidsSorted(t *testing.T) {
+	tab := figure5Student()
+	got := tab.GOids()
+	want := []object.GOid{"gs1", "gs2", "gs3", "gs4", "gs5"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GOids = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tab := figure5Student()
+	cp := tab.Clone()
+	cp.MustBind("gs9", "DB3", "x")
+	if _, ok := tab.GOidOf("DB3", "x"); ok {
+		t.Error("Clone shares state")
+	}
+	if g, ok := cp.GOidOf("DB1", "s1"); !ok || g != "gs1" {
+		t.Error("Clone lost bindings")
+	}
+}
+
+func TestTablesGroup(t *testing.T) {
+	ts := NewTables()
+	if ts.Has("Student") {
+		t.Error("Has on empty group")
+	}
+	st := ts.Table("Student")
+	st.MustBind("gs1", "DB1", "s1")
+	if !ts.Has("Student") {
+		t.Error("Has after Table")
+	}
+	if ts.Table("Student") != st {
+		t.Error("Table not idempotent")
+	}
+	ts.Table("Teacher")
+	if got := ts.Classes(); !reflect.DeepEqual(got, []string{"Student", "Teacher"}) {
+		t.Errorf("Classes = %v", got)
+	}
+	cp := ts.Clone()
+	cp.Table("Student").MustBind("gs2", "DB1", "s2")
+	if _, ok := ts.Table("Student").GOidOf("DB1", "s2"); ok {
+		t.Error("Tables.Clone shares state")
+	}
+}

@@ -1,0 +1,112 @@
+package gmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// randomTable builds a table from a seeded random binding sequence,
+// returning the successful bindings.
+func randomTable(seed int64) (*Table, []struct {
+	GOid object.GOid
+	Loc  Location
+}) {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewTable("C")
+	var bound []struct {
+		GOid object.GOid
+		Loc  Location
+	}
+	for i := 0; i < 60; i++ {
+		goid := object.GOid(fmt.Sprintf("g%d", rng.Intn(20)))
+		loc := Location{
+			Site: object.SiteID(fmt.Sprintf("DB%d", rng.Intn(5))),
+			LOid: object.LOid(fmt.Sprintf("o%d", rng.Intn(40))),
+		}
+		if err := t.Bind(goid, loc.Site, loc.LOid); err == nil {
+			bound = append(bound, struct {
+				GOid object.GOid
+				Loc  Location
+			}{goid, loc})
+		}
+	}
+	return t, bound
+}
+
+// TestBindLookupInverseProperty: every successful binding is retrievable in
+// both directions, and Locations partitions exactly the bound objects.
+func TestBindLookupInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		table, bound := randomTable(seed)
+		for _, b := range bound {
+			g, ok := table.GOidOf(b.Loc.Site, b.Loc.LOid)
+			if !ok || g != b.GOid {
+				return false
+			}
+			l, ok := table.LOidAt(b.GOid, b.Loc.Site)
+			if !ok || l != b.Loc.LOid {
+				return false
+			}
+		}
+		// The per-entity locations are disjoint and cover every binding.
+		total := 0
+		seen := map[Location]bool{}
+		for _, g := range table.GOids() {
+			for _, loc := range table.Locations(g) {
+				if seen[loc] {
+					return false
+				}
+				seen[loc] = true
+				total++
+			}
+		}
+		return total == table.Bindings() && total == len(bound)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneEquivalenceProperty: a clone answers every lookup identically.
+func TestCloneEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		table, bound := randomTable(seed)
+		cp := table.Clone()
+		if cp.Len() != table.Len() || cp.Bindings() != table.Bindings() {
+			return false
+		}
+		for _, b := range bound {
+			g1, ok1 := table.GOidOf(b.Loc.Site, b.Loc.LOid)
+			g2, ok2 := cp.GOidOf(b.Loc.Site, b.Loc.LOid)
+			if ok1 != ok2 || g1 != g2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIsomericsExcludeSelfProperty: an object is never its own assistant.
+func TestIsomericsExcludeSelfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		table, bound := randomTable(seed)
+		for _, b := range bound {
+			for _, iso := range table.IsomericsOf(b.Loc.Site, b.Loc.LOid) {
+				if iso.Site == b.Loc.Site {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

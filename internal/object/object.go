@@ -1,0 +1,499 @@
+// Package object defines the value and object model shared by every layer of
+// hetfed: typed attribute values (including null and object references),
+// local and global object identifiers, and the objects stored in component
+// databases.
+//
+// The model follows the paper's object data model: an object is a set of
+// attribute values identified by a local object identifier (LOid) that is
+// unique within its component database. The same real-world entity may be
+// stored in several component databases under incompatible LOids; such
+// objects are called isomeric and share a global object identifier (GOid).
+package object
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LOid is a local object identifier, unique within one component database.
+type LOid string
+
+// GOid is a global object identifier. All isomeric objects (objects in
+// different component databases representing the same real-world entity)
+// share a single GOid.
+type GOid string
+
+// SiteID names a component database site (for example "DB1"). The global
+// processing site is a SiteID as well.
+type SiteID string
+
+// Wire sizes in bytes, following Table 1 of the paper. They drive the byte
+// accounting used by both the real and the simulated fabric, so that disk
+// and network costs are comparable across execution strategies.
+const (
+	// AttrWireSize is the average size of one attribute value (S_a).
+	AttrWireSize = 32
+	// GOidWireSize is the size of a GOid (S_GOid).
+	GOidWireSize = 16
+	// LOidWireSize is the size of an LOid (S_LOid).
+	LOidWireSize = 16
+	// SignatureWireSize is the size of one object signature (S_s).
+	SignatureWireSize = 32
+)
+
+// Kind enumerates the kinds of attribute values.
+type Kind int
+
+// Value kinds. KindNull marks missing data: either an original null value in
+// a component database or the value of a missing attribute.
+const (
+	KindNull Kind = iota + 1
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindRef  // reference to a local object (complex attribute, component view)
+	KindGRef // reference to a global object (complex attribute, integrated view)
+	KindList // multi-valued attribute
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindRef:
+		return "ref"
+	case KindGRef:
+		return "gref"
+	case KindList:
+		return "list"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is an immutable attribute value. The zero Value is invalid; use the
+// constructors (Null, Int, Float, Str, Bool, Ref, GRef, List).
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	list []Value
+}
+
+// Null returns the null value, representing missing data.
+func Null() Value { return Value{kind: KindNull} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Ref returns a reference to a local object, i.e. the value of a complex
+// attribute in a component database.
+func Ref(id LOid) Value { return Value{kind: KindRef, s: string(id)} }
+
+// GRef returns a reference to a global object, i.e. the value of a complex
+// attribute after LOids have been transformed to GOids during integration.
+func GRef(id GOid) Value { return Value{kind: KindGRef, s: string(id)} }
+
+// List returns a multi-valued attribute value. The elements are copied.
+func List(elems ...Value) Value {
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	return Value{kind: KindList, list: cp}
+}
+
+// Kind reports the kind of the value. The zero Value reports 0.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsRef reports whether the value is a local or global object reference.
+func (v Value) IsRef() bool { return v.kind == KindRef || v.kind == KindGRef }
+
+// Int64 returns the integer payload. It is valid only for KindInt.
+func (v Value) Int64() int64 { return v.i }
+
+// Float64 returns the float payload. It is valid only for KindFloat.
+func (v Value) Float64() float64 { return v.f }
+
+// Text returns the string payload. It is valid only for KindString.
+func (v Value) Text() string { return v.s }
+
+// BoolVal returns the boolean payload. It is valid only for KindBool.
+func (v Value) BoolVal() bool { return v.i != 0 }
+
+// RefLOid returns the referenced LOid. It is valid only for KindRef.
+func (v Value) RefLOid() LOid { return LOid(v.s) }
+
+// RefGOid returns the referenced GOid. It is valid only for KindGRef.
+func (v Value) RefGOid() GOid { return GOid(v.s) }
+
+// Elems returns the elements of a list value. The returned slice must not be
+// modified. It is valid only for KindList.
+func (v Value) Elems() []Value { return v.list }
+
+// Equal reports whether two values are identical (same kind and payload).
+// Null equals null under this relation; three-valued comparison semantics
+// belong to package eval, not here.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		// Numeric cross-kind equality: 3 == 3.0.
+		if bothNumeric(v, w) {
+			return v.asFloat() == w.asFloat()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindInt, KindBool:
+		return v.i == w.i
+	case KindFloat:
+		return v.f == w.f
+	case KindString, KindRef, KindGRef:
+		return v.s == w.s
+	case KindList:
+		if len(v.list) != len(w.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(w.list[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func bothNumeric(v, w Value) bool {
+	return (v.kind == KindInt || v.kind == KindFloat) &&
+		(w.kind == KindInt || w.kind == KindFloat)
+}
+
+func (v Value) asFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Compare orders two values. It returns a negative, zero, or positive integer
+// when v sorts before, equal to, or after w, and ok=false when the values are
+// not comparable (different non-numeric kinds, nulls, refs or lists).
+func (v Value) Compare(w Value) (cmp int, ok bool) {
+	if v.kind == KindNull || w.kind == KindNull {
+		return 0, false
+	}
+	if bothNumeric(v, w) {
+		a, b := v.asFloat(), w.asFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.kind != w.kind {
+		return 0, false
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, w.s), true
+	case KindBool:
+		switch {
+		case v.i < w.i:
+			return -1, true
+		case v.i > w.i:
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// WireSize returns the number of bytes this value contributes to a message
+// or disk page under the paper's cost model: references cost an OID,
+// everything else costs one average attribute.
+func (v Value) WireSize() int {
+	switch v.kind {
+	case KindRef:
+		return LOidWireSize
+	case KindGRef:
+		return GOidWireSize
+	case KindList:
+		n := 0
+		for _, e := range v.list {
+			n += e.WireSize()
+		}
+		return n
+	case KindNull:
+		return 0
+	default:
+		return AttrWireSize
+	}
+}
+
+// String renders the value for diagnostics and example output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "-"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		return strconv.FormatBool(v.i != 0)
+	case KindRef:
+		return "@" + v.s
+	case KindGRef:
+		return "@@" + v.s
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return "<invalid>"
+	}
+}
+
+// Object is a stored object: an identifier plus named attribute values.
+// Attributes that are missing for the object's class, or null in the source
+// database, are simply absent from Attrs (Attr returns Null for them).
+type Object struct {
+	LOid  LOid
+	Class string
+	Attrs map[string]Value
+}
+
+// New returns an object with a copy of the supplied attribute map. Null
+// values are normalized away: a null attribute and an absent attribute are
+// indistinguishable, both representing missing data.
+func New(id LOid, class string, attrs map[string]Value) *Object {
+	cp := make(map[string]Value, len(attrs))
+	for k, v := range attrs {
+		if v.Kind() == 0 || v.IsNull() {
+			continue
+		}
+		cp[k] = v
+	}
+	return &Object{LOid: id, Class: class, Attrs: cp}
+}
+
+// Attr returns the value of the named attribute, or Null when the attribute
+// is missing (missing attribute of the class, or a null value).
+func (o *Object) Attr(name string) Value {
+	if v, ok := o.Attrs[name]; ok {
+		return v
+	}
+	return Null()
+}
+
+// Set stores an attribute value, or deletes the attribute when v is null.
+func (o *Object) Set(name string, v Value) {
+	if o.Attrs == nil {
+		o.Attrs = make(map[string]Value)
+	}
+	if v.Kind() == 0 || v.IsNull() {
+		delete(o.Attrs, name)
+		return
+	}
+	o.Attrs[name] = v
+}
+
+// Clone returns a deep-enough copy: the attribute map is copied (values are
+// immutable, so they are shared).
+func (o *Object) Clone() *Object {
+	cp := make(map[string]Value, len(o.Attrs))
+	for k, v := range o.Attrs {
+		cp[k] = v
+	}
+	return &Object{LOid: o.LOid, Class: o.Class, Attrs: cp}
+}
+
+// Project returns a copy of the object restricted to the named attributes.
+func (o *Object) Project(attrs []string) *Object {
+	cp := make(map[string]Value, len(attrs))
+	for _, a := range attrs {
+		if v, ok := o.Attrs[a]; ok {
+			cp[a] = v
+		}
+	}
+	return &Object{LOid: o.LOid, Class: o.Class, Attrs: cp}
+}
+
+// WireSize returns the bytes needed to ship the object projected on the
+// given attributes (pass nil for all attributes), including its LOid.
+func (o *Object) WireSize(attrs []string) int {
+	n := LOidWireSize
+	if attrs == nil {
+		for _, v := range o.Attrs {
+			n += v.WireSize()
+		}
+		return n
+	}
+	for _, a := range attrs {
+		if v, ok := o.Attrs[a]; ok {
+			n += v.WireSize()
+		}
+	}
+	return n
+}
+
+// AttrNames returns the object's attribute names in sorted order.
+func (o *Object) AttrNames() []string {
+	names := make([]string, 0, len(o.Attrs))
+	for k := range o.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the object for diagnostics.
+func (o *Object) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%s]{", o.Class, o.LOid)
+	for i, name := range o.AttrNames() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", name, o.Attrs[name])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler so values (and the
+// objects and messages containing them) can travel over gob-encoded
+// connections in the TCP deployment.
+func (v Value) MarshalBinary() ([]byte, error) {
+	var b []byte
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case 0, KindNull:
+	case KindInt, KindBool:
+		b = appendInt64(b, v.i)
+	case KindFloat:
+		b = appendInt64(b, int64(math.Float64bits(v.f)))
+	case KindString, KindRef, KindGRef:
+		b = append(b, []byte(v.s)...)
+	case KindList:
+		for _, e := range v.list {
+			eb, err := e.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			b = appendInt64(b, int64(len(eb)))
+			b = append(b, eb...)
+		}
+	default:
+		return nil, fmt.Errorf("object: marshal of invalid kind %d", v.kind)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *Value) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("object: empty value encoding")
+	}
+	kind := Kind(data[0])
+	payload := data[1:]
+	switch kind {
+	case 0:
+		*v = Value{}
+	case KindNull:
+		*v = Null()
+	case KindInt, KindBool:
+		i, _, err := readInt64(payload)
+		if err != nil {
+			return err
+		}
+		*v = Value{kind: kind, i: i}
+	case KindFloat:
+		i, _, err := readInt64(payload)
+		if err != nil {
+			return err
+		}
+		*v = Float(math.Float64frombits(uint64(i)))
+	case KindString, KindRef, KindGRef:
+		*v = Value{kind: kind, s: string(payload)}
+	case KindList:
+		var elems []Value
+		for len(payload) > 0 {
+			n, rest, err := readInt64(payload)
+			if err != nil {
+				return err
+			}
+			if n < 0 || int(n) > len(rest) {
+				return fmt.Errorf("object: corrupt list encoding")
+			}
+			var e Value
+			if err := e.UnmarshalBinary(rest[:n]); err != nil {
+				return err
+			}
+			elems = append(elems, e)
+			payload = rest[n:]
+		}
+		*v = Value{kind: KindList, list: elems}
+	default:
+		return fmt.Errorf("object: unmarshal of invalid kind %d", kind)
+	}
+	return nil
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	u := uint64(v)
+	return append(b,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+func readInt64(b []byte) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("object: truncated value encoding")
+	}
+	u := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	return int64(u), b[8:], nil
+}

@@ -1,0 +1,381 @@
+package object
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "null",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindString: "string",
+		KindBool:   "bool",
+		KindRef:    "ref",
+		KindGRef:   "gref",
+		KindList:   "list",
+		Kind(99):   "invalid",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt || v.Int64() != 42 {
+		t.Errorf("Int(42) = %v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.Float64() != 2.5 {
+		t.Errorf("Float(2.5) = %v", v)
+	}
+	if v := Str("abc"); v.Kind() != KindString || v.Text() != "abc" {
+		t.Errorf("Str = %v", v)
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.BoolVal() {
+		t.Errorf("Bool(true) = %v", v)
+	}
+	if v := Bool(false); v.BoolVal() {
+		t.Errorf("Bool(false) = %v", v)
+	}
+	if v := Ref("t1"); v.Kind() != KindRef || v.RefLOid() != "t1" || !v.IsRef() {
+		t.Errorf("Ref = %v", v)
+	}
+	if v := GRef("gt1"); v.Kind() != KindGRef || v.RefGOid() != "gt1" || !v.IsRef() {
+		t.Errorf("GRef = %v", v)
+	}
+	if v := Null(); !v.IsNull() || v.IsRef() {
+		t.Errorf("Null = %v", v)
+	}
+	l := List(Int(1), Str("x"))
+	if l.Kind() != KindList || len(l.Elems()) != 2 {
+		t.Errorf("List = %v", l)
+	}
+}
+
+func TestListCopiesElements(t *testing.T) {
+	src := []Value{Int(1), Int(2)}
+	l := List(src...)
+	src[0] = Int(99)
+	if !l.Elems()[0].Equal(Int(1)) {
+		t.Error("List aliases its input slice")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(3), Float(3.0), true},
+		{Float(3.5), Int(3), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Str("1"), Int(1), false},
+		{Null(), Null(), true},
+		{Null(), Int(0), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Bool(true), Int(1), false},
+		{Ref("a"), Ref("a"), true},
+		{Ref("a"), GRef("a"), false},
+		{List(Int(1)), List(Int(1)), true},
+		{List(Int(1)), List(Int(2)), false},
+		{List(Int(1)), List(Int(1), Int(2)), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(1), 1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(1), Float(1.5), -1, true},
+		{Float(2.5), Int(2), 1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Null(), Int(1), 0, false},
+		{Int(1), Null(), 0, false},
+		{Str("a"), Int(1), 0, false},
+		{Ref("a"), Ref("b"), 0, false},
+		{List(Int(1)), List(Int(1)), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := c.a.Compare(c.b)
+		if ok != c.ok || (ok && sign(cmp) != c.cmp) {
+			t.Errorf("%v.Compare(%v) = (%d,%v), want (%d,%v)", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestValueWireSize(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int
+	}{
+		{Int(1), AttrWireSize},
+		{Str("hello"), AttrWireSize},
+		{Null(), 0},
+		{Ref("x"), LOidWireSize},
+		{GRef("x"), GOidWireSize},
+		{List(Int(1), Ref("x")), AttrWireSize + LOidWireSize},
+	}
+	for _, c := range cases {
+		if got := c.v.WireSize(); got != c.want {
+			t.Errorf("WireSize(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "-"},
+		{Int(5), "5"},
+		{Float(1.5), "1.5"},
+		{Str("hi"), "hi"},
+		{Bool(true), "true"},
+		{Ref("t1"), "@t1"},
+		{GRef("gt1"), "@@gt1"},
+		{List(Int(1), Int(2)), "{1, 2}"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNewNormalizesNulls(t *testing.T) {
+	o := New("s1", "Student", map[string]Value{
+		"name": Str("John"),
+		"age":  Null(),
+		"sex":  {},
+	})
+	if _, ok := o.Attrs["age"]; ok {
+		t.Error("null attribute survived New")
+	}
+	if _, ok := o.Attrs["sex"]; ok {
+		t.Error("zero Value attribute survived New")
+	}
+	if !o.Attr("age").IsNull() {
+		t.Error("Attr on missing attribute should be null")
+	}
+	if got := o.Attr("name"); !got.Equal(Str("John")) {
+		t.Errorf("Attr(name) = %v", got)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	in := map[string]Value{"a": Int(1)}
+	o := New("x", "C", in)
+	in["a"] = Int(2)
+	if !o.Attr("a").Equal(Int(1)) {
+		t.Error("New aliases its input map")
+	}
+}
+
+func TestObjectSetAndClone(t *testing.T) {
+	o := New("s1", "Student", nil)
+	o.Set("age", Int(30))
+	if !o.Attr("age").Equal(Int(30)) {
+		t.Error("Set failed")
+	}
+	cl := o.Clone()
+	cl.Set("age", Int(40))
+	if !o.Attr("age").Equal(Int(30)) {
+		t.Error("Clone shares attribute map")
+	}
+	o.Set("age", Null())
+	if _, ok := o.Attrs["age"]; ok {
+		t.Error("Set(Null) should delete")
+	}
+	var empty Object
+	empty.Set("a", Int(1))
+	if !empty.Attr("a").Equal(Int(1)) {
+		t.Error("Set on zero Object failed")
+	}
+}
+
+func TestObjectProject(t *testing.T) {
+	o := New("s1", "Student", map[string]Value{
+		"name": Str("John"), "age": Int(31), "advisor": Ref("t1"),
+	})
+	p := o.Project([]string{"name", "advisor", "nonexistent"})
+	if len(p.Attrs) != 2 {
+		t.Fatalf("Project kept %d attrs, want 2", len(p.Attrs))
+	}
+	if p.LOid != "s1" || p.Class != "Student" {
+		t.Error("Project lost identity")
+	}
+	if !p.Attr("age").IsNull() {
+		t.Error("Project kept age")
+	}
+}
+
+func TestObjectWireSize(t *testing.T) {
+	o := New("s1", "Student", map[string]Value{
+		"name": Str("John"), "age": Int(31), "advisor": Ref("t1"),
+	})
+	wantAll := LOidWireSize + 2*AttrWireSize + LOidWireSize
+	if got := o.WireSize(nil); got != wantAll {
+		t.Errorf("WireSize(nil) = %d, want %d", got, wantAll)
+	}
+	want := LOidWireSize + AttrWireSize
+	if got := o.WireSize([]string{"name", "nope"}); got != want {
+		t.Errorf("WireSize(name) = %d, want %d", got, want)
+	}
+}
+
+func TestObjectAttrNamesSorted(t *testing.T) {
+	o := New("x", "C", map[string]Value{"b": Int(1), "a": Int(2), "c": Int(3)})
+	got := o.AttrNames()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AttrNames = %v, want %v", got, want)
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	o := New("s1", "Student", map[string]Value{"name": Str("John"), "age": Int(31)})
+	want := "Student[s1]{age: 31, name: John}"
+	if got := o.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// randomValue builds an arbitrary primitive value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Int(int64(r.Intn(100)))
+	case 1:
+		return Float(r.Float64() * 100)
+	case 2:
+		return Str(string(rune('a' + r.Intn(26))))
+	case 3:
+		return Bool(r.Intn(2) == 0)
+	default:
+		return Null()
+	}
+}
+
+func TestEqualReflexiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r)
+		return v.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		c1, ok1 := a.Compare(b)
+		c2, ok2 := b.Compare(a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return sign(c1) == -sign(c2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareConsistentWithEqualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		cmp, ok := a.Compare(b)
+		if !ok || cmp != 0 {
+			return true
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueBinaryRoundTrip(t *testing.T) {
+	values := []Value{
+		Null(),
+		Int(42), Int(-7),
+		Float(3.25), Float(-0.5),
+		Str(""), Str("hello world"),
+		Bool(true), Bool(false),
+		Ref("t1'"), GRef("gt4"),
+		List(Int(1), Str("x"), List(Bool(true))),
+		{},
+	}
+	for _, v := range values {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got Value
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", v, err)
+		}
+		if got.Kind() != v.Kind() || (v.Kind() != 0 && !got.Equal(v)) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestValueUnmarshalErrors(t *testing.T) {
+	var v Value
+	if err := v.UnmarshalBinary(nil); err == nil {
+		t.Error("empty encoding accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{byte(KindInt), 1, 2}); err == nil {
+		t.Error("truncated int accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{99}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{byte(KindList), 9, 0, 0, 0, 0, 0, 0, 0, 1}); err == nil {
+		t.Error("corrupt list accepted")
+	}
+}

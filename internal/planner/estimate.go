@@ -1,0 +1,414 @@
+package planner
+
+import (
+	"sort"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+)
+
+// Wire-size constants mirroring package federation's message model.
+const (
+	requestOverhead = 64
+	rowFixedBytes   = object.LOidWireSize + object.GOidWireSize
+	verdictBytes    = 8
+	unsolvedBytes   = object.GOidWireSize + object.AttrWireSize
+	checkItemBytes  = object.LOidWireSize + object.GOidWireSize + object.AttrWireSize
+	checkReplyBytes = object.GOidWireSize + verdictBytes
+)
+
+// Estimate is the predicted cost of one strategy.
+type Estimate struct {
+	Alg exec.Algorithm
+	// TotalMicros predicts the total execution time (summed work).
+	TotalMicros float64
+	// ResponseMicros predicts the response time (critical path).
+	ResponseMicros float64
+}
+
+// Estimates predicts the costs of CA, BL and PL for a bound query, ordered
+// as exec.Algorithms().
+func Estimates(cat *Catalog, b *query.Bound, rates fabric.Rates) []Estimate {
+	e := estimator{cat: cat, b: b, rates: rates}
+	return []Estimate{e.ca(), e.localized(exec.BL), e.localized(exec.PL)}
+}
+
+// Choose returns the strategy with the lowest predicted response time,
+// breaking ties by total execution time.
+func Choose(cat *Catalog, b *query.Bound, rates fabric.Rates) exec.Algorithm {
+	ests := Estimates(cat, b, rates)
+	sort.SliceStable(ests, func(i, j int) bool {
+		if ests[i].ResponseMicros != ests[j].ResponseMicros {
+			return ests[i].ResponseMicros < ests[j].ResponseMicros
+		}
+		return ests[i].TotalMicros < ests[j].TotalMicros
+	})
+	return ests[0].Alg
+}
+
+type estimator struct {
+	cat   *Catalog
+	b     *query.Bound
+	rates fabric.Rates
+}
+
+func (e *estimator) extent(class string, site object.SiteID) ExtentStats {
+	return e.cat.Extents[schema.Constituent{Site: site, Class: class}]
+}
+
+// selectivity estimates P(predicate true | value present) from the final
+// attribute's statistics at the given site, falling back to 1/3 when no
+// statistics apply.
+func (e *estimator) selectivity(bp query.BoundPredicate, site object.SiteID) float64 {
+	const fallback = 1.0 / 3
+	finalClass := bp.Classes[len(bp.Classes)-1]
+	ext := e.extent(finalClass, site)
+	s, ok := ext.Attrs[bp.Path[len(bp.Path)-1]]
+	if !ok || s.NonNull == 0 {
+		return fallback
+	}
+	switch bp.Op {
+	case query.OpEq:
+		if s.Distinct > 0 {
+			return clamp01(1 / float64(s.Distinct))
+		}
+		return fallback
+	case query.OpNe:
+		if s.Distinct > 0 {
+			return clamp01(1 - 1/float64(s.Distinct))
+		}
+		return fallback
+	case query.OpLt, query.OpLe, query.OpGt, query.OpGe:
+		if !s.Numeric || s.Max <= s.Min {
+			return fallback
+		}
+		var lit float64
+		switch bp.Literal.Kind() {
+		case object.KindInt:
+			lit = float64(bp.Literal.Int64())
+		case object.KindFloat:
+			lit = bp.Literal.Float64()
+		default:
+			return fallback
+		}
+		frac := clamp01((lit - s.Min) / (s.Max - s.Min))
+		if bp.Op == query.OpGt || bp.Op == query.OpGe {
+			return 1 - frac
+		}
+		return frac
+	default:
+		return fallback
+	}
+}
+
+// unknownProb estimates P(predicate unknown at site): one when some step is
+// a missing attribute of the site's constituent classes, otherwise the
+// union of the per-step null fractions.
+func (e *estimator) unknownProb(bp query.BoundPredicate, site object.SiteID) float64 {
+	known := 1.0
+	for i, step := range bp.Path {
+		gc := e.cat.Global.Class(bp.Classes[i])
+		if !gc.Holds(site, step) {
+			return 1
+		}
+		known *= 1 - e.extent(bp.Classes[i], site).NullFraction(step)
+	}
+	return clamp01(1 - known)
+}
+
+// surviveProb estimates P(object survives the predicate locally): unknown
+// or true.
+func (e *estimator) surviveProb(bp query.BoundPredicate, site object.SiteID) float64 {
+	u := e.unknownProb(bp, site)
+	return clamp01(u + (1-u)*e.selectivity(bp, site))
+}
+
+// branchDiskBytes estimates the disk bytes of dereferencing branch objects
+// for a set of predicates: the buffer pool reads each distinct branch
+// object at most once per local query, so every branch class on any
+// predicate path is charged once, bounded by the root cardinality.
+func (e *estimator) branchDiskBytes(preds []query.BoundPredicate, site object.SiteID, rootObjects int) float64 {
+	touchedClasses := map[string]bool{}
+	for _, bp := range preds {
+		for i := 1; i < len(bp.Classes); i++ {
+			// Only classes reachable before the first missing step are
+			// actually dereferenced.
+			if j, missing := e.firstMissing(bp, site); missing && i > j {
+				break
+			}
+			touchedClasses[bp.Classes[i]] = true
+		}
+	}
+	var bytes float64
+	for class := range touchedClasses {
+		branch := e.extent(class, site)
+		touched := minf(float64(rootObjects), float64(branch.Objects))
+		bytes += touched * branch.AvgObjectBytes()
+	}
+	return bytes
+}
+
+// firstMissing returns the first path step that is a missing attribute of
+// the site's constituent classes.
+func (e *estimator) firstMissing(bp query.BoundPredicate, site object.SiteID) (int, bool) {
+	for i, step := range bp.Path {
+		if !e.cat.Global.Class(bp.Classes[i]).Holds(site, step) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// assistantsPerItem estimates how many assistant objects one unsolved item
+// of the class has (isomeric copies at other sites).
+func (e *estimator) assistantsPerItem(class string) float64 {
+	cs := e.cat.Classes[class]
+	if cs.AvgCopies > 1 {
+		return cs.AvgCopies - 1
+	}
+	return 0
+}
+
+// suffixHeldProb estimates the probability a random other site can evaluate
+// the unsolved suffix of a predicate (every remaining step held there) —
+// checks are only dispatched to such sites.
+func (e *estimator) suffixHeldProb(bp query.BoundPredicate, site object.SiteID) float64 {
+	j, missing := e.firstMissing(bp, site)
+	if !missing {
+		// Runtime null: the suffix starts at the final step.
+		j = len(bp.Path) - 1
+	}
+	prob := 1.0
+	for i := j; i < len(bp.Path); i++ {
+		gc := e.cat.Global.Class(bp.Classes[i])
+		sites := gc.Sites()
+		if len(sites) == 0 {
+			return 0
+		}
+		holding := 0
+		for _, s := range sites {
+			if gc.Holds(s, bp.Path[i]) {
+				holding++
+			}
+		}
+		prob *= float64(holding) / float64(len(sites))
+	}
+	return prob
+}
+
+// itemClassOf returns the class of the unsolved item a predicate produces
+// at a site (the class at the first missing step, or the final class for
+// runtime nulls).
+func (e *estimator) itemClassOf(bp query.BoundPredicate, site object.SiteID) string {
+	for i, step := range bp.Path {
+		gc := e.cat.Global.Class(bp.Classes[i])
+		if !gc.Holds(site, step) {
+			return bp.Classes[i]
+		}
+	}
+	return bp.Classes[len(bp.Classes)-1]
+}
+
+// ca estimates the centralized approach.
+func (e *estimator) ca() Estimate {
+	var (
+		totalWork   float64 // µs across all resources
+		maxSiteTime float64 // slowest site's local phase
+		netMicros   float64 // serialized shared-medium time
+	)
+	involved := e.b.InvolvedAttrs()
+	for _, site := range e.b.InvolvedSites() {
+		var disk, cpu, net float64
+		net += requestOverhead
+		for class, attrs := range involved {
+			ext := e.extent(class, site)
+			if ext.Objects == 0 {
+				continue
+			}
+			disk += float64(ext.Bytes)
+			cpu += float64(ext.Objects)
+			// Projected reply: LOid plus the involved attributes that are
+			// present.
+			per := float64(object.LOidWireSize)
+			for _, a := range attrs {
+				s := ext.Attrs[a]
+				ga, _ := e.cat.Global.Class(class).Attr(a)
+				size := float64(object.AttrWireSize)
+				if ga.IsComplex() {
+					size = object.LOidWireSize
+				}
+				if ext.Objects > 0 {
+					per += size * float64(s.NonNull) / float64(ext.Objects)
+				}
+			}
+			net += float64(ext.Objects) * per
+		}
+		siteTime := disk*e.rates.DiskPerByte + cpu*e.rates.CPUPerOp
+		totalWork += siteTime
+		maxSiteTime = maxf(maxSiteTime, siteTime)
+		netMicros += net * e.rates.NetPerByte
+	}
+
+	// Coordinator: materialization (a lookup plus per-attribute merges per
+	// shipped object) and central evaluation.
+	var coordCPU float64
+	for _, site := range e.b.InvolvedSites() {
+		for class, attrs := range involved {
+			ext := e.extent(class, site)
+			coordCPU += float64(ext.Objects) * float64(1+len(attrs))
+		}
+	}
+	rootEntities := float64(e.cat.Classes[e.b.Query.Range].Entities)
+	for _, bp := range e.b.Preds {
+		coordCPU += rootEntities * (float64(len(bp.Path)) + 1)
+	}
+	coordMicros := coordCPU * e.rates.CPUPerOp
+
+	return Estimate{
+		Alg:            exec.CA,
+		TotalMicros:    totalWork + netMicros + coordMicros,
+		ResponseMicros: maxSiteTime + netMicros + coordMicros,
+	}
+}
+
+// localized estimates BL or PL; they differ in whose items are checked
+// (survivors vs. every object) and in the check/evaluation overlap.
+func (e *estimator) localized(alg exec.Algorithm) Estimate {
+	var (
+		totalWork   float64
+		maxSiteTime float64
+		netMicros   float64
+		coordCPU    float64
+		maxCheckRTT float64
+	)
+	for _, site := range e.b.RootSites() {
+		root := e.extent(e.b.Query.Range, site)
+		n := float64(root.Objects)
+
+		// Split the predicates as the site will: local (every step held)
+		// versus removed (unsolved for every object).
+		var local, removed []query.BoundPredicate
+		for _, bp := range e.b.Preds {
+			if _, missing := e.firstMissing(bp, site); missing {
+				removed = append(removed, bp)
+			} else {
+				local = append(local, bp)
+			}
+		}
+
+		// Local evaluation work. Under BL the conjunction short-circuits:
+		// predicate j is evaluated only on objects that survived the
+		// previous ones; under PL every path is navigated for every object
+		// in phase O.
+		disk := float64(root.Bytes)
+		var cpu float64
+		survive := 1.0
+		var unsolvedPerRow float64 // expected unsolved entries per surviving row
+		var checkItems float64     // expected check items per carrier object
+		reach := 1.0
+		for _, bp := range local {
+			steps := float64(len(bp.Path)) + 1
+			if alg == exec.BL {
+				cpu += n * reach * steps
+			} else {
+				cpu += n * steps
+			}
+			u := e.unknownProb(bp, site)
+			sp := e.surviveProb(bp, site)
+			reach *= sp
+			survive *= sp
+			// Conditional on surviving, the predicate is unknown with
+			// probability u / (u + (1-u)·sel).
+			condU := u
+			if sp > 0 {
+				condU = u / sp
+			}
+			unsolvedPerRow += condU
+			checkItems += condU * e.assistantsPerItem(e.itemClassOf(bp, site)) *
+				e.suffixHeldProb(bp, site)
+		}
+		survivors := n * survive
+		for _, bp := range removed {
+			j, _ := e.firstMissing(bp, site)
+			steps := float64(j) + 1
+			if alg == exec.BL {
+				cpu += survivors * steps // BL resolves items for survivors only
+			} else {
+				cpu += n * steps
+			}
+			unsolvedPerRow++
+			checkItems += e.assistantsPerItem(e.itemClassOf(bp, site)) *
+				e.suffixHeldProb(bp, site)
+		}
+		disk += e.branchDiskBytes(e.b.Preds, site, root.Objects)
+
+		carriers := survivors // BL: checks only for surviving rows
+		if alg == exec.PL {
+			carriers = n // PL: checks for every object
+		}
+		checks := carriers * checkItems
+		cpu += carriers * (unsolvedPerRow + 1) // item GOids + assistant lookups
+
+		rowBytes := rowFixedBytes +
+			len(e.b.Targets)*object.AttrWireSize +
+			len(e.b.Preds)*verdictBytes
+		resultNet := requestOverhead + survivors*(float64(rowBytes)+unsolvedPerRow*unsolvedBytes)
+
+		// Check processing at the target sites (disk + eval) and verdict
+		// transfer to the coordinator.
+		checkNet := checks * (checkItemBytes + checkReplyBytes)
+		avgAssistantBytes := root.AvgObjectBytes() // same order as the root class
+		checkWork := checks * (avgAssistantBytes*e.rates.DiskPerByte + 3*e.rates.CPUPerOp)
+
+		siteTime := disk*e.rates.DiskPerByte + cpu*e.rates.CPUPerOp
+		totalWork += siteTime + checkWork
+		netMicros += (resultNet + checkNet) * e.rates.NetPerByte
+
+		switch alg {
+		case exec.BL:
+			// Checks happen after local evaluation.
+			maxSiteTime = maxf(maxSiteTime, siteTime+checkWork)
+		default:
+			// PL overlaps checking with local evaluation.
+			maxSiteTime = maxf(maxSiteTime, siteTime)
+			maxCheckRTT = maxf(maxCheckRTT, checkWork)
+		}
+
+		coordCPU += survivors * float64(len(e.b.Preds)+1)
+		coordCPU += checks
+	}
+
+	resp := maxf(maxSiteTime, maxCheckRTT) + netMicros + coordCPU*e.rates.CPUPerOp
+	return Estimate{
+		Alg:            alg,
+		TotalMicros:    totalWork + netMicros + coordCPU*e.rates.CPUPerOp,
+		ResponseMicros: resp,
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

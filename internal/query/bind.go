@@ -1,0 +1,273 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/tvl"
+)
+
+// BoundPath is a path validated against the global schema.
+type BoundPath struct {
+	Path Path
+	// Classes[i] is the global class of the object that evaluates step i;
+	// Classes[0] is the range class. len(Classes) == len(Path).
+	Classes []string
+	// Attr is the attribute reached by the final step.
+	Attr schema.Attribute
+}
+
+// BoundPredicate is a predicate whose path and literal have been validated.
+type BoundPredicate struct {
+	BoundPath
+	Op      Op
+	Literal object.Value
+}
+
+// Predicate reconstructs the plain AST predicate.
+func (bp BoundPredicate) Predicate() Predicate {
+	return Predicate{Path: bp.Path, Op: bp.Op, Literal: bp.Literal}
+}
+
+// Bound is a query validated against the global schema. It carries the
+// resolved path metadata the execution strategies need: the classes each
+// predicate traverses and per-site attribute availability.
+type Bound struct {
+	Query   *Query
+	Global  *schema.Global
+	Targets []BoundPath
+	Preds   []BoundPredicate
+}
+
+// Bind validates a query against the global schema: the range class exists,
+// every path resolves through the composition hierarchy, every predicate
+// ends in a primitive attribute, and literal types match attribute types.
+func Bind(q *Query, g *schema.Global) (*Bound, error) {
+	root := g.Class(q.Range)
+	if root == nil {
+		return nil, fmt.Errorf("bind: unknown global class %q", q.Range)
+	}
+	b := &Bound{Query: q, Global: g}
+
+	for _, t := range q.Targets {
+		bp, err := bindPath(g, q.Range, t)
+		if err != nil {
+			return nil, fmt.Errorf("bind target: %w", err)
+		}
+		b.Targets = append(b.Targets, bp)
+	}
+	for _, pr := range q.Preds {
+		bp, err := bindPath(g, q.Range, pr.Path)
+		if err != nil {
+			return nil, fmt.Errorf("bind predicate: %w", err)
+		}
+		if bp.Attr.IsComplex() {
+			return nil, fmt.Errorf("bind predicate %s: path ends in complex attribute %s", pr, bp.Attr.Name)
+		}
+		if err := checkLiteral(bp.Attr, pr.Op, pr.Literal); err != nil {
+			return nil, fmt.Errorf("bind predicate %s: %w", pr, err)
+		}
+		b.Preds = append(b.Preds, BoundPredicate{BoundPath: bp, Op: pr.Op, Literal: pr.Literal})
+	}
+	return b, nil
+}
+
+// BindPredicateAt validates a predicate rooted at an arbitrary global class
+// (rather than a query's range class). The localized strategies use it to
+// bind the suffix predicates checked against assistant objects.
+func BindPredicateAt(g *schema.Global, class string, pr Predicate) (BoundPredicate, error) {
+	bp, err := bindPath(g, class, pr.Path)
+	if err != nil {
+		return BoundPredicate{}, fmt.Errorf("bind predicate at %s: %w", class, err)
+	}
+	if bp.Attr.IsComplex() {
+		return BoundPredicate{}, fmt.Errorf("bind predicate at %s: path ends in complex attribute", class)
+	}
+	if err := checkLiteral(bp.Attr, pr.Op, pr.Literal); err != nil {
+		return BoundPredicate{}, fmt.Errorf("bind predicate at %s: %w", class, err)
+	}
+	return BoundPredicate{BoundPath: bp, Op: pr.Op, Literal: pr.Literal}, nil
+}
+
+// MustBind is Bind that panics on error; intended for fixtures and tests.
+func MustBind(q *Query, g *schema.Global) *Bound {
+	b, err := Bind(q, g)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func bindPath(g *schema.Global, root string, p Path) (BoundPath, error) {
+	if len(p) == 0 {
+		return BoundPath{}, fmt.Errorf("empty path on class %s", root)
+	}
+	bp := BoundPath{Path: p, Classes: make([]string, len(p))}
+	cur := root
+	for i, step := range p {
+		c := g.Class(cur)
+		if c == nil {
+			return BoundPath{}, fmt.Errorf("path %s: unknown class %q", p, cur)
+		}
+		a, ok := c.Attr(step)
+		if !ok {
+			return BoundPath{}, fmt.Errorf("path %s: class %s has no attribute %q", p, cur, step)
+		}
+		bp.Classes[i] = cur
+		if i == len(p)-1 {
+			bp.Attr = a
+			return bp, nil
+		}
+		if !a.IsComplex() {
+			return BoundPath{}, fmt.Errorf("path %s: attribute %s.%s is primitive mid-path", p, cur, step)
+		}
+		cur = a.Domain
+	}
+	panic("unreachable")
+}
+
+func checkLiteral(a schema.Attribute, op Op, lit object.Value) error {
+	switch a.Prim {
+	case object.KindInt, object.KindFloat:
+		if lit.Kind() != object.KindInt && lit.Kind() != object.KindFloat {
+			return fmt.Errorf("numeric attribute compared with %s literal", lit.Kind())
+		}
+	case object.KindString:
+		if lit.Kind() != object.KindString {
+			return fmt.Errorf("string attribute compared with %s literal", lit.Kind())
+		}
+	case object.KindBool:
+		if lit.Kind() != object.KindBool {
+			return fmt.Errorf("bool attribute compared with %s literal", lit.Kind())
+		}
+		if op != OpEq && op != OpNe {
+			return fmt.Errorf("bool attribute only supports = and !=")
+		}
+	}
+	return nil
+}
+
+// Fold combines per-predicate truth values (aligned with Preds) into the
+// object's classification under the query's disjunctive normal form: the
+// Kleene disjunction over groups of the conjunction within each group.
+func (b *Bound) Fold(verdicts []tvl.Truth) tvl.Truth {
+	result := tvl.False
+	for _, group := range b.Query.GroupIdx() {
+		g := tvl.True
+		for _, i := range group {
+			v := verdicts[i]
+			if v == 0 {
+				v = tvl.Unknown // unevaluated predicates carry no information
+			}
+			g = tvl.And(g, v)
+			if g == tvl.False {
+				break
+			}
+		}
+		result = tvl.Or(result, g)
+		if result == tvl.True {
+			return tvl.True
+		}
+	}
+	return result
+}
+
+// Conjunctive reports whether the query is a single conjunction (the
+// paper's core class).
+func (b *Bound) Conjunctive() bool { return len(b.Query.GroupIdx()) == 1 }
+
+// BranchClasses returns the global classes reached through complex steps of
+// any target or predicate path (the query's branch classes), sorted.
+func (b *Bound) BranchClasses() []string {
+	seen := map[string]bool{}
+	add := func(bp BoundPath) {
+		for i, class := range bp.Classes {
+			if i > 0 {
+				seen[class] = true
+			}
+		}
+		if bp.Attr.IsComplex() {
+			seen[bp.Attr.Domain] = true
+		}
+	}
+	for _, t := range b.Targets {
+		add(t)
+	}
+	for _, p := range b.Preds {
+		add(p.BoundPath)
+	}
+	delete(seen, b.Query.Range)
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classes returns the range class followed by the branch classes.
+func (b *Bound) Classes() []string {
+	return append([]string{b.Query.Range}, b.BranchClasses()...)
+}
+
+// RootSites returns the sites holding a constituent of the range class,
+// sorted. These are the sites that receive local queries.
+func (b *Bound) RootSites() []object.SiteID {
+	return b.Global.Class(b.Query.Range).Sites()
+}
+
+// InvolvedSites returns every site holding a constituent of any involved
+// class, sorted. These are the sites the centralized approach pulls from.
+func (b *Bound) InvolvedSites() []object.SiteID {
+	seen := map[object.SiteID]bool{}
+	for _, class := range b.Classes() {
+		for _, s := range b.Global.Class(class).Sites() {
+			seen[s] = true
+		}
+	}
+	out := make([]object.SiteID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InvolvedAttrs returns, per involved global class, the attribute names the
+// query touches (for projection before shipping), sorted. The range class
+// additionally includes complex attributes used mid-path so references can
+// be followed after integration.
+func (b *Bound) InvolvedAttrs() map[string][]string {
+	seen := map[string]map[string]bool{}
+	note := func(class, attr string) {
+		m := seen[class]
+		if m == nil {
+			m = map[string]bool{}
+			seen[class] = m
+		}
+		m[attr] = true
+	}
+	walk := func(bp BoundPath) {
+		for i, step := range bp.Path {
+			note(bp.Classes[i], step)
+		}
+	}
+	for _, t := range b.Targets {
+		walk(t)
+	}
+	for _, p := range b.Preds {
+		walk(p.BoundPath)
+	}
+	out := make(map[string][]string, len(seen))
+	for class, attrs := range seen {
+		list := make([]string, 0, len(attrs))
+		for a := range attrs {
+			list = append(list, a)
+		}
+		sort.Strings(list)
+		out[class] = list
+	}
+	return out
+}

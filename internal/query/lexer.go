@@ -1,0 +1,181 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokString
+	tokInt
+	tokFloat
+	tokBool
+	tokOp    // comparison operator
+	tokDot   // .
+	tokComma // ,
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes the SQL/X-like surface syntax. Identifiers may contain
+// hyphens when the character after the hyphen is a letter (the paper uses
+// attribute names like "s-no"); a hyphen followed by a digit starts a
+// negative number literal.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("query: position %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '"' || c == '\'':
+		return l.lexString(c)
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected %q", "!")
+	case c == '<' || c == '>':
+		op := string(c)
+		l.pos++
+		if l.pos < len(l.src) {
+			if l.src[l.pos] == '=' {
+				op += "="
+				l.pos++
+			} else if c == '<' && l.src[l.pos] == '>' {
+				op = "!="
+				l.pos++
+			}
+		}
+		return token{kind: tokOp, text: op, pos: start}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start)
+	case c == '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			l.pos++
+			tok, err := l.lexNumber(l.pos)
+			if err != nil {
+				return tok, err
+			}
+			tok.text = "-" + tok.text
+			tok.pos = start
+			return tok, nil
+		}
+		return token{}, l.errf(start, "unexpected %q", "-")
+	case isIdentStart(c):
+		return l.lexIdent(start)
+	default:
+		return token{}, l.errf(start, "unexpected character %q", string(c))
+	}
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf(start, "unterminated string")
+			}
+			l.pos++
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string")
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	kind := tokInt
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		kind = tokFloat
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexIdent(start int) (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isIdentPart(c) {
+			l.pos++
+			continue
+		}
+		// Hyphen inside an identifier: only when followed by a letter.
+		if c == '-' && l.pos+1 < len(l.src) && isLetter(l.src[l.pos+1]) {
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	switch strings.ToLower(text) {
+	case "true", "false":
+		return token{kind: tokBool, text: strings.ToLower(text), pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentStart(c byte) bool { return isLetter(c) || c == '_' }
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,263 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Parse parses a global query. The accepted grammar is disjunctive normal
+// form ("and" binds tighter than "or"):
+//
+//	query  = "select" path {"," path} "from" ident ["where" conj {"or" conj}]
+//	conj   = pred {"and" pred}
+//	pred   = path op literal
+//	path   = ident {"." ident}
+//	op     = "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//
+// Keywords are case-insensitive. An optional leading range-variable prefix
+// on paths (the "X." of the paper's SQL/X examples) is accepted and
+// stripped when a range variable is declared with "from <class> <var>".
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for fixtures and tests.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: position %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) keyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %q, got %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		q.Targets = append(q.Targets, path)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errf("expected range class name, got %s", p.tok)
+	}
+	q.Range = p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+
+	// Optional range variable: "from Student X".
+	var rangeVar string
+	if p.tok.kind == tokIdent && !p.keyword("where") {
+		rangeVar = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.keyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Disjunctive normal form: conjunctions separated by "or" ("and"
+		// binds tighter).
+		for {
+			var group []int
+			for {
+				pred, err := p.parsePredicate()
+				if err != nil {
+					return nil, err
+				}
+				group = append(group, len(q.Preds))
+				q.Preds = append(q.Preds, pred)
+				if !p.keyword("and") {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			q.Groups = append(q.Groups, group)
+			if !p.keyword("or") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if len(q.Groups) == 1 {
+			q.Groups = nil // the common conjunctive case stays canonical
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %s", p.tok)
+	}
+
+	if rangeVar != "" {
+		stripVar(q, rangeVar)
+	}
+	return q, nil
+}
+
+// stripVar removes a leading range-variable segment from every path.
+func stripVar(q *Query, rangeVar string) {
+	strip := func(p Path) Path {
+		if len(p) > 1 && p[0] == rangeVar {
+			return p[1:]
+		}
+		return p
+	}
+	for i, t := range q.Targets {
+		q.Targets[i] = strip(t)
+	}
+	for i := range q.Preds {
+		q.Preds[i].Path = strip(q.Preds[i].Path)
+	}
+}
+
+// reserved are keywords that cannot appear as path segments.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true,
+	"and": true, "or": true, "not": true,
+}
+
+func (p *parser) parsePath() (Path, error) {
+	if p.tok.kind != tokIdent || reserved[strings.ToLower(p.tok.text)] {
+		return nil, p.errf("expected attribute name, got %s", p.tok)
+	}
+	path := Path{p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent || reserved[strings.ToLower(p.tok.text)] {
+			return nil, p.errf("expected attribute name after '.', got %s", p.tok)
+		}
+		path = append(path, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return path, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	path, err := p.parsePath()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.tok.kind != tokOp {
+		return Predicate{}, p.errf("expected comparison operator, got %s", p.tok)
+	}
+	var op Op
+	switch p.tok.text {
+	case "=":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	}
+	if err := p.advance(); err != nil {
+		return Predicate{}, err
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Path: path, Op: op, Literal: lit}, nil
+}
+
+func (p *parser) parseLiteral() (object.Value, error) {
+	var v object.Value
+	switch p.tok.kind {
+	case tokString:
+		v = object.Str(p.tok.text)
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return object.Value{}, p.errf("bad integer literal %s: %v", p.tok, err)
+		}
+		v = object.Int(n)
+	case tokFloat:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return object.Value{}, p.errf("bad float literal %s: %v", p.tok, err)
+		}
+		v = object.Float(f)
+	case tokBool:
+		v = object.Bool(p.tok.text == "true")
+	case tokIdent:
+		// Bare identifiers are accepted as string literals: the paper
+		// writes "X.advisor.speciality=database".
+		v = object.Str(p.tok.text)
+	default:
+		return object.Value{}, p.errf("expected literal, got %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return object.Value{}, err
+	}
+	return v, nil
+}

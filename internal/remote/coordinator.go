@@ -1,0 +1,190 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+)
+
+// Coordinator executes global queries against a cluster of site servers:
+// the networked counterpart of the exec engine's global processing site.
+type Coordinator struct {
+	// ID names the global processing site.
+	ID object.SiteID
+	// Global is the integrated global schema.
+	Global *schema.Global
+	// Tables is the coordinator's replica of the GOid mapping tables.
+	Tables *gmap.Tables
+	// Sites maps component sites to their server addresses.
+	Sites map[object.SiteID]string
+	// Matcher, when set, makes the coordinator the mapping authority for
+	// Insert: it assigns GOids to new objects and its tables back the
+	// coordinator's certification. Wire Tables to Matcher.Tables().
+	Matcher *isomer.Matcher
+
+	// mu guards Tables (and the Matcher behind it) between concurrent
+	// Query and Insert calls.
+	mu sync.RWMutex
+}
+
+// Ping verifies every site server is reachable.
+func (c *Coordinator) Ping() error {
+	for site, addr := range c.Sites {
+		if _, err := call(addr, Request{Kind: kindPing}); err != nil {
+			return fmt.Errorf("remote: site %s unreachable: %w", site, err)
+		}
+	}
+	return nil
+}
+
+// Query parses, binds and executes a global query under the given strategy
+// across the cluster, returning the answer and the wall-clock time spent.
+func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer, time.Duration, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, 0, err
+	}
+	b, err := query.Bind(q, c.Global)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	start := time.Now()
+	var ans *federation.Answer
+	switch alg {
+	case exec.CA:
+		ans, err = c.runCA(text, b)
+	case exec.BL:
+		ans, err = c.runLocalized(text, b, ModeBL)
+	case exec.PL:
+		ans, err = c.runLocalized(text, b, ModePL)
+	case exec.SBL:
+		ans, err = c.runLocalized(text, b, ModeSBL)
+	case exec.SPL:
+		ans, err = c.runLocalized(text, b, ModeSPL)
+	default:
+		return nil, 0, fmt.Errorf("remote: unsupported algorithm %v", alg)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return ans, time.Since(start), nil
+}
+
+// Insert stores a new object at a component site and maintains the
+// replicated GOid mapping tables: the coordinator (mapping authority)
+// matches the object against existing entities, binds it, and broadcasts
+// the binding delta to every site replica. Distributed atomicity is out of
+// scope (a failed broadcast leaves replicas stale; the paper defers
+// replicated-data management to the underlying mechanism).
+func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid, error) {
+	if c.Matcher == nil {
+		return "", fmt.Errorf("remote: coordinator has no mapping authority (Matcher)")
+	}
+	addr, ok := c.Sites[site]
+	if !ok {
+		return "", fmt.Errorf("remote: no address for site %s", site)
+	}
+	gc := c.Global.GlobalFor(site, o.Class)
+	if gc == nil {
+		return "", fmt.Errorf("remote: class %s@%s is not integrated", o.Class, site)
+	}
+
+	// 1. Store at the owning site.
+	if _, err := call(addr, Request{Kind: kindStore, Store: o}); err != nil {
+		return "", err
+	}
+	// 2. Assign the GOid (entity match by key).
+	c.mu.Lock()
+	goid, err := c.Matcher.Add(site, o.Class, o)
+	c.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	// 3. Broadcast the delta to every replica.
+	delta := &BindDelta{Class: gc.Name, GOid: goid, Site: site, LOid: o.LOid}
+	for peer, peerAddr := range c.Sites {
+		if _, err := call(peerAddr, Request{Kind: kindBind, Bind: delta}); err != nil {
+			return goid, fmt.Errorf("remote: replica at %s is stale: %w", peer, err)
+		}
+	}
+	return goid, nil
+}
+
+// fanOut calls every listed site in parallel and collects responses in
+// site order.
+func (c *Coordinator) fanOut(sites []object.SiteID, req Request) ([]Response, error) {
+	resps := make([]Response, len(sites))
+	errs := make([]error, len(sites))
+	var wg sync.WaitGroup
+	for i, site := range sites {
+		addr, ok := c.Sites[site]
+		if !ok {
+			return nil, fmt.Errorf("remote: no address for site %s", site)
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			resps[i], errs[i] = call(addr, req)
+		}(i, addr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}
+
+func (c *Coordinator) runCA(text string, b *query.Bound) (*federation.Answer, error) {
+	resps, err := c.fanOut(b.InvolvedSites(), Request{Kind: kindRetrieve, Query: text})
+	if err != nil {
+		return nil, err
+	}
+	replies := make([]federation.RetrieveReply, len(resps))
+	for i, r := range resps {
+		replies[i] = r.Retrieve
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	coord := federation.NewCoordinator(c.ID, c.Global, c.Tables)
+	var ans *federation.Answer
+	err = runReal("ca-coordinator", func(p fabric.Proc) {
+		view := coord.Materialize(p, b, replies)
+		ans = coord.EvaluateView(p, b, view)
+	})
+	return ans, err
+}
+
+func (c *Coordinator) runLocalized(text string, b *query.Bound, mode string) (*federation.Answer, error) {
+	resps, err := c.fanOut(b.RootSites(), Request{Kind: kindLocal, Query: text, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	var (
+		results []federation.LocalResult
+		replies []federation.CheckReply
+	)
+	for _, r := range resps {
+		results = append(results, r.Local.Result)
+		replies = append(replies, r.Local.CheckReplies...)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	coord := federation.NewCoordinator(c.ID, c.Global, c.Tables)
+	var ans *federation.Answer
+	err = runReal("certify", func(p fabric.Proc) {
+		ans = coord.Certify(p, b, results, replies)
+	})
+	return ans, err
+}

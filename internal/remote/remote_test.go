@@ -1,0 +1,381 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/tvl"
+)
+
+// startCluster brings up the school federation as three TCP servers on
+// loopback and returns a coordinator wired to them.
+func startCluster(t *testing.T) (*Coordinator, func()) {
+	t.Helper()
+	fx := school.New()
+	sigs := signature.Build(fx.Databases)
+
+	servers := make(map[object.SiteID]*Server, len(fx.Databases))
+	addrs := make(map[object.SiteID]string, len(fx.Databases))
+	for site, db := range fx.Databases {
+		srv, err := NewServer(ServerConfig{
+			DB:         db,
+			Global:     fx.Global,
+			Tables:     fx.Mapping,
+			Signatures: sigs,
+		})
+		if err != nil {
+			t.Fatalf("NewServer(%s): %v", site, err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatalf("Listen(%s): %v", site, err)
+		}
+		servers[site] = srv
+		addrs[site] = srv.Addr()
+	}
+	// Every server learns its peers' addresses.
+	for _, srv := range servers {
+		srv.SetPeers(addrs)
+	}
+
+	coord := &Coordinator{
+		ID:     "G",
+		Global: fx.Global,
+		Tables: fx.Mapping,
+		Sites:  addrs,
+	}
+	cleanup := func() {
+		for _, srv := range servers {
+			if err := srv.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}
+	}
+	return coord, cleanup
+}
+
+func TestClusterPing(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+	if err := coord.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+// TestClusterQ1AllAlgorithms runs the paper's Q1 across the real TCP
+// cluster under every strategy and expects the paper's answer.
+func TestClusterQ1AllAlgorithms(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+
+	for _, alg := range exec.AllAlgorithms() {
+		ans, elapsed, err := coord.Query(school.Q1, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if elapsed <= 0 {
+			t.Errorf("%v: non-positive elapsed time", alg)
+		}
+		if len(ans.Certain) != 1 || ans.Certain[0].GOid != "gs4" {
+			t.Errorf("%v certain = %v", alg, ans.Certain)
+		}
+		if len(ans.Maybe) != 1 || ans.Maybe[0].GOid != "gs2" {
+			t.Errorf("%v maybe = %v", alg, ans.Maybe)
+		}
+		if got := ans.Certain[0].Targets[0]; !got.Equal(object.Str("Hedy")) {
+			t.Errorf("%v certain targets = %v", alg, ans.Certain[0].Targets)
+		}
+	}
+}
+
+func TestClusterAdHocQuery(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+
+	ans, _, err := coord.Query(`select name from Student where age > 25`, exec.BL)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// John (31) and Tony (28) have age > 25 certainly; Hedy and Fanny have
+	// no age anywhere (maybe); Mary is 24 (out).
+	if len(ans.Certain) != 2 {
+		t.Errorf("certain = %v", ans.Certain)
+	}
+	if len(ans.Maybe) != 2 {
+		t.Errorf("maybe = %v", ans.Maybe)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+
+	if _, _, err := coord.Query(`select nope from Student`, exec.BL); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, _, err := coord.Query(`select * broken`, exec.BL); err == nil {
+		t.Error("unparsable query accepted")
+	}
+	if _, _, err := coord.Query(school.Q1, exec.Algorithm(42)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+
+	// Unknown site address.
+	bad := &Coordinator{ID: "G", Global: coord.Global, Tables: coord.Tables,
+		Sites: map[object.SiteID]string{"DB1": coord.Sites["DB1"]}}
+	if _, _, err := bad.Query(school.Q1, exec.BL); err == nil {
+		t.Error("missing site address accepted")
+	}
+
+	// Unreachable server.
+	down := &Coordinator{ID: "G", Global: coord.Global, Tables: coord.Tables,
+		Sites: map[object.SiteID]string{
+			"DB1": "127.0.0.1:1", "DB2": "127.0.0.1:1", "DB3": "127.0.0.1:1",
+		}}
+	if err := down.Ping(); err == nil {
+		t.Error("unreachable cluster pinged successfully")
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+	addr := coord.Sites["DB1"]
+
+	if _, err := call(addr, Request{Kind: "nonsense"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown request kind") {
+		t.Errorf("bad kind: %v", err)
+	}
+	if _, err := call(addr, Request{Kind: kindLocal, Query: school.Q1, Mode: "XX"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown local mode") {
+		t.Errorf("bad mode: %v", err)
+	}
+	if _, err := call(addr, Request{Kind: kindLocal, Query: "select", Mode: ModeBL}); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestNewServerConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+// TestGobRoundTripMessages pins the wire encodability of every protocol
+// payload, including object values inside rows.
+func TestGobRoundTripMessages(t *testing.T) {
+	resp := Response{
+		Local: LocalReply{
+			Result: federation.LocalResult{
+				Site: "DB1",
+				Rows: []federation.LocalRow{{
+					LOid:     "s1",
+					GOid:     "gs1",
+					Targets:  []object.Value{object.Str("John"), object.Null(), object.GRef("gt1")},
+					Verdicts: []tvl.Truth{tvl.True, tvl.Unknown},
+				}},
+			},
+			CheckReplies: []federation.CheckReply{{
+				Site: "DB2",
+				Verdicts: []federation.CheckVerdict{
+					{ItemGOid: "gt1", SourceIdx: 1, SuffixLen: 1, Verdict: tvl.False},
+				},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got Response
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	row := got.Local.Result.Rows[0]
+	if !row.Targets[0].Equal(object.Str("John")) || !row.Targets[1].IsNull() ||
+		row.Targets[2].RefGOid() != "gt1" {
+		t.Errorf("targets corrupted: %v", row.Targets)
+	}
+	if got.Local.CheckReplies[0].Verdicts[0].Verdict != tvl.False {
+		t.Error("verdict corrupted")
+	}
+}
+
+// TestClusterInsertMaintainsReplicas exercises the write path: inserting
+// Haley's missing teacher record at DB2 (where speciality is stored) must
+// update every site's mapping-table replica, so the next run of Q1 resolves
+// Tony's advisor.speciality predicate through the new assistant object —
+// his maybe result keeps only the address predicate unknown.
+func TestClusterInsertMaintainsReplicas(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+
+	// Make the coordinator the mapping authority over the school tables.
+	fx := school.New()
+	matcher := isomer.NewMatcher(coord.Global)
+	if err := matcher.Adopt(fx.Databases, coord.Tables.Clone()); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	coord.Matcher = matcher
+	coord.Tables = matcher.Tables()
+
+	// Before: Tony is maybe with both address and speciality unknown.
+	ans, _, err := coord.Query(school.Q1, exec.BL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Maybe) != 1 || len(ans.Maybe[0].Unknown) != 2 {
+		t.Fatalf("before insert: %+v", ans.Maybe)
+	}
+
+	// Insert Haley's record at DB2 — an isomeric object holding the
+	// missing speciality.
+	goid, err := coord.Insert("DB2", object.New("t9'", "Teacher", map[string]object.Value{
+		"name": object.Str("Haley"), "speciality": object.Str("database"),
+	}))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if goid != "gt3" {
+		t.Errorf("Haley's record matched %s, want gt3", goid)
+	}
+
+	// After: the speciality predicate certifies through the new assistant;
+	// only the address predicate stays unknown.
+	ans, _, err = coord.Query(school.Q1, exec.BL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Maybe) != 1 || len(ans.Maybe[0].Unknown) != 1 || ans.Maybe[0].Unknown[0] != 0 {
+		t.Fatalf("after insert: %+v", ans.Maybe)
+	}
+	// CA over the cluster agrees.
+	ansCA, _, err := coord.Query(school.Q1, exec.CA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ansCA.Maybe) != 1 || len(ansCA.Maybe[0].Unknown) != 1 {
+		t.Fatalf("CA after insert: %+v", ansCA.Maybe)
+	}
+}
+
+// TestClusterInsertNewEntity: an object whose key matches nothing becomes a
+// fresh entity with a generated GOid that avoids existing names.
+func TestClusterInsertNewEntity(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+	fx := school.New()
+	matcher := isomer.NewMatcher(coord.Global)
+	if err := matcher.Adopt(fx.Databases, coord.Tables.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	coord.Matcher = matcher
+	coord.Tables = matcher.Tables()
+
+	goid, err := coord.Insert("DB3", object.New("tX''", "Teacher", map[string]object.Value{
+		"name": object.Str("Newton"), "department": object.Ref("d3''"),
+	}))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if goid == "" || goid == "gt1" || goid == "gt2" || goid == "gt3" || goid == "gt4" {
+		t.Errorf("new entity GOid = %s", goid)
+	}
+}
+
+func TestClusterInsertErrors(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+
+	o := object.New("x", "Teacher", map[string]object.Value{"name": object.Str("X")})
+	// No matcher configured.
+	if _, err := coord.Insert("DB1", o); err == nil {
+		t.Error("insert without matcher accepted")
+	}
+	fx := school.New()
+	matcher := isomer.NewMatcher(coord.Global)
+	if err := matcher.Adopt(fx.Databases, coord.Tables.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	coord.Matcher = matcher
+	// Unknown site.
+	if _, err := coord.Insert("DB9", o); err == nil {
+		t.Error("unknown site accepted")
+	}
+	// Class not integrated at the site (DB3 has no Student).
+	if _, err := coord.Insert("DB3", object.New("sX", "Student", nil)); err == nil {
+		t.Error("non-constituent class accepted")
+	}
+	// Invalid object (duplicate LOid at DB1).
+	if _, err := coord.Insert("DB1", object.New("t1", "Teacher",
+		map[string]object.Value{"name": object.Str("Dup")})); err == nil {
+		t.Error("duplicate LOid accepted")
+	}
+}
+
+// TestClusterConcurrentQueriesAndInserts hammers the cluster with parallel
+// queries while inserts mutate the databases and replicas — the server's
+// state lock must keep every request consistent (run with -race).
+func TestClusterConcurrentQueriesAndInserts(t *testing.T) {
+	coord, cleanup := startCluster(t)
+	defer cleanup()
+	fx := school.New()
+	matcher := isomer.NewMatcher(coord.Global)
+	if err := matcher.Adopt(fx.Databases, coord.Tables.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	coord.Matcher = matcher
+	coord.Tables = matcher.Tables()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				for _, alg := range []exec.Algorithm{exec.CA, exec.BL, exec.PL} {
+					if _, _, err := coord.Query(school.Q1, alg); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 6; j++ {
+			o := object.New(object.LOid(fmt.Sprintf("tnew%d''", j)), "Teacher",
+				map[string]object.Value{"name": object.Str(fmt.Sprintf("NewTeacher%d", j))})
+			if _, err := coord.Insert("DB3", o); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent op failed: %v", err)
+	}
+
+	// The federation still answers Q1 correctly afterwards.
+	ans, _, err := coord.Query(school.Q1, exec.BL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Certain) != 1 || ans.Certain[0].GOid != "gs4" {
+		t.Errorf("post-stress answer = %v", ans.Certain)
+	}
+}

@@ -1,0 +1,354 @@
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/store"
+)
+
+// ServerConfig assembles a component-database site server.
+type ServerConfig struct {
+	// DB is this site's component database.
+	DB *store.Database
+	// Global is the integrated global schema (replicated to every site).
+	Global *schema.Global
+	// Tables is the site's replica of the GOid mapping tables.
+	Tables *gmap.Tables
+	// Peers maps the other component sites to their network addresses,
+	// used to dispatch assistant-object checks.
+	Peers map[object.SiteID]string
+	// Signatures enables the signature-assisted modes when non-nil.
+	Signatures *signature.Index
+}
+
+// Server serves one component database over TCP.
+type Server struct {
+	cfg  ServerConfig
+	site *federation.Site
+	ln   net.Listener
+	wg   sync.WaitGroup
+
+	// stateMu guards the component database and the mapping-table replica
+	// against writes (store/bind requests) concurrent with query
+	// processing.
+	stateMu sync.RWMutex
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer wraps a component database for network duty. The mapping tables
+// are cloned: each server maintains its own replica, kept current through
+// bind deltas.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.DB == nil || cfg.Global == nil || cfg.Tables == nil {
+		return nil, errors.New("remote: incomplete server config")
+	}
+	cfg.Tables = cfg.Tables.Clone()
+	return &Server{
+		cfg:  cfg,
+		site: federation.NewSite(cfg.DB, cfg.Global, cfg.Tables),
+	}, nil
+}
+
+// Listen binds the address and starts serving until Close. Pass
+// "127.0.0.1:0" to let the kernel pick a port (see Addr).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("remote: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// SetPeers installs the peer address map once every server in the cluster
+// has been started (addresses are typically known only after Listen).
+func (s *Server) SetPeers(peers map[object.SiteID]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make(map[object.SiteID]string, len(peers))
+	for site, addr := range peers {
+		if site != s.Site() {
+			cp[site] = addr
+		}
+	}
+	s.cfg.Peers = cp
+}
+
+func (s *Server) peerAddr(site object.SiteID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr, ok := s.cfg.Peers[site]
+	return addr, ok
+}
+
+// Addr returns the bound address, valid after Listen.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Site returns the served site's identifier.
+func (s *Server) Site() object.SiteID { return s.cfg.DB.Site() }
+
+// Close stops accepting and waits for in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	var req Request
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return // client went away or sent garbage; nothing to answer
+	}
+	resp := s.dispatch(req)
+	_ = gob.NewEncoder(conn).Encode(resp) // best effort; client handles EOF
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Kind {
+	case kindPing:
+		return Response{}
+	case kindRetrieve:
+		s.stateMu.RLock()
+		defer s.stateMu.RUnlock()
+		return s.handleRetrieve(req)
+	case kindLocal:
+		s.stateMu.RLock()
+		defer s.stateMu.RUnlock()
+		return s.handleLocal(req)
+	case kindCheck:
+		s.stateMu.RLock()
+		defer s.stateMu.RUnlock()
+		return s.handleCheck(req)
+	case kindStore:
+		s.stateMu.Lock()
+		defer s.stateMu.Unlock()
+		return s.handleStore(req)
+	case kindBind:
+		s.stateMu.Lock()
+		defer s.stateMu.Unlock()
+		return s.handleBind(req)
+	default:
+		return Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
+	}
+}
+
+// handleStore inserts an object into the local component database.
+func (s *Server) handleStore(req Request) Response {
+	if req.Store == nil {
+		return Response{Err: "store request without object"}
+	}
+	if err := s.cfg.DB.Insert(req.Store); err != nil {
+		return Response{Err: err.Error()}
+	}
+	return Response{}
+}
+
+// handleBind applies a mapping-table delta to this site's replica.
+func (s *Server) handleBind(req Request) Response {
+	if req.Bind == nil {
+		return Response{Err: "bind request without delta"}
+	}
+	d := req.Bind
+	if err := s.cfg.Tables.Table(d.Class).Bind(d.GOid, d.Site, d.LOid); err != nil {
+		return Response{Err: err.Error()}
+	}
+	return Response{}
+}
+
+// bind parses and binds a query text against the site's global schema.
+func (s *Server) bind(text string) (*query.Bound, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return query.Bind(q, s.cfg.Global)
+}
+
+// runReal executes a federation operation on the real fabric.
+func runReal(name string, fn func(fabric.Proc)) error {
+	_, err := fabric.NewReal(fabric.DefaultRates()).Run(name, fn)
+	return err
+}
+
+func (s *Server) handleRetrieve(req Request) Response {
+	b, err := s.bind(req.Query)
+	if err != nil {
+		return Response{Err: err.Error()}
+	}
+	var reply federation.RetrieveReply
+	if err := runReal("retrieve", func(p fabric.Proc) {
+		reply = s.site.Retrieve(p, b)
+	}); err != nil {
+		return Response{Err: err.Error()}
+	}
+	return Response{Retrieve: reply}
+}
+
+func (s *Server) handleCheck(req Request) Response {
+	var reply federation.CheckReply
+	if err := runReal("check", func(p fabric.Proc) {
+		reply = s.site.CheckAssistants(p, req.Items)
+	}); err != nil {
+		return Response{Err: err.Error()}
+	}
+	return Response{Check: reply}
+}
+
+// handleLocal runs the site flow of a localized strategy. Under the basic
+// modes the local predicates are evaluated before any check is dispatched;
+// under the parallel modes the checks travel to the peers while the local
+// predicates are still being evaluated.
+func (s *Server) handleLocal(req Request) Response {
+	b, err := s.bind(req.Query)
+	if err != nil {
+		return Response{Err: err.Error()}
+	}
+	var sigs *signature.Index
+	switch req.Mode {
+	case ModeBL, ModePL:
+	case ModeSBL, ModeSPL:
+		if s.cfg.Signatures == nil {
+			return Response{Err: "signature mode requested but no signature index configured"}
+		}
+		sigs = s.cfg.Signatures
+	default:
+		return Response{Err: fmt.Sprintf("unknown local mode %q", req.Mode)}
+	}
+
+	var reply LocalReply
+	switch req.Mode {
+	case ModeBL, ModeSBL:
+		var checks map[object.SiteID][]federation.CheckItem
+		if err := runReal("local-bl", func(p fabric.Proc) {
+			reply.Result, checks = s.site.EvalLocalBasic(p, b, sigs)
+		}); err != nil {
+			return Response{Err: err.Error()}
+		}
+		replies, err := s.dispatchChecks(checks)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		reply.CheckReplies = replies
+	case ModePL, ModeSPL:
+		var (
+			nav    *federation.Navigation
+			checks map[object.SiteID][]federation.CheckItem
+		)
+		if err := runReal("local-pl-o", func(p fabric.Proc) {
+			nav, checks = s.site.NavigateAll(p, b, sigs)
+		}); err != nil {
+			return Response{Err: err.Error()}
+		}
+		// Phase O's checks proceed at the peers while phase P runs here.
+		type checkOutcome struct {
+			replies []federation.CheckReply
+			err     error
+		}
+		done := make(chan checkOutcome, 1)
+		go func() {
+			replies, err := s.dispatchChecks(checks)
+			done <- checkOutcome{replies: replies, err: err}
+		}()
+		if err := runReal("local-pl-p", func(p fabric.Proc) {
+			reply.Result = s.site.EvalNavigated(p, b, nav)
+		}); err != nil {
+			<-done // do not leak the dispatcher
+			return Response{Err: err.Error()}
+		}
+		outcome := <-done
+		if outcome.err != nil {
+			return Response{Err: outcome.err.Error()}
+		}
+		reply.CheckReplies = outcome.replies
+	}
+	return Response{Local: reply}
+}
+
+// dispatchChecks sends the check items to their target peers in parallel
+// and collects the verdicts.
+func (s *Server) dispatchChecks(checks map[object.SiteID][]federation.CheckItem) ([]federation.CheckReply, error) {
+	targets := make([]object.SiteID, 0, len(checks))
+	for t := range checks {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	replies := make([]federation.CheckReply, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		addr, ok := s.peerAddr(target)
+		if !ok {
+			return nil, fmt.Errorf("no address for peer site %s", target)
+		}
+		wg.Add(1)
+		go func(i int, addr string, items []federation.CheckItem) {
+			defer wg.Done()
+			resp, err := call(addr, Request{Kind: kindCheck, Items: items})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			replies[i] = resp.Check
+		}(i, addr, checks[target])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return replies, nil
+}

@@ -1,0 +1,114 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// randomFederationSchemas builds nSites component schemas for one class,
+// each holding a random subset of a global attribute pool (every attribute
+// held somewhere).
+func randomFederationSchemas(rng *rand.Rand, nSites, nAttrs int) (map[object.SiteID]*Schema, []Correspondence, [][]bool) {
+	held := make([][]bool, nSites)
+	for i := range held {
+		held[i] = make([]bool, nAttrs)
+		for j := range held[i] {
+			held[i][j] = rng.Intn(2) == 0
+		}
+	}
+	for j := 0; j < nAttrs; j++ {
+		covered := false
+		for i := range held {
+			covered = covered || held[i][j]
+		}
+		if !covered {
+			held[rng.Intn(nSites)][j] = true
+		}
+	}
+
+	schemas := make(map[object.SiteID]*Schema, nSites)
+	corr := Correspondence{GlobalClass: "C"}
+	for i := 0; i < nSites; i++ {
+		site := object.SiteID(fmt.Sprintf("DB%d", i+1))
+		s := NewSchema(site)
+		var attrs []Attribute
+		for j := 0; j < nAttrs; j++ {
+			if held[i][j] {
+				attrs = append(attrs, Prim(fmt.Sprintf("a%d", j), object.KindInt))
+			}
+		}
+		// Every constituent needs at least one attribute.
+		if len(attrs) == 0 {
+			attrs = append(attrs, Prim("a0", object.KindInt))
+			held[i][0] = true
+		}
+		s.MustAddClass(MustClass("C", attrs))
+		schemas[site] = s
+		corr.Members = append(corr.Members, Constituent{Site: site, Class: "C"})
+	}
+	return schemas, []Correspondence{corr}, held
+}
+
+// TestIntegrateUnionComplementProperty: for random attribute distributions,
+// the global class is the union of the constituents' attributes, and each
+// constituent's missing attributes are exactly the complement of what it
+// holds.
+func TestIntegrateUnionComplementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSites := 2 + rng.Intn(4)
+		nAttrs := 1 + rng.Intn(6)
+		schemas, corrs, held := randomFederationSchemas(rng, nSites, nAttrs)
+
+		g, err := Integrate(schemas, corrs)
+		if err != nil {
+			return false
+		}
+		gc := g.Class("C")
+
+		// Union: every held attribute appears globally.
+		heldAnywhere := map[string]bool{}
+		for i := range held {
+			for j, h := range held[i] {
+				if h {
+					heldAnywhere[fmt.Sprintf("a%d", j)] = true
+				}
+			}
+		}
+		if len(gc.Attrs) != len(heldAnywhere) {
+			return false
+		}
+		for a := range heldAnywhere {
+			if !gc.Has(a) {
+				return false
+			}
+		}
+
+		// Complement: Holds ⊕ MissingAttrs per site.
+		for i := range held {
+			site := object.SiteID(fmt.Sprintf("DB%d", i+1))
+			missing := map[string]bool{}
+			for _, m := range gc.MissingAttrs(site) {
+				missing[m] = true
+			}
+			for _, a := range gc.AttrNames() {
+				if gc.Holds(site, a) == missing[a] {
+					return false
+				}
+			}
+			if len(missing)+countHeld(schemas[site].Class("C")) != len(gc.Attrs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countHeld(c *Class) int { return len(c.Attrs) }

@@ -1,0 +1,237 @@
+// Package school reproduces the paper's running example (Figures 1–5): three
+// component object databases DB1, DB2 and DB3 storing personal information
+// of the same school, their integration into a global schema, the object
+// instances, and the GOid mapping tables.
+//
+// The fixture is used by tests, benchmarks and examples; the expected
+// answers for the paper's query Q1 are a certain result (Hedy, Kelly) and a
+// maybe result (Tony, Haley).
+package school
+
+import (
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/store"
+)
+
+// Q1 is the paper's example query (Figure 3(a)) in the SQL/X-like syntax of
+// package query: the students living in Taipei whose advisors are teachers
+// in the CS department and specialize in database.
+const Q1 = `select name, advisor.name from Student ` +
+	`where address.city = "Taipei" and advisor.speciality = "database" ` +
+	`and advisor.department.name = "CS"`
+
+// Fixture bundles the whole example federation.
+type Fixture struct {
+	Schemas   map[object.SiteID]*schema.Schema
+	Global    *schema.Global
+	Databases map[object.SiteID]*store.Database
+	Mapping   *gmap.Tables
+}
+
+// Sites are the component database sites of the example.
+var Sites = []object.SiteID{"DB1", "DB2", "DB3"}
+
+// Schemas builds the three component schemas of Figure 1.
+func Schemas() map[object.SiteID]*schema.Schema {
+	db1 := schema.NewSchema("DB1")
+	db1.MustAddClass(schema.MustClass("Student", []schema.Attribute{
+		schema.Prim("s-no", object.KindInt),
+		schema.Prim("name", object.KindString),
+		schema.Prim("age", object.KindInt),
+		schema.Complex("advisor", "Teacher"),
+		schema.Prim("sex", object.KindString),
+	}, "s-no"))
+	db1.MustAddClass(schema.MustClass("Teacher", []schema.Attribute{
+		schema.Prim("name", object.KindString),
+		schema.Complex("department", "Department"),
+	}, "name"))
+	db1.MustAddClass(schema.MustClass("Department", []schema.Attribute{
+		schema.Prim("name", object.KindString),
+	}, "name"))
+
+	db2 := schema.NewSchema("DB2")
+	db2.MustAddClass(schema.MustClass("Student", []schema.Attribute{
+		schema.Prim("s-no", object.KindInt),
+		schema.Prim("name", object.KindString),
+		schema.Prim("sex", object.KindString),
+		schema.Complex("address", "Address"),
+		schema.Complex("advisor", "Teacher"),
+	}, "s-no"))
+	db2.MustAddClass(schema.MustClass("Teacher", []schema.Attribute{
+		schema.Prim("name", object.KindString),
+		schema.Prim("speciality", object.KindString),
+	}, "name"))
+	db2.MustAddClass(schema.MustClass("Address", []schema.Attribute{
+		schema.Prim("city", object.KindString),
+		schema.Prim("street", object.KindString),
+		schema.Prim("zipcode", object.KindInt),
+	}, "city", "street"))
+
+	db3 := schema.NewSchema("DB3")
+	db3.MustAddClass(schema.MustClass("Department", []schema.Attribute{
+		schema.Prim("name", object.KindString),
+		schema.Prim("location", object.KindString),
+	}, "name"))
+	db3.MustAddClass(schema.MustClass("Teacher", []schema.Attribute{
+		schema.Prim("name", object.KindString),
+		schema.Complex("department", "Department"),
+	}, "name"))
+
+	return map[object.SiteID]*schema.Schema{"DB1": db1, "DB2": db2, "DB3": db3}
+}
+
+// Correspondences declares which constituent classes form each global class
+// (the Figure 2 integration).
+func Correspondences() []schema.Correspondence {
+	return []schema.Correspondence{
+		{GlobalClass: "Student", Members: []schema.Constituent{
+			{Site: "DB1", Class: "Student"}, {Site: "DB2", Class: "Student"},
+		}},
+		{GlobalClass: "Teacher", Members: []schema.Constituent{
+			{Site: "DB1", Class: "Teacher"}, {Site: "DB2", Class: "Teacher"}, {Site: "DB3", Class: "Teacher"},
+		}},
+		{GlobalClass: "Department", Members: []schema.Constituent{
+			{Site: "DB1", Class: "Department"}, {Site: "DB3", Class: "Department"},
+		}},
+		{GlobalClass: "Address", Members: []schema.Constituent{
+			{Site: "DB2", Class: "Address"},
+		}},
+	}
+}
+
+// Databases builds fresh copies of the Figure 4 object instances.
+func Databases(schemas map[object.SiteID]*schema.Schema) map[object.SiteID]*store.Database {
+	db1 := store.MustNewDatabase(schemas["DB1"])
+	db1.MustInsert(object.New("d1", "Department", map[string]object.Value{
+		"name": object.Str("CS"),
+	}))
+	db1.MustInsert(object.New("d2", "Department", map[string]object.Value{
+		"name": object.Str("EE"),
+	}))
+	db1.MustInsert(object.New("t1", "Teacher", map[string]object.Value{
+		"name": object.Str("Jeffery"), "department": object.Ref("d1"),
+	}))
+	db1.MustInsert(object.New("t2", "Teacher", map[string]object.Value{
+		"name": object.Str("Abel"), // department is null (Figure 4(a))
+	}))
+	db1.MustInsert(object.New("t3", "Teacher", map[string]object.Value{
+		"name": object.Str("Haley"), "department": object.Ref("d1"),
+	}))
+	db1.MustInsert(object.New("s1", "Student", map[string]object.Value{
+		"s-no": object.Int(804301), "name": object.Str("John"), "age": object.Int(31),
+		"advisor": object.Ref("t1"), // sex is null
+	}))
+	db1.MustInsert(object.New("s2", "Student", map[string]object.Value{
+		"s-no": object.Int(798302), "name": object.Str("Tony"), "age": object.Int(28),
+		"advisor": object.Ref("t3"), "sex": object.Str("male"),
+	}))
+	db1.MustInsert(object.New("s3", "Student", map[string]object.Value{
+		"s-no": object.Int(808301), "name": object.Str("Mary"), "age": object.Int(24),
+		"advisor": object.Ref("t2"), "sex": object.Str("female"),
+	}))
+
+	db2 := store.MustNewDatabase(schemas["DB2"])
+	db2.MustInsert(object.New("a1'", "Address", map[string]object.Value{
+		"city": object.Str("Taipei"), "street": object.Str("Park"), "zipcode": object.Int(100),
+	}))
+	db2.MustInsert(object.New("a2'", "Address", map[string]object.Value{
+		"city": object.Str("HsinChu"), "street": object.Str("Horber"), "zipcode": object.Int(800),
+	}))
+	db2.MustInsert(object.New("t1'", "Teacher", map[string]object.Value{
+		"name": object.Str("Kelly"), "speciality": object.Str("database"),
+	}))
+	db2.MustInsert(object.New("t2'", "Teacher", map[string]object.Value{
+		"name": object.Str("Jeffery"), "speciality": object.Str("network"),
+	}))
+	db2.MustInsert(object.New("s1'", "Student", map[string]object.Value{
+		"s-no": object.Int(762315), "name": object.Str("Hedy"), "sex": object.Str("female"),
+		"address": object.Ref("a1'"), "advisor": object.Ref("t1'"),
+	}))
+	db2.MustInsert(object.New("s2'", "Student", map[string]object.Value{
+		"s-no": object.Int(804301), "name": object.Str("John"), "sex": object.Str("male"),
+		"address": object.Ref("a2'"), "advisor": object.Ref("t2'"),
+	}))
+	db2.MustInsert(object.New("s3'", "Student", map[string]object.Value{
+		"s-no": object.Int(828307), "name": object.Str("Fanny"), "sex": object.Str("female"),
+		"address": object.Ref("a1'"), "advisor": object.Ref("t2'"),
+	}))
+
+	db3 := store.MustNewDatabase(schemas["DB3"])
+	db3.MustInsert(object.New("d1''", "Department", map[string]object.Value{
+		"name": object.Str("EE"), "location": object.Str("building E"),
+	}))
+	db3.MustInsert(object.New("d2''", "Department", map[string]object.Value{
+		"name": object.Str("CS"), // location is null (Figure 4(c))
+	}))
+	db3.MustInsert(object.New("d3''", "Department", map[string]object.Value{
+		"name": object.Str("PH"), "location": object.Str("building D"),
+	}))
+	db3.MustInsert(object.New("t1''", "Teacher", map[string]object.Value{
+		"name": object.Str("Abel"), "department": object.Ref("d1''"),
+	}))
+	db3.MustInsert(object.New("t2''", "Teacher", map[string]object.Value{
+		"name": object.Str("Kelly"), "department": object.Ref("d2''"),
+	}))
+
+	return map[object.SiteID]*store.Database{"DB1": db1, "DB2": db2, "DB3": db3}
+}
+
+// Mapping builds the Figure 5 GOid mapping tables.
+func Mapping() *gmap.Tables {
+	ts := gmap.NewTables()
+
+	st := ts.Table("Student")
+	st.MustBind("gs1", "DB1", "s1")
+	st.MustBind("gs1", "DB2", "s2'")
+	st.MustBind("gs2", "DB1", "s2")
+	st.MustBind("gs3", "DB1", "s3")
+	st.MustBind("gs4", "DB2", "s1'")
+	st.MustBind("gs5", "DB2", "s3'")
+
+	te := ts.Table("Teacher")
+	te.MustBind("gt1", "DB1", "t1")
+	te.MustBind("gt1", "DB2", "t2'")
+	te.MustBind("gt2", "DB1", "t2")
+	te.MustBind("gt2", "DB3", "t1''")
+	te.MustBind("gt3", "DB1", "t3")
+	te.MustBind("gt4", "DB2", "t1'")
+	te.MustBind("gt4", "DB3", "t2''")
+
+	de := ts.Table("Department")
+	de.MustBind("gd1", "DB1", "d1")
+	de.MustBind("gd1", "DB3", "d2''")
+	de.MustBind("gd2", "DB1", "d2")
+	de.MustBind("gd2", "DB3", "d1''")
+	de.MustBind("gd3", "DB3", "d3''")
+
+	ad := ts.Table("Address")
+	ad.MustBind("ga1", "DB2", "a1'")
+	ad.MustBind("ga2", "DB2", "a2'")
+
+	return ts
+}
+
+// New assembles the full fixture: schemas, integrated global schema,
+// databases and mapping tables. It panics on internal inconsistency, which
+// would be a bug in the fixture itself.
+func New() *Fixture {
+	schemas := Schemas()
+	g, err := schema.Integrate(schemas, Correspondences())
+	if err != nil {
+		panic(err)
+	}
+	dbs := Databases(schemas)
+	for _, db := range dbs {
+		if err := db.CheckRefs(); err != nil {
+			panic(err)
+		}
+	}
+	return &Fixture{
+		Schemas:   schemas,
+		Global:    g,
+		Databases: dbs,
+		Mapping:   Mapping(),
+	}
+}

@@ -1,0 +1,74 @@
+package school
+
+import (
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+func TestFixtureAssembles(t *testing.T) {
+	fx := New()
+	if fx.Global == nil || fx.Mapping == nil {
+		t.Fatal("incomplete fixture")
+	}
+	if len(fx.Databases) != 3 {
+		t.Fatalf("databases = %d", len(fx.Databases))
+	}
+}
+
+// TestFigure4ObjectCounts pins the instance population of Figure 4.
+func TestFigure4ObjectCounts(t *testing.T) {
+	fx := New()
+	counts := map[object.SiteID]map[string]int{
+		"DB1": {"Student": 3, "Teacher": 3, "Department": 2},
+		"DB2": {"Student": 3, "Teacher": 2, "Address": 2},
+		"DB3": {"Teacher": 2, "Department": 3},
+	}
+	for site, classes := range counts {
+		db := fx.Databases[site]
+		for class, want := range classes {
+			if got := db.Extent(class).Len(); got != want {
+				t.Errorf("%s@%s: %d objects, want %d", class, site, got, want)
+			}
+		}
+	}
+}
+
+// TestFigure5MappingShape pins the mapping-table population of Figure 5.
+func TestFigure5MappingShape(t *testing.T) {
+	fx := New()
+	want := map[string][2]int{ // class -> {entities, bindings}
+		"Student":    {5, 6},
+		"Teacher":    {4, 7},
+		"Department": {3, 5},
+		"Address":    {2, 2},
+	}
+	for class, w := range want {
+		tab := fx.Mapping.Table(class)
+		if tab.Len() != w[0] || tab.Bindings() != w[1] {
+			t.Errorf("%s: %d entities / %d bindings, want %d / %d",
+				class, tab.Len(), tab.Bindings(), w[0], w[1])
+		}
+	}
+}
+
+// TestPaperNulls pins the null values the paper's narrative depends on:
+// s1's sex, t2's department, d2”\'s location.
+func TestPaperNulls(t *testing.T) {
+	fx := New()
+	if !fx.Databases["DB1"].Extent("Student").Get("s1").Attr("sex").IsNull() {
+		t.Error("s1.sex should be null")
+	}
+	if !fx.Databases["DB1"].Extent("Teacher").Get("t2").Attr("department").IsNull() {
+		t.Error("t2.department should be null")
+	}
+	if !fx.Databases["DB3"].Extent("Department").Get("d2''").Attr("location").IsNull() {
+		t.Error("d2''.location should be null")
+	}
+}
+
+func TestQ1Constant(t *testing.T) {
+	if Q1 == "" || len(Sites) != 3 {
+		t.Error("fixture constants wrong")
+	}
+}

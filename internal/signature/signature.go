@@ -1,0 +1,130 @@
+// Package signature implements object signatures, the auxiliary structure
+// the paper proposes (Section 5) for reducing the data transfer of the
+// localized approaches: a compact hash summary of every stored object's
+// primitive attribute values, replicated alongside the GOid mapping tables.
+//
+// Before a site dispatches an assistant-object check for a single-step
+// equality predicate, it probes the assistant's signature. The probe has
+// one-sided error: when it proves the assistant's value both present and
+// different from the literal, the check verdict is false without any
+// network traffic; otherwise (possible match, or possibly null) the real
+// check is dispatched. Signatures therefore never change answers, only
+// costs — the paper's R_ss is the probability a probe keeps an assistant.
+package signature
+
+import (
+	"hash/fnv"
+
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/store"
+)
+
+// Size is the signature size in bytes (Table 1's S_s).
+const Size = object.SignatureWireSize
+
+// Signature is a Bloom-style summary of an object's primitive attribute
+// values. Null values are summarized under an explicit null marker, so a
+// probe can also rule out null (needed to synthesize a definitive false
+// verdict rather than an unknown one).
+type Signature [Size]byte
+
+// Compute builds the signature of an object of the given class: every
+// declared single-valued primitive attribute contributes two bits derived
+// from the attribute name and its value — the null value included.
+func Compute(class *schema.Class, o *object.Object) Signature {
+	var s Signature
+	for _, a := range class.Attrs {
+		if a.IsComplex() || a.MultiValued {
+			continue
+		}
+		h1, h2 := hashAttr(a.Name, o.Attr(a.Name))
+		s.set(h1)
+		s.set(h2)
+	}
+	return s
+}
+
+func (s *Signature) set(h uint32) {
+	bit := h % (Size * 8)
+	s[bit/8] |= 1 << (bit % 8)
+}
+
+func (s Signature) has(h uint32) bool {
+	bit := h % (Size * 8)
+	return s[bit/8]&(1<<(bit%8)) != 0
+}
+
+// MightEqual reports whether the summarized object's attribute could hold
+// the value. False is definitive (the stored value differs); true may be a
+// false positive.
+func (s Signature) MightEqual(attr string, v object.Value) bool {
+	h1, h2 := hashAttr(attr, v)
+	return s.has(h1) && s.has(h2)
+}
+
+// MightBeNull reports whether the summarized object's attribute could be
+// null. False is definitive; true may be a false positive.
+func (s Signature) MightBeNull(attr string) bool {
+	return s.MightEqual(attr, object.Null())
+}
+
+// RulesOutEquality reports whether the probe proves the attribute value is
+// present and differs from v — the one case a false check verdict can be
+// synthesized locally.
+func (s Signature) RulesOutEquality(attr string, v object.Value) bool {
+	return !s.MightEqual(attr, v) && !s.MightBeNull(attr)
+}
+
+func hashAttr(attr string, v object.Value) (uint32, uint32) {
+	h := fnv.New64a()
+	h.Write([]byte(attr))              //nolint:errcheck // fnv never fails
+	h.Write([]byte{0})                 //nolint:errcheck
+	h.Write([]byte(v.Kind().String())) //nolint:errcheck
+	h.Write([]byte{0})                 //nolint:errcheck
+	h.Write([]byte(v.String()))        //nolint:errcheck
+	sum := h.Sum64()
+	return uint32(sum), uint32(sum >> 32)
+}
+
+// Index is the replicated signature store: the signature of every object of
+// every component database, keyed by site and LOid.
+type Index struct {
+	bySite map[object.SiteID]map[object.LOid]Signature
+}
+
+// Build computes the signature index over a federation's databases.
+func Build(dbs map[object.SiteID]*store.Database) *Index {
+	ix := &Index{bySite: make(map[object.SiteID]map[object.LOid]Signature, len(dbs))}
+	for site, db := range dbs {
+		m := make(map[object.LOid]Signature, db.Len())
+		for _, class := range db.Schema().ClassNames() {
+			ext := db.Extent(class)
+			ext.Scan(func(o *object.Object) bool {
+				m[o.LOid] = Compute(ext.Class(), o)
+				return true
+			})
+		}
+		ix.bySite[site] = m
+	}
+	return ix
+}
+
+// Lookup returns the signature of the object stored at (site, loid).
+func (ix *Index) Lookup(site object.SiteID, loid object.LOid) (Signature, bool) {
+	s, ok := ix.bySite[site][loid]
+	return s, ok
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int {
+	n := 0
+	for _, m := range ix.bySite {
+		n += len(m)
+	}
+	return n
+}
+
+// Bytes returns the modeled storage size of the index (one signature per
+// object), the replication cost driver.
+func (ix *Index) Bytes() int { return ix.Len() * Size }

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/workload"
+)
+
+// tinyConfig keeps experiment tests fast while preserving the qualitative
+// shapes (the CLI and benchmarks run the full-scale versions).
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Samples = 3
+	cfg.Ranges.NObjects = [2]int{150, 250}
+	return cfg
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	cfg := tinyConfig()
+	ex, err := Figure9(cfg, []int{100, 400})
+	if err != nil {
+		t.Fatalf("Figure9: %v", err)
+	}
+	if len(ex.Points) != 2 {
+		t.Fatalf("points = %d", len(ex.Points))
+	}
+	last := ex.Points[len(ex.Points)-1].ByAlg
+
+	// Paper, Figure 9(a): total(BL) < total(PL) < total(CA).
+	if !(last["BL"].TotalMillis < last["PL"].TotalMillis) {
+		t.Errorf("total BL (%g) should beat PL (%g)", last["BL"].TotalMillis, last["PL"].TotalMillis)
+	}
+	if !(last["PL"].TotalMillis < last["CA"].TotalMillis) {
+		t.Errorf("total PL (%g) should beat CA (%g)", last["PL"].TotalMillis, last["CA"].TotalMillis)
+	}
+	// Paper, Figure 9(b): localized response times are much shorter.
+	if !(last["BL"].ResponseMillis < last["CA"].ResponseMillis) ||
+		!(last["PL"].ResponseMillis < last["CA"].ResponseMillis) {
+		t.Errorf("localized response should beat CA: %+v", last)
+	}
+	// Times grow with the number of objects.
+	first := ex.Points[0].ByAlg
+	for _, alg := range []string{"CA", "BL", "PL"} {
+		if !(first[alg].TotalMillis < last[alg].TotalMillis) {
+			t.Errorf("%s total did not grow with N_o: %g → %g",
+				alg, first[alg].TotalMillis, last[alg].TotalMillis)
+		}
+	}
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	cfg := tinyConfig()
+	ex, err := Figure10(cfg, []int{2, 5})
+	if err != nil {
+		t.Fatalf("Figure10: %v", err)
+	}
+	first, last := ex.Points[0].ByAlg, ex.Points[1].ByAlg
+
+	// Paper, Figure 10(a): the growing rate of PL's total execution time
+	// exceeds CA's (more isomeric objects mean more assistant checks).
+	plGrowth := last["PL"].TotalMillis / first["PL"].TotalMillis
+	caGrowth := last["CA"].TotalMillis / first["CA"].TotalMillis
+	if plGrowth <= caGrowth {
+		t.Errorf("PL growth (%.2f×) should exceed CA growth (%.2f×)", plGrowth, caGrowth)
+	}
+	// Paper, Figure 10(b): localized response stays below CA even at many
+	// databases.
+	if !(last["BL"].ResponseMillis < last["CA"].ResponseMillis) {
+		t.Errorf("BL response (%g) should beat CA (%g)", last["BL"].ResponseMillis, last["CA"].ResponseMillis)
+	}
+	if !(last["PL"].ResponseMillis < last["CA"].ResponseMillis) {
+		t.Errorf("PL response (%g) should beat CA (%g)", last["PL"].ResponseMillis, last["CA"].ResponseMillis)
+	}
+}
+
+func TestFigure11Shapes(t *testing.T) {
+	cfg := tinyConfig()
+	ex, err := Figure11(cfg, []float64{0.2, 0.8})
+	if err != nil {
+		t.Fatalf("Figure11: %v", err)
+	}
+	first, last := ex.Points[0].ByAlg, ex.Points[1].ByAlg
+
+	// Paper, Figure 11: varying the selectivity does not influence CA.
+	caRatio := last["CA"].TotalMillis / first["CA"].TotalMillis
+	if caRatio > 1.02 || caRatio < 0.98 {
+		t.Errorf("CA total should be flat in selectivity, ratio = %.3f", caRatio)
+	}
+	// BL and PL grow with selectivity (fewer objects eliminated locally).
+	if !(last["BL"].TotalMillis > first["BL"].TotalMillis) {
+		t.Errorf("BL total should grow with selectivity: %g → %g",
+			first["BL"].TotalMillis, last["BL"].TotalMillis)
+	}
+	if !(last["PL"].TotalMillis > first["PL"].TotalMillis) {
+		t.Errorf("PL total should grow with selectivity: %g → %g",
+			first["PL"].TotalMillis, last["PL"].TotalMillis)
+	}
+	// BL's growth rate exceeds PL's (BL's assistant checking also scales
+	// with the surviving objects; PL's does not).
+	blSlope := last["BL"].TotalMillis - first["BL"].TotalMillis
+	plSlope := last["PL"].TotalMillis - first["PL"].TotalMillis
+	if blSlope <= plSlope {
+		t.Errorf("BL slope (%g) should exceed PL slope (%g)", blSlope, plSlope)
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Samples = 2
+	ex1, err := Figure9(cfg, []int{120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := Figure9(cfg, []int{120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for alg, a1 := range ex1.Points[0].ByAlg {
+		a2 := ex2.Points[0].ByAlg[alg]
+		if a1 != a2 {
+			t.Errorf("%s: %+v vs %+v", alg, a1, a2)
+		}
+	}
+}
+
+func TestTableAndCSVRender(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Samples = 1
+	ex, err := Figure11(cfg, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := ex.Table()
+	for _, want := range []string{"total execution time", "response time", "CA", "BL", "PL", "0.50"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table missing %q:\n%s", want, tbl)
+		}
+	}
+	csv := ex.CSV()
+	if !strings.HasPrefix(csv, "figure,x,algorithm,") {
+		t.Errorf("CSV header wrong: %q", csv[:40])
+	}
+	if got := strings.Count(csv, "\n"); got != 4 { // header + 3 algorithms
+		t.Errorf("CSV lines = %d, want 4:\n%s", got, csv)
+	}
+}
+
+func TestConfigAlgorithmsSubset(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Samples = 1
+	cfg.Algorithms = cfg.Algorithms[:0]
+	cfg.Ranges = workload.DefaultRanges()
+	cfg.Ranges.NObjects = [2]int{50, 60}
+	ex, err := Figure9(cfg, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Points[0].ByAlg) != 3 {
+		t.Errorf("default algorithms = %v", ex.Points[0].ByAlg)
+	}
+}
+
+func TestPlannerAccuracy(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Samples = 6
+	report, err := PlannerAccuracy(cfg)
+	if err != nil {
+		t.Fatalf("PlannerAccuracy: %v", err)
+	}
+	if report.Samples != 6 {
+		t.Errorf("samples = %d", report.Samples)
+	}
+	// The planner must pick the actual winner at least half the time at
+	// this scale and never with catastrophic regret.
+	if report.Correct*2 < report.Samples {
+		t.Errorf("planner correct only %d/%d", report.Correct, report.Samples)
+	}
+	if report.MaxRegret > 1.5 {
+		t.Errorf("max regret = %.2f", report.MaxRegret)
+	}
+	s := report.String()
+	for _, want := range []string{"picked the fastest", "regret", "chosen"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestIndexAblationShapes(t *testing.T) {
+	cfg := tinyConfig()
+	ex, err := IndexAblation(cfg, []float64{0.1, 0.9})
+	if err != nil {
+		t.Fatalf("IndexAblation: %v", err)
+	}
+	low, high := ex.Points[0].ByAlg, ex.Points[1].ByAlg
+	// At selective predicates the index saves substantially.
+	if !(low["BL+idx"].TotalMillis < low["BL"].TotalMillis) {
+		t.Errorf("BL+idx (%g) should beat BL (%g) at low selectivity",
+			low["BL+idx"].TotalMillis, low["BL"].TotalMillis)
+	}
+	// The saving shrinks as selectivity rises (more candidates).
+	lowGain := low["BL"].TotalMillis / low["BL+idx"].TotalMillis
+	highGain := high["BL"].TotalMillis / high["BL+idx"].TotalMillis
+	if lowGain <= highGain {
+		t.Errorf("index gain should shrink with selectivity: %.2f vs %.2f", lowGain, highGain)
+	}
+}
+
+func TestStdDevReported(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Samples = 3
+	ex, err := Figure9(cfg, []int{150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for alg, a := range ex.Points[0].ByAlg {
+		// Three randomized workloads never coincide exactly.
+		if a.TotalStd <= 0 || a.ResponseStd <= 0 {
+			t.Errorf("%s: zero spread %+v", alg, a)
+		}
+		if a.TotalStd > a.TotalMillis {
+			t.Errorf("%s: implausible spread %+v", alg, a)
+		}
+	}
+	csv := ex.CSV()
+	if !strings.Contains(csv, "total_std") || !strings.Contains(csv, "response_std") {
+		t.Errorf("CSV missing stddev columns: %q", csv[:80])
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if m := mean([]float64{2, 4, 6}); m != 4 {
+		t.Errorf("mean = %g", m)
+	}
+	if m := mean(nil); m != 0 {
+		t.Errorf("mean(nil) = %g", m)
+	}
+	if s := stddev([]float64{2, 4, 6}); s < 1.99 || s > 2.01 {
+		t.Errorf("stddev = %g", s)
+	}
+	if s := stddev([]float64{5}); s != 0 {
+		t.Errorf("stddev single = %g", s)
+	}
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Index is a sorted secondary index over one primitive, single-valued
+// attribute of an extent. Objects whose attribute is null are kept in a
+// separate null list: under three-valued semantics they are candidates for
+// every predicate on the attribute (they evaluate to unknown, becoming
+// maybe results), so an index scan must surface them alongside the
+// value matches.
+type Index struct {
+	attr    string
+	entries []indexEntry // sorted by value
+	nulls   []object.LOid
+}
+
+type indexEntry struct {
+	value object.Value
+	loid  object.LOid
+}
+
+// Attr returns the indexed attribute.
+func (ix *Index) Attr() string { return ix.attr }
+
+// Len returns the number of value entries (nulls excluded).
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Nulls returns the objects whose indexed attribute is null. The slice is
+// shared; do not modify.
+func (ix *Index) Nulls() []object.LOid { return ix.nulls }
+
+// EntryWireSize is the modeled byte size of one index entry (value + LOid),
+// used to charge disk for index probes.
+const EntryWireSize = object.AttrWireSize + object.LOidWireSize
+
+// ProbeCost returns the modeled disk bytes of one index probe: a
+// logarithmic descent plus one entry per result.
+func (ix *Index) ProbeCost(results int) int {
+	depth := 1
+	for n := len(ix.entries); n > 1; n /= 2 {
+		depth++
+	}
+	return (depth + results) * EntryWireSize
+}
+
+// less orders index values: numerics before strings before bools, each
+// kind ordered internally (total order for sort stability).
+func less(a, b object.Value) bool {
+	ka, kb := kindRank(a), kindRank(b)
+	if ka != kb {
+		return ka < kb
+	}
+	if cmp, ok := a.Compare(b); ok {
+		return cmp < 0
+	}
+	return false
+}
+
+func kindRank(v object.Value) int {
+	switch v.Kind() {
+	case object.KindInt, object.KindFloat:
+		return 0
+	case object.KindString:
+		return 1
+	case object.KindBool:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// EqualTo returns the objects whose indexed value equals v, in index order.
+func (ix *Index) EqualTo(v object.Value) []object.LOid {
+	lo := sort.Search(len(ix.entries), func(i int) bool { return !less(ix.entries[i].value, v) })
+	var out []object.LOid
+	for i := lo; i < len(ix.entries) && ix.entries[i].value.Equal(v); i++ {
+		out = append(out, ix.entries[i].loid)
+	}
+	return out
+}
+
+// Range returns the objects whose indexed value v' satisfies the half-open
+// comparison against v selected by the flags: below selects v' < v (or
+// v' <= v with inclusive), otherwise v' > v (or v' >= v).
+func (ix *Index) Range(v object.Value, below, inclusive bool) []object.LOid {
+	// Position of the first entry >= v.
+	lo := sort.Search(len(ix.entries), func(i int) bool { return !less(ix.entries[i].value, v) })
+	// Position after the last entry == v.
+	hi := lo
+	for hi < len(ix.entries) && ix.entries[hi].value.Equal(v) {
+		hi++
+	}
+	var from, to int
+	if below {
+		from = 0
+		to = lo
+		if inclusive {
+			to = hi
+		}
+	} else {
+		from = hi
+		if inclusive {
+			from = lo
+		}
+		to = len(ix.entries)
+	}
+	out := make([]object.LOid, 0, to-from)
+	for i := from; i < to; i++ {
+		// Range comparisons only apply within comparable kinds.
+		if _, ok := ix.entries[i].value.Compare(v); ok {
+			out = append(out, ix.entries[i].loid)
+		}
+	}
+	return out
+}
+
+// NotEqualTo returns the objects whose indexed value differs from v.
+func (ix *Index) NotEqualTo(v object.Value) []object.LOid {
+	out := make([]object.LOid, 0, len(ix.entries))
+	for _, e := range ix.entries {
+		if !e.value.Equal(v) {
+			out = append(out, e.loid)
+		}
+	}
+	return out
+}
+
+func (ix *Index) insert(v object.Value, loid object.LOid) {
+	if v.IsNull() {
+		ix.nulls = append(ix.nulls, loid)
+		return
+	}
+	i := sort.Search(len(ix.entries), func(i int) bool { return !less(ix.entries[i].value, v) })
+	ix.entries = append(ix.entries, indexEntry{})
+	copy(ix.entries[i+1:], ix.entries[i:])
+	ix.entries[i] = indexEntry{value: v, loid: loid}
+}
+
+// CreateIndex builds (or rebuilds) a secondary index over a primitive,
+// single-valued attribute of the class. Future inserts maintain it.
+func (db *Database) CreateIndex(class, attr string) (*Index, error) {
+	e := db.extents[class]
+	if e == nil {
+		return nil, fmt.Errorf("index: site %s has no class %q", db.site, class)
+	}
+	a, ok := e.class.Attr(attr)
+	if !ok {
+		return nil, fmt.Errorf("index: class %s has no attribute %q", class, attr)
+	}
+	if a.IsComplex() || a.MultiValued {
+		return nil, fmt.Errorf("index: attribute %s.%s is not a primitive single-valued attribute", class, attr)
+	}
+	ix := &Index{attr: attr}
+	e.Scan(func(o *object.Object) bool {
+		ix.insert(o.Attr(attr), o.LOid)
+		return true
+	})
+	if e.indexes == nil {
+		e.indexes = make(map[string]*Index)
+	}
+	e.indexes[attr] = ix
+	return ix, nil
+}
+
+// Index returns the extent's index on the attribute, or nil.
+func (e *Extent) Index(attr string) *Index {
+	return e.indexes[attr]
+}

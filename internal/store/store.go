@@ -1,0 +1,232 @@
+// Package store implements the object storage of one component database:
+// one extent per class, indexed by LOid, with deterministic scan order and
+// reference dereferencing across the class composition hierarchy.
+//
+// The store itself is cost-free; the federation layer charges simulated disk
+// and CPU time for the operations it performs, using the byte sizes the
+// store reports.
+package store
+
+import (
+	"fmt"
+
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/schema"
+)
+
+// Extent holds the objects of one class in one component database.
+type Extent struct {
+	class   *schema.Class
+	objects map[object.LOid]*object.Object
+	order   []object.LOid
+	indexes map[string]*Index
+}
+
+func newExtent(c *schema.Class) *Extent {
+	return &Extent{class: c, objects: make(map[object.LOid]*object.Object)}
+}
+
+// Class returns the extent's class descriptor.
+func (e *Extent) Class() *schema.Class { return e.class }
+
+// Len returns the number of stored objects.
+func (e *Extent) Len() int { return len(e.order) }
+
+// Get returns the object with the given LOid, or nil.
+func (e *Extent) Get(id object.LOid) *object.Object { return e.objects[id] }
+
+// Scan calls fn for every object in insertion order; a false return stops
+// the scan early.
+func (e *Extent) Scan(fn func(*object.Object) bool) {
+	for _, id := range e.order {
+		if !fn(e.objects[id]) {
+			return
+		}
+	}
+}
+
+// All returns the objects in insertion order. The objects are shared, the
+// slice is fresh.
+func (e *Extent) All() []*object.Object {
+	out := make([]*object.Object, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.objects[id])
+	}
+	return out
+}
+
+// Bytes returns the total stored size of the extent under the paper's cost
+// model (every object, all attributes).
+func (e *Extent) Bytes() int {
+	n := 0
+	for _, o := range e.objects {
+		n += o.WireSize(nil)
+	}
+	return n
+}
+
+// Database is one component database: a schema plus one extent per class and
+// a database-wide LOid index used to dereference complex attribute values.
+type Database struct {
+	site    object.SiteID
+	schema  *schema.Schema
+	extents map[string]*Extent
+	byLOid  map[object.LOid]*object.Object
+}
+
+// NewDatabase returns an empty database over the given schema. The schema
+// must validate.
+func NewDatabase(s *schema.Schema) (*Database, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("new database: %w", err)
+	}
+	db := &Database{
+		site:    s.Site,
+		schema:  s,
+		extents: make(map[string]*Extent, len(s.ClassNames())),
+		byLOid:  make(map[object.LOid]*object.Object),
+	}
+	for _, name := range s.ClassNames() {
+		db.extents[name] = newExtent(s.Class(name))
+	}
+	return db, nil
+}
+
+// MustNewDatabase is NewDatabase that panics on error; intended for fixtures.
+func MustNewDatabase(s *schema.Schema) *Database {
+	db, err := NewDatabase(s)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Site returns the owning site.
+func (db *Database) Site() object.SiteID { return db.site }
+
+// Schema returns the component schema.
+func (db *Database) Schema() *schema.Schema { return db.schema }
+
+// Extent returns the extent of the named class, or nil.
+func (db *Database) Extent(class string) *Extent { return db.extents[class] }
+
+// Insert validates and stores an object. The object's class must exist, its
+// LOid must be unique database-wide, and every attribute must be defined by
+// the class with a matching kind. Missing attributes are simply absent.
+func (db *Database) Insert(o *object.Object) error {
+	e := db.extents[o.Class]
+	if e == nil {
+		return fmt.Errorf("insert %s: site %s has no class %q", o.LOid, db.site, o.Class)
+	}
+	if o.LOid == "" {
+		return fmt.Errorf("insert into %s@%s: empty LOid", o.Class, db.site)
+	}
+	if _, dup := db.byLOid[o.LOid]; dup {
+		return fmt.Errorf("insert %s into %s@%s: duplicate LOid", o.LOid, o.Class, db.site)
+	}
+	for name, v := range o.Attrs {
+		a, ok := e.class.Attr(name)
+		if !ok {
+			return fmt.Errorf("insert %s: class %s@%s has no attribute %q", o.LOid, o.Class, db.site, name)
+		}
+		if err := checkKind(a, v); err != nil {
+			return fmt.Errorf("insert %s attribute %s: %w", o.LOid, name, err)
+		}
+	}
+	e.objects[o.LOid] = o
+	e.order = append(e.order, o.LOid)
+	db.byLOid[o.LOid] = o
+	for attr, ix := range e.indexes {
+		ix.insert(o.Attr(attr), o.LOid)
+	}
+	return nil
+}
+
+// MustInsert is Insert that panics on error; intended for fixtures.
+func (db *Database) MustInsert(o *object.Object) {
+	if err := db.Insert(o); err != nil {
+		panic(err)
+	}
+}
+
+func checkKind(a schema.Attribute, v object.Value) error {
+	if a.MultiValued && v.Kind() == object.KindList {
+		for _, e := range v.Elems() {
+			if err := checkScalarKind(a, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return checkScalarKind(a, v)
+}
+
+func checkScalarKind(a schema.Attribute, v object.Value) error {
+	if a.IsComplex() {
+		if v.Kind() != object.KindRef {
+			return fmt.Errorf("complex attribute wants a ref, got %s", v.Kind())
+		}
+		return nil
+	}
+	if v.Kind() != a.Prim {
+		// Ints are acceptable where floats are declared.
+		if a.Prim == object.KindFloat && v.Kind() == object.KindInt {
+			return nil
+		}
+		return fmt.Errorf("want %s, got %s", a.Prim, v.Kind())
+	}
+	return nil
+}
+
+// Deref resolves a local object reference anywhere in the database.
+func (db *Database) Deref(id object.LOid) (*object.Object, bool) {
+	o, ok := db.byLOid[id]
+	return o, ok
+}
+
+// Len returns the total number of objects stored across all extents.
+func (db *Database) Len() int { return len(db.byLOid) }
+
+// CheckRefs verifies that every complex attribute value references an
+// existing object of the attribute's domain class (referential integrity).
+func (db *Database) CheckRefs() error {
+	for _, name := range db.schema.ClassNames() {
+		e := db.extents[name]
+		var err error
+		e.Scan(func(o *object.Object) bool {
+			for attr, v := range o.Attrs {
+				a, _ := e.class.Attr(attr)
+				err = checkRefValue(db, o, a, attr, v)
+				if err != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkRefValue(db *Database, o *object.Object, a schema.Attribute, attr string, v object.Value) error {
+	if !a.IsComplex() {
+		return nil
+	}
+	refs := []object.Value{v}
+	if v.Kind() == object.KindList {
+		refs = v.Elems()
+	}
+	for _, r := range refs {
+		target, ok := db.Deref(r.RefLOid())
+		if !ok {
+			return fmt.Errorf("%s.%s references missing object %s", o.LOid, attr, r.RefLOid())
+		}
+		if target.Class != a.Domain {
+			return fmt.Errorf("%s.%s references %s of class %s, want %s",
+				o.LOid, attr, target.LOid, target.Class, a.Domain)
+		}
+	}
+	return nil
+}

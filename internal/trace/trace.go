@@ -1,0 +1,81 @@
+// Package trace records the processing steps of a query execution — which
+// site executed which algorithm step — and renders them as the executing
+// flows of the paper's Figure 8.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Event is one recorded algorithm step.
+type Event struct {
+	Seq    int
+	Site   object.SiteID
+	Step   string
+	Detail string
+}
+
+// Tracer collects events. It is safe for concurrent use (sites execute in
+// parallel). The zero value is ready to use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Step records one algorithm step at a site.
+func (t *Tracer) Step(site object.SiteID, step, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{
+		Seq:    len(t.events) + 1,
+		Site:   site,
+		Step:   step,
+		Detail: detail,
+	})
+}
+
+// Events returns a copy of the recorded events in record order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Reset clears the tracer.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+}
+
+// Render lays the events out per site, one column per site (the shape of
+// the paper's Figure 8 executing flows).
+func (t *Tracer) Render() string {
+	events := t.Events()
+	siteSet := make(map[object.SiteID]bool)
+	for _, e := range events {
+		siteSet[e.Site] = true
+	}
+	sites := make([]object.SiteID, 0, len(siteSet))
+	for s := range siteSet {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+
+	var b strings.Builder
+	for _, site := range sites {
+		fmt.Fprintf(&b, "%s:\n", site)
+		for _, e := range events {
+			if e.Site != site {
+				continue
+			}
+			fmt.Fprintf(&b, "  %2d. %-10s %s\n", e.Seq, e.Step, e.Detail)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStepAndEvents(t *testing.T) {
+	var tr Tracer
+	tr.Step("G", "BL_G1", "send local queries")
+	tr.Step("DB1", "BL_C1", "evaluate local predicates")
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Seq != 1 || events[0].Site != "G" || events[0].Step != "BL_G1" {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Seq != 2 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	var tr Tracer
+	tr.Step("G", "X", "")
+	events := tr.Events()
+	events[0].Step = "MUTATED"
+	if tr.Events()[0].Step != "X" {
+		t.Error("Events exposes internal state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var tr Tracer
+	tr.Step("G", "X", "")
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestRenderGroupsBySite(t *testing.T) {
+	var tr Tracer
+	tr.Step("G", "BL_G1", "start")
+	tr.Step("DB2", "BL_C1", "local")
+	tr.Step("DB1", "BL_C1", "local")
+	tr.Step("G", "BL_G2", "certify")
+	out := tr.Render()
+
+	// Sites appear sorted, each with its own steps.
+	iDB1 := strings.Index(out, "DB1:")
+	iDB2 := strings.Index(out, "DB2:")
+	iG := strings.Index(out, "G:")
+	if iDB1 < 0 || iDB2 < 0 || iG < 0 || !(iDB1 < iDB2 && iDB2 < iG) {
+		t.Errorf("Render order wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "BL_G2") || !strings.Contains(out, "certify") {
+		t.Errorf("Render missing content:\n%s", out)
+	}
+}
+
+func TestConcurrentSteps(t *testing.T) {
+	var tr Tracer
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Step("DB1", "C3", "check")
+		}()
+	}
+	wg.Wait()
+	if len(tr.Events()) != 50 {
+		t.Errorf("events = %d", len(tr.Events()))
+	}
+	// Sequence numbers are unique and contiguous.
+	seen := map[int]bool{}
+	for _, e := range tr.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

@@ -1,0 +1,137 @@
+package tvl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var all = []Truth{False, Unknown, True}
+
+func TestString(t *testing.T) {
+	cases := map[Truth]string{
+		False:    "false",
+		Unknown:  "unknown",
+		True:     "true",
+		Truth(0): "invalid",
+	}
+	for tr, want := range cases {
+		if got := tr.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", tr, got, want)
+		}
+	}
+}
+
+func TestOf(t *testing.T) {
+	if Of(true) != True || Of(false) != False {
+		t.Error("Of is wrong")
+	}
+}
+
+func TestAndTruthTable(t *testing.T) {
+	want := map[[2]Truth]Truth{
+		{True, True}:       True,
+		{True, Unknown}:    Unknown,
+		{True, False}:      False,
+		{Unknown, Unknown}: Unknown,
+		{Unknown, False}:   False,
+		{False, False}:     False,
+	}
+	for args, w := range want {
+		if got := And(args[0], args[1]); got != w {
+			t.Errorf("And(%v,%v) = %v, want %v", args[0], args[1], got, w)
+		}
+		if got := And(args[1], args[0]); got != w {
+			t.Errorf("And(%v,%v) = %v, want %v", args[1], args[0], got, w)
+		}
+	}
+}
+
+func TestOrTruthTable(t *testing.T) {
+	want := map[[2]Truth]Truth{
+		{True, True}:       True,
+		{True, Unknown}:    True,
+		{True, False}:      True,
+		{Unknown, Unknown}: Unknown,
+		{Unknown, False}:   Unknown,
+		{False, False}:     False,
+	}
+	for args, w := range want {
+		if got := Or(args[0], args[1]); got != w {
+			t.Errorf("Or(%v,%v) = %v, want %v", args[0], args[1], got, w)
+		}
+		if got := Or(args[1], args[0]); got != w {
+			t.Errorf("Or(%v,%v) = %v, want %v", args[1], args[0], got, w)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	if Not(True) != False || Not(False) != True || Not(Unknown) != Unknown {
+		t.Error("Not truth table wrong")
+	}
+}
+
+func TestAllAny(t *testing.T) {
+	if All() != True {
+		t.Error("empty All should be True")
+	}
+	if Any() != False {
+		t.Error("empty Any should be False")
+	}
+	if All(True, Unknown, True) != Unknown {
+		t.Error("All with Unknown")
+	}
+	if All(True, Unknown, False) != False {
+		t.Error("All with False")
+	}
+	if Any(False, Unknown) != Unknown {
+		t.Error("Any with Unknown")
+	}
+	if Any(False, Unknown, True) != True {
+		t.Error("Any with True")
+	}
+}
+
+func pick(i uint8) Truth { return all[int(i)%len(all)] }
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(i, j uint8) bool {
+		a, b := pick(i), pick(j)
+		return Not(And(a, b)) == Or(Not(a), Not(b)) &&
+			Not(Or(a, b)) == And(Not(a), Not(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssociativityProperty(t *testing.T) {
+	f := func(i, j, k uint8) bool {
+		a, b, c := pick(i), pick(j), pick(k)
+		return And(And(a, b), c) == And(a, And(b, c)) &&
+			Or(Or(a, b), c) == Or(a, Or(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributivityProperty(t *testing.T) {
+	f := func(i, j, k uint8) bool {
+		a, b, c := pick(i), pick(j), pick(k)
+		return And(a, Or(b, c)) == Or(And(a, b), And(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleNegationProperty(t *testing.T) {
+	f := func(i uint8) bool {
+		a := pick(i)
+		return Not(Not(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,508 @@
+// Package workload generates the randomized federations and global queries
+// of the paper's performance study (Table 2): a chain of global classes,
+// constituent classes at every component database with randomly missing
+// predicate attributes, objects with controlled predicate selectivities and
+// null ratios, isomeric objects across sites, and the GOid mapping tables.
+//
+// Every sample is generated from an explicit *rand.Rand, so experiments are
+// reproducible from their seeds.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/store"
+)
+
+// valueDomain is the exclusive upper bound of generated attribute values;
+// predicate literals are chosen inside it to hit target selectivities.
+const valueDomain = 1000
+
+// Ranges are the Table 2 parameter ranges a sample is drawn from.
+type Ranges struct {
+	// NDB is the number of component databases (N_db).
+	NDB int
+	// NClasses bounds the number of global classes involved in the query
+	// (N_c, paper default 1–4).
+	NClasses [2]int
+	// NPredsPerClass bounds the number of predicates per involved class
+	// (N_p^k, paper default 0–3).
+	NPredsPerClass [2]int
+	// NObjects bounds the number of home objects per constituent class per
+	// database (N_o^{i,k}, paper default 5000–6000).
+	NObjects [2]int
+	// NullRatio bounds the ratio of objects with an original null value in
+	// a held predicate attribute (R_m when no attribute is missing, paper
+	// default 0–0.2).
+	NullRatio [2]float64
+	// Selectivity overrides the per-predicate selectivity when positive;
+	// zero applies the paper's formula R_ps = 0.45^sqrt(N_p) per class.
+	Selectivity float64
+	// ReplicaProb is the probability that an entity is replicated to each
+	// additional site; 0.1 yields the paper's isomerism ratio
+	// R_iso = 1 − 0.9^(N_db−1).
+	ReplicaProb float64
+	// PadAttrs is the number of uninvolved attributes per class, modeling
+	// the full object size read from disk.
+	PadAttrs int
+	// EqualityPreds switches predicates from range form (p < v) to
+	// equality form (p = v) with the same selectivity, the workload class
+	// the signature-assisted strategies accelerate.
+	EqualityPreds bool
+	// Disjunctive splits the query's predicates into two or-connected
+	// conjunction groups (the disjunctive extension of the paper's
+	// Section 5).
+	Disjunctive bool
+}
+
+// DefaultRanges returns the Table 2 default setting.
+func DefaultRanges() Ranges {
+	return Ranges{
+		NDB:            3,
+		NClasses:       [2]int{1, 4},
+		NPredsPerClass: [2]int{0, 3},
+		NObjects:       [2]int{5000, 6000},
+		NullRatio:      [2]float64{0, 0.2},
+		ReplicaProb:    0.1,
+		PadAttrs:       2,
+	}
+}
+
+// ClassParams are the drawn parameters of one involved global class.
+type ClassParams struct {
+	// NPreds is N_p^k, the number of predicates on the class.
+	NPreds int
+	// NObjects[i] is N_o^{i,k}, the home objects at site i.
+	NObjects []int
+	// NullRatio[i] is the site's original-null ratio for held predicate
+	// attributes.
+	NullRatio []float64
+	// HeldPreds[i] lists the predicate-attribute indexes the constituent
+	// class at site i defines (N_pa^{i,k} = len(HeldPreds[i])); the rest
+	// are missing attributes there.
+	HeldPreds [][]int
+}
+
+// Params is one concrete sample drawn from Ranges.
+type Params struct {
+	NDB           int
+	Classes       []ClassParams
+	Selectivity   float64
+	ReplicaProb   float64
+	PadAttrs      int
+	EqualityPreds bool
+	Disjunctive   bool
+}
+
+// Draw samples concrete parameters from the ranges.
+func (r Ranges) Draw(rng *rand.Rand) Params {
+	p := Params{
+		NDB:           r.NDB,
+		Selectivity:   r.Selectivity,
+		ReplicaProb:   r.ReplicaProb,
+		PadAttrs:      r.PadAttrs,
+		EqualityPreds: r.EqualityPreds,
+		Disjunctive:   r.Disjunctive,
+	}
+	nc := intBetween(rng, r.NClasses)
+	totalPreds := 0
+	for k := 0; k < nc; k++ {
+		cp := ClassParams{
+			NPreds:    intBetween(rng, r.NPredsPerClass),
+			NObjects:  make([]int, r.NDB),
+			NullRatio: make([]float64, r.NDB),
+			HeldPreds: make([][]int, r.NDB),
+		}
+		totalPreds += cp.NPreds
+		for i := 0; i < r.NDB; i++ {
+			cp.NObjects[i] = intBetween(rng, r.NObjects)
+			cp.NullRatio[i] = floatBetween(rng, r.NullRatio)
+			cp.HeldPreds[i] = drawHeld(rng, cp.NPreds)
+		}
+		ensureCovered(rng, &cp)
+		p.Classes = append(p.Classes, cp)
+	}
+	// A query with no predicates exercises nothing; force one.
+	if totalPreds == 0 {
+		p.Classes[0].NPreds = 1
+		for i := 0; i < r.NDB; i++ {
+			p.Classes[0].HeldPreds[i] = drawHeld(rng, 1)
+		}
+		ensureCovered(rng, &p.Classes[0])
+	}
+	return p
+}
+
+// ensureCovered guarantees every predicate attribute is held by at least
+// one constituent class: an attribute held nowhere would not exist in the
+// global schema (the attribute union) and could not be queried.
+func ensureCovered(rng *rand.Rand, cp *ClassParams) {
+	for j := 0; j < cp.NPreds; j++ {
+		covered := false
+		for _, held := range cp.HeldPreds {
+			for _, h := range held {
+				if h == j {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		i := rng.Intn(len(cp.HeldPreds))
+		cp.HeldPreds[i] = insertSorted(cp.HeldPreds[i], j)
+	}
+}
+
+func insertSorted(list []int, v int) []int {
+	list = append(list, v)
+	for i := len(list) - 1; i > 0 && list[i] < list[i-1]; i-- {
+		list[i], list[i-1] = list[i-1], list[i]
+	}
+	return list
+}
+
+func intBetween(rng *rand.Rand, b [2]int) int {
+	if b[1] <= b[0] {
+		return b[0]
+	}
+	return b[0] + rng.Intn(b[1]-b[0]+1)
+}
+
+func floatBetween(rng *rand.Rand, b [2]float64) float64 {
+	if b[1] <= b[0] {
+		return b[0]
+	}
+	return b[0] + rng.Float64()*(b[1]-b[0])
+}
+
+// drawHeld picks N_pa ∈ [0, nPreds] held predicate attributes uniformly.
+func drawHeld(rng *rand.Rand, nPreds int) []int {
+	if nPreds == 0 {
+		return nil
+	}
+	nHeld := rng.Intn(nPreds + 1)
+	perm := rng.Perm(nPreds)
+	held := append([]int(nil), perm[:nHeld]...)
+	// Keep deterministic ascending order for schema construction.
+	for i := 1; i < len(held); i++ {
+		for j := i; j > 0 && held[j] < held[j-1]; j-- {
+			held[j], held[j-1] = held[j-1], held[j]
+		}
+	}
+	return held
+}
+
+// Stats summarizes a generated workload.
+type Stats struct {
+	// Entities is the number of real-world entities per class.
+	Entities []int
+	// Objects is the number of stored objects across all databases.
+	Objects int
+	// IsomericEntities counts entities stored at more than one site.
+	IsomericEntities int
+	// Preds is the total number of query predicates.
+	Preds int
+}
+
+// Workload is one generated federation plus its global query.
+type Workload struct {
+	Global    *schema.Global
+	Schemas   map[object.SiteID]*schema.Schema
+	Databases map[object.SiteID]*store.Database
+	Tables    *gmap.Tables
+	Query     *query.Query
+	Bound     *query.Bound
+	Stats     Stats
+}
+
+// classSelectivity returns the per-predicate selectivity of class k: the
+// override when set, otherwise the paper's R_ps = 0.45^sqrt(N_p) split
+// evenly across the class's predicates.
+func classSelectivity(p Params, k int) float64 {
+	if p.Selectivity > 0 {
+		return p.Selectivity
+	}
+	n := p.Classes[k].NPreds
+	if n == 0 {
+		return 1
+	}
+	return math.Pow(0.45, math.Sqrt(float64(n))/float64(n))
+}
+
+// eqDomain returns the value domain giving an equality predicate "p = 0"
+// the class's target selectivity (P = 1/domain).
+func eqDomain(p Params, k int) int {
+	d := int(math.Round(1 / classSelectivity(p, k)))
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// entity is one real-world entity during generation.
+type entity struct {
+	id     int
+	sites  []bool // placement per site index
+	values []int  // canonical predicate-attribute values
+	target int
+	pads   []int
+	next   int // index into the next class's entities, -1 for the last class
+}
+
+// Generate builds a workload from drawn parameters. The generated federation
+// is consistent: isomeric objects agree on every attribute value they both
+// store (missing data hides values, it never contradicts them), and complex
+// references are only stored at sites where the referenced entity is also
+// stored (elsewhere the reference is an original null).
+func Generate(p Params, rng *rand.Rand) (*Workload, error) {
+	if p.NDB < 1 {
+		return nil, fmt.Errorf("workload: NDB = %d", p.NDB)
+	}
+	if len(p.Classes) == 0 {
+		return nil, fmt.Errorf("workload: no classes")
+	}
+	nextID := 0
+
+	// 1. Generate entities class by class; expand branch placements so a
+	// referenced entity exists wherever its referrer does.
+	classes := make([][]*entity, len(p.Classes))
+	for k := range p.Classes {
+		cp := p.Classes[k]
+		var ents []*entity
+		// Table 2 fixes N_o^{i,k}, the object count of the constituent
+		// class at each site. Entities homed at a site are replicated to
+		// each other site with probability ReplicaProb, so the home count
+		// is deflated to keep the expected extent size at N_o while the
+		// isomerism ratio R_iso = 1 − (1−ReplicaProb)^(N_db−1) still grows
+		// with the number of databases.
+		inflation := 1 + p.ReplicaProb*float64(p.NDB-1)
+		for site := 0; site < p.NDB; site++ {
+			homes := int(math.Round(float64(cp.NObjects[site]) / inflation))
+			if homes < 1 {
+				homes = 1
+			}
+			for n := 0; n < homes; n++ {
+				e := &entity{
+					id:     nextID,
+					sites:  make([]bool, p.NDB),
+					values: make([]int, cp.NPreds),
+					target: rng.Intn(valueDomain),
+					pads:   make([]int, p.PadAttrs),
+					next:   -1,
+				}
+				nextID++
+				e.sites[site] = true
+				for other := 0; other < p.NDB; other++ {
+					if other != site && rng.Float64() < p.ReplicaProb {
+						e.sites[other] = true
+					}
+				}
+				dom := valueDomain
+				if p.EqualityPreds {
+					dom = eqDomain(p, k)
+				}
+				for j := range e.values {
+					e.values[j] = rng.Intn(dom)
+				}
+				for j := range e.pads {
+					e.pads[j] = rng.Intn(valueDomain)
+				}
+				ents = append(ents, e)
+			}
+		}
+		classes[k] = ents
+
+		// Link the previous class to this one and expand placements.
+		if k > 0 {
+			for _, prev := range classes[k-1] {
+				f := rng.Intn(len(ents))
+				prev.next = f
+				for site, present := range prev.sites {
+					if present {
+						ents[f].sites[site] = true
+					}
+				}
+			}
+		}
+	}
+
+	// 2. Build component schemas.
+	sites := make([]object.SiteID, p.NDB)
+	schemas := make(map[object.SiteID]*schema.Schema, p.NDB)
+	for i := range sites {
+		sites[i] = object.SiteID(fmt.Sprintf("DB%d", i+1))
+		schemas[sites[i]] = schema.NewSchema(sites[i])
+	}
+	corrs := make([]schema.Correspondence, len(p.Classes))
+	for k := range p.Classes {
+		cp := p.Classes[k]
+		className := fmt.Sprintf("C%d", k+1)
+		corrs[k] = schema.Correspondence{GlobalClass: className}
+		for i, site := range sites {
+			attrs := []schema.Attribute{schema.Prim("key", object.KindInt)}
+			for _, j := range cp.HeldPreds[i] {
+				attrs = append(attrs, schema.Prim(fmt.Sprintf("p%d", j), object.KindInt))
+			}
+			attrs = append(attrs, schema.Prim("t0", object.KindInt))
+			if k < len(p.Classes)-1 {
+				attrs = append(attrs, schema.Complex("next", fmt.Sprintf("C%d", k+2)))
+			}
+			for j := 0; j < p.PadAttrs; j++ {
+				attrs = append(attrs, schema.Prim(fmt.Sprintf("pad%d", j), object.KindInt))
+			}
+			cls, err := schema.NewClass(className, attrs, "key")
+			if err != nil {
+				return nil, fmt.Errorf("workload: %w", err)
+			}
+			if err := schemas[site].AddClass(cls); err != nil {
+				return nil, fmt.Errorf("workload: %w", err)
+			}
+			corrs[k].Members = append(corrs[k].Members,
+				schema.Constituent{Site: site, Class: className})
+		}
+	}
+	global, err := schema.Integrate(schemas, corrs)
+	if err != nil {
+		return nil, fmt.Errorf("workload: integrate: %w", err)
+	}
+
+	// 3. Store the objects and bind the mapping tables.
+	dbs := make(map[object.SiteID]*store.Database, p.NDB)
+	for _, site := range sites {
+		db, err := store.NewDatabase(schemas[site])
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		dbs[site] = db
+	}
+	tables := gmap.NewTables()
+	stats := Stats{Entities: make([]int, len(p.Classes))}
+
+	for k := range p.Classes {
+		cp := p.Classes[k]
+		className := fmt.Sprintf("C%d", k+1)
+		table := tables.Table(className)
+		stats.Entities[k] = len(classes[k])
+		for _, e := range classes[k] {
+			goid := object.GOid(fmt.Sprintf("g%d", e.id))
+			placed := 0
+			for i, present := range e.sites {
+				if !present {
+					continue
+				}
+				placed++
+				site := sites[i]
+				loid := object.LOid(fmt.Sprintf("o%d", e.id))
+				attrs := map[string]object.Value{
+					"key": object.Int(int64(e.id)),
+					"t0":  object.Int(int64(e.target)),
+				}
+				held := cp.HeldPreds[i]
+				for _, j := range held {
+					attrs[fmt.Sprintf("p%d", j)] = object.Int(int64(e.values[j]))
+				}
+				// Original null values: with probability R_m, one held
+				// predicate attribute of the object is null.
+				if len(held) > 0 && rng.Float64() < cp.NullRatio[i] {
+					victim := held[rng.Intn(len(held))]
+					delete(attrs, fmt.Sprintf("p%d", victim))
+				}
+				if e.next >= 0 {
+					// Branch placements were expanded to cover referrers,
+					// so the reference always resolves locally.
+					attrs["next"] = object.Ref(object.LOid(fmt.Sprintf("o%d", classes[k+1][e.next].id)))
+				}
+				for j := 0; j < p.PadAttrs; j++ {
+					attrs[fmt.Sprintf("pad%d", j)] = object.Int(int64(e.pads[j]))
+				}
+				if err := dbs[site].Insert(object.New(loid, className, attrs)); err != nil {
+					return nil, fmt.Errorf("workload: %w", err)
+				}
+				if err := table.Bind(goid, site, loid); err != nil {
+					return nil, fmt.Errorf("workload: %w", err)
+				}
+				stats.Objects++
+			}
+			if placed > 1 {
+				stats.IsomericEntities++
+			}
+		}
+	}
+
+	// 4. Build the query: predicates p_j < literal on every class, reached
+	// through the "next" chain; targets are the root's and the deepest
+	// class's t0.
+	q := &query.Query{Range: "C1"}
+	q.Targets = []query.Path{{"t0"}}
+	if len(p.Classes) > 1 {
+		deep := query.Path{}
+		for k := 1; k < len(p.Classes); k++ {
+			deep = append(deep, "next")
+		}
+		q.Targets = append(q.Targets, append(deep, "t0"))
+	}
+	for k := range p.Classes {
+		cp := p.Classes[k]
+		if cp.NPreds == 0 {
+			continue
+		}
+		op := query.OpLt
+		var lit int64
+		if p.EqualityPreds {
+			// p = 0 over a domain of 1/selectivity values.
+			op = query.OpEq
+			lit = 0
+		} else {
+			lit = int64(math.Round(classSelectivity(p, k) * valueDomain))
+			if lit < 1 {
+				lit = 1
+			}
+		}
+		prefix := query.Path{}
+		for i := 0; i < k; i++ {
+			prefix = append(prefix, "next")
+		}
+		for j := 0; j < cp.NPreds; j++ {
+			path := append(append(query.Path{}, prefix...), fmt.Sprintf("p%d", j))
+			q.Preds = append(q.Preds, query.Predicate{
+				Path: path, Op: op, Literal: object.Int(lit),
+			})
+			stats.Preds++
+		}
+	}
+
+	// The disjunctive extension: split the predicates into two
+	// or-connected conjunctions (alternating assignment).
+	if p.Disjunctive && len(q.Preds) >= 2 {
+		groups := make([][]int, 2)
+		for i := range q.Preds {
+			groups[i%2] = append(groups[i%2], i)
+		}
+		q.Groups = groups
+	}
+
+	b, err := query.Bind(q, global)
+	if err != nil {
+		return nil, fmt.Errorf("workload: bind: %w", err)
+	}
+	return &Workload{
+		Global:    global,
+		Schemas:   schemas,
+		Databases: dbs,
+		Tables:    tables,
+		Query:     q,
+		Bound:     b,
+		Stats:     stats,
+	}, nil
+}
