@@ -26,9 +26,11 @@ import (
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/school"
 	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/trace"
 	"github.com/hetfed/hetfed/internal/workload"
 )
 
@@ -187,6 +189,101 @@ func BenchmarkNetworkRates(b *testing.B) {
 			})
 		}
 	}
+}
+
+// instrumentedEngine builds an engine with the full observability layer
+// (span tracer + metrics registry) attached.
+func instrumentedEngine(tb testing.TB, w *workload.Workload) *exec.Engine {
+	tb.Helper()
+	tr := &trace.Tracer{}
+	tr.SetLimit(4096)
+	engine, err := exec.New(exec.Config{
+		Global:      w.Global,
+		Coordinator: "G",
+		Databases:   w.Databases,
+		Tables:      w.Tables,
+		Tracer:      tr,
+		Metrics:     metrics.New(),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return engine
+}
+
+// BenchmarkTraceOverhead measures the cost of the observability layer on a
+// simulated BL execution: the same workload with instrumentation off and
+// fully on (spans + per-site metrics). The documented budget is 1.5×;
+// measured ratios sit well below it because the DES channel handshakes
+// dominate the per-span mutex and per-metric atomic work. See
+// EXPERIMENTS.md (E11) and TestTraceOverheadBudget.
+func BenchmarkTraceOverhead(b *testing.B) {
+	w := benchWorkload(b, nil)
+	b.Run("off", func(b *testing.B) {
+		runStrategy(b, benchEngine(b, w, nil), w, exec.BL)
+	})
+	b.Run("on", func(b *testing.B) {
+		runStrategy(b, instrumentedEngine(b, w), w, exec.BL)
+	})
+}
+
+// TestTraceOverheadBudget enforces the observability overhead budget: a
+// fully instrumented simulated BL run must cost at most 2× an
+// uninstrumented one (the documented target is 1.5×; the hard test limit is
+// looser to absorb scheduler noise on shared machines).
+func TestTraceOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	w := benchWorkloadT(t)
+	runOnce := func(engine *exec.Engine) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := fabric.NewSim(fabric.DefaultRates(), engine.Sites())
+				if _, _, err := engine.Run(rt, exec.BL, w.Bound); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	off := testing.Benchmark(runOnce(benchEngineT(t, w)))
+	on := testing.Benchmark(runOnce(instrumentedEngine(t, w)))
+	if off.NsPerOp() == 0 {
+		t.Skip("baseline too fast to time")
+	}
+	ratio := float64(on.NsPerOp()) / float64(off.NsPerOp())
+	t.Logf("instrumented/uninstrumented = %.3f (on %v, off %v)", ratio, on, off)
+	if ratio > 2.0 {
+		t.Errorf("observability overhead ratio %.2f exceeds the 2.0 budget", ratio)
+	}
+}
+
+// benchWorkloadT and benchEngineT are the *testing.T twins of the benchmark
+// helpers.
+func benchWorkloadT(t *testing.T) *workload.Workload {
+	t.Helper()
+	ranges := workload.DefaultRanges()
+	ranges.NObjects = [2]int{400, 500} // small: two timed runs in one test
+	rng := rand.New(rand.NewSource(1))
+	w, err := workload.Generate(ranges.Draw(rng), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func benchEngineT(t *testing.T, w *workload.Workload) *exec.Engine {
+	t.Helper()
+	engine, err := exec.New(exec.Config{
+		Global:      w.Global,
+		Coordinator: "G",
+		Databases:   w.Databases,
+		Tables:      w.Tables,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
 }
 
 // BenchmarkParse measures the SQL/X parser on the paper's Q1.

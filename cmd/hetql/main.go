@@ -25,6 +25,7 @@ import (
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/fedfile"
 	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/planner"
 	"github.com/hetfed/hetfed/internal/query"
@@ -47,7 +48,8 @@ func run(args []string) error {
 	var (
 		queryText = fs.String("query", school.Q1, "global query (SQL/X-like)")
 		algName   = fs.String("alg", "all", "strategy: CA, BL, PL, SBL, SPL, auto (planner), or all")
-		showTrace = fs.Bool("trace", false, "print the executed step flow (Figure 8)")
+		showTrace   = fs.Bool("trace", false, "print the executed step flow (Figure 8) and the span tree")
+		showMetrics = fs.Bool("metrics", false, "print each strategy's metrics (snapshot delta)")
 		show      = fs.Bool("show", false, "print the federation's schemas and objects, then exit")
 		export    = fs.Bool("export", false, "dump the federation as a JSON document, then exit")
 		stats     = fs.Bool("stats", false, "print the planner's catalog statistics, then exit")
@@ -103,12 +105,14 @@ func run(args []string) error {
 	}
 
 	var tracer trace.Tracer
+	reg := metrics.New()
 	engine, err := exec.New(exec.Config{
 		Global:      global,
 		Coordinator: "G",
 		Databases:   databases,
 		Tables:      tables,
 		Tracer:      &tracer,
+		Metrics:     reg,
 		Signatures:  signature.Build(databases),
 	})
 	if err != nil {
@@ -133,6 +137,7 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("query: %s\n", q)
+	prev := reg.Snapshot()
 	for _, alg := range algs {
 		tracer.Reset()
 		ans, m, err := engine.Run(fabric.NewSim(fabric.DefaultRates(), engine.Sites()), alg, b)
@@ -147,6 +152,14 @@ func run(args []string) error {
 		if *showTrace {
 			fmt.Println("\nstep flow:")
 			fmt.Print(tracer.Render())
+			fmt.Println("\nspan tree:")
+			fmt.Print(tracer.RenderTree())
+		}
+		if *showMetrics {
+			cur := reg.Snapshot()
+			fmt.Println("\nmetrics:")
+			fmt.Print(cur.Delta(prev).Text())
+			prev = cur
 		}
 	}
 	return nil

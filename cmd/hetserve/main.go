@@ -5,7 +5,8 @@
 // Start the three school sites (each in its own terminal or with &):
 //
 //	hetserve -site DB1 -listen 127.0.0.1:7101 \
-//	    -peers DB2=127.0.0.1:7102,DB3=127.0.0.1:7103
+//	    -peers DB2=127.0.0.1:7102,DB3=127.0.0.1:7103 \
+//	    -metrics-addr 127.0.0.1:8101
 //	hetserve -site DB2 -listen 127.0.0.1:7102 \
 //	    -peers DB1=127.0.0.1:7101,DB3=127.0.0.1:7103
 //	hetserve -site DB3 -listen 127.0.0.1:7103 \
@@ -15,12 +16,17 @@
 //
 //	hetserve -coordinator \
 //	    -peers DB1=127.0.0.1:7101,DB2=127.0.0.1:7102,DB3=127.0.0.1:7103 \
-//	    -alg BL
+//	    -alg BL -trace -metrics
+//
+// With -metrics-addr a site also serves /metrics, /healthz and
+// /debug/trace/last (see the obs package); -trace and -metrics print the
+// coordinator's span tree and metrics snapshot after the query.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,13 +35,20 @@ import (
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fedfile"
 	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
 	"github.com/hetfed/hetfed/internal/remote"
 	"github.com/hetfed/hetfed/internal/schema"
 	"github.com/hetfed/hetfed/internal/school"
 	"github.com/hetfed/hetfed/internal/signature"
 	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/trace"
 )
+
+// spanLimit bounds a long-running server's tracer so /debug/trace/last stays
+// cheap and memory stays flat.
+const spanLimit = 4096
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -49,11 +62,14 @@ func run(args []string) error {
 	var (
 		siteName    = fs.String("site", "", "serve this component site (DB1, DB2 or DB3)")
 		listen      = fs.String("listen", "127.0.0.1:0", "listen address for -site mode")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/trace/last on this address in -site mode")
 		coordinator = fs.Bool("coordinator", false, "act as the global processing site")
 		peersFlag   = fs.String("peers", "", "comma-separated SITE=ADDR pairs")
 		queryText   = fs.String("query", school.Q1, "query to run in -coordinator mode")
 		algName     = fs.String("alg", "BL", "strategy for -coordinator mode: CA, BL, PL, SBL, SPL")
 		fedPath     = fs.String("fed", "", "serve/query this JSON federation instead of the built-in example")
+		showTrace   = fs.Bool("trace", false, "print the query's span tree in -coordinator mode")
+		showMetrics = fs.Bool("metrics", false, "print the coordinator's metrics snapshot in -coordinator mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,9 +86,10 @@ func run(args []string) error {
 
 	switch {
 	case *coordinator:
-		return runCoordinator(fed, peers, *queryText, *algName)
+		return runCoordinator(fed, peers, *queryText, *algName,
+			coordOpts{Trace: *showTrace, Metrics: *showMetrics})
 	case *siteName != "":
-		return runSite(fed, object.SiteID(*siteName), *listen, peers)
+		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers)
 	default:
 		return fmt.Errorf("pass -site NAME or -coordinator")
 	}
@@ -112,34 +129,97 @@ func parsePeers(s string) (map[object.SiteID]string, error) {
 	return peers, nil
 }
 
-func runSite(fed *federationBundle, site object.SiteID, listen string, peers map[object.SiteID]string) error {
+// siteRuntime is one running instrumented site: the query server plus its
+// tracer, metrics registry and (optional) observability endpoint.
+type siteRuntime struct {
+	Server  *remote.Server
+	Obs     *obs.Server // nil unless a metrics address was given
+	Tracer  *trace.Tracer
+	Metrics *metrics.Registry
+}
+
+// Close stops the site's servers.
+func (rt *siteRuntime) Close() error {
+	err := rt.Server.Close()
+	if rt.Obs != nil {
+		if cerr := rt.Obs.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// startSite builds and starts one fully instrumented component-site server;
+// runSite adds the signal-wait around it.
+func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr string,
+	peers map[object.SiteID]string, log *slog.Logger) (*siteRuntime, error) {
 	db, ok := fed.Databases[site]
 	if !ok {
-		return fmt.Errorf("unknown site %q in this federation", site)
+		return nil, fmt.Errorf("unknown site %q in this federation", site)
 	}
+	tr := &trace.Tracer{}
+	tr.SetLimit(spanLimit)
+	reg := metrics.New()
 	srv, err := remote.NewServer(remote.ServerConfig{
 		DB:         db,
 		Global:     fed.Global,
 		Tables:     fed.Mapping,
 		Peers:      peers,
 		Signatures: signature.Build(fed.Databases),
+		Tracer:     tr,
+		Metrics:    reg,
+		Log:        log,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Listen(listen); err != nil {
+		return nil, err
+	}
+	rt := &siteRuntime{Server: srv, Tracer: tr, Metrics: reg}
+	if metricsAddr != "" {
+		o, err := obs.Serve(metricsAddr, string(site), reg, tr)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		rt.Obs = o
+	}
+	return rt, nil
+}
+
+func runSite(fed *federationBundle, site object.SiteID, listen, metricsAddr string, peers map[object.SiteID]string) error {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	rt, err := startSite(fed, site, listen, metricsAddr, peers, log)
 	if err != nil {
 		return err
 	}
-	if err := srv.Listen(listen); err != nil {
-		return err
+	attrs := []any{
+		slog.String("site", string(site)),
+		slog.String("addr", rt.Server.Addr()),
+		slog.Int("objects", fed.Databases[site].Len()),
 	}
-	fmt.Printf("site %s serving on %s (%d objects)\n", site, srv.Addr(), db.Len())
+	if rt.Obs != nil {
+		attrs = append(attrs, slog.String("metrics_addr", rt.Obs.Addr()))
+	}
+	log.Info("site serving", attrs...)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("shutting down")
-	return srv.Close()
+	log.Info("shutting down", slog.String("site", string(site)))
+	return rt.Close()
 }
 
-func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string) error {
+// coordOpts selects the coordinator's diagnostic output.
+type coordOpts struct {
+	// Trace prints the query's span tree as seen from the coordinator.
+	Trace bool
+	// Metrics prints the coordinator's metrics snapshot (text form).
+	Metrics bool
+}
+
+func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string, opts coordOpts) error {
 	var alg exec.Algorithm
 	found := false
 	for _, a := range exec.AllAlgorithms() {
@@ -151,11 +231,17 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	if !found {
 		return fmt.Errorf("unknown algorithm %q", algName)
 	}
+	tr := &trace.Tracer{}
+	tr.SetLimit(spanLimit)
+	reg := metrics.New()
 	coord := &remote.Coordinator{
-		ID:     "G",
-		Global: fed.Global,
-		Tables: fed.Mapping,
-		Sites:  peers,
+		ID:      "G",
+		Global:  fed.Global,
+		Tables:  fed.Mapping,
+		Sites:   peers,
+		Tracer:  tr,
+		Metrics: reg,
+		Log:     slog.New(slog.NewTextHandler(os.Stderr, nil)).With("site", "G"),
 	}
 	if err := coord.Ping(); err != nil {
 		return err
@@ -173,6 +259,12 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	fmt.Printf("maybe results (%d):\n", len(ans.Maybe))
 	for _, r := range ans.Maybe {
 		fmt.Printf("  %s\n", r)
+	}
+	if opts.Trace {
+		fmt.Printf("\nspan tree (coordinator view):\n%s", tr.RenderTree())
+	}
+	if opts.Metrics {
+		fmt.Printf("\ncoordinator metrics:\n%s", reg.Snapshot().Text())
 	}
 	return nil
 }

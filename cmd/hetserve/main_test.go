@@ -2,10 +2,13 @@ package main
 
 import (
 	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"strings"
 	"testing"
 
+	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/remote"
 	"github.com/hetfed/hetfed/internal/school"
@@ -45,6 +48,41 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 }
 
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed alongside fn's error.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func httpGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
 // TestCoordinatorAgainstCluster starts the school sites in-process (via the
 // remote package, as runSite would) and drives runCoordinator against them.
 func TestCoordinatorAgainstCluster(t *testing.T) {
@@ -70,20 +108,10 @@ func TestCoordinatorAgainstCluster(t *testing.T) {
 		srv.SetPeers(addrs)
 	}
 
-	old := os.Stdout
-	r, w, _ := os.Pipe()
-	os.Stdout = w
-	done := make(chan string, 1)
-	go func() {
-		data, _ := io.ReadAll(r)
-		done <- string(data)
-	}()
 	bundle := &federationBundle{Global: fx.Global, Databases: fx.Databases, Mapping: fx.Mapping}
-	err := runCoordinator(bundle, addrs, school.Q1, "BL")
-	w.Close()
-	os.Stdout = old
-	out := <-done
-
+	out, err := captureStdout(t, func() error {
+		return runCoordinator(bundle, addrs, school.Q1, "BL", coordOpts{})
+	})
 	if err != nil {
 		t.Fatalf("runCoordinator: %v", err)
 	}
@@ -93,7 +121,149 @@ func TestCoordinatorAgainstCluster(t *testing.T) {
 
 	// Unreachable cluster errors out.
 	bad := map[object.SiteID]string{"DB1": "127.0.0.1:1", "DB2": "127.0.0.1:1", "DB3": "127.0.0.1:1"}
-	if err := runCoordinator(bundle, bad, school.Q1, "BL"); err == nil {
+	if err := runCoordinator(bundle, bad, school.Q1, "BL", coordOpts{}); err == nil {
 		t.Error("unreachable cluster accepted")
+	}
+}
+
+// TestObservabilitySurface is the end-to-end observability check: three
+// instrumented sites with live /metrics endpoints, a BL query driven through
+// the hetserve coordinator path, and then the span trees, per-site metrics
+// and HTTP surface are all inspected.
+func TestObservabilitySurface(t *testing.T) {
+	fx := school.New()
+	bundle := &federationBundle{Global: fx.Global, Databases: fx.Databases, Mapping: fx.Mapping}
+	logger := slog.New(slog.DiscardHandler)
+
+	addrs := make(map[object.SiteID]string)
+	rts := make(map[object.SiteID]*siteRuntime)
+	for _, site := range school.Sites {
+		rt, err := startSite(bundle, site, "127.0.0.1:0", "127.0.0.1:0", nil, logger)
+		if err != nil {
+			t.Fatalf("startSite %s: %v", site, err)
+		}
+		defer rt.Close()
+		rts[site] = rt
+		addrs[site] = rt.Server.Addr()
+	}
+	for _, rt := range rts {
+		rt.Server.SetPeers(addrs)
+	}
+
+	// (c) /healthz answers 200 on every site before any query.
+	for site, rt := range rts {
+		code, body := httpGet(t, rt.Obs.Addr(), "/healthz")
+		if code != http.StatusOK {
+			t.Errorf("healthz %s: status %d", site, code)
+		}
+		if !strings.Contains(body, `"status":"ok"`) || !strings.Contains(body, string(site)) {
+			t.Errorf("healthz %s: body %q", site, body)
+		}
+	}
+
+	// Counters start at zero.
+	before := rts["DB1"].Metrics.Snapshot()
+	if n := before.CounterValue("requests_total", metrics.Labels{Site: "DB1", Alg: "BL"}); n != 0 {
+		t.Errorf("requests_total before query = %d, want 0", n)
+	}
+
+	// Drive a BL query through the hetserve coordinator path with the
+	// diagnostic flags on.
+	var peerList []string
+	for _, site := range school.Sites {
+		peerList = append(peerList, string(site)+"="+addrs[site])
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-coordinator", "-peers", strings.Join(peerList, ","),
+			"-alg", "BL", "-trace", "-metrics"})
+	})
+	if err != nil {
+		t.Fatalf("coordinator run: %v", err)
+	}
+	for _, want := range []string{
+		"Hedy, Kelly", "Tony, Haley", // the paper's Q1 answer still comes out
+		"span tree", "@G", "rpc:local", "[I]", // -trace: tree with the certify (I) phase
+		"coordinator metrics:", "queries_total", // -metrics: snapshot text
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coordinator output missing %q:\n%s", want, out)
+		}
+	}
+
+	// (a) Every site recorded query-scoped serve spans parented on the
+	// coordinator's (or a dispatching peer's) remote span, and the O and P
+	// phases show up site-side; I is the coordinator's certify span,
+	// asserted on stdout above.
+	sitesWithSpans := map[object.SiteID]bool{}
+	phases := map[byte]bool{}
+	for site, rt := range rts {
+		for _, sp := range rt.Tracer.Spans() {
+			if sp.Query == "" {
+				continue // ping: no trace context
+			}
+			if !strings.HasPrefix(sp.Name, "serve:") {
+				t.Errorf("site %s: unexpected span name %q", site, sp.Name)
+			}
+			if sp.Parent == 0 {
+				t.Errorf("site %s: span %s not parented on the caller's span", site, sp.Name)
+			}
+			sitesWithSpans[site] = true
+			for i := 0; i < len(sp.Phases); i++ {
+				phases[sp.Phases[i]] = true
+			}
+		}
+	}
+	if len(sitesWithSpans) < 3 {
+		t.Errorf("query spans reached %d sites, want at least 3 (%v)", len(sitesWithSpans), sitesWithSpans)
+	}
+	if !phases['O'] || !phases['P'] {
+		t.Errorf("site-side phase coverage = %v, want O and P", phases)
+	}
+
+	// (b) Each site's registry holds a nonzero per-algorithm latency
+	// histogram and nonzero per-site-pair byte counters, and the /metrics
+	// endpoint serves them.
+	for site, rt := range rts {
+		snap := rt.Metrics.Snapshot()
+		s, ok := snap.Get("request_latency_us", metrics.Labels{Site: string(site), Alg: "BL"})
+		if !ok || s.Hist == nil || s.Hist.Count == 0 {
+			t.Errorf("site %s: no BL request latency histogram (ok=%v)", site, ok)
+		}
+		var pairBytes int64
+		for _, sample := range snap.Samples {
+			if sample.Name == "net_bytes_total" && sample.Labels.Site == string(site) &&
+				sample.Labels.Peer != "" && sample.Labels.Alg == "BL" {
+				pairBytes += int64(sample.Value)
+			}
+		}
+		if pairBytes == 0 {
+			t.Errorf("site %s: no per-site-pair bytes recorded", site)
+		}
+
+		code, body := httpGet(t, rt.Obs.Addr(), "/metrics?format=text")
+		if code != http.StatusOK {
+			t.Errorf("metrics %s: status %d", site, code)
+		}
+		for _, want := range []string{"requests_total", "request_latency_us", "net_bytes_total"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("metrics %s: missing %q in:\n%s", site, want, body)
+			}
+		}
+		code, body = httpGet(t, rt.Obs.Addr(), "/metrics")
+		if code != http.StatusOK || !strings.Contains(body, `"samples"`) {
+			t.Errorf("metrics %s: JSON form status %d body %.200q", site, code, body)
+		}
+	}
+
+	// Counters advanced after the query (satellite: the surface is live).
+	after := rts["DB1"].Metrics.Snapshot()
+	if n := after.CounterValue("requests_total", metrics.Labels{Site: "DB1", Alg: "BL"}); n == 0 {
+		t.Error("requests_total did not advance after the query")
+	}
+
+	// The last-query span tree is browsable over HTTP.
+	code, body := httpGet(t, rts["DB1"].Obs.Addr(), "/debug/trace/last")
+	if code != http.StatusOK || !strings.Contains(body, "serve:") {
+		t.Errorf("debug/trace/last: status %d body %q", code, body)
 	}
 }

@@ -13,10 +13,16 @@
 //	hetsim -figure planner           # E9: cost-based strategy selection
 //	hetsim -figure indexes           # E10: secondary-index ablation
 //	hetsim -figure all -scale 0.2    # everything, scaled-down extents
+//	hetsim -trace -metrics           # instrumented demo query, no sweep
 //
 // The -scale flag multiplies the Table 2 extent sizes (5000–6000 objects
 // per constituent class) so the full study fits any time budget; shapes are
 // stable under scaling.
+//
+// -trace and -metrics skip the sweeps and instead run the school example's
+// Q1 under every strategy inside the simulator, printing the span tree
+// (virtual times) and the per-strategy metrics deltas — a quick way to see
+// what one simulated execution does.
 package main
 
 import (
@@ -25,7 +31,14 @@ import (
 	"os"
 	"strings"
 
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
 	"github.com/hetfed/hetfed/internal/sim"
+	"github.com/hetfed/hetfed/internal/trace"
 )
 
 func main() {
@@ -43,9 +56,15 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 1, "base random seed")
 		scale   = fs.Float64("scale", 1.0, "multiplier on the Table 2 extent sizes")
 		csvPath = fs.String("csv", "", "also write the series to this CSV file")
+		doTrace = fs.Bool("trace", false, "run an instrumented demo query and print its span tree")
+		doMetrs = fs.Bool("metrics", false, "run an instrumented demo query and print its metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *doTrace || *doMetrs {
+		return runInstrumentedDemo(*doTrace, *doMetrs)
 	}
 
 	cfg := sim.DefaultConfig()
@@ -133,6 +152,57 @@ func run(args []string) error {
 			return fmt.Errorf("write csv: %w", err)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+// runInstrumentedDemo executes the school example's Q1 under every strategy
+// on the discrete-event simulator with the observability layer wired in,
+// printing what -trace/-metrics print elsewhere in the toolset.
+func runInstrumentedDemo(doTrace, doMetrics bool) error {
+	fx := school.New()
+	var tracer trace.Tracer
+	reg := metrics.New()
+	engine, err := exec.New(exec.Config{
+		Global:      fx.Global,
+		Coordinator: "G",
+		Databases:   fx.Databases,
+		Tables:      fx.Mapping,
+		Tracer:      &tracer,
+		Metrics:     reg,
+		Signatures:  signature.Build(fx.Databases),
+	})
+	if err != nil {
+		return err
+	}
+	q, err := query.Parse(school.Q1)
+	if err != nil {
+		return err
+	}
+	b, err := query.Bind(q, fx.Global)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demo query: %s\n", q)
+	prev := reg.Snapshot()
+	for _, alg := range exec.Algorithms() {
+		tracer.Reset()
+		ans, m, err := engine.Run(fabric.NewSim(fabric.DefaultRates(), engine.Sites()), alg, b)
+		if err != nil {
+			return fmt.Errorf("%v: %w", alg, err)
+		}
+		fmt.Printf("\n=== %v ===  certain %d, maybe %d, simulated response %.2f ms\n",
+			alg, len(ans.Certain), len(ans.Maybe), m.ResponseMicros/1e3)
+		if doTrace {
+			fmt.Println("span tree:")
+			fmt.Print(tracer.RenderTree())
+		}
+		if doMetrics {
+			cur := reg.Snapshot()
+			fmt.Println("metrics:")
+			fmt.Print(cur.Delta(prev).Text())
+			prev = cur
+		}
 	}
 	return nil
 }

@@ -22,7 +22,9 @@ import (
 	"github.com/hetfed/hetfed/internal/fedfile"
 	"github.com/hetfed/hetfed/internal/gmap"
 	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
 	"github.com/hetfed/hetfed/internal/planner"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/remote"
@@ -244,7 +246,8 @@ type (
 	Metrics = fabric.Metrics
 	// Rates are the Table 1 cost parameters.
 	Rates = fabric.Rates
-	// Tracer records the executed step flow (the paper's Figure 8).
+	// Tracer records each query as a tree of query-scoped spans, and can
+	// still render the flat step flow (the paper's Figure 8).
 	Tracer = trace.Tracer
 )
 
@@ -365,6 +368,43 @@ var (
 	NetworkSweep      = sim.NetworkSweep
 	// PlannerAccuracy scores cost-based strategy selection (E9).
 	PlannerAccuracy = sim.PlannerAccuracy
+)
+
+//
+// Observability — query-scoped spans, the per-site metrics registry, and
+// the live HTTP surface (/metrics, /healthz, /debug/trace/last).
+//
+
+type (
+	// Span is one recorded query-scoped span: site, phase tags (O, I, P),
+	// wall and virtual durations, and attached counters.
+	Span = trace.Span
+	// SpanID identifies a span within one tracer; 0 means none.
+	SpanID = trace.SpanID
+	// SpanHandle mutates a live span (phases, counters, end).
+	SpanHandle = trace.Handle
+	// TraceEvent is one flat step-flow event derived from the spans.
+	TraceEvent = trace.Event
+	// MetricsRegistry holds counters, gauges and histograms keyed by
+	// (site, peer, algorithm, phase). Wire one into EngineConfig.Metrics,
+	// SiteServerConfig.Metrics or RemoteCoordinator.Metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricsLabels keys one instrument within a registry.
+	MetricsLabels = metrics.Labels
+	// MetricsSnapshot is a point-in-time registry copy supporting Delta,
+	// Merge, and text/JSON rendering.
+	MetricsSnapshot = metrics.Snapshot
+	// ObsServer is a running observability HTTP endpoint.
+	ObsServer = obs.Server
+)
+
+// Observability helpers.
+var (
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = metrics.New
+	// ServeObservability binds the HTTP observability surface (/metrics,
+	// /healthz, /debug/trace/last, /debug/vars) for one site.
+	ServeObservability = obs.Serve
 )
 
 //

@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/schema"
@@ -80,7 +82,9 @@ type Engine struct {
 	coord  *federation.Coordinator
 	sites  map[object.SiteID]*federation.Site
 	tracer *trace.Tracer
+	reg    *metrics.Registry
 	sigs   *signature.Index
+	qseq   atomic.Uint64
 }
 
 // Config assembles an engine.
@@ -94,8 +98,13 @@ type Config struct {
 	// Tables are the GOid mapping tables; each site works against this
 	// replica (the tables are read-only during query processing).
 	Tables *gmap.Tables
-	// Tracer, when non-nil, records the executed steps (Figure 8 flows).
+	// Tracer, when non-nil, records the executed steps (Figure 8 flows) as
+	// query-scoped spans carrying phase tags and runtime timings.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives per-query counters and histograms:
+	// latency, per-phase span times, per-site disk/CPU work, per-site-pair
+	// network bytes, and certification outcomes.
+	Metrics *metrics.Registry
 	// Signatures, when non-nil, is the replicated object-signature index
 	// required by the SBL and SPL strategies.
 	Signatures *signature.Index
@@ -121,6 +130,7 @@ func New(cfg Config) (*Engine, error) {
 		coord:  federation.NewCoordinator(cfg.Coordinator, cfg.Global, cfg.Tables),
 		sites:  make(map[object.SiteID]*federation.Site, len(cfg.Databases)),
 		tracer: cfg.Tracer,
+		reg:    cfg.Metrics,
 		sigs:   cfg.Signatures,
 	}
 	for id, db := range cfg.Databases {
@@ -152,7 +162,8 @@ func (e *Engine) Sites() []object.SiteID {
 func (e *Engine) Coordinator() object.SiteID { return e.coord.ID() }
 
 // Run executes the query under the given strategy on the given runtime and
-// returns the answer with the runtime's metrics.
+// returns the answer with the runtime's metrics. Each run gets a fresh
+// query ID scoping its span tree and metric samples.
 func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federation.Answer, fabric.Metrics, error) {
 	var (
 		ans *federation.Answer
@@ -161,21 +172,28 @@ func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federat
 	if (alg == SBL || alg == SPL) && e.sigs == nil {
 		return nil, fabric.Metrics{}, fmt.Errorf("exec: %v requires a signature index (Config.Signatures)", alg)
 	}
+	q := &runCtx{qid: fmt.Sprintf("q%d", e.qseq.Add(1)), alg: alg.String()}
 	m, runErr := rt.Run(alg.String(), func(p fabric.Proc) {
+		root := e.begin(q, p, 0, e.coord.ID(), alg.String(), "")
+		q.root = root.ID()
 		switch alg {
 		case CA:
-			ans = e.runCA(p, b)
+			ans = e.runCA(q, p, b)
 		case BL:
-			ans = e.runBL(p, b, nil)
+			ans = e.runBL(q, p, b, nil)
 		case PL:
-			ans = e.runPL(p, b, nil)
+			ans = e.runPL(q, p, b, nil)
 		case SBL:
-			ans = e.runBL(p, b, e.sigs)
+			ans = e.runBL(q, p, b, e.sigs)
 		case SPL:
-			ans = e.runPL(p, b, e.sigs)
+			ans = e.runPL(q, p, b, e.sigs)
 		default:
 			err = fmt.Errorf("exec: unknown algorithm %v", alg)
 		}
+		if ans != nil {
+			root.Add("certain", int64(len(ans.Certain))).Add("maybe", int64(len(ans.Maybe)))
+		}
+		root.EndV(p.Now())
 	})
 	if runErr != nil {
 		return nil, m, runErr
@@ -183,52 +201,123 @@ func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federat
 	if err != nil {
 		return nil, m, err
 	}
+	e.record(q, ans, m)
 	return ans, m, nil
 }
 
-func (e *Engine) step(site object.SiteID, name, detail string) {
-	if e.tracer != nil {
-		e.tracer.Step(site, name, detail)
+// runCtx scopes one query execution: its ID, strategy name, and root span.
+type runCtx struct {
+	qid  string
+	alg  string
+	root trace.SpanID
+}
+
+// begin opens a query-scoped span at a site, stamped with the runtime's
+// clock. With no tracer configured it returns the no-op handle without
+// touching the runtime clock.
+func (e *Engine) begin(q *runCtx, p fabric.Proc, parent trace.SpanID, site object.SiteID, name, phases string) trace.Handle {
+	if e.tracer == nil {
+		return trace.Handle{}
+	}
+	return e.tracer.StartSpan(parent, site, name).
+		WithQuery(q.qid, q.alg).WithPhases(phases).WithVStart(p.Now())
+}
+
+// record feeds the registry from the finished run: runtime metrics broken
+// down per site and site pair, answer/certification breakdowns, and the
+// per-phase time histograms derived from the query's spans.
+func (e *Engine) record(q *runCtx, ans *federation.Answer, m fabric.Metrics) {
+	if e.reg == nil {
+		return
+	}
+	coord := string(e.coord.ID())
+	e.reg.Counter("queries_total", metrics.Labels{Site: coord, Alg: q.alg}).Inc()
+	e.reg.Histogram("query_latency_us", metrics.Labels{Site: coord, Alg: q.alg}).Observe(m.ResponseMicros)
+	if ans != nil {
+		algOnly := metrics.Labels{Alg: q.alg}
+		e.reg.Counter("results_certain_total", algOnly).Add(int64(len(ans.Certain)))
+		e.reg.Counter("results_maybe_total", algOnly).Add(int64(len(ans.Maybe)))
+		e.reg.Counter("maybe_certified_total", algOnly).Add(int64(ans.Stats.Certified))
+		e.reg.Counter("maybe_eliminated_total", algOnly).Add(int64(ans.Stats.Eliminated))
+	}
+	for site, sc := range m.PerSite {
+		l := metrics.Labels{Site: string(site), Alg: q.alg}
+		e.reg.Counter("disk_bytes_total", l).Add(sc.DiskBytes)
+		e.reg.Counter("cpu_ops_total", l).Add(sc.CPUOps)
+	}
+	for pair, bytes := range m.NetPairs {
+		e.reg.Counter("net_bytes_total",
+			metrics.Labels{Site: string(pair.From), Peer: string(pair.To), Alg: q.alg}).Add(bytes)
+	}
+	if e.tracer == nil {
+		return
+	}
+	for _, s := range e.tracer.Spans() {
+		if s.Query != q.qid || s.Phases == "" || s.End.IsZero() {
+			continue
+		}
+		// A multi-phase span ("PO") observes its full duration under each
+		// phase it performs; the phases are not separable at the site.
+		d := s.VDurationMicros()
+		if d < 0 {
+			d = s.DurationMicros()
+		}
+		for _, ph := range s.Phases {
+			e.reg.Histogram("phase_time_us",
+				metrics.Labels{Site: string(s.Site), Alg: q.alg, Phase: string(ph)}).Observe(d)
+		}
 	}
 }
 
 // runCA is the centralized approach: O → I → P.
-func (e *Engine) runCA(p fabric.Proc, b *query.Bound) *federation.Answer {
+func (e *Engine) runCA(q *runCtx, p fabric.Proc, b *query.Bound) *federation.Answer {
 	coord := e.coord.ID()
 	sites := b.InvolvedSites()
 	replies := make([]federation.RetrieveReply, len(sites))
 
-	// CA_G1 ∥ CA_C1: every involved site retrieves and ships its objects.
+	// CA_G1 ∥ CA_C1: every involved site retrieves and ships its objects
+	// (phase O).
+	g1 := e.begin(q, p, q.root, coord, "CA_G1", "O").
+		Detailf("request objects from %d sites", len(sites))
 	fns := make([]func(fabric.Proc), len(sites))
 	for i, siteID := range sites {
 		i, siteID := i, siteID
 		fns[i] = func(p fabric.Proc) {
+			c1 := e.begin(q, p, g1.ID(), siteID, "CA_C1", "O")
 			site := e.sites[siteID]
 			p.Transfer(coord, siteID, federation.QueryWireSize(b))
 			reply := site.Retrieve(p, b)
-			e.step(siteID, "CA_C1", fmt.Sprintf("retrieve %d classes", len(reply.Classes)))
+			c1.Detailf("retrieve %d classes", len(reply.Classes)).
+				Add("classes", int64(len(reply.Classes))).
+				Add("bytes_shipped", int64(reply.WireSize()))
 			p.Transfer(siteID, coord, reply.WireSize())
 			replies[i] = reply
+			c1.EndV(p.Now())
 		}
 	}
-	e.step(coord, "CA_G1", fmt.Sprintf("request objects from %d sites", len(sites)))
 	p.Fork(fns...)
+	g1.EndV(p.Now())
 
-	// CA_G2: outerjoin integration over GOids (phases O and I).
+	// CA_G2: outerjoin integration over GOids (phase I).
+	g2 := e.begin(q, p, q.root, coord, "CA_G2", "I")
 	view := e.coord.Materialize(p, b, replies)
-	e.step(coord, "CA_G2", fmt.Sprintf("materialized %d objects", view.Len()))
+	g2.Detailf("materialized %d objects", view.Len()).Add("objects", int64(view.Len()))
+	g2.EndV(p.Now())
 
 	// CA_G3: evaluate the predicates (phase P).
+	g3 := e.begin(q, p, q.root, coord, "CA_G3", "P")
 	ans := e.coord.EvaluateView(p, b, view)
-	e.step(coord, "CA_G3", fmt.Sprintf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)))
+	g3.Detailf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe))
+	g3.EndV(p.Now())
 	return ans
 }
 
 // dispatchChecks ships check requests to their target sites, has the
 // targets check the assistant objects, and routes the verdicts to the
-// coordinator. It returns one task function per target site.
-func (e *Engine) dispatchChecks(origin object.SiteID, checks map[object.SiteID][]federation.CheckItem,
-	sink func(federation.CheckReply)) []func(fabric.Proc) {
+// coordinator. It returns one task function per target site; each runs as
+// a child span of parent (the origin site's local step).
+func (e *Engine) dispatchChecks(q *runCtx, parent trace.SpanID, origin object.SiteID,
+	checks map[object.SiteID][]federation.CheckItem, sink func(federation.CheckReply)) []func(fabric.Proc) {
 	targets := make([]object.SiteID, 0, len(checks))
 	for t := range checks {
 		targets = append(targets, t)
@@ -240,13 +329,18 @@ func (e *Engine) dispatchChecks(origin object.SiteID, checks map[object.SiteID][
 	for _, target := range targets {
 		target := target
 		items := checks[target]
+		e.reg.Counter("checks_dispatched_total",
+			metrics.Labels{Site: string(origin), Alg: q.alg}).Add(int64(len(items)))
 		fns = append(fns, func(p fabric.Proc) {
+			c3 := e.begin(q, p, parent, target, "C3", "O")
 			req := federation.CheckRequest{From: origin, Items: items}
 			p.Transfer(origin, target, req.WireSize())
 			reply := e.sites[target].CheckAssistants(p, items)
-			e.step(target, "C3", fmt.Sprintf("checked %d assistants from %s", len(items), origin))
+			c3.Detailf("checked %d assistants from %s", len(items), origin).
+				Add("items", int64(len(items)))
 			p.Transfer(target, coord, reply.WireSize())
 			sink(reply)
+			c3.EndV(p.Now())
 		})
 	}
 	return fns
@@ -254,7 +348,7 @@ func (e *Engine) dispatchChecks(origin object.SiteID, checks map[object.SiteID][
 
 // runBL is the basic localized approach: P → O → I. A non-nil sigs runs
 // the signature-assisted variant.
-func (e *Engine) runBL(p fabric.Proc, b *query.Bound, sigs *signature.Index) *federation.Answer {
+func (e *Engine) runBL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature.Index) *federation.Answer {
 	coord := e.coord.ID()
 	rootSites := b.RootSites()
 	results := make([]federation.LocalResult, len(rootSites))
@@ -268,31 +362,43 @@ func (e *Engine) runBL(p fabric.Proc, b *query.Bound, sigs *signature.Index) *fe
 	}
 
 	// BL_G1 ∥ per-site BL_C1/BL_C2, with BL_C3 at the check targets.
+	g1 := e.begin(q, p, q.root, coord, "BL_G1", "").
+		Detailf("local queries to %d sites", len(rootSites))
 	fns := make([]func(fabric.Proc), len(rootSites))
 	for i, siteID := range rootSites {
 		i, siteID := i, siteID
 		fns[i] = func(p fabric.Proc) {
+			// Phase P (local predicates) then phase O (assistant lookup) at
+			// the site — the paper's P → O ordering in one local step.
+			c12 := e.begin(q, p, g1.ID(), siteID, "BL_C1+C2", "PO")
 			site := e.sites[siteID]
 			p.Transfer(coord, siteID, federation.QueryWireSize(b))
 			res, checks := site.EvalLocalBasic(p, b, sigs)
-			e.step(siteID, "BL_C1+C2", fmt.Sprintf("%d local rows, %d check targets", len(res.Rows), len(checks)))
+			c12.Detailf("%d local rows, %d check targets", len(res.Rows), len(checks)).
+				Add("rows", int64(len(res.Rows))).
+				Add("check_targets", int64(len(checks)))
 			results[i] = res
+			c12.EndV(p.Now())
 
 			// The local results travel to the coordinator while the check
 			// requests are processed at the other sites.
 			sub := []func(fabric.Proc){func(p fabric.Proc) {
 				p.Transfer(siteID, coord, res.WireSize())
 			}}
-			sub = append(sub, e.dispatchChecks(siteID, checks, addReply)...)
+			sub = append(sub, e.dispatchChecks(q, c12.ID(), siteID, checks, addReply)...)
 			p.Fork(sub...)
 		}
 	}
-	e.step(coord, "BL_G1", fmt.Sprintf("local queries to %d sites", len(rootSites)))
 	p.Fork(fns...)
+	g1.EndV(p.Now())
 
 	// BL_G2: certification (phase I).
+	g2 := e.begin(q, p, q.root, coord, "BL_G2", "I")
 	ans := e.coord.Certify(p, b, results, replies)
-	e.step(coord, "BL_G2", fmt.Sprintf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)))
+	g2.Detailf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)).
+		Add("certified", int64(ans.Stats.Certified)).
+		Add("eliminated", int64(ans.Stats.Eliminated))
+	g2.EndV(p.Now())
 	return ans
 }
 
@@ -301,7 +407,7 @@ func (e *Engine) runBL(p fabric.Proc, b *query.Bound, sigs *signature.Index) *fe
 // dispatch happen before local predicate evaluation, so checking at other
 // sites (PL_C3) runs in parallel with the local evaluation (PL_C2).
 // A non-nil sigs runs the signature-assisted variant.
-func (e *Engine) runPL(p fabric.Proc, b *query.Bound, sigs *signature.Index) *federation.Answer {
+func (e *Engine) runPL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature.Index) *federation.Answer {
 	coord := e.coord.ID()
 	rootSites := b.RootSites()
 	results := make([]federation.LocalResult, len(rootSites))
@@ -314,6 +420,8 @@ func (e *Engine) runPL(p fabric.Proc, b *query.Bound, sigs *signature.Index) *fe
 		replies = append(replies, r)
 	}
 
+	g1 := e.begin(q, p, q.root, coord, "PL_G1", "").
+		Detailf("local queries to %d sites", len(rootSites))
 	fns := make([]func(fabric.Proc), len(rootSites))
 	for i, siteID := range rootSites {
 		i, siteID := i, siteID
@@ -323,26 +431,35 @@ func (e *Engine) runPL(p fabric.Proc, b *query.Bound, sigs *signature.Index) *fe
 
 			// PL_C1 (phase O): locate unsolved items for every object and
 			// dispatch the checks immediately.
+			c1 := e.begin(q, p, g1.ID(), siteID, "PL_C1", "O")
 			nav, checks := site.NavigateAll(p, b, sigs)
-			e.step(siteID, "PL_C1", fmt.Sprintf("%d check targets", len(checks)))
+			c1.Detailf("%d check targets", len(checks)).
+				Add("check_targets", int64(len(checks)))
+			c1.EndV(p.Now())
 			checkH := make([]fabric.Handle, 0, len(checks))
-			for j, fn := range e.dispatchChecks(siteID, checks, addReply) {
+			for j, fn := range e.dispatchChecks(q, c1.ID(), siteID, checks, addReply) {
 				checkH = append(checkH, p.Go(fmt.Sprintf("%s-check-%d", siteID, j), fn))
 			}
 
 			// PL_C2 (phase P) runs while the checks are in flight.
+			c2 := e.begin(q, p, g1.ID(), siteID, "PL_C2", "P")
 			res := site.EvalNavigated(p, b, nav)
-			e.step(siteID, "PL_C2", fmt.Sprintf("%d local rows", len(res.Rows)))
+			c2.Detailf("%d local rows", len(res.Rows)).Add("rows", int64(len(res.Rows)))
 			results[i] = res
 			p.Transfer(siteID, coord, res.WireSize())
+			c2.EndV(p.Now())
 			p.Wait(checkH...)
 		}
 	}
-	e.step(coord, "PL_G1", fmt.Sprintf("local queries to %d sites", len(rootSites)))
 	p.Fork(fns...)
+	g1.EndV(p.Now())
 
 	// PL_G2: certification (phase I).
+	g2 := e.begin(q, p, q.root, coord, "PL_G2", "I")
 	ans := e.coord.Certify(p, b, results, replies)
-	e.step(coord, "PL_G2", fmt.Sprintf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)))
+	g2.Detailf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)).
+		Add("certified", int64(ans.Stats.Certified)).
+		Add("eliminated", int64(ans.Stats.Eliminated))
+	g2.EndV(p.Now())
 	return ans
 }

@@ -64,6 +64,22 @@ type Proc interface {
 	// On the simulated runtime the task blocks while the shared medium is
 	// occupied.
 	Transfer(from, to object.SiteID, bytes int)
+	// Now is the runtime's clock in microseconds: virtual time on the
+	// simulated runtime, time since Run started on the real runtime. Span
+	// timestamps taken from Now are comparable within one Run.
+	Now() float64
+}
+
+// SiteCost is the local work charged to one site during an execution.
+type SiteCost struct {
+	DiskBytes int64
+	CPUOps    int64
+}
+
+// Pair is a directed site pair, keying network-transfer accounting.
+type Pair struct {
+	From object.SiteID
+	To   object.SiteID
 }
 
 // Metrics summarizes one execution.
@@ -78,6 +94,11 @@ type Metrics struct {
 	DiskBytes int64
 	CPUOps    int64
 	NetBytes  int64
+	// PerSite breaks DiskBytes and CPUOps down by the site they were
+	// charged to.
+	PerSite map[object.SiteID]SiteCost
+	// NetPairs breaks NetBytes down by directed site pair.
+	NetPairs map[Pair]int64
 }
 
 // Runtime executes a root task and reports metrics.

@@ -19,6 +19,8 @@ type Real struct {
 	mu    sync.Mutex
 	sinks map[object.SiteID]*cost.Counter
 	net   int64
+	pairs map[Pair]int64
+	start time.Time
 	err   error
 }
 
@@ -35,6 +37,8 @@ func (r *Real) Run(name string, fn func(Proc)) (Metrics, error) {
 	r.mu.Lock()
 	r.sinks = make(map[object.SiteID]*cost.Counter)
 	r.net = 0
+	r.pairs = make(map[Pair]int64)
+	r.start = time.Now()
 	r.err = nil
 	r.mu.Unlock()
 
@@ -48,12 +52,20 @@ func (r *Real) Run(name string, fn func(Proc)) (Metrics, error) {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m := Metrics{ResponseMicros: float64(elapsed.Nanoseconds()) / 1e3}
-	for _, c := range r.sinks {
+	m := Metrics{
+		ResponseMicros: float64(elapsed.Nanoseconds()) / 1e3,
+		PerSite:        make(map[object.SiteID]SiteCost, len(r.sinks)),
+		NetPairs:       make(map[Pair]int64, len(r.pairs)),
+	}
+	for site, c := range r.sinks {
 		m.DiskBytes += c.DiskBytes()
 		m.CPUOps += c.CPUOps()
+		m.PerSite[site] = SiteCost{DiskBytes: c.DiskBytes(), CPUOps: c.CPUOps()}
 	}
 	m.NetBytes = r.net
+	for pair, bytes := range r.pairs {
+		m.NetPairs[pair] = bytes
+	}
 	m.TotalBusyMicros = r.rates.Work(m.DiskBytes, m.CPUOps, m.NetBytes)
 	return m, r.err
 }
@@ -128,8 +140,17 @@ func (p *realProc) Fork(fns ...func(Proc)) { forkImpl(p, fns) }
 func (p *realProc) Sink(site object.SiteID) cost.Sink { return p.rt.sink(site) }
 
 // Transfer implements Proc.
-func (p *realProc) Transfer(_, _ object.SiteID, bytes int) {
+func (p *realProc) Transfer(from, to object.SiteID, bytes int) {
 	p.rt.mu.Lock()
 	p.rt.net += int64(bytes)
+	p.rt.pairs[Pair{From: from, To: to}] += int64(bytes)
 	p.rt.mu.Unlock()
+}
+
+// Now implements Proc: wall-clock microseconds since Run started.
+func (p *realProc) Now() float64 {
+	p.rt.mu.Lock()
+	start := p.rt.start
+	p.rt.mu.Unlock()
+	return float64(time.Since(start).Nanoseconds()) / 1e3
 }

@@ -22,9 +22,14 @@ type Sim struct {
 	disk  map[object.SiteID]*des.Resource
 	net   *des.Resource
 
+	// Event counters. Plain (unlocked) fields are safe here: DES processes
+	// run one at a time under the simulator's channel handshakes, which
+	// establish happens-before edges the race detector accepts.
 	diskBytes int64
 	cpuOps    int64
 	netBytes  int64
+	perSite   map[object.SiteID]SiteCost
+	pairs     map[Pair]int64
 	used      bool
 }
 
@@ -38,6 +43,9 @@ func NewSim(rates Rates, sites []object.SiteID) *Sim {
 		sim:   des.New(),
 		cpu:   make(map[object.SiteID]*des.Resource, len(sites)),
 		disk:  make(map[object.SiteID]*des.Resource, len(sites)),
+
+		perSite: make(map[object.SiteID]SiteCost),
+		pairs:   make(map[Pair]int64),
 	}
 	for _, site := range sites {
 		s.cpu[site] = s.sim.NewResource(string(site) + ".cpu")
@@ -65,6 +73,8 @@ func (s *Sim) Run(name string, fn func(Proc)) (Metrics, error) {
 		DiskBytes:       s.diskBytes,
 		CPUOps:          s.cpuOps,
 		NetBytes:        s.netBytes,
+		PerSite:         s.perSite,
+		NetPairs:        s.pairs,
 	}, nil
 }
 
@@ -116,23 +126,28 @@ func (sp *simProc) Sink(site object.SiteID) cost.Sink {
 	if !okC || !okD {
 		panic(fmt.Sprintf("fabric: unregistered site %s", site))
 	}
-	return &simSink{rt: sp.rt, p: sp.p, cpu: cpu, disk: disk}
+	return &simSink{rt: sp.rt, p: sp.p, site: site, cpu: cpu, disk: disk}
 }
 
 // Transfer implements Proc.
-func (sp *simProc) Transfer(_, _ object.SiteID, bytes int) {
+func (sp *simProc) Transfer(from, to object.SiteID, bytes int) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("fabric: negative transfer %d", bytes))
 	}
 	sp.rt.netBytes += int64(bytes)
+	sp.rt.pairs[Pair{From: from, To: to}] += int64(bytes)
 	sp.p.Use(sp.rt.net, float64(bytes)*sp.rt.rates.NetPerByte)
 }
+
+// Now implements Proc: the current virtual time.
+func (sp *simProc) Now() float64 { return sp.p.Now() }
 
 // simSink charges CPU and disk events as virtual time on the site's
 // resources. It is bound to one process and must not be shared.
 type simSink struct {
 	rt   *Sim
 	p    *des.Proc
+	site object.SiteID
 	cpu  *des.Resource
 	disk *des.Resource
 }
@@ -142,11 +157,17 @@ var _ cost.Sink = (*simSink)(nil)
 // DiskRead implements cost.Sink.
 func (s *simSink) DiskRead(bytes int) {
 	s.rt.diskBytes += int64(bytes)
+	sc := s.rt.perSite[s.site]
+	sc.DiskBytes += int64(bytes)
+	s.rt.perSite[s.site] = sc
 	s.p.Use(s.disk, float64(bytes)*s.rt.rates.DiskPerByte)
 }
 
 // CPU implements cost.Sink.
 func (s *simSink) CPU(ops int) {
 	s.rt.cpuOps += int64(ops)
+	sc := s.rt.perSite[s.site]
+	sc.CPUOps += int64(ops)
+	s.rt.perSite[s.site] = sc
 	s.p.Use(s.cpu, float64(ops)*s.rt.rates.CPUPerOp)
 }

@@ -182,6 +182,7 @@ func (co *Coordinator) EvaluateView(p fabric.Proc, b *query.Bound, v *View) *Ans
 		}
 		verdict := b.Fold(verdicts)
 		if verdict == tvl.False {
+			ans.Stats.Eliminated++
 			continue
 		}
 		row := ResultRow{GOid: object.GOid(root.LOid)}
@@ -237,9 +238,11 @@ func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalRes
 		idx       int
 		suffixLen int
 	}
+	ans := &Answer{}
 	checkEvidence := make(map[vkey]tvl.Truth)
 	record := func(cv CheckVerdict) {
 		c.CPU(1)
+		ans.Stats.CheckVerdicts++
 		k := vkey{item: cv.ItemGOid, idx: cv.SourceIdx, suffixLen: cv.SuffixLen}
 		prev, seen := checkEvidence[k]
 		switch {
@@ -272,6 +275,7 @@ func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalRes
 	entities := make(map[object.GOid]*entity)
 	var order []object.GOid
 	for _, res := range sorted {
+		ans.Stats.LocalRows += len(res.Rows)
 		for _, row := range res.Rows {
 			c.CPU(1)
 			e := entities[row.GOid]
@@ -292,7 +296,6 @@ func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalRes
 	}
 	rootTable := co.tables.Table(b.Query.Range)
 
-	ans := &Answer{}
 	for _, goid := range order {
 		e := entities[goid]
 
@@ -308,6 +311,7 @@ func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalRes
 			}
 		}
 		if eliminated {
+			ans.Stats.Eliminated++
 			continue
 		}
 
@@ -332,6 +336,11 @@ func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalRes
 				}
 			}
 		}
+
+		// The fold of the local evidence alone, before check verdicts are
+		// applied — a later upgrade to a certain result means the entity was
+		// certified by assistant checks (Stats.Certified).
+		localFold := b.Fold(evidence)
 
 		// Apply the certification rule through the check verdicts of the
 		// rows' unsolved items. A predicate's items within one row combine
@@ -377,8 +386,12 @@ func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalRes
 		// Classify under the query's (possibly disjunctive) form.
 		switch b.Fold(evidence) {
 		case tvl.False:
+			ans.Stats.Eliminated++
 			continue
 		case tvl.True:
+			if localFold != tvl.True {
+				ans.Stats.Certified++
+			}
 			ans.Certain = append(ans.Certain, ResultRow{
 				GOid: goid, Targets: mergeTargets(e.rows, len(b.Targets), &c)})
 		default:

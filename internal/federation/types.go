@@ -64,6 +64,27 @@ func (r ResultRow) String() string {
 type Answer struct {
 	Certain []ResultRow
 	Maybe   []ResultRow
+	// Stats summarizes how the answer came to be (observability; not part
+	// of the paper's answer model).
+	Stats AnswerStats
+}
+
+// AnswerStats is the certification breakdown of one query execution.
+type AnswerStats struct {
+	// LocalRows is the number of local result rows the coordinator
+	// integrated (0 under the centralized approach, which integrates
+	// objects, not rows).
+	LocalRows int
+	// Certified counts entities whose local evidence alone was inconclusive
+	// but whom check verdicts certified into certain results.
+	Certified int
+	// Eliminated counts entities ruled out during integration: a root
+	// object filtered by its own site's predicates, a violated check
+	// verdict, or a false predicate fold.
+	Eliminated int
+	// CheckVerdicts is the number of assistant-check verdicts integrated
+	// (remote replies plus local signature verdicts).
+	CheckVerdicts int
 }
 
 // CertainGOids returns the certain entities' GOids.

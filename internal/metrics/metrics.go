@@ -1,0 +1,419 @@
+// Package metrics is the federation's lock-cheap metrics registry:
+// counters, gauges, and fixed-bucket latency histograms keyed by a small
+// label set (site, peer site, algorithm, phase), with point-in-time
+// snapshots that support delta (between two snapshots of one registry) and
+// merge (across registries of several sites), rendered as text or JSON.
+//
+// Instruments are cheap on the hot path: registration takes a mutex only on
+// first use of a (name, labels) pair; recording is a handful of atomic
+// operations. That keeps the overhead budget of the instrumented execution
+// path honest (see BenchmarkTraceOverhead).
+//
+// Metric names used across the system:
+//
+//	queries_total{site,alg}            queries executed by a coordinator
+//	query_latency_us{site,alg}         end-to-end query latency histogram
+//	results_certain_total{alg}         certain answers produced
+//	results_maybe_total{alg}           maybe answers produced
+//	maybe_certified_total{alg}         maybe results certified into certain
+//	maybe_eliminated_total{alg}        maybe results eliminated by checks
+//	checks_dispatched_total{site,alg}  assistant checks sent on behalf of site
+//	phase_time_us{site,alg,phase}      per-phase span durations (O/I/P)
+//	disk_bytes_total{site,alg}         disk bytes charged to site
+//	cpu_ops_total{site,alg}            CPU comparisons charged to site
+//	net_bytes_total{site,peer,alg}     bytes shipped from site to peer
+//	requests_total{site,alg}           remote requests served by site
+//	request_errors_total{site}         remote requests rejected or failed
+//	request_latency_us{site,alg}       remote request service time
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels identify one instrument of a named metric. Unused fields stay
+// empty; the struct is comparable and keys the registry directly.
+type Labels struct {
+	Site  string `json:"site,omitempty"`
+	Peer  string `json:"peer,omitempty"`
+	Alg   string `json:"alg,omitempty"`
+	Phase string `json:"phase,omitempty"`
+}
+
+// String renders the labels in {k="v",...} form, empty for no labels.
+func (l Labels) String() string {
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, fmt.Sprintf("%s=%q", k, v))
+		}
+	}
+	add("site", l.Site)
+	add("peer", l.Peer)
+	add("alg", l.Alg)
+	add("phase", l.Phase)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+type key struct {
+	name   string
+	labels Labels
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v *atomic.Int64 }
+
+// Add increases the counter. Negative deltas are ignored.
+func (c Counter) Add(n int64) {
+	if c.v != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increases the counter by one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Gauge is a value that can move both ways.
+type Gauge struct{ v *atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g Gauge) Set(n int64) {
+	if g.v != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by a (possibly negative) delta.
+func (g Gauge) Add(n int64) {
+	if g.v != nil {
+		g.v.Add(n)
+	}
+}
+
+// DefaultBuckets are the latency histogram bounds in microseconds, spanning
+// sub-millisecond local work up to multi-second distributed queries.
+var DefaultBuckets = []float64{
+	50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
+	50000, 100000, 250000, 500000, 1e6, 2.5e6, 5e6,
+}
+
+// Histogram is a fixed-bucket histogram of microsecond values. Observations
+// are lock-free; the bucket layout is immutable after creation.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// snapshot captures the histogram's current state.
+func (h *Histogram) snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry holds the instruments of one process (a site server or a
+// coordinator). The zero value is not usable; call New.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[key]*atomic.Int64
+	gauges   map[key]*atomic.Int64
+	hists    map[key]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[key]*atomic.Int64),
+		gauges:   make(map[key]*atomic.Int64),
+		hists:    make(map[key]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the counter for the given name
+// and labels. A nil registry returns a no-op instrument.
+func (r *Registry) Counter(name string, l Labels) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{v: getOrCreate(r, r.counters, key{name, l}, func() *atomic.Int64 { return new(atomic.Int64) })}
+}
+
+// Gauge returns (creating on first use) the gauge for the given name and
+// labels. A nil registry returns a no-op instrument.
+func (r *Registry) Gauge(name string, l Labels) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{v: getOrCreate(r, r.gauges, key{name, l}, func() *atomic.Int64 { return new(atomic.Int64) })}
+}
+
+// Histogram returns (creating on first use) the histogram for the given
+// name and labels, with DefaultBuckets. A nil registry returns nil, whose
+// Observe is a no-op.
+func (r *Registry) Histogram(name string, l Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return getOrCreate(r, r.hists, key{name, l}, func() *Histogram { return newHistogram(DefaultBuckets) })
+}
+
+func getOrCreate[T any](r *Registry, m map[key]*T, k key, mk func() *T) *T {
+	r.mu.RLock()
+	v, ok := m[k]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := m[k]; ok {
+		return v
+	}
+	v = mk()
+	m[k] = v
+	return v
+}
+
+// HistogramSnapshot is the state of one histogram at snapshot time.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (µs); Counts has one extra entry
+	// for the overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Mean is the average observed value, 0 for an empty histogram.
+func (h *HistogramSnapshot) Mean() float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Sample is one instrument's value at snapshot time.
+type Sample struct {
+	Name   string             `json:"name"`
+	Labels Labels             `json:"labels"`
+	Kind   string             `json:"kind"` // "counter", "gauge", "histogram"
+	Value  int64              `json:"value,omitempty"`
+	Hist   *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by name then
+// labels.
+type Snapshot struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	samples := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, v := range r.counters {
+		samples = append(samples, Sample{Name: k.name, Labels: k.labels, Kind: "counter", Value: v.Load()})
+	}
+	for k, v := range r.gauges {
+		samples = append(samples, Sample{Name: k.name, Labels: k.labels, Kind: "gauge", Value: v.Load()})
+	}
+	for k, h := range r.hists {
+		samples = append(samples, Sample{Name: k.name, Labels: k.labels, Kind: "histogram", Hist: h.snapshot()})
+	}
+	sortSamples(samples)
+	return Snapshot{Samples: samples}
+}
+
+func sortSamples(samples []Sample) {
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].Name != samples[j].Name {
+			return samples[i].Name < samples[j].Name
+		}
+		return samples[i].Labels.String() < samples[j].Labels.String()
+	})
+}
+
+// Get finds the sample for a name and label set.
+func (s Snapshot) Get(name string, l Labels) (Sample, bool) {
+	for _, smp := range s.Samples {
+		if smp.Name == name && smp.Labels == l {
+			return smp, true
+		}
+	}
+	return Sample{}, false
+}
+
+// CounterValue returns the value of a counter sample, 0 when absent.
+func (s Snapshot) CounterValue(name string, l Labels) int64 {
+	smp, ok := s.Get(name, l)
+	if !ok {
+		return 0
+	}
+	return smp.Value
+}
+
+// Delta returns s minus prev: counters and histograms are differenced,
+// gauges keep their current value. Samples absent from prev pass through
+// unchanged.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	base := make(map[key]Sample, len(prev.Samples))
+	for _, smp := range prev.Samples {
+		base[key{smp.Name, smp.Labels}] = smp
+	}
+	out := make([]Sample, 0, len(s.Samples))
+	for _, smp := range s.Samples {
+		old, ok := base[key{smp.Name, smp.Labels}]
+		if ok && old.Kind == smp.Kind {
+			switch smp.Kind {
+			case "counter":
+				smp.Value -= old.Value
+			case "histogram":
+				smp.Hist = histDelta(smp.Hist, old.Hist)
+			}
+		}
+		out = append(out, smp)
+	}
+	return Snapshot{Samples: out}
+}
+
+func histDelta(cur, old *HistogramSnapshot) *HistogramSnapshot {
+	if cur == nil || old == nil || len(cur.Counts) != len(old.Counts) {
+		return cur
+	}
+	d := &HistogramSnapshot{
+		Bounds: cur.Bounds,
+		Counts: make([]int64, len(cur.Counts)),
+		Sum:    cur.Sum - old.Sum,
+		Count:  cur.Count - old.Count,
+	}
+	for i := range cur.Counts {
+		d.Counts[i] = cur.Counts[i] - old.Counts[i]
+	}
+	return d
+}
+
+// Merge combines two snapshots (e.g. from different sites): counters and
+// histograms are summed, gauges take the other snapshot's value when both
+// carry the same instrument.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	merged := make(map[key]Sample, len(s.Samples)+len(other.Samples))
+	for _, smp := range s.Samples {
+		merged[key{smp.Name, smp.Labels}] = smp
+	}
+	for _, smp := range other.Samples {
+		k := key{smp.Name, smp.Labels}
+		old, ok := merged[k]
+		if !ok || old.Kind != smp.Kind {
+			merged[k] = smp
+			continue
+		}
+		switch smp.Kind {
+		case "counter":
+			smp.Value += old.Value
+		case "histogram":
+			smp.Hist = histSum(smp.Hist, old.Hist)
+		}
+		merged[k] = smp
+	}
+	out := make([]Sample, 0, len(merged))
+	for _, smp := range merged {
+		out = append(out, smp)
+	}
+	sortSamples(out)
+	return Snapshot{Samples: out}
+}
+
+func histSum(a, b *HistogramSnapshot) *HistogramSnapshot {
+	if a == nil {
+		return b
+	}
+	if b == nil || len(a.Counts) != len(b.Counts) {
+		return a
+	}
+	d := &HistogramSnapshot{
+		Bounds: a.Bounds,
+		Counts: make([]int64, len(a.Counts)),
+		Sum:    a.Sum + b.Sum,
+		Count:  a.Count + b.Count,
+	}
+	for i := range a.Counts {
+		d.Counts[i] = a.Counts[i] + b.Counts[i]
+	}
+	return d
+}
+
+// Text renders the snapshot one instrument per line. Histograms print
+// count, sum, mean, and the nonzero buckets.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	for _, smp := range s.Samples {
+		switch smp.Kind {
+		case "counter", "gauge":
+			fmt.Fprintf(&b, "%s%s %d\n", smp.Name, smp.Labels, smp.Value)
+		case "histogram":
+			h := smp.Hist
+			fmt.Fprintf(&b, "%s%s count=%d sum=%.1fµs mean=%.1fµs",
+				smp.Name, smp.Labels, h.Count, h.Sum, h.Mean())
+			for i, c := range h.Counts {
+				if c == 0 {
+					continue
+				}
+				if i < len(h.Bounds) {
+					fmt.Fprintf(&b, " le%.0f:%d", h.Bounds[i], c)
+				} else {
+					fmt.Fprintf(&b, " inf:%d", c)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabelsString(t *testing.T) {
+	if got := (Labels{}).String(); got != "" {
+		t.Errorf("empty labels = %q", got)
+	}
+	l := Labels{Site: "DB1", Peer: "G", Alg: "BL", Phase: "O"}
+	want := `{site="DB1",peer="G",alg="BL",phase="O"}`
+	if got := l.String(); got != want {
+		t.Errorf("labels = %q, want %q", got, want)
+	}
+	if got := (Labels{Alg: "CA"}).String(); got != `{alg="CA"}` {
+		t.Errorf("alg-only labels = %q", got)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x", Labels{}).Inc()
+	r.Gauge("y", Labels{}).Set(3)
+	r.Histogram("z", Labels{}).Observe(1)
+	if snap := r.Snapshot(); len(snap.Samples) != 0 {
+		t.Errorf("nil registry snapshot has %d samples", len(snap.Samples))
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs", Labels{Site: "DB1"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // ignored: counters are monotone
+	g := r.Gauge("depth", Labels{Site: "DB1"})
+	g.Set(7)
+	g.Add(-2)
+
+	snap := r.Snapshot()
+	if n := snap.CounterValue("reqs", Labels{Site: "DB1"}); n != 5 {
+		t.Errorf("counter = %d, want 5", n)
+	}
+	s, ok := snap.Get("depth", Labels{Site: "DB1"})
+	if !ok || s.Value != 5 || s.Kind != "gauge" {
+		t.Errorf("gauge sample = %+v, ok=%v", s, ok)
+	}
+	// Same (name, labels) returns the same instrument.
+	r.Counter("reqs", Labels{Site: "DB1"}).Inc()
+	if n := r.Snapshot().CounterValue("reqs", Labels{Site: "DB1"}); n != 6 {
+		t.Errorf("counter after re-fetch = %d, want 6", n)
+	}
+	// Absent counter reads as zero.
+	if n := snap.CounterValue("reqs", Labels{Site: "DB9"}); n != 0 {
+		t.Errorf("absent counter = %d", n)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", Labels{Alg: "BL"})
+	for _, v := range []float64{10, 60, 60, 99999, 1e9} {
+		h.Observe(v)
+	}
+	s, ok := r.Snapshot().Get("lat", Labels{Alg: "BL"})
+	if !ok || s.Hist == nil {
+		t.Fatalf("histogram sample missing (ok=%v)", ok)
+	}
+	hs := s.Hist
+	if hs.Count != 5 {
+		t.Errorf("count = %d, want 5", hs.Count)
+	}
+	if len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Fatalf("counts len %d, bounds len %d", len(hs.Counts), len(hs.Bounds))
+	}
+	// 10 → le50; 60,60 → le100; 99999 → le100000; 1e9 → overflow.
+	if hs.Counts[0] != 1 || hs.Counts[1] != 2 {
+		t.Errorf("low buckets = %v", hs.Counts)
+	}
+	if hs.Counts[len(hs.Counts)-1] != 1 {
+		t.Errorf("overflow bucket = %v", hs.Counts)
+	}
+	wantSum := 10 + 60 + 60 + 99999 + 1e9
+	if hs.Sum != wantSum {
+		t.Errorf("sum = %g, want %g", hs.Sum, wantSum)
+	}
+	if got := hs.Mean(); got != wantSum/5 {
+		t.Errorf("mean = %g", got)
+	}
+	var empty *HistogramSnapshot
+	if empty.Mean() != 0 {
+		t.Error("nil snapshot mean != 0")
+	}
+}
+
+func TestSnapshotOrderingAndDelta(t *testing.T) {
+	r := New()
+	r.Counter("b_total", Labels{Site: "DB2"}).Add(2)
+	r.Counter("b_total", Labels{Site: "DB1"}).Add(1)
+	r.Counter("a_total", Labels{}).Add(9)
+	r.Gauge("g", Labels{}).Set(4)
+	r.Histogram("h", Labels{}).Observe(100)
+	first := r.Snapshot()
+
+	var names []string
+	for _, s := range first.Samples {
+		names = append(names, s.Name+s.Labels.String())
+	}
+	want := []string{"a_total", "b_total{site=\"DB1\"}", "b_total{site=\"DB2\"}", "g", "h"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("snapshot order = %v, want %v", names, want)
+		}
+	}
+
+	r.Counter("a_total", Labels{}).Add(1)
+	r.Gauge("g", Labels{}).Set(11)
+	r.Histogram("h", Labels{}).Observe(300)
+	second := r.Snapshot()
+	d := second.Delta(first)
+	if n := d.CounterValue("a_total", Labels{}); n != 1 {
+		t.Errorf("delta counter = %d, want 1", n)
+	}
+	if s, _ := d.Get("g", Labels{}); s.Value != 11 {
+		t.Errorf("delta gauge = %d, want current value 11", s.Value)
+	}
+	if s, _ := d.Get("h", Labels{}); s.Hist.Count != 1 || s.Hist.Sum != 300 {
+		t.Errorf("delta histogram = %+v", s.Hist)
+	}
+	// Unchanged counters difference to zero.
+	if n := d.CounterValue("b_total", Labels{Site: "DB1"}); n != 0 {
+		t.Errorf("unchanged counter delta = %d", n)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("n", Labels{Site: "DB1"}).Add(3)
+	b.Counter("n", Labels{Site: "DB1"}).Add(4)
+	b.Counter("n", Labels{Site: "DB2"}).Add(5)
+	a.Histogram("h", Labels{}).Observe(100)
+	b.Histogram("h", Labels{}).Observe(200)
+	a.Gauge("g", Labels{}).Set(1)
+	b.Gauge("g", Labels{}).Set(2)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if n := m.CounterValue("n", Labels{Site: "DB1"}); n != 7 {
+		t.Errorf("merged counter = %d, want 7", n)
+	}
+	if n := m.CounterValue("n", Labels{Site: "DB2"}); n != 5 {
+		t.Errorf("one-sided counter = %d, want 5", n)
+	}
+	if s, _ := m.Get("h", Labels{}); s.Hist.Count != 2 || s.Hist.Sum != 300 {
+		t.Errorf("merged histogram = %+v", s.Hist)
+	}
+	if s, _ := m.Get("g", Labels{}); s.Value != 2 {
+		t.Errorf("merged gauge = %d, want other's value 2", s.Value)
+	}
+}
+
+func TestTextAndJSON(t *testing.T) {
+	r := New()
+	r.Counter("queries_total", Labels{Site: "G", Alg: "BL"}).Add(2)
+	r.Histogram("query_latency_us", Labels{Site: "G", Alg: "BL"}).Observe(120)
+	snap := r.Snapshot()
+
+	text := snap.Text()
+	for _, want := range []string{
+		`queries_total{site="G",alg="BL"} 2`,
+		"query_latency_us", "count=1", "mean=120.0µs",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := snap.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(decoded.Samples) != 2 {
+		t.Errorf("decoded %d samples, want 2", len(decoded.Samples))
+	}
+	if decoded.CounterValue("queries_total", Labels{Site: "G", Alg: "BL"}) != 2 {
+		t.Error("counter lost in JSON round-trip")
+	}
+}
+
+// TestConcurrentAccess exercises registration and recording from many
+// goroutines; run under -race this is the registry's thread-safety test.
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	sites := []string{"DB1", "DB2", "DB3", "G"}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l := Labels{Site: sites[j%len(sites)], Alg: "BL"}
+				r.Counter("requests_total", l).Inc()
+				r.Gauge("inflight", l).Add(1)
+				r.Histogram("latency_us", l).Observe(float64(j))
+				if j%17 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total int64
+	for _, s := range snap.Samples {
+		if s.Name == "requests_total" {
+			total += s.Value
+		}
+	}
+	if total != 8*200 {
+		t.Errorf("requests_total sum = %d, want %d", total, 8*200)
+	}
+}

@@ -1,0 +1,125 @@
+// Package obs is the live observability surface of a federation process: a
+// small HTTP server exposing the site's metrics registry and recent query
+// spans.
+//
+// Endpoints:
+//
+//	/healthz           liveness: 200 with a JSON status body
+//	/metrics           registry snapshot, JSON by default, ?format=text
+//	/debug/trace/last  span tree of the most recent query at this site
+//	/debug/vars        standard expvar surface (includes the registry)
+//
+// The surface is read-only and unauthenticated; bind it to loopback or an
+// operations network, not the query port.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+// expvar registration is global per process; a test (or a process hosting
+// several sites) may start multiple servers for the same site name, so the
+// published Func reads the current registry through this map instead of
+// closing over a stale one.
+var (
+	expvarMu   sync.Mutex
+	expvarRegs = make(map[string]*metrics.Registry)
+)
+
+func publishExpvar(site string, reg *metrics.Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	name := "hetfed." + site
+	if _, seen := expvarRegs[name]; !seen && expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarRegs[name]
+			expvarMu.Unlock()
+			return r.Snapshot()
+		}))
+	}
+	expvarRegs[name] = reg
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	site  string
+	ln    net.Listener
+	http  *http.Server
+	start time.Time
+}
+
+// NewMux builds the observability handler for a site without binding a
+// listener (embed it into an existing HTTP server if you have one).
+func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Time) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"site\":%q,\"uptime_seconds\":%.1f}\n",
+			site, time.Since(start).Seconds())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, snap.Text())
+			return
+		}
+		data, err := snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		fmt.Fprintln(w)
+	})
+	mux.HandleFunc("/debug/trace/last", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		out := tr.RenderLastQuery()
+		if out == "" {
+			fmt.Fprintln(w, "(no spans recorded)")
+			return
+		}
+		fmt.Fprint(w, out)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Serve binds addr (use "127.0.0.1:0" for an ephemeral port) and serves the
+// observability surface for the given site until Close.
+func Serve(addr, site string, reg *metrics.Registry, tr *trace.Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	publishExpvar(site, reg)
+	start := time.Now()
+	s := &Server{
+		site:  site,
+		ln:    ln,
+		http:  &http.Server{Handler: NewMux(site, reg, tr, start)},
+		start: start,
+	}
+	go s.http.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Site returns the served site's name.
+func (s *Server) Site() string { return s.site }
+
+// Close stops the server immediately (in-flight responses are abandoned;
+// the surface is diagnostic, not transactional).
+func (s *Server) Close() error { return s.http.Close() }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+func get(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("requests_total", metrics.Labels{Site: "DB1", Alg: "BL"}).Add(3)
+	reg.Histogram("request_latency_us", metrics.Labels{Site: "DB1", Alg: "BL"}).Observe(120)
+	tr := &trace.Tracer{}
+	tr.StartSpan(0, "DB1", "serve:local").WithQuery("rq1", "BL").WithPhases("PO").End()
+
+	s, err := Serve("127.0.0.1:0", "DB1", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Site() != "DB1" {
+		t.Errorf("Site() = %q", s.Site())
+	}
+
+	code, body := get(t, s.Addr(), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) ||
+		!strings.Contains(body, `"site":"DB1"`) {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, s.Addr(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v in %q", err, body)
+	}
+	if snap.CounterValue("requests_total", metrics.Labels{Site: "DB1", Alg: "BL"}) != 3 {
+		t.Errorf("metrics JSON lost the counter: %s", body)
+	}
+
+	code, body = get(t, s.Addr(), "/metrics?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "requests_total") ||
+		!strings.Contains(body, "request_latency_us") {
+		t.Errorf("metrics text: %d %q", code, body)
+	}
+
+	code, body = get(t, s.Addr(), "/debug/trace/last")
+	if code != http.StatusOK || !strings.Contains(body, "serve:local") {
+		t.Errorf("trace/last: %d %q", code, body)
+	}
+
+	code, body = get(t, s.Addr(), "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "hetfed.DB1") {
+		t.Errorf("debug/vars: %d, body %d bytes", code, len(body))
+	}
+}
+
+func TestTraceLastEmpty(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", "DB2", metrics.New(), &trace.Tracer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, s.Addr(), "/debug/trace/last")
+	if code != http.StatusOK || !strings.Contains(body, "no spans") {
+		t.Errorf("empty trace/last: %d %q", code, body)
+	}
+}
+
+// TestExpvarTracksLatestRegistry restarts a site's obs server with a fresh
+// registry and checks the process-global expvar export follows the newest
+// one instead of a stale closure.
+func TestExpvarTracksLatestRegistry(t *testing.T) {
+	first := metrics.New()
+	first.Counter("n", metrics.Labels{}).Add(1)
+	s1, err := Serve("127.0.0.1:0", "DB3", first, &trace.Tracer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	second := metrics.New()
+	second.Counter("n", metrics.Labels{}).Add(42)
+	s2, err := Serve("127.0.0.1:0", "DB3", second, &trace.Tracer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	code, body := get(t, s2.Addr(), "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("debug/vars: %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("debug/vars JSON: %v", err)
+	}
+	raw, ok := vars["hetfed.DB3"]
+	if !ok {
+		t.Fatal("hetfed.DB3 not exported")
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("exported snapshot: %v", err)
+	}
+	if snap.CounterValue("n", metrics.Labels{}) != 42 {
+		t.Errorf("expvar serves the stale registry: %s", raw)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", "DBX", metrics.New(), nil); err == nil {
+		t.Error("bad address accepted")
+	}
+}

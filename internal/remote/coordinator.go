@@ -1,8 +1,12 @@
 package remote
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
+	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hetfed/hetfed/internal/exec"
@@ -10,9 +14,11 @@ import (
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/gmap"
 	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/trace"
 )
 
 // Coordinator executes global queries against a cluster of site servers:
@@ -30,16 +36,43 @@ type Coordinator struct {
 	// Insert: it assigns GOids to new objects and its tables back the
 	// coordinator's certification. Wire Tables to Matcher.Tables().
 	Matcher *isomer.Matcher
+	// Tracer, when non-nil, records each query as a span tree whose per-site
+	// RPC spans carry the IDs propagated to the servers.
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives query counters, latency histograms,
+	// and per-site-pair byte accounting as seen from the coordinator.
+	Metrics *metrics.Registry
+	// Log, when non-nil, receives structured query logs.
+	Log *slog.Logger
 
 	// mu guards Tables (and the Matcher behind it) between concurrent
 	// Query and Insert calls.
-	mu sync.RWMutex
+	mu   sync.RWMutex
+	qseq atomic.Uint64
+}
+
+// qctx scopes one networked query execution.
+type qctx struct {
+	qid  string
+	alg  string
+	root trace.SpanID
+}
+
+// qidTag distinguishes this process's query IDs. Query IDs scope spans at
+// the *servers*, which outlive coordinator processes: if every coordinator
+// run minted "rq1", a site's /debug/trace/last would conflate the last
+// queries of different runs into one tree.
+var qidTag = rand.Uint32() & 0xffffff
+
+// span opens a query-scoped span at the coordinator site.
+func (c *Coordinator) span(q *qctx, parent trace.SpanID, name, phases string) trace.Handle {
+	return c.Tracer.StartSpan(parent, c.ID, name).WithQuery(q.qid, q.alg).WithPhases(phases)
 }
 
 // Ping verifies every site server is reachable.
 func (c *Coordinator) Ping() error {
 	for site, addr := range c.Sites {
-		if _, err := call(addr, Request{Kind: kindPing}); err != nil {
+		if _, _, err := call(addr, Request{Kind: kindPing}); err != nil {
 			return fmt.Errorf("remote: site %s unreachable: %w", site, err)
 		}
 	}
@@ -59,25 +92,70 @@ func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer
 	}
 
 	start := time.Now()
+	qc := &qctx{qid: fmt.Sprintf("rq%d-%06x", c.qseq.Add(1), qidTag), alg: alg.String()}
+	root := c.span(qc, 0, alg.String(), "")
+	qc.root = root.ID()
 	var ans *federation.Answer
 	switch alg {
 	case exec.CA:
-		ans, err = c.runCA(text, b)
+		ans, err = c.runCA(qc, text, b)
 	case exec.BL:
-		ans, err = c.runLocalized(text, b, ModeBL)
+		ans, err = c.runLocalized(qc, text, b, ModeBL)
 	case exec.PL:
-		ans, err = c.runLocalized(text, b, ModePL)
+		ans, err = c.runLocalized(qc, text, b, ModePL)
 	case exec.SBL:
-		ans, err = c.runLocalized(text, b, ModeSBL)
+		ans, err = c.runLocalized(qc, text, b, ModeSBL)
 	case exec.SPL:
-		ans, err = c.runLocalized(text, b, ModeSPL)
+		ans, err = c.runLocalized(qc, text, b, ModeSPL)
 	default:
+		root.End()
 		return nil, 0, fmt.Errorf("remote: unsupported algorithm %v", alg)
 	}
+	if ans != nil {
+		root.Add("certain", int64(len(ans.Certain))).Add("maybe", int64(len(ans.Maybe)))
+	}
+	root.End()
+	d := time.Since(start)
+	c.observeQuery(qc, ans, d, err)
 	if err != nil {
 		return nil, 0, err
 	}
-	return ans, time.Since(start), nil
+	return ans, d, nil
+}
+
+// observeQuery feeds the query's metrics and structured log entry.
+func (c *Coordinator) observeQuery(q *qctx, ans *federation.Answer, d time.Duration, err error) {
+	us := float64(d.Nanoseconds()) / 1e3
+	self := string(c.ID)
+	c.Metrics.Counter("queries_total", metrics.Labels{Site: self, Alg: q.alg}).Inc()
+	c.Metrics.Histogram("query_latency_us", metrics.Labels{Site: self, Alg: q.alg}).Observe(us)
+	if ans != nil {
+		algOnly := metrics.Labels{Alg: q.alg}
+		c.Metrics.Counter("results_certain_total", algOnly).Add(int64(len(ans.Certain)))
+		c.Metrics.Counter("results_maybe_total", algOnly).Add(int64(len(ans.Maybe)))
+		c.Metrics.Counter("maybe_certified_total", algOnly).Add(int64(ans.Stats.Certified))
+		c.Metrics.Counter("maybe_eliminated_total", algOnly).Add(int64(ans.Stats.Eliminated))
+	}
+	if c.Log != nil {
+		attrs := []slog.Attr{
+			slog.String("query", q.qid),
+			slog.String("alg", q.alg),
+			slog.Float64("us", us),
+		}
+		if ans != nil {
+			attrs = append(attrs,
+				slog.Int("certain", len(ans.Certain)),
+				slog.Int("maybe", len(ans.Maybe)),
+				slog.Int("certified", ans.Stats.Certified),
+				slog.Int("eliminated", ans.Stats.Eliminated))
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String("err", err.Error()))
+			c.Log.LogAttrs(context.Background(), slog.LevelError, "query failed", attrs...)
+			return
+		}
+		c.Log.LogAttrs(context.Background(), slog.LevelInfo, "query done", attrs...)
+	}
 }
 
 // Insert stores a new object at a component site and maintains the
@@ -100,7 +178,7 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 	}
 
 	// 1. Store at the owning site.
-	if _, err := call(addr, Request{Kind: kindStore, Store: o}); err != nil {
+	if _, _, err := call(addr, Request{Kind: kindStore, Store: o}); err != nil {
 		return "", err
 	}
 	// 2. Assign the GOid (entity match by key).
@@ -113,7 +191,7 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 	// 3. Broadcast the delta to every replica.
 	delta := &BindDelta{Class: gc.Name, GOid: goid, Site: site, LOid: o.LOid}
 	for peer, peerAddr := range c.Sites {
-		if _, err := call(peerAddr, Request{Kind: kindBind, Bind: delta}); err != nil {
+		if _, _, err := call(peerAddr, Request{Kind: kindBind, Bind: delta}); err != nil {
 			return goid, fmt.Errorf("remote: replica at %s is stale: %w", peer, err)
 		}
 	}
@@ -121,8 +199,10 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 }
 
 // fanOut calls every listed site in parallel and collects responses in
-// site order.
-func (c *Coordinator) fanOut(sites []object.SiteID, req Request) ([]Response, error) {
+// site order. Each call runs under its own child span of the query root,
+// whose ID the server adopts as its parent; wire bytes are accounted per
+// site pair in both directions as seen from the coordinator.
+func (c *Coordinator) fanOut(q *qctx, phases string, sites []object.SiteID, req Request) ([]Response, error) {
 	resps := make([]Response, len(sites))
 	errs := make([]error, len(sites))
 	var wg sync.WaitGroup
@@ -132,10 +212,21 @@ func (c *Coordinator) fanOut(sites []object.SiteID, req Request) ([]Response, er
 			return nil, fmt.Errorf("remote: no address for site %s", site)
 		}
 		wg.Add(1)
-		go func(i int, addr string) {
+		go func(i int, site object.SiteID, addr string) {
 			defer wg.Done()
-			resps[i], errs[i] = call(addr, req)
-		}(i, addr)
+			sp := c.span(q, q.root, "rpc:"+req.Kind, phases)
+			req := req
+			req.Trace = TraceContext{QueryID: q.qid, Alg: q.alg, Span: uint64(sp.ID()), From: c.ID}
+			var w wireStats
+			resps[i], w, errs[i] = call(addr, req)
+			sp.Add("sent_bytes", w.Sent).Add("recv_bytes", w.Received).
+				Detailf("site %s", site)
+			sp.End()
+			c.Metrics.Counter("net_bytes_total",
+				metrics.Labels{Site: string(c.ID), Peer: string(site), Alg: q.alg}).Add(w.Sent)
+			c.Metrics.Counter("net_bytes_total",
+				metrics.Labels{Site: string(site), Peer: string(c.ID), Alg: q.alg}).Add(w.Received)
+		}(i, site, addr)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -146,8 +237,8 @@ func (c *Coordinator) fanOut(sites []object.SiteID, req Request) ([]Response, er
 	return resps, nil
 }
 
-func (c *Coordinator) runCA(text string, b *query.Bound) (*federation.Answer, error) {
-	resps, err := c.fanOut(b.InvolvedSites(), Request{Kind: kindRetrieve, Query: text})
+func (c *Coordinator) runCA(q *qctx, text string, b *query.Bound) (*federation.Answer, error) {
+	resps, err := c.fanOut(q, "O", b.InvolvedSites(), Request{Kind: kindRetrieve, Query: text})
 	if err != nil {
 		return nil, err
 	}
@@ -160,14 +251,19 @@ func (c *Coordinator) runCA(text string, b *query.Bound) (*federation.Answer, er
 	coord := federation.NewCoordinator(c.ID, c.Global, c.Tables)
 	var ans *federation.Answer
 	err = runReal("ca-coordinator", func(p fabric.Proc) {
+		g2 := c.span(q, q.root, "CA_G2", "I")
 		view := coord.Materialize(p, b, replies)
+		g2.Detailf("materialized %d objects", view.Len()).End()
+		g3 := c.span(q, q.root, "CA_G3", "P")
 		ans = coord.EvaluateView(p, b, view)
+		g3.End()
 	})
 	return ans, err
 }
 
-func (c *Coordinator) runLocalized(text string, b *query.Bound, mode string) (*federation.Answer, error) {
-	resps, err := c.fanOut(b.RootSites(), Request{Kind: kindLocal, Query: text, Mode: mode})
+func (c *Coordinator) runLocalized(q *qctx, text string, b *query.Bound, mode string) (*federation.Answer, error) {
+	resps, err := c.fanOut(q, reqPhases(Request{Kind: kindLocal, Mode: mode}), b.RootSites(),
+		Request{Kind: kindLocal, Query: text, Mode: mode})
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +280,9 @@ func (c *Coordinator) runLocalized(text string, b *query.Bound, mode string) (*f
 	coord := federation.NewCoordinator(c.ID, c.Global, c.Tables)
 	var ans *federation.Answer
 	err = runReal("certify", func(p fabric.Proc) {
+		g2 := c.span(q, q.root, "certify", "I")
 		ans = coord.Certify(p, b, results, replies)
+		g2.End()
 	})
 	return ans, err
 }

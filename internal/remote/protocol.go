@@ -15,6 +15,7 @@ package remote
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
@@ -40,9 +41,28 @@ const (
 	ModeSPL = "SPL"
 )
 
+// TraceContext propagates span context across the wire: a server handling
+// a request records its work as a child span of Span in its own tracer,
+// scoped to the same query, so the coordinator's span tree and the sites'
+// span trees stitch together by (QueryID, span ID).
+type TraceContext struct {
+	// QueryID scopes the request to one coordinator query execution.
+	QueryID string
+	// Alg is the executing strategy's name.
+	Alg string
+	// Span is the caller's span ID, the parent of the server-side span.
+	Span uint64
+	// From is the calling site (the coordinator or a peer dispatching
+	// checks), keying per-site-pair byte accounting.
+	From object.SiteID
+}
+
 // Request is one site-server request.
 type Request struct {
 	Kind string
+	// Trace carries the caller's span context; the zero value means an
+	// untraced request.
+	Trace TraceContext
 	// Query is the global query text for retrieve and local requests; the
 	// site binds it against its own copy of the global schema.
 	Query string
@@ -84,23 +104,61 @@ type Response struct {
 // dialTimeout bounds connection establishment to a peer.
 const dialTimeout = 5 * time.Second
 
+// callTimeout bounds one full request/response exchange: a dead or wedged
+// peer fails the call instead of hanging it forever. A variable so tests
+// can shrink it.
+var callTimeout = 60 * time.Second
+
+// wireStats counts one exchange's bytes on the wire as seen by the caller.
+type wireStats struct {
+	Sent     int64
+	Received int64
+}
+
+// countWriter and countReader meter the gob streams.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // call performs one request/response exchange with a site server.
-func call(addr string, req Request) (Response, error) {
+func call(addr string, req Request) (Response, wireStats, error) {
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return Response{}, fmt.Errorf("remote: dial %s: %w", addr, err)
+		return Response{}, wireStats{}, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(callTimeout))
 
-	if err := gob.NewEncoder(conn).Encode(req); err != nil {
-		return Response{}, fmt.Errorf("remote: send to %s: %w", addr, err)
+	cw := &countWriter{w: conn}
+	cr := &countReader{r: conn}
+	stats := func() wireStats { return wireStats{Sent: cw.n, Received: cr.n} }
+	if err := gob.NewEncoder(cw).Encode(req); err != nil {
+		return Response{}, stats(), fmt.Errorf("remote: send to %s: %w", addr, err)
 	}
 	var resp Response
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("remote: receive from %s: %w", addr, err)
+	if err := gob.NewDecoder(cr).Decode(&resp); err != nil {
+		return Response{}, stats(), fmt.Errorf("remote: receive from %s: %w", addr, err)
 	}
 	if resp.Err != "" {
-		return Response{}, fmt.Errorf("remote: %s: %s", addr, resp.Err)
+		return Response{}, stats(), fmt.Errorf("remote: %s: %s", addr, resp.Err)
 	}
-	return resp, nil
+	return resp, stats(), nil
 }

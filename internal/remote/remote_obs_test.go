@@ -1,0 +1,209 @@
+package remote
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+// startObservedCluster is startCluster with a tracer and metrics registry
+// wired into every server and the coordinator.
+func startObservedCluster(t *testing.T) (*Coordinator, map[object.SiteID]*Server, func()) {
+	t.Helper()
+	fx := school.New()
+	sigs := signature.Build(fx.Databases)
+
+	servers := make(map[object.SiteID]*Server, len(fx.Databases))
+	addrs := make(map[object.SiteID]string, len(fx.Databases))
+	for site, db := range fx.Databases {
+		srv, err := NewServer(ServerConfig{
+			DB:         db,
+			Global:     fx.Global,
+			Tables:     fx.Mapping,
+			Signatures: sigs,
+			Tracer:     &trace.Tracer{},
+			Metrics:    metrics.New(),
+		})
+		if err != nil {
+			t.Fatalf("NewServer(%s): %v", site, err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatalf("Listen(%s): %v", site, err)
+		}
+		servers[site] = srv
+		addrs[site] = srv.Addr()
+	}
+	for _, srv := range servers {
+		srv.SetPeers(addrs)
+	}
+	coord := &Coordinator{
+		ID:      "G",
+		Global:  fx.Global,
+		Tables:  fx.Mapping,
+		Sites:   addrs,
+		Tracer:  &trace.Tracer{},
+		Metrics: metrics.New(),
+	}
+	cleanup := func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+	return coord, servers, cleanup
+}
+
+// TestSpanPropagationAcrossWire runs a BL query over TCP and checks the
+// span context survives the gob hop twice: coordinator → site (serve spans
+// parent on the coordinator's rpc spans) and site → peer (check spans
+// parent on the dispatching site's serve span).
+func TestSpanPropagationAcrossWire(t *testing.T) {
+	coord, servers, cleanup := startObservedCluster(t)
+	defer cleanup()
+
+	if _, _, err := coord.Query(school.Q1, exec.BL); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator side: a root span plus rpc spans, all sharing one query ID.
+	var qid string
+	rpcIDs := map[trace.SpanID]bool{}
+	for _, sp := range coord.Tracer.Spans() {
+		if sp.Parent == 0 {
+			if sp.Algorithm != "BL" || sp.Query == "" {
+				t.Errorf("root span = %+v", sp)
+			}
+			qid = sp.Query
+		}
+		if strings.HasPrefix(sp.Name, "rpc:") {
+			rpcIDs[sp.ID] = true
+		}
+	}
+	if qid == "" || len(rpcIDs) == 0 {
+		t.Fatalf("coordinator recorded no query (qid=%q, %d rpc spans)", qid, len(rpcIDs))
+	}
+
+	// Server side: serve:local spans must adopt the propagated rpc span IDs
+	// as parents; serve:check spans must adopt the dispatching site's
+	// serve:local span ID.
+	localIDs := map[trace.SpanID]bool{}
+	var localSpans, checkSpans []trace.Span
+	for site, srv := range servers {
+		for _, sp := range srv.cfg.Tracer.Spans() {
+			if sp.Query != qid {
+				continue
+			}
+			if sp.Algorithm != "BL" {
+				t.Errorf("site %s: span alg = %q", site, sp.Algorithm)
+			}
+			switch sp.Name {
+			case "serve:local":
+				localIDs[sp.ID] = true
+				localSpans = append(localSpans, sp)
+			case "serve:check":
+				checkSpans = append(checkSpans, sp)
+			}
+		}
+	}
+	if len(localSpans) == 0 || len(checkSpans) == 0 {
+		t.Fatalf("spans: %d local, %d check", len(localSpans), len(checkSpans))
+	}
+	for _, sp := range localSpans {
+		if !rpcIDs[sp.Parent] {
+			t.Errorf("serve:local @%s parent %d not among the coordinator's rpc spans %v",
+				sp.Site, sp.Parent, rpcIDs)
+		}
+		if sp.Phases != "PO" {
+			t.Errorf("serve:local phases = %q, want PO", sp.Phases)
+		}
+	}
+	for _, sp := range checkSpans {
+		if !localIDs[sp.Parent] {
+			t.Errorf("serve:check @%s parent %d not among the serve:local spans %v",
+				sp.Site, sp.Parent, localIDs)
+		}
+		if sp.Phases != "O" {
+			t.Errorf("serve:check phases = %q, want O", sp.Phases)
+		}
+	}
+}
+
+// TestUnknownKindCountsError: a garbage request kind is answered with an
+// error and shows up in the server's error counter.
+func TestUnknownKindCountsError(t *testing.T) {
+	_, servers, cleanup := startObservedCluster(t)
+	defer cleanup()
+	srv := servers["DB1"]
+
+	if _, _, err := call(srv.Addr(), Request{Kind: "nonsense"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown request kind") {
+		t.Fatalf("bad kind: %v", err)
+	}
+	snap := srv.cfg.Metrics.Snapshot()
+	if n := snap.CounterValue("request_errors_total", metrics.Labels{Site: "DB1"}); n != 1 {
+		t.Errorf("request_errors_total = %d, want 1", n)
+	}
+	// The failed request was still counted and timed.
+	if n := snap.CounterValue("requests_total", metrics.Labels{Site: "DB1"}); n != 1 {
+		t.Errorf("requests_total = %d, want 1", n)
+	}
+}
+
+// TestCallTimeoutOnDeadPeer: a peer that accepts the connection but never
+// answers must fail the call within the deadline instead of hanging it.
+func TestCallTimeoutOnDeadPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow the request and go silent until the test ends.
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	old := callTimeout
+	callTimeout = 200 * time.Millisecond
+	defer func() { callTimeout = old }()
+
+	start := time.Now()
+	_, _, err = call(ln.Addr().String(), Request{Kind: kindPing})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call to a silent peer succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("call took %v, deadline did not bite", elapsed)
+	}
+	if !strings.Contains(err.Error(), "receive from") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -151,15 +151,15 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	defer cleanup()
 	addr := coord.Sites["DB1"]
 
-	if _, err := call(addr, Request{Kind: "nonsense"}); err == nil ||
+	if _, _, err := call(addr, Request{Kind: "nonsense"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown request kind") {
 		t.Errorf("bad kind: %v", err)
 	}
-	if _, err := call(addr, Request{Kind: kindLocal, Query: school.Q1, Mode: "XX"}); err == nil ||
+	if _, _, err := call(addr, Request{Kind: kindLocal, Query: school.Q1, Mode: "XX"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown local mode") {
 		t.Errorf("bad mode: %v", err)
 	}
-	if _, err := call(addr, Request{Kind: kindLocal, Query: "select", Mode: ModeBL}); err == nil {
+	if _, _, err := call(addr, Request{Kind: kindLocal, Query: "select", Mode: ModeBL}); err == nil {
 		t.Error("bad query accepted")
 	}
 }

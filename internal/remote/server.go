@@ -1,21 +1,26 @@
 package remote
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/schema"
 	"github.com/hetfed/hetfed/internal/signature"
 	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/trace"
 )
 
 // ServerConfig assembles a component-database site server.
@@ -31,12 +36,23 @@ type ServerConfig struct {
 	Peers map[object.SiteID]string
 	// Signatures enables the signature-assisted modes when non-nil.
 	Signatures *signature.Index
+	// Tracer, when non-nil, records every served request as a span parented
+	// on the caller's span (Request.Trace), so site-side spans stitch into
+	// the coordinator's query tree.
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives per-request counters, latency
+	// histograms, and per-site-pair byte accounting.
+	Metrics *metrics.Registry
+	// Log, when non-nil, receives structured request logs. Defaults to a
+	// discarding logger.
+	Log *slog.Logger
 }
 
 // Server serves one component database over TCP.
 type Server struct {
 	cfg  ServerConfig
 	site *federation.Site
+	log  *slog.Logger
 	ln   net.Listener
 	wg   sync.WaitGroup
 
@@ -57,9 +73,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, errors.New("remote: incomplete server config")
 	}
 	cfg.Tables = cfg.Tables.Clone()
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	return &Server{
 		cfg:  cfg,
 		site: federation.NewSite(cfg.DB, cfg.Global, cfg.Tables),
+		log:  log.With("site", string(cfg.DB.Site())),
 	}, nil
 }
 
@@ -145,17 +166,86 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	var req Request
-	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
-		return // client went away or sent garbage; nothing to answer
+// reqAlg names the strategy a request executes under: the propagated trace
+// context's algorithm, falling back to the local mode for untraced callers.
+func reqAlg(req Request) string {
+	if req.Trace.Alg != "" {
+		return req.Trace.Alg
 	}
-	resp := s.dispatch(req)
-	_ = gob.NewEncoder(conn).Encode(resp) // best effort; client handles EOF
+	return req.Mode
 }
 
-func (s *Server) dispatch(req Request) Response {
+// reqPhases maps a request kind onto the paper's phases the server performs
+// while handling it: retrieval and assistant checking are object location
+// (O); a local query evaluates predicates and locates assistants in the
+// mode's order (P→O basic, O→P parallel).
+func reqPhases(req Request) string {
+	switch req.Kind {
+	case kindRetrieve, kindCheck:
+		return "O"
+	case kindLocal:
+		switch req.Mode {
+		case ModePL, ModeSPL:
+			return "OP"
+		default:
+			return "PO"
+		}
+	}
+	return ""
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	self := string(s.Site())
+	var req Request
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		s.cfg.Metrics.Counter("request_errors_total", metrics.Labels{Site: self}).Inc()
+		return // client went away or sent garbage; nothing to answer
+	}
+	start := time.Now()
+	sp := s.cfg.Tracer.StartSpan(trace.SpanID(req.Trace.Span), s.Site(), "serve:"+req.Kind).
+		WithQuery(req.Trace.QueryID, req.Trace.Alg).WithPhases(reqPhases(req))
+	resp := s.dispatch(req, sp)
+	cw := &countWriter{w: conn}
+	_ = gob.NewEncoder(cw).Encode(resp) // best effort; client handles EOF
+	sp.Add("resp_bytes", cw.n)
+	if resp.Err != "" {
+		sp.Detailf("error: %s", resp.Err)
+	}
+	sp.End()
+	s.observe(req, resp, time.Since(start), cw.n)
+}
+
+// observe feeds the request's metrics and structured log entry.
+func (s *Server) observe(req Request, resp Response, d time.Duration, respBytes int64) {
+	self := string(s.Site())
+	alg := reqAlg(req)
+	us := float64(d.Nanoseconds()) / 1e3
+	s.cfg.Metrics.Counter("requests_total", metrics.Labels{Site: self, Alg: alg}).Inc()
+	s.cfg.Metrics.Histogram("request_latency_us", metrics.Labels{Site: self, Alg: alg}).Observe(us)
+	if resp.Err != "" {
+		s.cfg.Metrics.Counter("request_errors_total", metrics.Labels{Site: self}).Inc()
+	}
+	if req.Trace.From != "" {
+		// Bytes this site shipped back to the caller.
+		s.cfg.Metrics.Counter("net_bytes_total",
+			metrics.Labels{Site: self, Peer: string(req.Trace.From), Alg: alg}).Add(respBytes)
+	}
+	level := slog.LevelInfo
+	if req.Kind == kindPing {
+		level = slog.LevelDebug
+	}
+	s.log.LogAttrs(context.Background(), level, "served",
+		slog.String("kind", req.Kind),
+		slog.String("query", req.Trace.QueryID),
+		slog.String("alg", alg),
+		slog.String("from", string(req.Trace.From)),
+		slog.Float64("us", us),
+		slog.String("err", resp.Err),
+	)
+}
+
+func (s *Server) dispatch(req Request, sp trace.Handle) Response {
 	switch req.Kind {
 	case kindPing:
 		return Response{}
@@ -166,7 +256,7 @@ func (s *Server) dispatch(req Request) Response {
 	case kindLocal:
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
-		return s.handleLocal(req)
+		return s.handleLocal(req, sp)
 	case kindCheck:
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
@@ -250,7 +340,7 @@ func (s *Server) handleCheck(req Request) Response {
 // modes the local predicates are evaluated before any check is dispatched;
 // under the parallel modes the checks travel to the peers while the local
 // predicates are still being evaluated.
-func (s *Server) handleLocal(req Request) Response {
+func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
 	b, err := s.bind(req.Query)
 	if err != nil {
 		return Response{Err: err.Error()}
@@ -276,7 +366,7 @@ func (s *Server) handleLocal(req Request) Response {
 		}); err != nil {
 			return Response{Err: err.Error()}
 		}
-		replies, err := s.dispatchChecks(checks)
+		replies, err := s.dispatchChecks(req, sp, checks)
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
@@ -298,7 +388,7 @@ func (s *Server) handleLocal(req Request) Response {
 		}
 		done := make(chan checkOutcome, 1)
 		go func() {
-			replies, err := s.dispatchChecks(checks)
+			replies, err := s.dispatchChecks(req, sp, checks)
 			done <- checkOutcome{replies: replies, err: err}
 		}()
 		if err := runReal("local-pl-p", func(p fabric.Proc) {
@@ -317,14 +407,19 @@ func (s *Server) handleLocal(req Request) Response {
 }
 
 // dispatchChecks sends the check items to their target peers in parallel
-// and collects the verdicts.
-func (s *Server) dispatchChecks(checks map[object.SiteID][]federation.CheckItem) ([]federation.CheckReply, error) {
+// and collects the verdicts. The peers' check spans are parented on this
+// server's serve span, so the whole chain (coordinator → site → peer)
+// renders as one query tree.
+func (s *Server) dispatchChecks(req Request, sp trace.Handle,
+	checks map[object.SiteID][]federation.CheckItem) ([]federation.CheckReply, error) {
 	targets := make([]object.SiteID, 0, len(checks))
 	for t := range checks {
 		targets = append(targets, t)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 
+	self := string(s.Site())
+	alg := reqAlg(req)
 	replies := make([]federation.CheckReply, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
@@ -333,16 +428,30 @@ func (s *Server) dispatchChecks(checks map[object.SiteID][]federation.CheckItem)
 		if !ok {
 			return nil, fmt.Errorf("no address for peer site %s", target)
 		}
+		items := checks[target]
+		s.cfg.Metrics.Counter("checks_dispatched_total",
+			metrics.Labels{Site: self, Alg: alg}).Add(int64(len(items)))
 		wg.Add(1)
-		go func(i int, addr string, items []federation.CheckItem) {
+		go func(i int, target object.SiteID, addr string, items []federation.CheckItem) {
 			defer wg.Done()
-			resp, err := call(addr, Request{Kind: kindCheck, Items: items})
+			resp, w, err := call(addr, Request{
+				Kind:  kindCheck,
+				Items: items,
+				Trace: TraceContext{
+					QueryID: req.Trace.QueryID,
+					Alg:     alg,
+					Span:    uint64(sp.ID()),
+					From:    s.Site(),
+				},
+			})
+			s.cfg.Metrics.Counter("net_bytes_total",
+				metrics.Labels{Site: self, Peer: string(target), Alg: alg}).Add(w.Sent)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			replies[i] = resp.Check
-		}(i, addr, checks[target])
+		}(i, target, addr, items)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the repository's verification gate: vet, build, unit tests,
+# and the full test suite under the race detector.
+#
+# Usage: scripts/check.sh [package-pattern]   (default ./...)
+set -eu
+cd "$(dirname "$0")/.."
+pkgs="${1:-./...}"
+
+echo "== go vet $pkgs"
+go vet "$pkgs"
+
+echo "== go build $pkgs"
+go build "$pkgs"
+
+echo "== go test $pkgs"
+go test "$pkgs"
+
+echo "== go test -race $pkgs"
+go test -race "$pkgs"
+
+echo "ok"
