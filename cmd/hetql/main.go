@@ -11,6 +11,8 @@
 //	hetql -show                        # print the federation's contents
 //	hetql -export > my.json            # dump the federation as JSON
 //	hetql -fed my.json -alg auto       # query a JSON-defined federation
+//	hetql -fail-sites DB3              # degrade: kill DB3, partial answer
+//	hetql -site-delay DB2=5ms          # wedge DB2 by 5ms per operation
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fabric"
@@ -46,16 +49,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hetql", flag.ContinueOnError)
 	var (
-		queryText = fs.String("query", school.Q1, "global query (SQL/X-like)")
-		algName   = fs.String("alg", "all", "strategy: CA, BL, PL, SBL, SPL, auto (planner), or all")
+		queryText   = fs.String("query", school.Q1, "global query (SQL/X-like)")
+		algName     = fs.String("alg", "all", "strategy: CA, BL, PL, SBL, SPL, auto (planner), or all")
 		showTrace   = fs.Bool("trace", false, "print the executed step flow (Figure 8) and the span tree")
 		showMetrics = fs.Bool("metrics", false, "print each strategy's metrics (snapshot delta)")
-		show      = fs.Bool("show", false, "print the federation's schemas and objects, then exit")
-		export    = fs.Bool("export", false, "dump the federation as a JSON document, then exit")
-		stats     = fs.Bool("stats", false, "print the planner's catalog statistics, then exit")
-		fedPath   = fs.String("fed", "", "load the federation from this JSON document instead of the built-in example")
+		show        = fs.Bool("show", false, "print the federation's schemas and objects, then exit")
+		export      = fs.Bool("export", false, "dump the federation as a JSON document, then exit")
+		stats       = fs.Bool("stats", false, "print the planner's catalog statistics, then exit")
+		fedPath     = fs.String("fed", "", "load the federation from this JSON document instead of the built-in example")
+		failSites   = fs.String("fail-sites", "", "comma-separated sites to kill (fault injection; the query degrades)")
+		siteDelay   = fs.String("site-delay", "", "comma-separated SITE=DURATION pairs of extra per-operation latency")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	faults, err := parseFaults(*failSites, *siteDelay)
+	if err != nil {
 		return err
 	}
 
@@ -140,7 +150,12 @@ func run(args []string) error {
 	prev := reg.Snapshot()
 	for _, alg := range algs {
 		tracer.Reset()
-		ans, m, err := engine.Run(fabric.NewSim(fabric.DefaultRates(), engine.Sites()), alg, b)
+		rt := fabric.NewSim(fabric.DefaultRates(), engine.Sites())
+		if faults != nil {
+			// A fresh plan per run: drop-after budgets are stateful.
+			rt = rt.WithFaults(faults())
+		}
+		ans, m, err := engine.Run(rt, alg, b)
 		if err != nil {
 			return fmt.Errorf("%v: %w", alg, err)
 		}
@@ -165,6 +180,46 @@ func run(args []string) error {
 	return nil
 }
 
+// parseFaults turns the -fail-sites and -site-delay flags into a fault-plan
+// factory (nil when no faults are requested). A factory, not a plan: plans
+// carry per-run state, so every strategy run gets a fresh one.
+func parseFaults(failSites, siteDelay string) (func() *fabric.FaultPlan, error) {
+	var kills []object.SiteID
+	for _, name := range strings.Split(failSites, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			kills = append(kills, object.SiteID(name))
+		}
+	}
+	delays := make(map[object.SiteID]time.Duration)
+	for _, pair := range strings.Split(siteDelay, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -site-delay entry %q (want SITE=DURATION)", pair)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return nil, fmt.Errorf("bad -site-delay entry %q: %v", pair, err)
+		}
+		delays[object.SiteID(name)] = d
+	}
+	if len(kills) == 0 && len(delays) == 0 {
+		return nil, nil
+	}
+	return func() *fabric.FaultPlan {
+		fp := fabric.NewFaultPlan()
+		for _, site := range kills {
+			fp.Kill(site)
+		}
+		for site, d := range delays {
+			fp.Delay(site, float64(d.Microseconds()))
+		}
+		return fp
+	}, nil
+}
+
 func pickAlgorithms(name string) ([]exec.Algorithm, error) {
 	if strings.EqualFold(name, "all") {
 		return exec.Algorithms(), nil
@@ -178,6 +233,12 @@ func pickAlgorithms(name string) ([]exec.Algorithm, error) {
 }
 
 func printAnswer(ans *federation.Answer, b *query.Bound) {
+	if ans.Degraded {
+		fmt.Printf("DEGRADED: partial answer, %d site(s) unavailable:\n", len(ans.Unavailable))
+		for _, f := range ans.Unavailable {
+			fmt.Printf("  %s: %s\n", f.Site, f.Reason)
+		}
+	}
 	fmt.Printf("certain results (%d):\n", len(ans.Certain))
 	for _, r := range ans.Certain {
 		fmt.Printf("  %s\n", r)

@@ -19,8 +19,16 @@
 //	    -alg BL -trace -metrics
 //
 // With -metrics-addr a site also serves /metrics, /healthz and
-// /debug/trace/last (see the obs package); -trace and -metrics print the
-// coordinator's span tree and metrics snapshot after the query.
+// /debug/trace/last (see the obs package); /healthz includes the site's
+// peer circuit-breaker states and reports "degraded" when any breaker is
+// open. -trace and -metrics print the coordinator's span tree and metrics
+// snapshot after the query.
+//
+// Fault-tolerance policy flags (both modes): -retries, -retry-backoff,
+// -call-timeout, -dial-timeout, -pool, -breaker-failures,
+// -breaker-cooldown. A coordinator queried against a partially-down
+// cluster returns a degraded partial answer instead of failing: results
+// that depended on the dead site are reported as maybe.
 package main
 
 import (
@@ -59,6 +67,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hetserve", flag.ContinueOnError)
+	defaults := remote.DefaultCallConfig()
 	var (
 		siteName    = fs.String("site", "", "serve this component site (DB1, DB2 or DB3)")
 		listen      = fs.String("listen", "127.0.0.1:0", "listen address for -site mode")
@@ -70,9 +79,28 @@ func run(args []string) error {
 		fedPath     = fs.String("fed", "", "serve/query this JSON federation instead of the built-in example")
 		showTrace   = fs.Bool("trace", false, "print the query's span tree in -coordinator mode")
 		showMetrics = fs.Bool("metrics", false, "print the coordinator's metrics snapshot in -coordinator mode")
+
+		retries         = fs.Int("retries", defaults.Attempts-1, "transport retries per remote call (0 = single attempt)")
+		retryBackoff    = fs.Duration("retry-backoff", defaults.BackoffBase, "base sleep before the first retry (doubles per retry, jittered)")
+		callTimeout     = fs.Duration("call-timeout", defaults.CallTimeout, "deadline for one full request/response exchange")
+		dialTimeout     = fs.Duration("dial-timeout", defaults.DialTimeout, "deadline for connecting to a peer")
+		poolSize        = fs.Int("pool", defaults.PoolSize, "max idle pooled connections per peer")
+		breakerFails    = fs.Int("breaker-failures", defaults.BreakerThreshold, "consecutive call failures that open a peer's circuit breaker (0 = disabled)")
+		breakerCooldown = fs.Duration("breaker-cooldown", defaults.BreakerCooldown, "how long an open breaker waits before a half-open probe")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	call := remote.CallConfig{
+		DialTimeout:      *dialTimeout,
+		CallTimeout:      *callTimeout,
+		Attempts:         *retries + 1,
+		BackoffBase:      *retryBackoff,
+		BackoffMax:       defaults.BackoffMax,
+		PoolSize:         *poolSize,
+		BreakerThreshold: *breakerFails,
+		BreakerCooldown:  *breakerCooldown,
 	}
 
 	peers, err := parsePeers(*peersFlag)
@@ -87,9 +115,9 @@ func run(args []string) error {
 	switch {
 	case *coordinator:
 		return runCoordinator(fed, peers, *queryText, *algName,
-			coordOpts{Trace: *showTrace, Metrics: *showMetrics})
+			coordOpts{Trace: *showTrace, Metrics: *showMetrics, Call: call})
 	case *siteName != "":
-		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers)
+		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers, call)
 	default:
 		return fmt.Errorf("pass -site NAME or -coordinator")
 	}
@@ -149,10 +177,23 @@ func (rt *siteRuntime) Close() error {
 	return err
 }
 
+// breakerHealth adapts a breaker-state snapshot (peer site → state) to the
+// obs health surface.
+func breakerHealth(states func() map[object.SiteID]string) obs.Health {
+	return func() map[string]string {
+		m := states()
+		out := make(map[string]string, len(m))
+		for site, st := range m {
+			out[string(site)] = st
+		}
+		return out
+	}
+}
+
 // startSite builds and starts one fully instrumented component-site server;
 // runSite adds the signal-wait around it.
 func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr string,
-	peers map[object.SiteID]string, log *slog.Logger) (*siteRuntime, error) {
+	peers map[object.SiteID]string, call remote.CallConfig, log *slog.Logger) (*siteRuntime, error) {
 	db, ok := fed.Databases[site]
 	if !ok {
 		return nil, fmt.Errorf("unknown site %q in this federation", site)
@@ -169,6 +210,7 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 		Tracer:     tr,
 		Metrics:    reg,
 		Log:        log,
+		Call:       call,
 	})
 	if err != nil {
 		return nil, err
@@ -178,7 +220,7 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 	}
 	rt := &siteRuntime{Server: srv, Tracer: tr, Metrics: reg}
 	if metricsAddr != "" {
-		o, err := obs.Serve(metricsAddr, string(site), reg, tr)
+		o, err := obs.Serve(metricsAddr, string(site), reg, tr, breakerHealth(srv.PeerBreakers))
 		if err != nil {
 			srv.Close()
 			return nil, err
@@ -188,9 +230,9 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 	return rt, nil
 }
 
-func runSite(fed *federationBundle, site object.SiteID, listen, metricsAddr string, peers map[object.SiteID]string) error {
+func runSite(fed *federationBundle, site object.SiteID, listen, metricsAddr string, peers map[object.SiteID]string, call remote.CallConfig) error {
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	rt, err := startSite(fed, site, listen, metricsAddr, peers, log)
+	rt, err := startSite(fed, site, listen, metricsAddr, peers, call, log)
 	if err != nil {
 		return err
 	}
@@ -211,12 +253,14 @@ func runSite(fed *federationBundle, site object.SiteID, listen, metricsAddr stri
 	return rt.Close()
 }
 
-// coordOpts selects the coordinator's diagnostic output.
+// coordOpts selects the coordinator's diagnostic output and call policy.
 type coordOpts struct {
 	// Trace prints the query's span tree as seen from the coordinator.
 	Trace bool
 	// Metrics prints the coordinator's metrics snapshot (text form).
 	Metrics bool
+	// Call is the retry/pool/breaker policy for coordinator RPCs.
+	Call remote.CallConfig
 }
 
 func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string, opts coordOpts) error {
@@ -234,6 +278,7 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	tr := &trace.Tracer{}
 	tr.SetLimit(spanLimit)
 	reg := metrics.New()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("site", "G")
 	coord := &remote.Coordinator{
 		ID:      "G",
 		Global:  fed.Global,
@@ -241,10 +286,14 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		Sites:   peers,
 		Tracer:  tr,
 		Metrics: reg,
-		Log:     slog.New(slog.NewTextHandler(os.Stderr, nil)).With("site", "G"),
+		Log:     log,
+		Call:    opts.Call,
 	}
+	defer coord.Close()
 	if err := coord.Ping(); err != nil {
-		return err
+		// Unreachable sites no longer abort the query: execution degrades
+		// and the affected results come back as maybe.
+		log.Warn("some sites unreachable, proceeding degraded", slog.Any("err", err))
 	}
 	ans, elapsed, err := coord.Query(queryText, alg)
 	if err != nil {
@@ -252,6 +301,12 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	}
 	fmt.Printf("query: %s\nstrategy: %v  (%.2f ms over TCP)\n", queryText, alg,
 		float64(elapsed.Microseconds())/1e3)
+	if ans.Degraded {
+		fmt.Printf("DEGRADED: partial answer, %d site(s) unavailable:\n", len(ans.Unavailable))
+		for _, f := range ans.Unavailable {
+			fmt.Printf("  %s: %s\n", f.Site, f.Reason)
+		}
+	}
 	fmt.Printf("certain results (%d):\n", len(ans.Certain))
 	for _, r := range ans.Certain {
 		fmt.Printf("  %s\n", r)

@@ -119,10 +119,19 @@ func TestCoordinatorAgainstCluster(t *testing.T) {
 		t.Errorf("coordinator output wrong:\n%s", out)
 	}
 
-	// Unreachable cluster errors out.
+	// An unreachable cluster no longer errors out: the query degrades to a
+	// fully-maybe partial answer (every student's root copies are behind
+	// dead sites, so they all come back as synthesized all-unknown rows).
 	bad := map[object.SiteID]string{"DB1": "127.0.0.1:1", "DB2": "127.0.0.1:1", "DB3": "127.0.0.1:1"}
-	if err := runCoordinator(bundle, bad, school.Q1, "BL", coordOpts{}); err == nil {
-		t.Error("unreachable cluster accepted")
+	out, err = captureStdout(t, func() error {
+		return runCoordinator(bundle, bad, school.Q1, "BL",
+			coordOpts{Call: remote.CallConfig{Attempts: 1}})
+	})
+	if err != nil {
+		t.Fatalf("unreachable cluster failed instead of degrading: %v", err)
+	}
+	if !strings.Contains(out, "DEGRADED") || !strings.Contains(out, "certain results (0)") {
+		t.Errorf("unreachable-cluster output not degraded:\n%s", out)
 	}
 }
 
@@ -138,7 +147,7 @@ func TestObservabilitySurface(t *testing.T) {
 	addrs := make(map[object.SiteID]string)
 	rts := make(map[object.SiteID]*siteRuntime)
 	for _, site := range school.Sites {
-		rt, err := startSite(bundle, site, "127.0.0.1:0", "127.0.0.1:0", nil, logger)
+		rt, err := startSite(bundle, site, "127.0.0.1:0", "127.0.0.1:0", nil, remote.CallConfig{}, logger)
 		if err != nil {
 			t.Fatalf("startSite %s: %v", site, err)
 		}

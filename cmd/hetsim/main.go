@@ -51,7 +51,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hetsim", flag.ContinueOnError)
 	var (
-		figure  = fs.String("figure", "all", "experiment: 9, 10, 11, signatures, network, or all")
+		figure  = fs.String("figure", "all", "experiment: 9, 10, 11, signatures, network, indexes, faults, planner, or all")
 		samples = fs.Int("samples", 25, "randomized Table 2 samples per swept point (paper: 500)")
 		seed    = fs.Int64("seed", 1, "base random seed")
 		scale   = fs.Float64("scale", 1.0, "multiplier on the Table 2 extent sizes")
@@ -106,6 +106,9 @@ func run(args []string) error {
 		"indexes": {"index ablation", func() (*sim.Experiment, error) {
 			return sim.IndexAblation(cfg, nil)
 		}},
+		"faults": {"fault sweep", func() (*sim.Experiment, error) {
+			return sim.FaultSweep(cfg, nil)
+		}},
 	}
 
 	var order []string
@@ -118,10 +121,10 @@ func run(args []string) error {
 		fmt.Print(report)
 		return nil
 	case "all":
-		order = []string{"9", "10", "11", "signatures", "network", "indexes"}
+		order = []string{"9", "10", "11", "signatures", "network", "indexes", "faults"}
 	default:
 		if _, ok := runners[*figure]; !ok {
-			return fmt.Errorf("unknown figure %q (want 9, 10, 11, signatures, network, indexes, planner, all)", *figure)
+			return fmt.Errorf("unknown figure %q (want 9, 10, 11, signatures, network, indexes, faults, planner, all)", *figure)
 		}
 		order = []string{*figure}
 	}

@@ -191,7 +191,14 @@ func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federat
 			err = fmt.Errorf("exec: unknown algorithm %v", alg)
 		}
 		if ans != nil {
+			ans.MarkDegraded(q.failures)
 			root.Add("certain", int64(len(ans.Certain))).Add("maybe", int64(len(ans.Maybe)))
+			if ans.Degraded {
+				root.Add("degraded", 1)
+				for _, f := range ans.Unavailable {
+					root.Detailf("unavailable %s", f)
+				}
+			}
 		}
 		root.EndV(p.Now())
 	})
@@ -210,6 +217,51 @@ type runCtx struct {
 	qid  string
 	alg  string
 	root trace.SpanID
+
+	// failures collects the sites the runtime's fault plan took down during
+	// this query; the answer degrades instead of failing.
+	mu       sync.Mutex
+	failures []federation.SiteFailure
+}
+
+// siteFailed records one unavailable site.
+func (q *runCtx) siteFailed(site object.SiteID, reason string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.failures = append(q.failures, federation.SiteFailure{Site: site, Reason: reason})
+}
+
+// dead returns the failed-site membership map for certification (nil when
+// every site served).
+func (q *runCtx) dead() map[object.SiteID]bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.failures) == 0 {
+		return nil
+	}
+	m := make(map[object.SiteID]bool, len(q.failures))
+	for _, f := range q.failures {
+		m[f.Site] = true
+	}
+	return m
+}
+
+// siteDown consults the runtime's fault plan before a site-bound operation:
+// it injects the site's configured delay, counts the operation against a
+// drop-after budget, and reports whether the site is down for it. With no
+// fault plan every site serves.
+func siteDown(p fabric.Proc, site object.SiteID) (string, bool) {
+	fp := p.Faults()
+	if fp == nil {
+		return "", false
+	}
+	if d := fp.DelayMicros(site); d > 0 {
+		p.Sleep(d)
+	}
+	if fp.BeginOp(site) {
+		return "", false
+	}
+	return fp.Reason(site), true
 }
 
 // begin opens a query-scoped span at a site, stamped with the runtime's
@@ -239,6 +291,14 @@ func (e *Engine) record(q *runCtx, ans *federation.Answer, m fabric.Metrics) {
 		e.reg.Counter("results_maybe_total", algOnly).Add(int64(len(ans.Maybe)))
 		e.reg.Counter("maybe_certified_total", algOnly).Add(int64(ans.Stats.Certified))
 		e.reg.Counter("maybe_eliminated_total", algOnly).Add(int64(ans.Stats.Eliminated))
+		if ans.Degraded {
+			e.reg.Counter("degraded_queries_total",
+				metrics.Labels{Site: coord, Alg: q.alg}).Inc()
+			for _, f := range ans.Unavailable {
+				e.reg.Counter("site_unavailable_total",
+					metrics.Labels{Site: coord, Peer: string(f.Site), Alg: q.alg}).Inc()
+			}
+		}
 	}
 	for site, sc := range m.PerSite {
 		l := metrics.Labels{Site: string(site), Alg: q.alg}
@@ -284,6 +344,11 @@ func (e *Engine) runCA(q *runCtx, p fabric.Proc, b *query.Bound) *federation.Ans
 		i, siteID := i, siteID
 		fns[i] = func(p fabric.Proc) {
 			c1 := e.begin(q, p, g1.ID(), siteID, "CA_C1", "O")
+			if reason, down := siteDown(p, siteID); down {
+				q.siteFailed(siteID, reason)
+				c1.Detailf("unavailable: %s", reason).EndV(p.Now())
+				return
+			}
 			site := e.sites[siteID]
 			p.Transfer(coord, siteID, federation.QueryWireSize(b))
 			reply := site.Retrieve(p, b)
@@ -307,6 +372,12 @@ func (e *Engine) runCA(q *runCtx, p fabric.Proc, b *query.Bound) *federation.Ans
 	// CA_G3: evaluate the predicates (phase P).
 	g3 := e.begin(q, p, q.root, coord, "CA_G3", "P")
 	ans := e.coord.EvaluateView(p, b, view)
+	// A dead site's attributes never reached the view, so its predicates
+	// already read unknown; entities stored only at dead queried root sites
+	// come back as synthesized all-unknown maybe rows.
+	if dead := q.dead(); dead != nil {
+		ans.AddMaybe(e.coord.DegradedRootRows(p, b, dead, view.Has)...)
+	}
 	g3.Detailf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe))
 	g3.EndV(p.Now())
 	return ans
@@ -333,6 +404,14 @@ func (e *Engine) dispatchChecks(q *runCtx, parent trace.SpanID, origin object.Si
 			metrics.Labels{Site: string(origin), Alg: q.alg}).Add(int64(len(items)))
 		fns = append(fns, func(p fabric.Proc) {
 			c3 := e.begin(q, p, parent, target, "C3", "O")
+			// A dead check target fails no query: its verdicts simply never
+			// arrive, the unsolved predicates stay unknown, and the
+			// dependent results stay maybe.
+			if reason, down := siteDown(p, target); down {
+				q.siteFailed(target, reason)
+				c3.Detailf("unavailable: %s", reason).EndV(p.Now())
+				return
+			}
 			req := federation.CheckRequest{From: origin, Items: items}
 			p.Transfer(origin, target, req.WireSize())
 			reply := e.sites[target].CheckAssistants(p, items)
@@ -355,10 +434,20 @@ func (e *Engine) runBL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 
 	var mu sync.Mutex
 	var replies []federation.CheckReply
+	deadRoots := make(map[object.SiteID]bool)
 	addReply := func(r federation.CheckReply) {
 		mu.Lock()
 		defer mu.Unlock()
 		replies = append(replies, r)
+	}
+	// Only root sites that never answered their local query feed the
+	// certification's dead map: a live site's silence about an entity is
+	// still elimination evidence, and a dead check target merely leaves
+	// verdicts missing.
+	markDeadRoot := func(site object.SiteID) {
+		mu.Lock()
+		defer mu.Unlock()
+		deadRoots[site] = true
 	}
 
 	// BL_G1 ∥ per-site BL_C1/BL_C2, with BL_C3 at the check targets.
@@ -371,6 +460,12 @@ func (e *Engine) runBL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 			// Phase P (local predicates) then phase O (assistant lookup) at
 			// the site — the paper's P → O ordering in one local step.
 			c12 := e.begin(q, p, g1.ID(), siteID, "BL_C1+C2", "PO")
+			if reason, down := siteDown(p, siteID); down {
+				q.siteFailed(siteID, reason)
+				markDeadRoot(siteID)
+				c12.Detailf("unavailable: %s", reason).EndV(p.Now())
+				return
+			}
 			site := e.sites[siteID]
 			p.Transfer(coord, siteID, federation.QueryWireSize(b))
 			res, checks := site.EvalLocalBasic(p, b, sigs)
@@ -394,7 +489,10 @@ func (e *Engine) runBL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 
 	// BL_G2: certification (phase I).
 	g2 := e.begin(q, p, q.root, coord, "BL_G2", "I")
-	ans := e.coord.Certify(p, b, results, replies)
+	if len(deadRoots) == 0 {
+		deadRoots = nil
+	}
+	ans := e.coord.CertifyDegraded(p, b, results, replies, deadRoots)
 	g2.Detailf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)).
 		Add("certified", int64(ans.Stats.Certified)).
 		Add("eliminated", int64(ans.Stats.Eliminated))
@@ -414,10 +512,16 @@ func (e *Engine) runPL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 
 	var mu sync.Mutex
 	var replies []federation.CheckReply
+	deadRoots := make(map[object.SiteID]bool)
 	addReply := func(r federation.CheckReply) {
 		mu.Lock()
 		defer mu.Unlock()
 		replies = append(replies, r)
+	}
+	markDeadRoot := func(site object.SiteID) {
+		mu.Lock()
+		defer mu.Unlock()
+		deadRoots[site] = true
 	}
 
 	g1 := e.begin(q, p, q.root, coord, "PL_G1", "").
@@ -427,6 +531,11 @@ func (e *Engine) runPL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 		i, siteID := i, siteID
 		fns[i] = func(p fabric.Proc) {
 			site := e.sites[siteID]
+			if reason, down := siteDown(p, siteID); down {
+				q.siteFailed(siteID, reason)
+				markDeadRoot(siteID)
+				return
+			}
 			p.Transfer(coord, siteID, federation.QueryWireSize(b))
 
 			// PL_C1 (phase O): locate unsolved items for every object and
@@ -456,7 +565,10 @@ func (e *Engine) runPL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 
 	// PL_G2: certification (phase I).
 	g2 := e.begin(q, p, q.root, coord, "PL_G2", "I")
-	ans := e.coord.Certify(p, b, results, replies)
+	if len(deadRoots) == 0 {
+		deadRoots = nil
+	}
+	ans := e.coord.CertifyDegraded(p, b, results, replies, deadRoots)
 	g2.Detailf("%d certain, %d maybe", len(ans.Certain), len(ans.Maybe)).
 		Add("certified", int64(ans.Stats.Certified)).
 		Add("eliminated", int64(ans.Stats.Eliminated))

@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+// faultEngine is schoolEngine with signatures wired, so SBL/SPL run too.
+func faultEngine(t *testing.T) (*Engine, *query.Bound) {
+	t.Helper()
+	fx := school.New()
+	e, err := New(Config{
+		Global:      fx.Global,
+		Coordinator: "G",
+		Databases:   fx.Databases,
+		Tables:      fx.Mapping,
+		Tracer:      &trace.Tracer{},
+		Signatures:  signature.Build(fx.Databases),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e, query.MustBind(query.MustParse(school.Q1), fx.Global)
+}
+
+// runtimes returns both fabrics with the same fault plan installed; the
+// degraded answer must not depend on which runtime executes the strategy.
+func runtimes(e *Engine, fp func() *fabric.FaultPlan) map[string]fabric.Runtime {
+	return map[string]fabric.Runtime{
+		"real": fabric.NewReal(fabric.DefaultRates()).WithFaults(fp()),
+		"sim":  fabric.NewSim(fabric.DefaultRates(), e.Sites()).WithFaults(fp()),
+	}
+}
+
+func maybeGOids(a *federation.Answer) []object.GOid {
+	out := make([]object.GOid, len(a.Maybe))
+	for i, r := range a.Maybe {
+		out[i] = r.GOid
+	}
+	return out
+}
+
+func equalGOids(got, want []object.GOid) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFaultKillAssistantSite kills DB3 under every strategy on both
+// runtimes: the query degrades to no certain rows and gs2, gs3, gs4 maybe
+// (nothing DB3 would certify or eliminate resolves).
+func TestFaultKillAssistantSite(t *testing.T) {
+	e, b := faultEngine(t)
+	for _, alg := range AllAlgorithms() {
+		for name, rt := range runtimes(e, func() *fabric.FaultPlan {
+			return fabric.NewFaultPlan().Kill("DB3")
+		}) {
+			ans, _, err := e.Run(rt, alg, b)
+			if err != nil {
+				t.Fatalf("%v/%s: query failed instead of degrading: %v", alg, name, err)
+			}
+			if !ans.Degraded {
+				t.Fatalf("%v/%s: answer not marked degraded", alg, name)
+			}
+			if len(ans.Unavailable) != 1 || ans.Unavailable[0].Site != "DB3" {
+				t.Errorf("%v/%s: unavailable = %v", alg, name, ans.Unavailable)
+			}
+			if len(ans.Certain) != 0 {
+				t.Errorf("%v/%s: certain = %v, want none", alg, name, ans.Certain)
+			}
+			if got := maybeGOids(ans); !equalGOids(got, []object.GOid{"gs2", "gs3", "gs4"}) {
+				t.Errorf("%v/%s: maybe = %v, want [gs2 gs3 gs4]", alg, name, got)
+			}
+			for _, r := range ans.Maybe {
+				if r.GOid == "gs4" && (len(r.Unknown) != 1 || r.Unknown[0] != 2) {
+					t.Errorf("%v/%s: gs4 unknown = %v, want [2]", alg, name, r.Unknown)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultKillRootSite kills DB2: the students stored only there (gs4,
+// gs5) resurface as synthesized all-unknown maybe rows — unreadable is the
+// coarsest missingness, not an excuse to drop results silently.
+func TestFaultKillRootSite(t *testing.T) {
+	e, b := faultEngine(t)
+	for _, alg := range AllAlgorithms() {
+		for name, rt := range runtimes(e, func() *fabric.FaultPlan {
+			return fabric.NewFaultPlan().Kill("DB2")
+		}) {
+			ans, _, err := e.Run(rt, alg, b)
+			if err != nil {
+				t.Fatalf("%v/%s: query failed instead of degrading: %v", alg, name, err)
+			}
+			if !ans.Degraded {
+				t.Fatalf("%v/%s: answer not marked degraded", alg, name)
+			}
+			if len(ans.Certain) != 0 {
+				t.Errorf("%v/%s: certain = %v, want none", alg, name, ans.Certain)
+			}
+			// The signature strategies still eliminate gs1: DB2's signature
+			// is derived data held outside DB2, and it says definitively that
+			// John's address fails the city predicate — a dead site's
+			// signature remains readable evidence.
+			want := []object.GOid{"gs1", "gs2", "gs4", "gs5"}
+			if alg == SBL || alg == SPL {
+				want = []object.GOid{"gs2", "gs4", "gs5"}
+			}
+			if got := maybeGOids(ans); !equalGOids(got, want) {
+				t.Errorf("%v/%s: maybe = %v, want %v", alg, name, got, want)
+			}
+			for _, r := range ans.Maybe {
+				if r.GOid != "gs4" && r.GOid != "gs5" {
+					continue
+				}
+				if len(r.Unknown) != len(b.Preds) {
+					t.Errorf("%v/%s: %s unknown = %v, want all %d predicates",
+						alg, name, r.GOid, r.Unknown, len(b.Preds))
+				}
+			}
+		}
+	}
+}
+
+// TestFaultDropAfter: a site that dies mid-query (after serving a few
+// operations) must still degrade cleanly rather than corrupt the answer.
+func TestFaultDropAfter(t *testing.T) {
+	e, b := faultEngine(t)
+	for _, alg := range AllAlgorithms() {
+		rt := fabric.NewReal(fabric.DefaultRates()).
+			WithFaults(fabric.NewFaultPlan().DropAfter("DB3", 1))
+		ans, _, err := e.Run(rt, alg, b)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		healthy, _, err := e.Run(fabric.NewReal(fabric.DefaultRates()), alg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Degraded {
+			// The site may have died only after the strategy was done with
+			// it (CA needs a single retrieve); then the answer is exact.
+			if answerSummary(ans) != answerSummary(healthy) {
+				t.Errorf("%v: undegraded answer differs from healthy run:\n  got  %s\n  want %s",
+					alg, answerSummary(ans), answerSummary(healthy))
+			}
+			continue
+		}
+		// The site died mid-query. Whatever it served before dropping can
+		// only have helped: no certain row may appear that the healthy run
+		// lacks.
+		certain := make(map[object.GOid]bool)
+		for _, r := range healthy.Certain {
+			certain[r.GOid] = true
+		}
+		for _, r := range ans.Certain {
+			if !certain[r.GOid] {
+				t.Errorf("%v: degraded run certified %s, healthy run did not", alg, r.GOid)
+			}
+		}
+	}
+}
+
+// TestFaultDelayIsNotFailure: a slow site is not a dead site — the answer
+// stays exact and undegraded, only slower.
+func TestFaultDelayIsNotFailure(t *testing.T) {
+	e, b := faultEngine(t)
+	// 50ms of injected latency per DB3 operation dwarfs the ~25ms healthy
+	// response, so the slowdown is visible whatever the critical path.
+	rt := fabric.NewSim(fabric.DefaultRates(), e.Sites()).
+		WithFaults(fabric.NewFaultPlan().Delay("DB3", 50_000))
+	ans, m, err := e.Run(rt, BL, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Degraded || len(ans.Unavailable) != 0 {
+		t.Errorf("delayed site degraded the answer: %+v", ans.Unavailable)
+	}
+	if len(ans.Certain) != 1 || ans.Certain[0].GOid != "gs4" {
+		t.Errorf("certain = %v", ans.Certain)
+	}
+	_, base, err := e.Run(fabric.NewSim(fabric.DefaultRates(), e.Sites()), BL, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ResponseMicros <= base.ResponseMicros {
+		t.Errorf("delayed response %.0fµs not above baseline %.0fµs",
+			m.ResponseMicros, base.ResponseMicros)
+	}
+}

@@ -68,6 +68,14 @@ type Proc interface {
 	// simulated runtime, time since Run started on the real runtime. Span
 	// timestamps taken from Now are comparable within one Run.
 	Now() float64
+	// Sleep pauses the task for the given number of microseconds: virtual
+	// delay on the simulated runtime, wall-clock sleep on the real one.
+	// Fault plans use it to model slow sites.
+	Sleep(micros float64)
+	// Faults returns the runtime's injected fault plan, nil when no faults
+	// are configured. Strategy code consults it to skip dead sites and
+	// degrade the answer instead of failing.
+	Faults() *FaultPlan
 }
 
 // SiteCost is the local work charged to one site during an execution.

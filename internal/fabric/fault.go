@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// FaultPlan injects deterministic site faults into a runtime: a site can be
+// killed outright (unavailable from the start), dropped after serving a
+// fixed number of operations (a mid-query crash), or delayed by a fixed
+// extra latency per operation (a wedged-but-alive site). Execution
+// strategies consult the plan through Proc.Faults and degrade instead of
+// failing: a dead site is a coarser missingness mechanism, so the affected
+// results stay maybe rather than aborting the query.
+//
+// The plan is safe for concurrent use (the real runtime evaluates site
+// steps on goroutines) and deterministic: the same plan against the same
+// workload produces the same degraded answer.
+type FaultPlan struct {
+	mu      sync.Mutex
+	killed  map[object.SiteID]bool
+	dropAt  map[object.SiteID]int // ops remaining before the site goes dark
+	served  map[object.SiteID]int
+	delayUS map[object.SiteID]float64
+}
+
+// NewFaultPlan returns an empty plan (no faults).
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{
+		killed:  make(map[object.SiteID]bool),
+		dropAt:  make(map[object.SiteID]int),
+		served:  make(map[object.SiteID]int),
+		delayUS: make(map[object.SiteID]float64),
+	}
+}
+
+// Kill marks the site dead for the whole execution.
+func (f *FaultPlan) Kill(site object.SiteID) *FaultPlan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.killed[site] = true
+	return f
+}
+
+// DropAfter lets the site serve n operations, then kills it: operation
+// n+1 and later find the site unavailable.
+func (f *FaultPlan) DropAfter(site object.SiteID, n int) *FaultPlan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropAt[site] = n
+	return f
+}
+
+// Delay adds the given extra latency (µs) to every operation served by the
+// site.
+func (f *FaultPlan) Delay(site object.SiteID, micros float64) *FaultPlan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delayUS[site] = micros
+	return f
+}
+
+// BeginOp records one operation against the site and reports whether the
+// site is still alive to serve it. A nil plan always reports alive.
+func (f *FaultPlan) BeginOp(site object.SiteID) bool {
+	if f == nil {
+		return true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed[site] {
+		return false
+	}
+	if limit, ok := f.dropAt[site]; ok {
+		if f.served[site] >= limit {
+			return false
+		}
+		f.served[site]++
+	}
+	return true
+}
+
+// Unavailable reports whether the site is dead right now (killed, or past
+// its drop budget) without consuming an operation. A nil plan reports
+// false.
+func (f *FaultPlan) Unavailable(site object.SiteID) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed[site] {
+		return true
+	}
+	limit, ok := f.dropAt[site]
+	return ok && f.served[site] >= limit
+}
+
+// DelayMicros returns the extra per-operation latency injected at the site
+// (0 without a fault). A nil plan returns 0.
+func (f *FaultPlan) DelayMicros(site object.SiteID) float64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delayUS[site]
+}
+
+// Reason describes the site's fault for degradation reports.
+func (f *FaultPlan) Reason(site object.SiteID) string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case f.killed[site]:
+		return "injected fault: site killed"
+	case hasKey(f.dropAt, site) && f.served[site] >= f.dropAt[site]:
+		return fmt.Sprintf("injected fault: site dropped after %d operations", f.dropAt[site])
+	default:
+		return ""
+	}
+}
+
+func hasKey(m map[object.SiteID]int, k object.SiteID) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// String renders the plan for logs and flags.
+func (f *FaultPlan) String() string {
+	if f == nil {
+		return "none"
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var parts []string
+	for site := range f.killed {
+		parts = append(parts, fmt.Sprintf("kill(%s)", site))
+	}
+	for site, n := range f.dropAt {
+		parts = append(parts, fmt.Sprintf("drop(%s,%d)", site, n))
+	}
+	for site, d := range f.delayUS {
+		parts = append(parts, fmt.Sprintf("delay(%s,%gµs)", site, d))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}

@@ -14,7 +14,8 @@ import (
 // it for functional execution (examples, correctness tests, the TCP
 // deployment); use Sim for the paper's timing experiments.
 type Real struct {
-	rates Rates
+	rates  Rates
+	faults *FaultPlan
 
 	mu    sync.Mutex
 	sinks map[object.SiteID]*cost.Counter
@@ -30,6 +31,13 @@ var _ Runtime = (*Real)(nil)
 // convert counts into modeled work for Metrics).
 func NewReal(rates Rates) *Real {
 	return &Real{rates: rates, sinks: make(map[object.SiteID]*cost.Counter)}
+}
+
+// WithFaults installs a fault plan consulted by strategy code through
+// Proc.Faults. Call before Run.
+func (r *Real) WithFaults(fp *FaultPlan) *Real {
+	r.faults = fp
+	return r
 }
 
 // Run implements Runtime.
@@ -154,3 +162,13 @@ func (p *realProc) Now() float64 {
 	p.rt.mu.Unlock()
 	return float64(time.Since(start).Nanoseconds()) / 1e3
 }
+
+// Sleep implements Proc: a wall-clock sleep.
+func (p *realProc) Sleep(micros float64) {
+	if micros > 0 {
+		time.Sleep(time.Duration(micros * float64(time.Microsecond)))
+	}
+}
+
+// Faults implements Proc.
+func (p *realProc) Faults() *FaultPlan { return p.rt.faults }

@@ -16,11 +16,12 @@ import (
 //
 // A Sim value is single-use: create one per execution.
 type Sim struct {
-	rates Rates
-	sim   *des.Simulator
-	cpu   map[object.SiteID]*des.Resource
-	disk  map[object.SiteID]*des.Resource
-	net   *des.Resource
+	rates  Rates
+	faults *FaultPlan
+	sim    *des.Simulator
+	cpu    map[object.SiteID]*des.Resource
+	disk   map[object.SiteID]*des.Resource
+	net    *des.Resource
 
 	// Event counters. Plain (unlocked) fields are safe here: DES processes
 	// run one at a time under the simulator's channel handshakes, which
@@ -52,6 +53,13 @@ func NewSim(rates Rates, sites []object.SiteID) *Sim {
 		s.disk[site] = s.sim.NewResource(string(site) + ".disk")
 	}
 	s.net = s.sim.NewResource("net")
+	return s
+}
+
+// WithFaults installs a fault plan consulted by strategy code through
+// Proc.Faults. Call before Run.
+func (s *Sim) WithFaults(fp *FaultPlan) *Sim {
+	s.faults = fp
 	return s
 }
 
@@ -141,6 +149,16 @@ func (sp *simProc) Transfer(from, to object.SiteID, bytes int) {
 
 // Now implements Proc: the current virtual time.
 func (sp *simProc) Now() float64 { return sp.p.Now() }
+
+// Sleep implements Proc: a virtual-time delay.
+func (sp *simProc) Sleep(micros float64) {
+	if micros > 0 {
+		sp.p.Delay(micros)
+	}
+}
+
+// Faults implements Proc.
+func (sp *simProc) Faults() *FaultPlan { return sp.rt.faults }
 
 // simSink charges CPU and disk events as virtual time on the site's
 // resources. It is bound to one process and must not be shared.

@@ -72,6 +72,13 @@ func (v *View) Deref(id object.LOid) (*object.Object, bool) {
 // Roots returns the materialized range-class objects sorted by GOid.
 func (v *View) Roots() []*object.Object { return v.roots }
 
+// Has reports whether the entity was materialized into the view (used as
+// the presence test when synthesizing degraded rows under site failure).
+func (v *View) Has(g object.GOid) bool {
+	_, ok := v.objects[object.LOid(g)]
+	return ok
+}
+
 // Len returns the number of materialized objects.
 func (v *View) Len() int { return len(v.objects) }
 
@@ -230,6 +237,24 @@ func (co *Coordinator) EvaluateView(p fabric.Proc, b *query.Bound, v *View) *Ans
 // defensively, with inconsistent isomeric data — a row carries a false
 // verdict.
 func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalResult, replies []CheckReply) *Answer {
+	return co.CertifyDegraded(p, b, results, replies, nil)
+}
+
+// CertifyDegraded is Certify under partial site availability: the sites in
+// dead never answered their local queries, so site failure is folded into
+// the paper's maybe semantics instead of failing the query.
+//
+// Two rules change relative to Certify. First, an entity's absence from a
+// dead queried root site is not elimination evidence — only a live site can
+// eliminate by silence, because silence from a dead site says nothing about
+// its local predicates. Second, range entities whose every queried root
+// copy lives at a dead site are returned as all-unknown maybe rows: the
+// entity may satisfy the query, and nothing can be read to decide.
+// Check verdicts that never arrived (a dead assistant site) need no special
+// handling — the unsolved predicates simply stay unknown and the dependent
+// results stay maybe.
+func (co *Coordinator) CertifyDegraded(p fabric.Proc, b *query.Bound, results []LocalResult,
+	replies []CheckReply, dead map[object.SiteID]bool) *Answer {
 	var c cost.Counter
 
 	// Index check verdicts: any violation dominates, then satisfaction.
@@ -305,7 +330,7 @@ func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalRes
 		eliminated := false
 		for _, loc := range rootTable.Locations(goid) {
 			c.CPU(1)
-			if rootSites[loc.Site] && !e.sites[loc.Site] {
+			if rootSites[loc.Site] && !dead[loc.Site] && !e.sites[loc.Site] {
 				eliminated = true
 				break
 			}
@@ -402,10 +427,76 @@ func (co *Coordinator) Certify(p fabric.Proc, b *query.Bound, results []LocalRes
 			})
 		}
 	}
+
+	// Entities silenced entirely by dead sites come back as all-unknown
+	// maybe rows rather than disappearing.
+	if len(dead) > 0 {
+		present := func(g object.GOid) bool { _, ok := entities[g]; return ok }
+		rows := co.degradedRootRows(b, dead, present, &c)
+		ans.Maybe = append(ans.Maybe, rows...)
+	}
+
 	sortRows(ans.Certain)
 	sortRows(ans.Maybe)
 	co.charge(p, &c)
 	return ans
+}
+
+// DegradedRootRows synthesizes all-unknown maybe rows for range entities
+// whose every queried root copy lives at an unavailable site. present
+// reports whether the entity already contributed evidence (a materialized
+// view object under CA, a local row under the localized strategies); an
+// entity with a copy at a live queried site is skipped — if the live site
+// stayed silent about it, that silence is elimination evidence.
+func (co *Coordinator) DegradedRootRows(p fabric.Proc, b *query.Bound,
+	dead map[object.SiteID]bool, present func(object.GOid) bool) []ResultRow {
+	var c cost.Counter
+	rows := co.degradedRootRows(b, dead, present, &c)
+	co.charge(p, &c)
+	return rows
+}
+
+func (co *Coordinator) degradedRootRows(b *query.Bound, dead map[object.SiteID]bool,
+	present func(object.GOid) bool, c *cost.Counter) []ResultRow {
+	if len(dead) == 0 {
+		return nil
+	}
+	queried := make(map[object.SiteID]bool)
+	for _, s := range b.RootSites() {
+		queried[s] = true
+	}
+	rootTable := co.tables.Table(b.Query.Range)
+	var out []ResultRow
+	for _, goid := range rootTable.GOids() {
+		c.CPU(1)
+		if present(goid) {
+			continue
+		}
+		liveRoot, deadRoot := false, false
+		for _, loc := range rootTable.Locations(goid) {
+			if !queried[loc.Site] {
+				continue
+			}
+			if dead[loc.Site] {
+				deadRoot = true
+			} else {
+				liveRoot = true
+			}
+		}
+		if liveRoot || !deadRoot {
+			continue
+		}
+		targets := make([]object.Value, len(b.Targets))
+		for i := range targets {
+			targets[i] = object.Null()
+		}
+		unknown := make([]int, len(b.Preds))
+		for i := range unknown {
+			unknown[i] = i
+		}
+		out = append(out, ResultRow{GOid: goid, Targets: targets, Unknown: unknown})
+	}
+	return out
 }
 
 // unknownIdx lists the predicate indexes whose truth value is unknown (or

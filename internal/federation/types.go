@@ -59,14 +59,72 @@ func (r ResultRow) String() string {
 	return fmt.Sprintf("%s(%s)", r.GOid, strings.Join(parts, ", "))
 }
 
+// SiteFailure records one component site that could not contribute to an
+// answer, and why. An unreachable site is a coarser missingness mechanism
+// than a null attribute: everything it would have contributed becomes
+// unknown, so dependent results are maybe results with the failure as the
+// recorded reason.
+type SiteFailure struct {
+	Site   object.SiteID
+	Reason string
+}
+
+// String renders the failure for logs and diagnostics.
+func (f SiteFailure) String() string {
+	return fmt.Sprintf("%s: %s", f.Site, f.Reason)
+}
+
 // Answer is the result of a global query: the certain results and, because
 // of missing data, the maybe results. Rows are sorted by GOid.
 type Answer struct {
 	Certain []ResultRow
 	Maybe   []ResultRow
+	// Degraded marks a partial answer: one or more component sites were
+	// unavailable, so results depending on their data are reported as
+	// maybe (or missing, for entities stored only there) instead of the
+	// query failing. The paper's maybe semantics extend to site failure:
+	// what cannot be read cannot certify or eliminate.
+	Degraded bool
+	// Unavailable lists the sites that could not contribute, with reasons,
+	// sorted by site. Empty unless Degraded.
+	Unavailable []SiteFailure
 	// Stats summarizes how the answer came to be (observability; not part
 	// of the paper's answer model).
 	Stats AnswerStats
+}
+
+// MarkDegraded records the given site failures on the answer, deduplicating
+// by site (first reason wins) and keeping the list sorted. A no-op for an
+// empty list.
+func (a *Answer) MarkDegraded(failures []SiteFailure) {
+	for _, f := range failures {
+		dup := false
+		for _, have := range a.Unavailable {
+			if have.Site == f.Site {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			a.Unavailable = append(a.Unavailable, f)
+		}
+	}
+	if len(a.Unavailable) > 0 {
+		a.Degraded = true
+		sort.Slice(a.Unavailable, func(i, j int) bool {
+			return a.Unavailable[i].Site < a.Unavailable[j].Site
+		})
+	}
+}
+
+// AddMaybe appends maybe rows to the answer, keeping the maybe list sorted
+// by GOid (used when degraded rows are synthesized after certification).
+func (a *Answer) AddMaybe(rows ...ResultRow) {
+	if len(rows) == 0 {
+		return
+	}
+	a.Maybe = append(a.Maybe, rows...)
+	sortRows(a.Maybe)
 }
 
 // AnswerStats is the certification breakdown of one query execution.

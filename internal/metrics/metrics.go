@@ -25,6 +25,17 @@
 //	requests_total{site,alg}           remote requests served by site
 //	request_errors_total{site}         remote requests rejected or failed
 //	request_latency_us{site,alg}       remote request service time
+//
+// Fault-tolerance metrics (see the remote package):
+//
+//	call_retries_total{site,peer}          transport retries of remote calls
+//	call_failures_total{site,peer}         calls that exhausted all attempts
+//	breaker_transitions_total{site,peer,phase}  breaker state changes (phase = new state)
+//	breaker_state{site,peer}               gauge: 0 closed, 1 half-open, 2 open
+//	breaker_fastfail_total{site,peer}      calls failed fast by an open breaker
+//	site_unavailable_total{site,peer,alg}  fan-out legs lost to a dead site
+//	degraded_queries_total{site,alg}       queries answered partially
+//	replica_stale_total{site,peer}         replicas an insert could not reach
 package metrics
 
 import (

@@ -4,7 +4,9 @@
 //
 // Endpoints:
 //
-//	/healthz           liveness: 200 with a JSON status body
+//	/healthz           liveness: 200 with a JSON status body; reports peer
+//	                   circuit-breaker states and flips status to "degraded"
+//	                   when any breaker is not closed
 //	/metrics           registry snapshot, JSON by default, ?format=text
 //	/debug/trace/last  span tree of the most recent query at this site
 //	/debug/vars        standard expvar surface (includes the registry)
@@ -14,16 +16,25 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/trace"
 )
+
+// Health contributes the process's peer circuit-breaker states to /healthz:
+// peer site name → breaker state ("closed", "half-open", "open"). Any
+// non-closed breaker turns the reported status from "ok" to "degraded"; the
+// endpoint still answers 200, because the process itself is alive — it is
+// the federation around it that is partially down.
+type Health func() map[string]string
 
 // expvar registration is global per process; a test (or a process hosting
 // several sites) may start multiple servers for the same site name, so the
@@ -59,12 +70,39 @@ type Server struct {
 
 // NewMux builds the observability handler for a site without binding a
 // listener (embed it into an existing HTTP server if you have one).
-func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Time) *http.ServeMux {
+func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Time, health ...Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		body := struct {
+			Status   string            `json:"status"`
+			Site     string            `json:"site"`
+			UptimeS  float64           `json:"uptime_seconds"`
+			Breakers map[string]string `json:"breakers,omitempty"`
+			Degraded []string          `json:"degraded_peers,omitempty"`
+		}{Status: "ok", Site: site, UptimeS: time.Since(start).Seconds()}
+		for _, h := range health {
+			for peer, state := range h() {
+				if body.Breakers == nil {
+					body.Breakers = make(map[string]string)
+				}
+				body.Breakers[peer] = state
+				if state != "closed" {
+					body.Degraded = append(body.Degraded, peer)
+				}
+			}
+		}
+		if len(body.Degraded) > 0 {
+			sort.Strings(body.Degraded)
+			body.Status = "degraded"
+		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"site\":%q,\"uptime_seconds\":%.1f}\n",
-			site, time.Since(start).Seconds())
+		data, err := json.Marshal(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+		fmt.Fprintln(w)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
@@ -96,8 +134,9 @@ func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Tim
 }
 
 // Serve binds addr (use "127.0.0.1:0" for an ephemeral port) and serves the
-// observability surface for the given site until Close.
-func Serve(addr, site string, reg *metrics.Registry, tr *trace.Tracer) (*Server, error) {
+// observability surface for the given site until Close. Optional Health
+// sources feed the /healthz breaker report.
+func Serve(addr, site string, reg *metrics.Registry, tr *trace.Tracer, health ...Health) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -107,7 +146,7 @@ func Serve(addr, site string, reg *metrics.Registry, tr *trace.Tracer) (*Server,
 	s := &Server{
 		site:  site,
 		ln:    ln,
-		http:  &http.Server{Handler: NewMux(site, reg, tr, start)},
+		http:  &http.Server{Handler: NewMux(site, reg, tr, start, health...)},
 		start: start,
 	}
 	go s.http.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close

@@ -134,3 +134,41 @@ func TestServeBadAddr(t *testing.T) {
 		t.Error("bad address accepted")
 	}
 }
+
+// TestHealthzBreakers: health sources feed the /healthz body; a non-closed
+// breaker flips the status to degraded (still 200 — the process is alive).
+func TestHealthzBreakers(t *testing.T) {
+	states := map[string]string{"DB2": "closed", "DB3": "closed"}
+	s, err := Serve("127.0.0.1:0", "DB1", metrics.New(), &trace.Tracer{},
+		func() map[string]string { return states })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, s.Addr(), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("healthy healthz: %d %q", code, body)
+	}
+	if !strings.Contains(body, `"DB3":"closed"`) {
+		t.Errorf("healthz lacks breaker states: %q", body)
+	}
+
+	states["DB3"] = "open"
+	code, body = get(t, s.Addr(), "/healthz")
+	if code != http.StatusOK {
+		t.Errorf("degraded healthz status code = %d, want 200", code)
+	}
+	var got struct {
+		Status   string            `json:"status"`
+		Breakers map[string]string `json:"breakers"`
+		Degraded []string          `json:"degraded_peers"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("healthz JSON: %v in %q", err, body)
+	}
+	if got.Status != "degraded" || got.Breakers["DB3"] != "open" ||
+		len(got.Degraded) != 1 || got.Degraded[0] != "DB3" {
+		t.Errorf("degraded healthz = %+v", got)
+	}
+}

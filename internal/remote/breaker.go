@@ -1,0 +1,134 @@
+package remote
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen fails a call fast when the target site's circuit breaker
+// is open: the site failed repeatedly and its cooldown has not elapsed, so
+// dialing it again would only stall the query.
+var ErrCircuitOpen = errors.New("circuit open")
+
+// Breaker states.
+const (
+	// BreakerClosed passes calls through (the healthy state).
+	BreakerClosed = "closed"
+	// BreakerOpen fails calls fast until the cooldown elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen lets one probe through after the cooldown; its
+	// outcome closes or re-opens the circuit.
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is a per-site circuit breaker: it opens after a run of
+// consecutive transport failures, fails calls fast while open, and after a
+// cooldown admits a single half-open probe whose outcome decides between
+// closing the circuit and another cooldown.
+type breaker struct {
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	// onTransition, when set, observes every state change (for metrics and
+	// logs). Called outside the lock.
+	onTransition func(from, to string)
+
+	mu       sync.Mutex
+	state    string
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onTransition func(from, to string)) *breaker {
+	return &breaker{
+		threshold:    threshold,
+		cooldown:     cooldown,
+		now:          time.Now,
+		onTransition: onTransition,
+		state:        BreakerClosed,
+	}
+}
+
+// State reports the breaker's current state, promoting open to half-open
+// when the cooldown has elapsed.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed. While open it fails fast;
+// after the cooldown it admits exactly one probe at a time (half-open).
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.mu.Unlock()
+		return true
+	case BreakerHalfOpen:
+		admit := !b.probing
+		b.probing = admit || b.probing
+		b.mu.Unlock()
+		return admit
+	default: // open
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.mu.Unlock()
+		b.notify(BreakerOpen, BreakerHalfOpen)
+		return true
+	}
+}
+
+// Success records a completed call and closes the circuit.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	from := b.state
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+	if from != BreakerClosed {
+		b.notify(from, BreakerClosed)
+	}
+}
+
+// Failure records a failed call: a half-open probe re-opens the circuit
+// immediately, and the threshold's worth of consecutive failures opens it
+// from closed.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	from := b.state
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	default:
+		b.failures++
+		if b.state == BreakerClosed && b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	}
+	to := b.state
+	b.mu.Unlock()
+	if from != to {
+		b.notify(from, to)
+	}
+}
+
+func (b *breaker) notify(from, to string) {
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}

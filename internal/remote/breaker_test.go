@@ -1,0 +1,145 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full circuit: closed under the failure
+// threshold, open at the threshold, half-open after the cooldown, re-open on
+// a failed probe, closed on a successful one — with transitions observed.
+func TestBreakerLifecycle(t *testing.T) {
+	var transitions []string
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, 5*time.Second, func(from, to string) {
+		transitions = append(transitions, from+">"+to)
+	})
+	b.now = func() time.Time { return now }
+
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("initial state = %s", st)
+	}
+	// Failures below the threshold keep the circuit closed.
+	b.Failure()
+	b.Failure()
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %s", b.State())
+	}
+	// The third consecutive failure opens it: calls fail fast.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %s", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+	// After the cooldown exactly one probe is admitted.
+	now = now.Add(6 * time.Second)
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %s", st)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// A failed probe re-opens the circuit for another cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("state after failed probe = %s", b.State())
+	}
+	// Next cooldown: a successful probe closes the circuit for good.
+	now = now.Add(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state after successful probe = %s", b.State())
+	}
+
+	want := []string{
+		"closed>open",
+		"open>half-open",
+		"half-open>open",
+		"open>half-open",
+		"half-open>closed",
+	}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Errorf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+// TestBreakerDisabled: threshold 0 never opens (the client skips the breaker
+// entirely, but the breaker itself must also stay sane).
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := newBreaker(3, time.Second, nil)
+	b.Failure()
+	b.Failure()
+	b.Success() // run broken: the counter starts over
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state = %s after interleaved successes", st)
+	}
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state = %s after a fresh run of 3 failures", st)
+	}
+}
+
+// TestClientPoolsConnections: repeated calls to the same site must reuse one
+// pooled connection instead of dialing per request.
+func TestClientPoolsConnections(t *testing.T) {
+	_, servers, cleanup := startObservedCluster(t)
+	defer cleanup()
+	srv := servers["DB1"]
+
+	cl := newClient("TEST", CallConfig{}, nil)
+	defer cl.close()
+	for i := 0; i < 5; i++ {
+		if _, _, err := cl.call("DB1", srv.Addr(), Request{Kind: kindPing}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	p := cl.pool(srv.Addr())
+	if n := p.size(); n != 1 {
+		t.Errorf("idle pool size after 5 sequential calls = %d, want 1 (reused)", n)
+	}
+}
+
+// TestClientBreakerFastFail: once the breaker opens, calls to the dead site
+// fail immediately with ErrCircuitOpen instead of re-dialing.
+func TestClientBreakerFastFail(t *testing.T) {
+	cl := newClient("TEST", CallConfig{
+		Attempts:         1,
+		DialTimeout:      200 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	}, nil)
+	defer cl.close()
+
+	// 127.0.0.1:1 refuses connections; two failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, _, err := cl.call("dead", "127.0.0.1:1", Request{Kind: kindPing}); !IsSiteUnavailable(err) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	start := time.Now()
+	_, _, err := cl.call("dead", "127.0.0.1:1", Request{Kind: kindPing})
+	if !IsSiteUnavailable(err) {
+		t.Fatalf("fast-fail error: %v", err)
+	}
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("fast-fail error = %v, want ErrCircuitOpen", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("open-breaker call took %v, expected immediate fast-fail", d)
+	}
+	if st := cl.BreakerStates()["dead"]; st != BreakerOpen {
+		t.Errorf("breaker state = %s, want open", st)
+	}
+}

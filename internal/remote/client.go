@@ -1,0 +1,291 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// CallConfig is the client-side networking policy of a federation process:
+// how calls time out, retry, back off, pool connections, and trip circuit
+// breakers. The zero value means DefaultCallConfig. Timeouts are plain
+// fields (not package globals) so concurrent coordinators and tests can
+// run different policies without racing.
+type CallConfig struct {
+	// DialTimeout bounds connection establishment to a peer.
+	DialTimeout time.Duration
+	// CallTimeout bounds one full request/response exchange: a dead or
+	// wedged peer fails the call instead of hanging it forever.
+	CallTimeout time.Duration
+	// Attempts is the total number of tries per call (1 = no retries).
+	// Only transport failures are retried; an error answered by the site
+	// itself is deterministic and returned immediately.
+	Attempts int
+	// BackoffBase is the sleep before the first retry; each further retry
+	// doubles it up to BackoffMax. Every backoff is jittered ±50% so
+	// retries from concurrent calls spread out instead of stampeding a
+	// recovering site.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff.
+	BackoffMax time.Duration
+	// PoolSize is the maximum number of idle pooled connections per site.
+	PoolSize int
+	// BreakerThreshold is the run of consecutive call failures that opens
+	// a site's circuit breaker; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting a
+	// half-open probe.
+	BreakerCooldown time.Duration
+}
+
+// DefaultCallConfig returns the production policy: modest retries with
+// jittered exponential backoff, a small warm-connection pool, and a breaker
+// that fails fast after a run of failures.
+func DefaultCallConfig() CallConfig {
+	return CallConfig{
+		DialTimeout:      5 * time.Second,
+		CallTimeout:      60 * time.Second,
+		Attempts:         3,
+		BackoffBase:      25 * time.Millisecond,
+		BackoffMax:       2 * time.Second,
+		PoolSize:         4,
+		BreakerThreshold: 5,
+		BreakerCooldown:  5 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields from DefaultCallConfig.
+func (c CallConfig) withDefaults() CallConfig {
+	d := DefaultCallConfig()
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = d.CallTimeout
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = d.Attempts
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = d.BackoffMax
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = d.PoolSize
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
+	// BreakerThreshold 0 is meaningful (breaker disabled); negative means
+	// "use the default".
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = d.BreakerThreshold
+	}
+	return c
+}
+
+// backoff returns the jittered sleep before retry attempt (1-based).
+func (c CallConfig) backoff(attempt int) time.Duration {
+	d := c.BackoffBase << (attempt - 1)
+	if d > c.BackoffMax || d <= 0 {
+		d = c.BackoffMax
+	}
+	// ±50% jitter decorrelates concurrent retriers.
+	f := 0.5 + rand.Float64()
+	return time.Duration(float64(d) * f)
+}
+
+// SiteError marks a transport-level failure reaching a site: dials,
+// timeouts, torn connections, and open circuit breakers. Callers treat it
+// as "site unavailable" — under the partial-answer semantics the query
+// degrades instead of failing. Errors the site itself answered (bad query,
+// unknown mode) are NOT SiteErrors; they are deterministic and propagate.
+type SiteError struct {
+	Site object.SiteID
+	Err  error
+}
+
+// Error implements error.
+func (e *SiteError) Error() string {
+	return fmt.Sprintf("remote: site %s unavailable: %v", e.Site, e.Err)
+}
+
+// Unwrap exposes the transport cause.
+func (e *SiteError) Unwrap() error { return e.Err }
+
+// client issues site calls for one federation process (a coordinator, or a
+// server dispatching assistant checks) under one CallConfig: pooled
+// connections, retries with jittered exponential backoff, and a per-site
+// circuit breaker. Metrics (when a registry is wired) record retries,
+// failures, breaker transitions, and a per-site breaker-state gauge.
+type client struct {
+	cfg  CallConfig
+	self object.SiteID
+	reg  *metrics.Registry
+
+	mu       sync.Mutex
+	pools    map[string]*pool
+	breakers map[object.SiteID]*breaker
+}
+
+func newClient(self object.SiteID, cfg CallConfig, reg *metrics.Registry) *client {
+	return &client{
+		cfg:      cfg.withDefaults(),
+		self:     self,
+		reg:      reg,
+		pools:    make(map[string]*pool),
+		breakers: make(map[object.SiteID]*breaker),
+	}
+}
+
+func (cl *client) pool(addr string) *pool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	p := cl.pools[addr]
+	if p == nil {
+		p = newPool(addr, cl.cfg.DialTimeout, cl.cfg.PoolSize)
+		cl.pools[addr] = p
+	}
+	return p
+}
+
+func (cl *client) breaker(site object.SiteID) *breaker {
+	if cl.cfg.BreakerThreshold <= 0 {
+		return nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	b := cl.breakers[site]
+	if b == nil {
+		b = newBreaker(cl.cfg.BreakerThreshold, cl.cfg.BreakerCooldown, func(from, to string) {
+			cl.reg.Counter("breaker_transitions_total",
+				metrics.Labels{Site: string(cl.self), Peer: string(site), Phase: to}).Inc()
+			cl.reg.Gauge("breaker_state",
+				metrics.Labels{Site: string(cl.self), Peer: string(site)}).Set(breakerStateValue(to))
+		})
+		cl.breakers[site] = b
+	}
+	return b
+}
+
+// breakerStateValue encodes a breaker state for the breaker_state gauge.
+func breakerStateValue(state string) int64 {
+	switch state {
+	case BreakerOpen:
+		return 2
+	case BreakerHalfOpen:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// BreakerStates reports each peer's breaker state, keyed by site — the
+// /healthz degradation surface. Sites that were never called are absent
+// (implicitly closed).
+func (cl *client) BreakerStates() map[object.SiteID]string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make(map[object.SiteID]string, len(cl.breakers))
+	for site, b := range cl.breakers {
+		out[site] = b.State()
+	}
+	return out
+}
+
+// UnavailablePeers lists the peers whose breaker is currently open, sorted.
+func (cl *client) UnavailablePeers() []object.SiteID {
+	var out []object.SiteID
+	for site, state := range cl.BreakerStates() {
+		if state == BreakerOpen {
+			out = append(out, site)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// close releases every pooled connection.
+func (cl *client) close() {
+	cl.mu.Lock()
+	pools := cl.pools
+	cl.pools = make(map[string]*pool)
+	cl.mu.Unlock()
+	for _, p := range pools {
+		p.closeAll()
+	}
+}
+
+// call performs one request/response exchange with the site server at addr,
+// with retries and breaker accounting, under the config's call timeout.
+func (cl *client) call(site object.SiteID, addr string, req Request) (Response, wireStats, error) {
+	return cl.callTimeout(site, addr, req, cl.cfg.CallTimeout)
+}
+
+// callTimeout is call with an explicit per-exchange timeout (health probes
+// use a tighter bound than queries).
+func (cl *client) callTimeout(site object.SiteID, addr string, req Request, timeout time.Duration) (Response, wireStats, error) {
+	br := cl.breaker(site)
+	if br != nil && !br.Allow() {
+		cl.reg.Counter("breaker_fastfail_total",
+			metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
+		return Response{}, wireStats{}, &SiteError{Site: site, Err: fmt.Errorf("%w (%s)", ErrCircuitOpen, addr)}
+	}
+
+	var (
+		lastErr error
+		stats   wireStats
+	)
+	p := cl.pool(addr)
+	for attempt := 1; attempt <= cl.cfg.Attempts; attempt++ {
+		if attempt > 1 {
+			cl.reg.Counter("call_retries_total",
+				metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
+			time.Sleep(cl.cfg.backoff(attempt - 1))
+		}
+		pc, err := p.get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, w, err := pc.exchange(req, timeout)
+		stats.Sent += w.Sent
+		stats.Received += w.Received
+		if err != nil {
+			// The connection is torn; never reuse it.
+			pc.close()
+			lastErr = fmt.Errorf("%s: %w", addr, err)
+			continue
+		}
+		p.put(pc)
+		if br != nil {
+			br.Success()
+		}
+		if resp.Err != "" {
+			// The site answered: it is alive, the request itself is bad.
+			return Response{}, stats, fmt.Errorf("remote: %s: %s", addr, resp.Err)
+		}
+		return resp, stats, nil
+	}
+	if br != nil {
+		br.Failure()
+	}
+	cl.reg.Counter("call_failures_total",
+		metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
+	return Response{}, stats, &SiteError{Site: site, Err: lastErr}
+}
+
+// IsSiteUnavailable reports whether err marks a transport-level site
+// failure (as opposed to an error the site answered deterministically).
+func IsSiteUnavailable(err error) bool {
+	var se *SiteError
+	return errors.As(err, &se)
+}

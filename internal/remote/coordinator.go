@@ -2,9 +2,11 @@ package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,11 +46,41 @@ type Coordinator struct {
 	Metrics *metrics.Registry
 	// Log, when non-nil, receives structured query logs.
 	Log *slog.Logger
+	// Call is the networking policy for site calls: timeouts, retries,
+	// pooling, circuit breakers. Zero fields take DefaultCallConfig values.
+	Call CallConfig
 
 	// mu guards Tables (and the Matcher behind it) between concurrent
 	// Query and Insert calls.
 	mu   sync.RWMutex
 	qseq atomic.Uint64
+
+	clOnce sync.Once
+	cl     *client
+}
+
+// client lazily builds the coordinator's pooled site-call client so the
+// zero-value-plus-fields construction pattern keeps working.
+func (c *Coordinator) client() *client {
+	c.clOnce.Do(func() {
+		c.cl = newClient(c.ID, c.Call, c.Metrics)
+	})
+	return c.cl
+}
+
+// Close releases the coordinator's pooled connections. The coordinator
+// remains usable (calls will dial fresh connections).
+func (c *Coordinator) Close() {
+	c.clOnce.Do(func() {
+		c.cl = newClient(c.ID, c.Call, c.Metrics)
+	})
+	c.cl.close()
+}
+
+// BreakerStates reports each site's circuit-breaker state as seen from the
+// coordinator, for the health surface.
+func (c *Coordinator) BreakerStates() map[object.SiteID]string {
+	return c.client().BreakerStates()
 }
 
 // qctx scopes one networked query execution.
@@ -69,14 +101,34 @@ func (c *Coordinator) span(q *qctx, parent trace.SpanID, name, phases string) tr
 	return c.Tracer.StartSpan(parent, c.ID, name).WithQuery(q.qid, q.alg).WithPhases(phases)
 }
 
-// Ping verifies every site server is reachable.
+// pingTimeout bounds one ping exchange: a liveness probe needs a tight
+// deadline, not the query-sized call timeout.
+const pingTimeout = 2 * time.Second
+
+// Ping probes every site server in parallel under a bounded deadline and
+// reports ALL unreachable sites in one error (site order), so an operator
+// sees the whole outage instead of one site per invocation.
 func (c *Coordinator) Ping() error {
-	for site, addr := range c.Sites {
-		if _, _, err := call(addr, Request{Kind: kindPing}); err != nil {
-			return fmt.Errorf("remote: site %s unreachable: %w", site, err)
-		}
+	sites := make([]object.SiteID, 0, len(c.Sites))
+	for site := range c.Sites {
+		sites = append(sites, site)
 	}
-	return nil
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+
+	cl := c.client()
+	errs := make([]error, len(sites))
+	var wg sync.WaitGroup
+	for i, site := range sites {
+		wg.Add(1)
+		go func(i int, site object.SiteID) {
+			defer wg.Done()
+			if _, _, err := cl.callTimeout(site, c.Sites[site], Request{Kind: kindPing}, pingTimeout); err != nil {
+				errs[i] = fmt.Errorf("remote: site %s unreachable: %w", site, err)
+			}
+		}(i, site)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Query parses, binds and executes a global query under the given strategy
@@ -113,6 +165,12 @@ func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer
 	}
 	if ans != nil {
 		root.Add("certain", int64(len(ans.Certain))).Add("maybe", int64(len(ans.Maybe)))
+		if ans.Degraded {
+			root.Add("degraded", 1)
+			for _, f := range ans.Unavailable {
+				root.Detailf("unavailable %s", f)
+			}
+		}
 	}
 	root.End()
 	d := time.Since(start)
@@ -135,6 +193,10 @@ func (c *Coordinator) observeQuery(q *qctx, ans *federation.Answer, d time.Durat
 		c.Metrics.Counter("results_maybe_total", algOnly).Add(int64(len(ans.Maybe)))
 		c.Metrics.Counter("maybe_certified_total", algOnly).Add(int64(ans.Stats.Certified))
 		c.Metrics.Counter("maybe_eliminated_total", algOnly).Add(int64(ans.Stats.Eliminated))
+		if ans.Degraded {
+			c.Metrics.Counter("degraded_queries_total",
+				metrics.Labels{Site: self, Alg: q.alg}).Inc()
+		}
 	}
 	if c.Log != nil {
 		attrs := []slog.Attr{
@@ -148,6 +210,13 @@ func (c *Coordinator) observeQuery(q *qctx, ans *federation.Answer, d time.Durat
 				slog.Int("maybe", len(ans.Maybe)),
 				slog.Int("certified", ans.Stats.Certified),
 				slog.Int("eliminated", ans.Stats.Eliminated))
+			if ans.Degraded {
+				downs := make([]string, len(ans.Unavailable))
+				for i, f := range ans.Unavailable {
+					downs[i] = f.String()
+				}
+				attrs = append(attrs, slog.Any("unavailable", downs))
+			}
 		}
 		if err != nil {
 			attrs = append(attrs, slog.String("err", err.Error()))
@@ -178,7 +247,8 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 	}
 
 	// 1. Store at the owning site.
-	if _, _, err := call(addr, Request{Kind: kindStore, Store: o}); err != nil {
+	cl := c.client()
+	if _, _, err := cl.call(site, addr, Request{Kind: kindStore, Store: o}); err != nil {
 		return "", err
 	}
 	// 2. Assign the GOid (entity match by key).
@@ -188,29 +258,68 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 	if err != nil {
 		return "", err
 	}
-	// 3. Broadcast the delta to every replica.
+	// 3. Broadcast the delta to every replica. Every site is attempted even
+	// after a failure — stopping at the first stale replica would leave the
+	// remaining healthy replicas stale too. The aggregate error names every
+	// replica that missed the delta.
 	delta := &BindDelta{Class: gc.Name, GOid: goid, Site: site, LOid: o.LOid}
-	for peer, peerAddr := range c.Sites {
-		if _, _, err := call(peerAddr, Request{Kind: kindBind, Bind: delta}); err != nil {
-			return goid, fmt.Errorf("remote: replica at %s is stale: %w", peer, err)
-		}
+	peers := make([]object.SiteID, 0, len(c.Sites))
+	for peer := range c.Sites {
+		peers = append(peers, peer)
 	}
-	return goid, nil
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		wg.Add(1)
+		go func(i int, peer object.SiteID) {
+			defer wg.Done()
+			if _, _, err := cl.call(peer, c.Sites[peer], Request{Kind: kindBind, Bind: delta}); err != nil {
+				c.Metrics.Counter("replica_stale_total",
+					metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Inc()
+				errs[i] = fmt.Errorf("remote: replica at %s is stale: %w", peer, err)
+			}
+		}(i, peer)
+	}
+	wg.Wait()
+	return goid, errors.Join(errs...)
 }
 
-// fanOut calls every listed site in parallel and collects responses in
-// site order. Each call runs under its own child span of the query root,
-// whose ID the server adopts as its parent; wire bytes are accounted per
-// site pair in both directions as seen from the coordinator.
-func (c *Coordinator) fanOut(q *qctx, phases string, sites []object.SiteID, req Request) ([]Response, error) {
+// siteResponse is one site's outcome in a fan-out: its response, or the
+// transport failure that kept it from answering.
+type siteResponse struct {
+	Site object.SiteID
+	Resp Response
+}
+
+// fanOut calls every listed site in parallel and collects per-site
+// outcomes: the responses of the sites that answered (site order) and the
+// failures of the sites that did not. Each call runs under its own child
+// span of the query root, whose ID the server adopts as its parent; wire
+// bytes are accounted per site pair in both directions as seen from the
+// coordinator.
+//
+// Every address is validated before any worker is spawned: an unknown site
+// is a configuration error, and returning early with workers still writing
+// the shared slices would leak goroutines racing the caller. Transport
+// failures (dead sites, open breakers) become SiteFailures — the query
+// degrades; an error a site answered (bad query) is deterministic and fails
+// the fan-out.
+func (c *Coordinator) fanOut(q *qctx, phases string, sites []object.SiteID, req Request) ([]siteResponse, []federation.SiteFailure, error) {
+	addrs := make([]string, len(sites))
+	for i, site := range sites {
+		addr, ok := c.Sites[site]
+		if !ok {
+			return nil, nil, fmt.Errorf("remote: no address for site %s", site)
+		}
+		addrs[i] = addr
+	}
+
+	cl := c.client()
 	resps := make([]Response, len(sites))
 	errs := make([]error, len(sites))
 	var wg sync.WaitGroup
 	for i, site := range sites {
-		addr, ok := c.Sites[site]
-		if !ok {
-			return nil, fmt.Errorf("remote: no address for site %s", site)
-		}
 		wg.Add(1)
 		go func(i int, site object.SiteID, addr string) {
 			defer wg.Done()
@@ -218,33 +327,64 @@ func (c *Coordinator) fanOut(q *qctx, phases string, sites []object.SiteID, req 
 			req := req
 			req.Trace = TraceContext{QueryID: q.qid, Alg: q.alg, Span: uint64(sp.ID()), From: c.ID}
 			var w wireStats
-			resps[i], w, errs[i] = call(addr, req)
+			resps[i], w, errs[i] = cl.call(site, addr, req)
 			sp.Add("sent_bytes", w.Sent).Add("recv_bytes", w.Received).
 				Detailf("site %s", site)
+			if errs[i] != nil {
+				sp.Detailf("failed: %v", errs[i])
+			}
 			sp.End()
 			c.Metrics.Counter("net_bytes_total",
 				metrics.Labels{Site: string(c.ID), Peer: string(site), Alg: q.alg}).Add(w.Sent)
 			c.Metrics.Counter("net_bytes_total",
 				metrics.Labels{Site: string(site), Peer: string(c.ID), Alg: q.alg}).Add(w.Received)
-		}(i, site, addr)
+		}(i, site, addrs[i])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	var (
+		ok    []siteResponse
+		dead  []federation.SiteFailure
+		fatal error
+	)
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			ok = append(ok, siteResponse{Site: sites[i], Resp: resps[i]})
+		case IsSiteUnavailable(err):
+			c.Metrics.Counter("site_unavailable_total",
+				metrics.Labels{Site: string(c.ID), Peer: string(sites[i]), Alg: q.alg}).Inc()
+			dead = append(dead, federation.SiteFailure{Site: sites[i], Reason: err.Error()})
+		case fatal == nil:
+			fatal = err
 		}
 	}
-	return resps, nil
+	if fatal != nil {
+		return nil, nil, fatal
+	}
+	return ok, dead, nil
+}
+
+// deadMap folds site failures into a membership map for certification.
+func deadMap(failures []federation.SiteFailure) map[object.SiteID]bool {
+	if len(failures) == 0 {
+		return nil
+	}
+	m := make(map[object.SiteID]bool, len(failures))
+	for _, f := range failures {
+		m[f.Site] = true
+	}
+	return m
 }
 
 func (c *Coordinator) runCA(q *qctx, text string, b *query.Bound) (*federation.Answer, error) {
-	resps, err := c.fanOut(q, "O", b.InvolvedSites(), Request{Kind: kindRetrieve, Query: text})
+	resps, failures, err := c.fanOut(q, "O", b.InvolvedSites(), Request{Kind: kindRetrieve, Query: text})
 	if err != nil {
 		return nil, err
 	}
-	replies := make([]federation.RetrieveReply, len(resps))
-	for i, r := range resps {
-		replies[i] = r.Retrieve
+	replies := make([]federation.RetrieveReply, 0, len(resps))
+	for _, r := range resps {
+		replies = append(replies, r.Resp.Retrieve)
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -256,13 +396,23 @@ func (c *Coordinator) runCA(q *qctx, text string, b *query.Bound) (*federation.A
 		g2.Detailf("materialized %d objects", view.Len()).End()
 		g3 := c.span(q, q.root, "CA_G3", "P")
 		ans = coord.EvaluateView(p, b, view)
+		// A dead site's attributes are simply absent from the view, so
+		// affected predicates already evaluated to unknown; entities whose
+		// every queried root copy was at a dead site never materialized and
+		// come back as all-unknown maybe rows.
+		if dead := deadMap(failures); dead != nil {
+			ans.AddMaybe(coord.DegradedRootRows(p, b, dead, view.Has)...)
+		}
 		g3.End()
 	})
+	if ans != nil {
+		ans.MarkDegraded(failures)
+	}
 	return ans, err
 }
 
 func (c *Coordinator) runLocalized(q *qctx, text string, b *query.Bound, mode string) (*federation.Answer, error) {
-	resps, err := c.fanOut(q, reqPhases(Request{Kind: kindLocal, Mode: mode}), b.RootSites(),
+	resps, failures, err := c.fanOut(q, reqPhases(Request{Kind: kindLocal, Mode: mode}), b.RootSites(),
 		Request{Kind: kindLocal, Query: text, Mode: mode})
 	if err != nil {
 		return nil, err
@@ -270,10 +420,17 @@ func (c *Coordinator) runLocalized(q *qctx, text string, b *query.Bound, mode st
 	var (
 		results []federation.LocalResult
 		replies []federation.CheckReply
+		// allFailures also collects peer failures the live sites hit while
+		// dispatching checks. Only the coordinator-observed failures feed
+		// the certification's dead map: a root site that answered its local
+		// query eliminated by silence legitimately, even if some peer could
+		// not reach it; a peer failure merely left check verdicts missing.
+		allFailures = append([]federation.SiteFailure(nil), failures...)
 	)
 	for _, r := range resps {
-		results = append(results, r.Local.Result)
-		replies = append(replies, r.Local.CheckReplies...)
+		results = append(results, r.Resp.Local.Result)
+		replies = append(replies, r.Resp.Local.CheckReplies...)
+		allFailures = append(allFailures, r.Resp.Local.Unavailable...)
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -281,8 +438,11 @@ func (c *Coordinator) runLocalized(q *qctx, text string, b *query.Bound, mode st
 	var ans *federation.Answer
 	err = runReal("certify", func(p fabric.Proc) {
 		g2 := c.span(q, q.root, "certify", "I")
-		ans = coord.Certify(p, b, results, replies)
+		ans = coord.CertifyDegraded(p, b, results, replies, deadMap(failures))
 		g2.End()
 	})
+	if ans != nil {
+		ans.MarkDegraded(allFailures)
+	}
 	return ans, err
 }

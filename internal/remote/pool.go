@@ -1,0 +1,108 @@
+package remote
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// pconn is one pooled connection to a site server. The gob encoder and
+// decoder live as long as the connection (gob streams carry type
+// information once per stream), and the byte counters meter every exchange.
+type pconn struct {
+	conn net.Conn
+	cw   *countWriter
+	cr   *countReader
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (pc *pconn) close() { _ = pc.conn.Close() }
+
+// exchange performs one request/response round trip on the connection under
+// the given deadline, returning the bytes moved in each direction. A
+// non-nil error means the connection is no longer usable.
+func (pc *pconn) exchange(req Request, timeout time.Duration) (Response, wireStats, error) {
+	_ = pc.conn.SetDeadline(time.Now().Add(timeout))
+	sent0, recv0 := pc.cw.n, pc.cr.n
+	stats := func() wireStats { return wireStats{Sent: pc.cw.n - sent0, Received: pc.cr.n - recv0} }
+	if err := pc.enc.Encode(req); err != nil {
+		return Response{}, stats(), fmt.Errorf("send: %w", err)
+	}
+	var resp Response
+	if err := pc.dec.Decode(&resp); err != nil {
+		return Response{}, stats(), fmt.Errorf("receive: %w", err)
+	}
+	return resp, stats(), nil
+}
+
+// pool keeps up to max idle connections to one address, replacing the
+// dial-per-request pattern: a hot coordinator reuses warm connections and
+// pays the dial (and gob type negotiation) once per connection instead of
+// once per call.
+type pool struct {
+	addr        string
+	dialTimeout time.Duration
+	max         int
+
+	mu     sync.Mutex
+	idle   []*pconn
+	closed bool
+}
+
+func newPool(addr string, dialTimeout time.Duration, max int) *pool {
+	return &pool{addr: addr, dialTimeout: dialTimeout, max: max}
+}
+
+// get returns an idle connection or dials a fresh one.
+func (p *pool) get() (*pconn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		pc := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return pc, nil
+	}
+	p.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", p.addr, p.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", p.addr, err)
+	}
+	cw := &countWriter{w: conn}
+	cr := &countReader{r: conn}
+	return &pconn{conn: conn, cw: cw, cr: cr, enc: gob.NewEncoder(cw), dec: gob.NewDecoder(cr)}, nil
+}
+
+// put returns a healthy connection to the pool, closing it when the pool is
+// full or already closed.
+func (p *pool) put(pc *pconn) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.max {
+		p.idle = append(p.idle, pc)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	pc.close()
+}
+
+// size reports the number of idle pooled connections.
+func (p *pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// closeAll closes every idle connection and rejects future put-backs.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, pc := range idle {
+		pc.close()
+	}
+}

@@ -2,8 +2,16 @@
 // component database runs a Server exposing the site operations (retrieve,
 // local query, assistant check), sites dispatch check requests directly to
 // their peers, and a Coordinator client executes the CA/BL/PL strategies
-// against the cluster. Messages are gob-encoded, one request per
-// connection.
+// against the cluster. Messages are gob-encoded over persistent pooled
+// connections (a connection serves any number of requests in sequence);
+// calls retry with jittered backoff and per-site circuit breakers fail fast
+// when a site stays down — see CallConfig.
+//
+// Site failure degrades answers instead of failing queries: the coordinator
+// collects per-site outcomes, certifies what the live sites contributed,
+// and marks the answer Degraded with the unavailable sites recorded — the
+// paper's maybe semantics extended to the coarsest missingness mechanism,
+// an unreachable site.
 //
 // The wire deployment differs from the simulated topology in one respect:
 // assistant-check verdicts return to the site that requested the check and
@@ -13,11 +21,7 @@
 package remote
 
 import (
-	"encoding/gob"
-	"fmt"
 	"io"
-	"net"
-	"time"
 
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/object"
@@ -91,6 +95,11 @@ type BindDelta struct {
 type LocalReply struct {
 	Result       federation.LocalResult
 	CheckReplies []federation.CheckReply
+	// Unavailable lists peer sites whose assistant checks could not be
+	// collected (dead or unreachable peers). Their verdicts are simply
+	// missing, so the affected predicates stay unknown; the coordinator
+	// folds these failures into the answer's degradation report.
+	Unavailable []federation.SiteFailure
 }
 
 // Response is one site-server response.
@@ -100,14 +109,6 @@ type Response struct {
 	Local    LocalReply
 	Check    federation.CheckReply
 }
-
-// dialTimeout bounds connection establishment to a peer.
-const dialTimeout = 5 * time.Second
-
-// callTimeout bounds one full request/response exchange: a dead or wedged
-// peer fails the call instead of hanging it forever. A variable so tests
-// can shrink it.
-var callTimeout = 60 * time.Second
 
 // wireStats counts one exchange's bytes on the wire as seen by the caller.
 type wireStats struct {
@@ -136,29 +137,4 @@ func (c *countReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
-}
-
-// call performs one request/response exchange with a site server.
-func call(addr string, req Request) (Response, wireStats, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return Response{}, wireStats{}, fmt.Errorf("remote: dial %s: %w", addr, err)
-	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(callTimeout))
-
-	cw := &countWriter{w: conn}
-	cr := &countReader{r: conn}
-	stats := func() wireStats { return wireStats{Sent: cw.n, Received: cr.n} }
-	if err := gob.NewEncoder(cw).Encode(req); err != nil {
-		return Response{}, stats(), fmt.Errorf("remote: send to %s: %w", addr, err)
-	}
-	var resp Response
-	if err := gob.NewDecoder(cr).Decode(&resp); err != nil {
-		return Response{}, stats(), fmt.Errorf("remote: receive from %s: %w", addr, err)
-	}
-	if resp.Err != "" {
-		return Response{}, stats(), fmt.Errorf("remote: %s: %s", addr, resp.Err)
-	}
-	return resp, stats(), nil
 }

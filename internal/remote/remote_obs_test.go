@@ -142,7 +142,7 @@ func TestUnknownKindCountsError(t *testing.T) {
 	defer cleanup()
 	srv := servers["DB1"]
 
-	if _, _, err := call(srv.Addr(), Request{Kind: "nonsense"}); err == nil ||
+	if _, err := testCall(t, srv.Addr(), Request{Kind: "nonsense"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown request kind") {
 		t.Fatalf("bad kind: %v", err)
 	}
@@ -190,12 +190,13 @@ func TestCallTimeoutOnDeadPeer(t *testing.T) {
 		}
 	}()
 
-	old := callTimeout
-	callTimeout = 200 * time.Millisecond
-	defer func() { callTimeout = old }()
+	// Timeouts are per-client config now (no mutable package globals), so
+	// a tight deadline here cannot race other tests.
+	cl := newClient("TEST", CallConfig{CallTimeout: 200 * time.Millisecond, Attempts: 1}, nil)
+	defer cl.close()
 
 	start := time.Now()
-	_, _, err = call(ln.Addr().String(), Request{Kind: kindPing})
+	_, _, err = cl.call("silent", ln.Addr().String(), Request{Kind: kindPing})
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("call to a silent peer succeeded")
@@ -203,7 +204,10 @@ func TestCallTimeoutOnDeadPeer(t *testing.T) {
 	if elapsed > 5*time.Second {
 		t.Errorf("call took %v, deadline did not bite", elapsed)
 	}
-	if !strings.Contains(err.Error(), "receive from") {
+	if !IsSiteUnavailable(err) {
+		t.Errorf("error is not a site failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), "receive") {
 		t.Errorf("unexpected error: %v", err)
 	}
 }

@@ -146,20 +146,30 @@ func TestClusterErrors(t *testing.T) {
 	}
 }
 
+// testCall performs one client exchange against addr (no retries), for
+// tests poking a server directly.
+func testCall(t *testing.T, addr string, req Request) (Response, error) {
+	t.Helper()
+	cl := newClient("TEST", CallConfig{Attempts: 1}, nil)
+	defer cl.close()
+	resp, _, err := cl.call("peer", addr, req)
+	return resp, err
+}
+
 func TestServerRejectsBadRequests(t *testing.T) {
 	coord, cleanup := startCluster(t)
 	defer cleanup()
 	addr := coord.Sites["DB1"]
 
-	if _, _, err := call(addr, Request{Kind: "nonsense"}); err == nil ||
+	if _, err := testCall(t, addr, Request{Kind: "nonsense"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown request kind") {
 		t.Errorf("bad kind: %v", err)
 	}
-	if _, _, err := call(addr, Request{Kind: kindLocal, Query: school.Q1, Mode: "XX"}); err == nil ||
+	if _, err := testCall(t, addr, Request{Kind: kindLocal, Query: school.Q1, Mode: "XX"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown local mode") {
 		t.Errorf("bad mode: %v", err)
 	}
-	if _, _, err := call(addr, Request{Kind: kindLocal, Query: "select", Mode: ModeBL}); err == nil {
+	if _, err := testCall(t, addr, Request{Kind: kindLocal, Query: "select", Mode: ModeBL}); err == nil {
 		t.Error("bad query accepted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"sort"
@@ -46,15 +47,22 @@ type ServerConfig struct {
 	// Log, when non-nil, receives structured request logs. Defaults to a
 	// discarding logger.
 	Log *slog.Logger
+	// Call is the networking policy for this server's outbound peer calls
+	// (assistant-check dispatch): timeouts, retries, pooling, breakers.
+	// Zero fields take DefaultCallConfig values.
+	Call CallConfig
 }
 
-// Server serves one component database over TCP.
+// Server serves one component database over TCP. Connections are
+// persistent: each one carries a sequence of gob-encoded requests until the
+// client closes it (or Close tears it down).
 type Server struct {
-	cfg  ServerConfig
-	site *federation.Site
-	log  *slog.Logger
-	ln   net.Listener
-	wg   sync.WaitGroup
+	cfg    ServerConfig
+	site   *federation.Site
+	client *client
+	log    *slog.Logger
+	ln     net.Listener
+	wg     sync.WaitGroup
 
 	// stateMu guards the component database and the mapping-table replica
 	// against writes (store/bind requests) concurrent with query
@@ -63,6 +71,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // NewServer wraps a component database for network duty. The mapping tables
@@ -78,9 +87,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		log = slog.New(slog.DiscardHandler)
 	}
 	return &Server{
-		cfg:  cfg,
-		site: federation.NewSite(cfg.DB, cfg.Global, cfg.Tables),
-		log:  log.With("site", string(cfg.DB.Site())),
+		cfg:    cfg,
+		site:   federation.NewSite(cfg.DB, cfg.Global, cfg.Tables),
+		client: newClient(cfg.DB.Site(), cfg.Call, cfg.Metrics),
+		log:    log.With("site", string(cfg.DB.Site())),
+		conns:  make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -129,17 +140,52 @@ func (s *Server) Addr() string {
 // Site returns the served site's identifier.
 func (s *Server) Site() object.SiteID { return s.cfg.DB.Site() }
 
-// Close stops accepting and waits for in-flight requests.
+// Close stops accepting, tears down every open connection (idle pooled
+// client connections would otherwise park handler goroutines forever), and
+// waits for the handlers to drain. It also releases the server's own
+// outbound connection pools.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.client.close()
 	s.wg.Wait()
 	return err
+}
+
+// PeerBreakers reports the state of this server's outbound circuit breakers
+// (one per peer it dispatched checks to), for the health surface.
+func (s *Server) PeerBreakers() map[object.SiteID]string {
+	return s.client.BreakerStates()
+}
+
+// track registers a live connection; it reports false when the server is
+// already closed (the connection must be dropped).
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
 }
 
 func (s *Server) isClosed() bool {
@@ -194,26 +240,54 @@ func reqPhases(req Request) string {
 	return ""
 }
 
+// handle serves one persistent connection: a sequence of request/response
+// exchanges over a single pair of gob streams (gob ships type information
+// once per stream, so the encoder and decoder must live as long as the
+// connection). The loop ends when the client closes the connection (a clean
+// EOF, not an error — pooled clients park idle connections) or on a
+// malformed request.
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	if !s.track(conn) {
+		_ = conn.Close()
+		return
+	}
+	defer func() {
+		s.untrack(conn)
+		_ = conn.Close()
+	}()
 	self := string(s.Site())
-	var req Request
-	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
-		s.cfg.Metrics.Counter("request_errors_total", metrics.Labels{Site: self}).Inc()
-		return // client went away or sent garbage; nothing to answer
-	}
-	start := time.Now()
-	sp := s.cfg.Tracer.StartSpan(trace.SpanID(req.Trace.Span), s.Site(), "serve:"+req.Kind).
-		WithQuery(req.Trace.QueryID, req.Trace.Alg).WithPhases(reqPhases(req))
-	resp := s.dispatch(req, sp)
+	cr := &countReader{r: conn}
 	cw := &countWriter{w: conn}
-	_ = gob.NewEncoder(cw).Encode(resp) // best effort; client handles EOF
-	sp.Add("resp_bytes", cw.n)
-	if resp.Err != "" {
-		sp.Detailf("error: %s", resp.Err)
+	dec := gob.NewDecoder(cr)
+	enc := gob.NewEncoder(cw)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!errors.Is(err, net.ErrClosed) && !s.isClosed() {
+				// Mid-stream garbage, not a client hanging up.
+				s.cfg.Metrics.Counter("request_errors_total", metrics.Labels{Site: self}).Inc()
+			}
+			return
+		}
+		start := time.Now()
+		sp := s.cfg.Tracer.StartSpan(trace.SpanID(req.Trace.Span), s.Site(), "serve:"+req.Kind).
+			WithQuery(req.Trace.QueryID, req.Trace.Alg).WithPhases(reqPhases(req))
+		resp := s.dispatch(req, sp)
+		sent0 := cw.n
+		if err := enc.Encode(resp); err != nil {
+			sp.Detailf("send failed: %v", err)
+			sp.End()
+			return // connection is torn; the client will retry elsewhere
+		}
+		respBytes := cw.n - sent0
+		sp.Add("resp_bytes", respBytes)
+		if resp.Err != "" {
+			sp.Detailf("error: %s", resp.Err)
+		}
+		sp.End()
+		s.observe(req, resp, time.Since(start), respBytes)
 	}
-	sp.End()
-	s.observe(req, resp, time.Since(start), cw.n)
 }
 
 // observe feeds the request's metrics and structured log entry.
@@ -254,8 +328,11 @@ func (s *Server) dispatch(req Request, sp trace.Handle) Response {
 		defer s.stateMu.RUnlock()
 		return s.handleRetrieve(req)
 	case kindLocal:
-		s.stateMu.RLock()
-		defer s.stateMu.RUnlock()
+		// handleLocal manages the state lock itself: it must not be held
+		// across the check RPCs to peers. Holding it there deadlocks the
+		// federation — site A's local handler waits on a check at site B,
+		// B's check waits on B's read lock behind a queued insert writer,
+		// and B's own local handler waits on a check at A in the same way.
 		return s.handleLocal(req, sp)
 	case kindCheck:
 		s.stateMu.RLock()
@@ -340,6 +417,12 @@ func (s *Server) handleCheck(req Request) Response {
 // modes the local predicates are evaluated before any check is dispatched;
 // under the parallel modes the checks travel to the peers while the local
 // predicates are still being evaluated.
+//
+// Locking invariant: stateMu is held only around the local evaluation
+// phases, which are bounded CPU work, and is always released before
+// waiting on the check RPCs. The peers' check handlers take their own
+// read locks, so holding ours across the wait would let two sites'
+// local handlers block on each other whenever insert writers are queued.
 func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
 	b, err := s.bind(req.Query)
 	if err != nil {
@@ -361,47 +444,59 @@ func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
 	switch req.Mode {
 	case ModeBL, ModeSBL:
 		var checks map[object.SiteID][]federation.CheckItem
-		if err := runReal("local-bl", func(p fabric.Proc) {
+		s.stateMu.RLock()
+		evalErr := runReal("local-bl", func(p fabric.Proc) {
 			reply.Result, checks = s.site.EvalLocalBasic(p, b, sigs)
-		}); err != nil {
-			return Response{Err: err.Error()}
+		})
+		s.stateMu.RUnlock()
+		if evalErr != nil {
+			return Response{Err: evalErr.Error()}
 		}
-		replies, err := s.dispatchChecks(req, sp, checks)
+		replies, dead, err := s.dispatchChecks(req, sp, checks)
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
 		reply.CheckReplies = replies
+		reply.Unavailable = dead
 	case ModePL, ModeSPL:
 		var (
 			nav    *federation.Navigation
 			checks map[object.SiteID][]federation.CheckItem
 		)
+		s.stateMu.RLock()
 		if err := runReal("local-pl-o", func(p fabric.Proc) {
 			nav, checks = s.site.NavigateAll(p, b, sigs)
 		}); err != nil {
+			s.stateMu.RUnlock()
 			return Response{Err: err.Error()}
 		}
 		// Phase O's checks proceed at the peers while phase P runs here.
+		// The dispatcher goroutine runs unlocked; phase P keeps the read
+		// lock so both local phases see one consistent state snapshot.
 		type checkOutcome struct {
 			replies []federation.CheckReply
+			dead    []federation.SiteFailure
 			err     error
 		}
 		done := make(chan checkOutcome, 1)
 		go func() {
-			replies, err := s.dispatchChecks(req, sp, checks)
-			done <- checkOutcome{replies: replies, err: err}
+			replies, dead, err := s.dispatchChecks(req, sp, checks)
+			done <- checkOutcome{replies: replies, dead: dead, err: err}
 		}()
-		if err := runReal("local-pl-p", func(p fabric.Proc) {
+		perr := runReal("local-pl-p", func(p fabric.Proc) {
 			reply.Result = s.site.EvalNavigated(p, b, nav)
-		}); err != nil {
+		})
+		s.stateMu.RUnlock()
+		if perr != nil {
 			<-done // do not leak the dispatcher
-			return Response{Err: err.Error()}
+			return Response{Err: perr.Error()}
 		}
 		outcome := <-done
 		if outcome.err != nil {
 			return Response{Err: outcome.err.Error()}
 		}
 		reply.CheckReplies = outcome.replies
+		reply.Unavailable = outcome.dead
 	}
 	return Response{Local: reply}
 }
@@ -410,13 +505,29 @@ func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
 // and collects the verdicts. The peers' check spans are parented on this
 // server's serve span, so the whole chain (coordinator → site → peer)
 // renders as one query tree.
+//
+// A dead or unreachable peer does not fail the local request: its checks
+// are reported as unavailable and the corresponding predicates stay
+// unknown, so the coordinator degrades the dependent results to maybe. All
+// peer addresses are validated before any goroutine is spawned (a missing
+// address is a configuration error, and returning early with workers still
+// writing the shared slices would race).
 func (s *Server) dispatchChecks(req Request, sp trace.Handle,
-	checks map[object.SiteID][]federation.CheckItem) ([]federation.CheckReply, error) {
+	checks map[object.SiteID][]federation.CheckItem) ([]federation.CheckReply, []federation.SiteFailure, error) {
 	targets := make([]object.SiteID, 0, len(checks))
 	for t := range checks {
 		targets = append(targets, t)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	addrs := make([]string, len(targets))
+	for i, target := range targets {
+		addr, ok := s.peerAddr(target)
+		if !ok {
+			return nil, nil, fmt.Errorf("no address for peer site %s", target)
+		}
+		addrs[i] = addr
+	}
 
 	self := string(s.Site())
 	alg := reqAlg(req)
@@ -424,17 +535,13 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for i, target := range targets {
-		addr, ok := s.peerAddr(target)
-		if !ok {
-			return nil, fmt.Errorf("no address for peer site %s", target)
-		}
 		items := checks[target]
 		s.cfg.Metrics.Counter("checks_dispatched_total",
 			metrics.Labels{Site: self, Alg: alg}).Add(int64(len(items)))
 		wg.Add(1)
 		go func(i int, target object.SiteID, addr string, items []federation.CheckItem) {
 			defer wg.Done()
-			resp, w, err := call(addr, Request{
+			resp, w, err := s.client.call(target, addr, Request{
 				Kind:  kindCheck,
 				Items: items,
 				Trace: TraceContext{
@@ -451,13 +558,31 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 				return
 			}
 			replies[i] = resp.Check
-		}(i, target, addr, items)
+		}(i, target, addrs[i], items)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	var (
+		out   []federation.CheckReply
+		dead  []federation.SiteFailure
+		fatal error
+	)
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			out = append(out, replies[i])
+		case IsSiteUnavailable(err):
+			s.cfg.Metrics.Counter("site_unavailable_total",
+				metrics.Labels{Site: self, Peer: string(targets[i]), Alg: alg}).Inc()
+			sp.Detailf("peer %s unavailable: %v", targets[i], err)
+			dead = append(dead, federation.SiteFailure{Site: targets[i], Reason: err.Error()})
+		case fatal == nil:
+			// The peer answered with an error: deterministic, fail loudly.
+			fatal = err
 		}
 	}
-	return replies, nil
+	if fatal != nil {
+		return nil, nil, fatal
+	}
+	return out, dead, nil
 }

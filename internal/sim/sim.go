@@ -38,6 +38,11 @@ type Config struct {
 	Ranges workload.Ranges
 	// Algorithms to run; nil means CA, BL and PL.
 	Algorithms []exec.Algorithm
+	// Faults, when non-nil, builds a fresh fault plan for every simulated
+	// run (plans are stateful — drop-after budgets count served
+	// operations), so experiments can measure the strategies under
+	// deterministic site failure.
+	Faults func() *fabric.FaultPlan
 }
 
 // DefaultConfig returns the paper's setting with a tractable sample count.
@@ -70,6 +75,12 @@ type Avg struct {
 	// the point's randomized workloads.
 	TotalStd    float64
 	ResponseStd float64
+	// MaybeRows is the average number of maybe rows per answer and
+	// DegradedShare the fraction of runs that returned a degraded (partial)
+	// answer — both matter in the fault-injection experiments, where site
+	// failure converts certain results into maybe results.
+	MaybeRows     float64
+	DegradedShare float64
 }
 
 // Point is one x-value of an experiment's series.
@@ -135,7 +146,10 @@ func runPoint(cfg Config, ranges workload.Ranges, x float64, label string) (Poin
 		}
 		for _, alg := range algs {
 			rt := fabric.NewSim(cfg.Rates, engine.Sites())
-			_, m, err := engine.Run(rt, alg, w.Bound)
+			if cfg.Faults != nil {
+				rt = rt.WithFaults(cfg.Faults())
+			}
+			ans, m, err := engine.Run(rt, alg, w.Bound)
 			if err != nil {
 				return pt, fmt.Errorf("sim: sample %d %v: %w", s, alg, err)
 			}
@@ -143,6 +157,10 @@ func runPoint(cfg Config, ranges workload.Ranges, x float64, label string) (Poin
 			acc.total = append(acc.total, m.TotalBusyMicros/1e3)
 			acc.response = append(acc.response, m.ResponseMicros/1e3)
 			acc.netKB += float64(m.NetBytes) / 1e3
+			acc.maybe += float64(len(ans.Maybe))
+			if ans.Degraded {
+				acc.degraded++
+			}
 		}
 	}
 	for name, acc := range samples {
@@ -156,6 +174,8 @@ type series struct {
 	total    []float64
 	response []float64
 	netKB    float64
+	maybe    float64
+	degraded int
 }
 
 func (s *series) summarize(n int) Avg {
@@ -165,6 +185,8 @@ func (s *series) summarize(n int) Avg {
 		NetKB:          s.netKB / float64(n),
 		TotalStd:       stddev(s.total),
 		ResponseStd:    stddev(s.response),
+		MaybeRows:      s.maybe / float64(n),
+		DegradedShare:  float64(s.degraded) / float64(n),
 	}
 }
 
@@ -367,6 +389,42 @@ func SignatureAblation(cfg Config, objectCounts []int) (*Experiment, error) {
 		}
 		ranges.NObjects = [2]int{lo, n + n/10}
 		pt, err := runPoint(cfg, ranges, float64(n), fmt.Sprintf("%d", n))
+		if err != nil {
+			return nil, err
+		}
+		ex.Points = append(ex.Points, pt)
+	}
+	return ex, nil
+}
+
+// FaultSweep is experiment E12: graceful degradation under site failure.
+// It kills the first k component databases (k swept from deadSites) in
+// every simulated run and measures how response time and answer quality
+// shift: killed root sites convert certain results into maybe results (and
+// synthesized all-unknown rows) rather than failing the queries, so the
+// curves show the price of partial answers, not an error cliff.
+func FaultSweep(cfg Config, deadSites []int) (*Experiment, error) {
+	if len(deadSites) == 0 {
+		deadSites = []int{0, 1, 2}
+	}
+	ex := &Experiment{
+		Name:   "faults",
+		Title:  "Killing component databases (graceful degradation)",
+		XLabel: "dead component databases",
+	}
+	for _, k := range deadSites {
+		c := cfg
+		k := k
+		if k > 0 {
+			c.Faults = func() *fabric.FaultPlan {
+				fp := fabric.NewFaultPlan()
+				for i := 1; i <= k; i++ {
+					fp.Kill(object.SiteID(fmt.Sprintf("DB%d", i)))
+				}
+				return fp
+			}
+		}
+		pt, err := runPoint(c, c.Ranges, float64(k), fmt.Sprintf("%d", k))
 		if err != nil {
 			return nil, err
 		}

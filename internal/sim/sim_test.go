@@ -243,3 +243,30 @@ func TestMeanStdDev(t *testing.T) {
 		t.Errorf("stddev single = %g", s)
 	}
 }
+
+func TestFaultSweepShapes(t *testing.T) {
+	cfg := tinyConfig()
+	ex, err := FaultSweep(cfg, []int{0, 1})
+	if err != nil {
+		t.Fatalf("FaultSweep: %v", err)
+	}
+	if len(ex.Points) != 2 {
+		t.Fatalf("points = %d", len(ex.Points))
+	}
+	healthy, degraded := ex.Points[0].ByAlg, ex.Points[1].ByAlg
+	for _, alg := range []string{"CA", "BL", "PL"} {
+		// No faults: nothing is degraded.
+		if healthy[alg].DegradedShare != 0 {
+			t.Errorf("%s: degraded share %g with no faults", alg, healthy[alg].DegradedShare)
+		}
+		// One dead database: every run degrades instead of failing, and the
+		// lost certainty surfaces as extra maybe rows.
+		if degraded[alg].DegradedShare != 1 {
+			t.Errorf("%s: degraded share %g with DB1 dead, want 1", alg, degraded[alg].DegradedShare)
+		}
+		if !(degraded[alg].MaybeRows > healthy[alg].MaybeRows) {
+			t.Errorf("%s: maybe rows %g with DB1 dead not above healthy %g",
+				alg, degraded[alg].MaybeRows, healthy[alg].MaybeRows)
+		}
+	}
+}
