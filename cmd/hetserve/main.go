@@ -29,16 +29,30 @@
 // -breaker-cooldown. A coordinator queried against a partially-down
 // cluster returns a degraded partial answer instead of failing: results
 // that depended on the dead site are reported as maybe.
+//
+// Multi-tenant serving: a site started with -cache keeps a read-through
+// lookup cache (GOid mappings, checked assistant verdicts; invalidated by
+// the Insert replication path), and -batch-window coalesces the check
+// traffic of concurrent queries into one RPC per peer per flush window
+// (-batch-bytes and -batch-inflight bound batch and in-flight sizes). A
+// coordinator run with -clients N -repeat M drives N concurrent query
+// streams of M queries each under -concurrency admission control and
+// prints the measured throughput and latency distribution.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fedfile"
@@ -87,6 +101,14 @@ func run(args []string) error {
 		poolSize        = fs.Int("pool", defaults.PoolSize, "max idle pooled connections per peer")
 		breakerFails    = fs.Int("breaker-failures", defaults.BreakerThreshold, "consecutive call failures that open a peer's circuit breaker (0 = disabled)")
 		breakerCooldown = fs.Duration("breaker-cooldown", defaults.BreakerCooldown, "how long an open breaker waits before a half-open probe")
+
+		useCache      = fs.Bool("cache", false, "enable the site's read-through lookup cache (GOid mappings + assistant verdicts)")
+		batchWindow   = fs.Duration("batch-window", 0, "coalesce outbound check RPCs per peer across this flush window (0 = no batching)")
+		batchBytes    = fs.Int("batch-bytes", 0, "flush a peer's check batch early at this many queued bytes (0 = default 64KiB)")
+		batchInflight = fs.Int("batch-inflight", 0, "cap on total check-batch bytes in flight (0 = default 1MiB)")
+		concurrency   = fs.Int("concurrency", 0, "max concurrently executing queries in -coordinator mode (0 = unbounded)")
+		clients       = fs.Int("clients", 1, "concurrent query streams in -coordinator mode")
+		repeat        = fs.Int("repeat", 1, "queries per stream in -coordinator mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +124,11 @@ func run(args []string) error {
 		BreakerThreshold: *breakerFails,
 		BreakerCooldown:  *breakerCooldown,
 	}
+	batch := remote.BatchConfig{
+		Window:           *batchWindow,
+		MaxBytes:         *batchBytes,
+		MaxInflightBytes: *batchInflight,
+	}
 
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -114,10 +141,13 @@ func run(args []string) error {
 
 	switch {
 	case *coordinator:
-		return runCoordinator(fed, peers, *queryText, *algName,
-			coordOpts{Trace: *showTrace, Metrics: *showMetrics, Call: call})
+		return runCoordinator(fed, peers, *queryText, *algName, coordOpts{
+			Trace: *showTrace, Metrics: *showMetrics, Call: call,
+			Concurrency: *concurrency, Clients: *clients, Repeat: *repeat,
+		})
 	case *siteName != "":
-		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers, call)
+		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers,
+			siteOpts{Call: call, Batch: batch, Cache: *useCache})
 	default:
 		return fmt.Errorf("pass -site NAME or -coordinator")
 	}
@@ -190,10 +220,18 @@ func breakerHealth(states func() map[object.SiteID]string) obs.Health {
 	}
 }
 
+// siteOpts bundles a site's serving policy: networking, check batching,
+// and the lookup cache.
+type siteOpts struct {
+	Call  remote.CallConfig
+	Batch remote.BatchConfig
+	Cache bool
+}
+
 // startSite builds and starts one fully instrumented component-site server;
 // runSite adds the signal-wait around it.
 func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr string,
-	peers map[object.SiteID]string, call remote.CallConfig, log *slog.Logger) (*siteRuntime, error) {
+	peers map[object.SiteID]string, opts siteOpts, log *slog.Logger) (*siteRuntime, error) {
 	db, ok := fed.Databases[site]
 	if !ok {
 		return nil, fmt.Errorf("unknown site %q in this federation", site)
@@ -210,7 +248,9 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 		Tracer:     tr,
 		Metrics:    reg,
 		Log:        log,
-		Call:       call,
+		Call:       opts.Call,
+		Batch:      opts.Batch,
+		Cache:      opts.Cache,
 	})
 	if err != nil {
 		return nil, err
@@ -230,9 +270,9 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 	return rt, nil
 }
 
-func runSite(fed *federationBundle, site object.SiteID, listen, metricsAddr string, peers map[object.SiteID]string, call remote.CallConfig) error {
+func runSite(fed *federationBundle, site object.SiteID, listen, metricsAddr string, peers map[object.SiteID]string, opts siteOpts) error {
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	rt, err := startSite(fed, site, listen, metricsAddr, peers, call, log)
+	rt, err := startSite(fed, site, listen, metricsAddr, peers, opts, log)
 	if err != nil {
 		return err
 	}
@@ -253,7 +293,8 @@ func runSite(fed *federationBundle, site object.SiteID, listen, metricsAddr stri
 	return rt.Close()
 }
 
-// coordOpts selects the coordinator's diagnostic output and call policy.
+// coordOpts selects the coordinator's diagnostic output, call policy, and
+// load-generation shape.
 type coordOpts struct {
 	// Trace prints the query's span tree as seen from the coordinator.
 	Trace bool
@@ -261,6 +302,13 @@ type coordOpts struct {
 	Metrics bool
 	// Call is the retry/pool/breaker policy for coordinator RPCs.
 	Call remote.CallConfig
+	// Concurrency bounds concurrently executing queries (0 = unbounded).
+	Concurrency int
+	// Clients and Repeat shape load generation: Clients concurrent streams
+	// of Repeat queries each. Clients*Repeat > 1 switches to the load
+	// report (throughput + latency distribution) instead of result rows.
+	Clients int
+	Repeat  int
 }
 
 func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string, opts coordOpts) error {
@@ -280,20 +328,24 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	reg := metrics.New()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("site", "G")
 	coord := &remote.Coordinator{
-		ID:      "G",
-		Global:  fed.Global,
-		Tables:  fed.Mapping,
-		Sites:   peers,
-		Tracer:  tr,
-		Metrics: reg,
-		Log:     log,
-		Call:    opts.Call,
+		ID:            "G",
+		Global:        fed.Global,
+		Tables:        fed.Mapping,
+		Sites:         peers,
+		Tracer:        tr,
+		Metrics:       reg,
+		Log:           log,
+		Call:          opts.Call,
+		MaxConcurrent: opts.Concurrency,
 	}
 	defer coord.Close()
 	if err := coord.Ping(); err != nil {
 		// Unreachable sites no longer abort the query: execution degrades
 		// and the affected results come back as maybe.
 		log.Warn("some sites unreachable, proceeding degraded", slog.Any("err", err))
+	}
+	if opts.Clients*opts.Repeat > 1 {
+		return runLoad(coord, queryText, alg, opts, reg)
 	}
 	ans, elapsed, err := coord.Query(queryText, alg)
 	if err != nil {
@@ -322,4 +374,77 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		fmt.Printf("\ncoordinator metrics:\n%s", reg.Snapshot().Text())
 	}
 	return nil
+}
+
+// runLoad drives Clients concurrent streams of Repeat queries each through
+// the coordinator and prints the measured throughput and latency
+// distribution — the multi-tenant serving path exercised end to end.
+func runLoad(coord *remote.Coordinator, queryText string, alg exec.Algorithm, opts coordOpts, reg *metrics.Registry) error {
+	clients, repeat := opts.Clients, opts.Repeat
+	if clients < 1 {
+		clients = 1
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	total := clients * repeat
+	latencies := make([]time.Duration, total)
+	errs := make([]error, clients)
+	var degraded atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < repeat; r++ {
+				ans, elapsed, err := coord.Query(queryText, alg)
+				if err != nil {
+					if errs[c] == nil {
+						errs[c] = err
+					}
+					continue
+				}
+				latencies[c*repeat+r] = elapsed
+				if ans.Degraded {
+					degraded.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var ok []time.Duration
+	for _, d := range latencies {
+		if d > 0 {
+			ok = append(ok, d)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	fmt.Printf("load: %d clients x %d queries (%v, concurrency %d)\n",
+		clients, repeat, alg, opts.Concurrency)
+	fmt.Printf("completed %d/%d in %.2f ms  →  %.1f queries/s\n",
+		len(ok), total, float64(wall.Microseconds())/1e3,
+		float64(len(ok))/wall.Seconds())
+	if n := len(ok); n > 0 {
+		var sum time.Duration
+		for _, d := range ok {
+			sum += d
+		}
+		pct := func(p float64) time.Duration { return ok[min(n-1, int(p*float64(n)))] }
+		fmt.Printf("latency: mean %.2f ms  p50 %.2f  p95 %.2f  max %.2f\n",
+			float64(sum.Microseconds())/float64(n)/1e3,
+			float64(pct(0.50).Microseconds())/1e3,
+			float64(pct(0.95).Microseconds())/1e3,
+			float64(ok[n-1].Microseconds())/1e3)
+	}
+	if d := degraded.Load(); d > 0 {
+		fmt.Printf("degraded answers: %d\n", d)
+	}
+	if opts.Metrics {
+		fmt.Printf("\ncoordinator metrics:\n%s", reg.Snapshot().Text())
+	}
+	return errors.Join(errs...)
 }

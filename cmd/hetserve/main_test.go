@@ -7,6 +7,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
@@ -135,6 +136,46 @@ func TestCoordinatorAgainstCluster(t *testing.T) {
 	}
 }
 
+// TestCoordinatorLoad drives the multi-client serving path (-clients,
+// -repeat, -concurrency) against a cluster running with check batching and
+// the lookup cache enabled, and checks the printed throughput summary.
+func TestCoordinatorLoad(t *testing.T) {
+	fx := school.New()
+	addrs := make(map[object.SiteID]string)
+	var servers []*remote.Server
+	for _, site := range school.Sites {
+		srv, err := remote.NewServer(remote.ServerConfig{
+			DB: fx.Databases[site], Global: fx.Global, Tables: fx.Mapping,
+			Batch: remote.BatchConfig{Window: 2 * time.Millisecond},
+			Cache: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		addrs[site] = srv.Addr()
+	}
+	for _, srv := range servers {
+		srv.SetPeers(addrs)
+	}
+
+	bundle := &federationBundle{Global: fx.Global, Databases: fx.Databases, Mapping: fx.Mapping}
+	out, err := captureStdout(t, func() error {
+		return runCoordinator(bundle, addrs, school.Q1, "BL",
+			coordOpts{Clients: 4, Repeat: 3, Concurrency: 2})
+	})
+	if err != nil {
+		t.Fatalf("runCoordinator load: %v", err)
+	}
+	if !strings.Contains(out, "completed 12/12") || !strings.Contains(out, "queries/s") {
+		t.Errorf("load output missing throughput summary:\n%s", out)
+	}
+}
+
 // TestObservabilitySurface is the end-to-end observability check: three
 // instrumented sites with live /metrics endpoints, a BL query driven through
 // the hetserve coordinator path, and then the span trees, per-site metrics
@@ -147,7 +188,7 @@ func TestObservabilitySurface(t *testing.T) {
 	addrs := make(map[object.SiteID]string)
 	rts := make(map[object.SiteID]*siteRuntime)
 	for _, site := range school.Sites {
-		rt, err := startSite(bundle, site, "127.0.0.1:0", "127.0.0.1:0", nil, remote.CallConfig{}, logger)
+		rt, err := startSite(bundle, site, "127.0.0.1:0", "127.0.0.1:0", nil, siteOpts{}, logger)
 		if err != nil {
 			t.Fatalf("startSite %s: %v", site, err)
 		}

@@ -1,0 +1,57 @@
+package exec
+
+import (
+	"time"
+
+	"github.com/hetfed/hetfed/internal/metrics"
+)
+
+// gate is the engine's admission control: a counting semaphore bounding how
+// many queries execute at once over the shared site state. Queries beyond
+// the bound queue FIFO-ish on the channel; a nil gate (bound <= 0) admits
+// everything immediately.
+//
+// The gate observes three instruments on the registry:
+//
+//	queries_inflight{site}       gauge   queries currently admitted
+//	queries_queued_total{site}   counter admissions that had to wait
+//	admission_wait_us{site,alg}  histogram wall-clock wait for a slot
+type gate struct {
+	slots chan struct{}
+	reg   *metrics.Registry
+	site  string
+}
+
+// newGate builds a gate admitting at most max queries at once; max <= 0
+// returns nil, which enter treats as an unbounded pass-through (only the
+// inflight gauge is maintained in that case via the registry argument —
+// callers get a cheap always-admit path).
+func newGate(max int, reg *metrics.Registry, site string) *gate {
+	if max <= 0 {
+		return nil
+	}
+	return &gate{slots: make(chan struct{}, max), reg: reg, site: site}
+}
+
+// enter blocks until the query is admitted and returns the release
+// function. Safe on a nil gate.
+func (g *gate) enter(alg string) func() {
+	if g == nil {
+		return func() {}
+	}
+	select {
+	case g.slots <- struct{}{}:
+	default:
+		// Full: this admission waits. Record the queuing and the wait.
+		g.reg.Counter("queries_queued_total", metrics.Labels{Site: g.site}).Inc()
+		start := time.Now()
+		g.slots <- struct{}{}
+		g.reg.Histogram("admission_wait_us", metrics.Labels{Site: g.site, Alg: alg}).
+			Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
+	}
+	g.reg.Gauge("queries_inflight", metrics.Labels{Site: g.site}).Add(1)
+	return func() {
+		g.reg.Gauge("queries_inflight", metrics.Labels{Site: g.site}).Add(-1)
+		<-g.slots
+	}
+}

@@ -84,6 +84,7 @@ type Engine struct {
 	tracer *trace.Tracer
 	reg    *metrics.Registry
 	sigs   *signature.Index
+	gate   *gate
 	qseq   atomic.Uint64
 }
 
@@ -112,6 +113,15 @@ type Config struct {
 	// secondary indexes (store.Database.CreateIndex) to select candidate
 	// objects for conjunctive queries.
 	UseIndexes bool
+	// MaxConcurrent bounds the number of queries executing at once; Run
+	// calls beyond the bound wait for a slot (admission control). Zero or
+	// negative means unbounded.
+	MaxConcurrent int
+	// Cache enables a per-site read-through lookup cache for GOid
+	// mapping-table resolutions and checked assistant verdicts. The engine
+	// operates over immutable fixtures, so the caches never need
+	// invalidation here; the TCP deployment invalidates on Insert.
+	Cache bool
 }
 
 // New builds an engine from a federation configuration.
@@ -132,6 +142,7 @@ func New(cfg Config) (*Engine, error) {
 		tracer: cfg.Tracer,
 		reg:    cfg.Metrics,
 		sigs:   cfg.Signatures,
+		gate:   newGate(cfg.MaxConcurrent, cfg.Metrics, string(cfg.Coordinator)),
 	}
 	for id, db := range cfg.Databases {
 		if db.Site() != id {
@@ -140,6 +151,9 @@ func New(cfg Config) (*Engine, error) {
 		site := federation.NewSite(db, cfg.Global, cfg.Tables)
 		if cfg.UseIndexes {
 			site.EnableIndexes()
+		}
+		if cfg.Cache {
+			site.WithCache(federation.NewLookupCache(cfg.Metrics, id))
 		}
 		e.sites[id] = site
 	}
@@ -172,6 +186,8 @@ func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federat
 	if (alg == SBL || alg == SPL) && e.sigs == nil {
 		return nil, fabric.Metrics{}, fmt.Errorf("exec: %v requires a signature index (Config.Signatures)", alg)
 	}
+	release := e.gate.enter(alg.String())
+	defer release()
 	q := &runCtx{qid: fmt.Sprintf("q%d", e.qseq.Add(1)), alg: alg.String()}
 	m, runErr := rt.Run(alg.String(), func(p fabric.Proc) {
 		root := e.begin(q, p, 0, e.coord.ID(), alg.String(), "")
@@ -224,10 +240,18 @@ type runCtx struct {
 	failures []federation.SiteFailure
 }
 
-// siteFailed records one unavailable site.
+// siteFailed records one unavailable site. One dead site is typically
+// observed several times per query (its O, P and C3 steps all fail), so
+// repeat observations are deduplicated by site — the first reason wins —
+// keeping Answer.Unavailable and site_unavailable_total one-per-site.
 func (q *runCtx) siteFailed(site object.SiteID, reason string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	for _, f := range q.failures {
+		if f.Site == site {
+			return
+		}
+	}
 	q.failures = append(q.failures, federation.SiteFailure{Site: site, Reason: reason})
 }
 

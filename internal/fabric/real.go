@@ -13,16 +13,13 @@ import (
 // events are counted atomically, and the response time is wall-clock. Use
 // it for functional execution (examples, correctness tests, the TCP
 // deployment); use Sim for the paper's timing experiments.
+//
+// A single Real may be shared by concurrent Run calls: all per-run state
+// (cost sinks, network counters, the start time) lives in a run-scoped
+// struct, so overlapping queries account their work independently.
 type Real struct {
 	rates  Rates
 	faults *FaultPlan
-
-	mu    sync.Mutex
-	sinks map[object.SiteID]*cost.Counter
-	net   int64
-	pairs map[Pair]int64
-	start time.Time
-	err   error
 }
 
 var _ Runtime = (*Real)(nil)
@@ -30,7 +27,7 @@ var _ Runtime = (*Real)(nil)
 // NewReal returns a real runtime with the given cost rates (used only to
 // convert counts into modeled work for Metrics).
 func NewReal(rates Rates) *Real {
-	return &Real{rates: rates, sinks: make(map[object.SiteID]*cost.Counter)}
+	return &Real{rates: rates}
 }
 
 // WithFaults installs a fault plan consulted by strategy code through
@@ -40,66 +37,77 @@ func (r *Real) WithFaults(fp *FaultPlan) *Real {
 	return r
 }
 
+// realRun holds the state of one Run invocation. Concurrent Runs over a
+// shared Real each get their own realRun, so their sinks, byte counters
+// and clocks never interleave.
+type realRun struct {
+	rt    *Real
+	mu    sync.Mutex
+	sinks map[object.SiteID]*cost.Counter
+	net   int64
+	pairs map[Pair]int64
+	start time.Time
+	err   error
+}
+
 // Run implements Runtime.
 func (r *Real) Run(name string, fn func(Proc)) (Metrics, error) {
-	r.mu.Lock()
-	r.sinks = make(map[object.SiteID]*cost.Counter)
-	r.net = 0
-	r.pairs = make(map[Pair]int64)
-	r.start = time.Now()
-	r.err = nil
-	r.mu.Unlock()
+	run := &realRun{
+		rt:    r,
+		sinks: make(map[object.SiteID]*cost.Counter),
+		pairs: make(map[Pair]int64),
+		start: time.Now(),
+	}
 
-	start := time.Now()
 	var wg sync.WaitGroup
-	root := &realProc{rt: r, wg: &wg}
+	root := &realProc{run: run, wg: &wg}
 	wg.Add(1)
 	go root.exec(name, fn)
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(run.start)
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	run.mu.Lock()
+	defer run.mu.Unlock()
 	m := Metrics{
 		ResponseMicros: float64(elapsed.Nanoseconds()) / 1e3,
-		PerSite:        make(map[object.SiteID]SiteCost, len(r.sinks)),
-		NetPairs:       make(map[Pair]int64, len(r.pairs)),
+		PerSite:        make(map[object.SiteID]SiteCost, len(run.sinks)),
+		NetPairs:       make(map[Pair]int64, len(run.pairs)),
 	}
-	for site, c := range r.sinks {
+	for site, c := range run.sinks {
 		m.DiskBytes += c.DiskBytes()
 		m.CPUOps += c.CPUOps()
 		m.PerSite[site] = SiteCost{DiskBytes: c.DiskBytes(), CPUOps: c.CPUOps()}
 	}
-	m.NetBytes = r.net
-	for pair, bytes := range r.pairs {
+	m.NetBytes = run.net
+	for pair, bytes := range run.pairs {
 		m.NetPairs[pair] = bytes
 	}
 	m.TotalBusyMicros = r.rates.Work(m.DiskBytes, m.CPUOps, m.NetBytes)
-	return m, r.err
+	return m, run.err
 }
 
-func (r *Real) sink(site object.SiteID) *cost.Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.sinks[site]
+func (run *realRun) sink(site object.SiteID) *cost.Counter {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	c := run.sinks[site]
 	if c == nil {
 		c = &cost.Counter{}
-		r.sinks[site] = c
+		run.sinks[site] = c
 	}
 	return c
 }
 
-func (r *Real) fail(err error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.err == nil {
-		r.err = err
+func (run *realRun) fail(err error) {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	if run.err == nil {
+		run.err = err
 	}
 }
 
 type realProc struct {
-	rt *Real
-	wg *sync.WaitGroup
+	run *realRun
+	wg  *sync.WaitGroup
 }
 
 var _ Proc = (*realProc)(nil)
@@ -112,7 +120,7 @@ func (p *realProc) exec(name string, fn func(Proc)) {
 	defer p.wg.Done()
 	defer func() {
 		if rec := recover(); rec != nil {
-			p.rt.fail(fmt.Errorf("fabric: task %s panicked: %v", name, rec))
+			p.run.fail(fmt.Errorf("fabric: task %s panicked: %v", name, rec))
 		}
 	}()
 	fn(p)
@@ -121,7 +129,7 @@ func (p *realProc) exec(name string, fn func(Proc)) {
 // Go implements Proc.
 func (p *realProc) Go(name string, fn func(Proc)) Handle {
 	h := &realHandle{done: make(chan struct{})}
-	child := &realProc{rt: p.rt, wg: p.wg}
+	child := &realProc{run: p.run, wg: p.wg}
 	p.wg.Add(1)
 	go func() {
 		defer close(h.done)
@@ -145,22 +153,19 @@ func (p *realProc) Wait(hs ...Handle) {
 func (p *realProc) Fork(fns ...func(Proc)) { forkImpl(p, fns) }
 
 // Sink implements Proc.
-func (p *realProc) Sink(site object.SiteID) cost.Sink { return p.rt.sink(site) }
+func (p *realProc) Sink(site object.SiteID) cost.Sink { return p.run.sink(site) }
 
 // Transfer implements Proc.
 func (p *realProc) Transfer(from, to object.SiteID, bytes int) {
-	p.rt.mu.Lock()
-	p.rt.net += int64(bytes)
-	p.rt.pairs[Pair{From: from, To: to}] += int64(bytes)
-	p.rt.mu.Unlock()
+	p.run.mu.Lock()
+	p.run.net += int64(bytes)
+	p.run.pairs[Pair{From: from, To: to}] += int64(bytes)
+	p.run.mu.Unlock()
 }
 
 // Now implements Proc: wall-clock microseconds since Run started.
 func (p *realProc) Now() float64 {
-	p.rt.mu.Lock()
-	start := p.rt.start
-	p.rt.mu.Unlock()
-	return float64(time.Since(start).Nanoseconds()) / 1e3
+	return float64(time.Since(p.run.start).Nanoseconds()) / 1e3
 }
 
 // Sleep implements Proc: a wall-clock sleep.
@@ -171,4 +176,4 @@ func (p *realProc) Sleep(micros float64) {
 }
 
 // Faults implements Proc.
-func (p *realProc) Faults() *FaultPlan { return p.rt.faults }
+func (p *realProc) Faults() *FaultPlan { return p.run.rt.faults }

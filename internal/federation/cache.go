@@ -1,0 +1,196 @@
+package federation
+
+import (
+	"sync"
+
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/tvl"
+)
+
+// LookupCache is a per-site read-through cache over the two lookups a site
+// repeats for every query it serves:
+//
+//   - GOid mapping-table resolutions (local object → GOid, and
+//     entity → isomeric locations), which hit the replicated tables once
+//     per object per query; and
+//   - checked assistant verdicts — the three-valued outcome of evaluating
+//     a suffix predicate on one stored assistant object. A verdict hit
+//     skips the assistant's disk fetch and predicate evaluation entirely.
+//
+// Coherence: the cache is invalidated by the Insert replication path. An
+// Insert stores one new object and broadcasts a BindDelta for its class to
+// every replica site; InvalidateClass drops that class's mapping and
+// verdict entries at each site the broadcast reaches. Stored objects are
+// never mutated in place, so class-granular invalidation is sufficient —
+// an entry can only go stale when its class gains a binding.
+//
+// All methods are safe for concurrent use and for a nil receiver (a nil
+// cache is a pass-through miss).
+type LookupCache struct {
+	reg  *metrics.Registry
+	site string
+
+	mu       sync.RWMutex
+	goids    map[goidKey]goidEntry
+	locs     map[locKey][]gmap.Location
+	verdicts map[verdictKey]tvl.Truth
+}
+
+type goidKey struct {
+	class string
+	site  object.SiteID
+	loid  object.LOid
+}
+
+type goidEntry struct {
+	goid object.GOid
+	ok   bool // negative entries cache "not mapped" too
+}
+
+type locKey struct {
+	class string
+	goid  object.GOid
+}
+
+type verdictKey struct {
+	class     string
+	assistant object.LOid
+	suffix    string // Predicate.String(): path, operator and literal
+}
+
+// NewLookupCache builds an empty cache reporting to the given registry
+// (which may be nil) under the given site label.
+func NewLookupCache(reg *metrics.Registry, site object.SiteID) *LookupCache {
+	return &LookupCache{
+		reg:      reg,
+		site:     string(site),
+		goids:    make(map[goidKey]goidEntry),
+		locs:     make(map[locKey][]gmap.Location),
+		verdicts: make(map[verdictKey]tvl.Truth),
+	}
+}
+
+func (lc *LookupCache) hit(kind string) {
+	lc.reg.Counter("cache_hits_total", metrics.Labels{Site: lc.site, Phase: kind}).Inc()
+}
+
+func (lc *LookupCache) miss(kind string) {
+	lc.reg.Counter("cache_misses_total", metrics.Labels{Site: lc.site, Phase: kind}).Inc()
+}
+
+// GOidOf is the read-through form of gmap.Table.GOidOf: it serves the
+// mapping from cache when present and fills it from the table otherwise.
+func (lc *LookupCache) GOidOf(t *gmap.Table, class string, site object.SiteID, loid object.LOid) (object.GOid, bool) {
+	if lc == nil {
+		return t.GOidOf(site, loid)
+	}
+	k := goidKey{class: class, site: site, loid: loid}
+	lc.mu.RLock()
+	e, ok := lc.goids[k]
+	lc.mu.RUnlock()
+	if ok {
+		lc.hit("gmap")
+		return e.goid, e.ok
+	}
+	lc.miss("gmap")
+	g, found := t.GOidOf(site, loid)
+	lc.mu.Lock()
+	lc.goids[k] = goidEntry{goid: g, ok: found}
+	lc.mu.Unlock()
+	return g, found
+}
+
+// Locations is the read-through form of gmap.Table.Locations.
+func (lc *LookupCache) Locations(t *gmap.Table, class string, goid object.GOid) []gmap.Location {
+	if lc == nil {
+		return t.Locations(goid)
+	}
+	k := locKey{class: class, goid: goid}
+	lc.mu.RLock()
+	locs, ok := lc.locs[k]
+	lc.mu.RUnlock()
+	if ok {
+		lc.hit("gmap")
+		return locs
+	}
+	lc.miss("gmap")
+	locs = t.Locations(goid)
+	lc.mu.Lock()
+	lc.locs[k] = locs
+	lc.mu.Unlock()
+	return locs
+}
+
+// Verdict returns the cached check verdict for an assistant/suffix pair.
+func (lc *LookupCache) Verdict(class string, assistant object.LOid, suffix string) (tvl.Truth, bool) {
+	if lc == nil {
+		return tvl.Unknown, false
+	}
+	k := verdictKey{class: class, assistant: assistant, suffix: suffix}
+	lc.mu.RLock()
+	v, ok := lc.verdicts[k]
+	lc.mu.RUnlock()
+	if ok {
+		lc.hit("verdict")
+	} else {
+		lc.miss("verdict")
+	}
+	return v, ok
+}
+
+// PutVerdict records a produced check verdict.
+func (lc *LookupCache) PutVerdict(class string, assistant object.LOid, suffix string, v tvl.Truth) {
+	if lc == nil {
+		return
+	}
+	k := verdictKey{class: class, assistant: assistant, suffix: suffix}
+	lc.mu.Lock()
+	lc.verdicts[k] = v
+	lc.mu.Unlock()
+}
+
+// InvalidateClass drops every entry of the named global class — called when
+// the Insert replication path binds a new object of that class (the local
+// store on the owning site, the BindDelta broadcast on every replica).
+func (lc *LookupCache) InvalidateClass(class string) {
+	if lc == nil {
+		return
+	}
+	lc.mu.Lock()
+	n := 0
+	for k := range lc.goids {
+		if k.class == class {
+			delete(lc.goids, k)
+			n++
+		}
+	}
+	for k := range lc.locs {
+		if k.class == class {
+			delete(lc.locs, k)
+			n++
+		}
+	}
+	for k := range lc.verdicts {
+		if k.class == class {
+			delete(lc.verdicts, k)
+			n++
+		}
+	}
+	lc.mu.Unlock()
+	lc.reg.Counter("cache_invalidations_total", metrics.Labels{Site: lc.site}).Inc()
+	if n > 0 {
+		lc.reg.Counter("cache_evicted_total", metrics.Labels{Site: lc.site}).Add(int64(n))
+	}
+}
+
+// Len returns the number of live entries (for tests and debugging).
+func (lc *LookupCache) Len() int {
+	if lc == nil {
+		return 0
+	}
+	lc.mu.RLock()
+	defer lc.mu.RUnlock()
+	return len(lc.goids) + len(lc.locs) + len(lc.verdicts)
+}

@@ -1,0 +1,145 @@
+package federation
+
+import (
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/tvl"
+)
+
+func cacheTable(t *testing.T) *gmap.Table {
+	t.Helper()
+	tbl := gmap.NewTable("GStudent")
+	tbl.MustBind("gs1", "DB1", "s1")
+	tbl.MustBind("gs1", "DB2", "s1'")
+	tbl.MustBind("gs2", "DB1", "s2")
+	return tbl
+}
+
+func TestLookupCacheGOidOf(t *testing.T) {
+	reg := metrics.New()
+	lc := NewLookupCache(reg, "DB1")
+	tbl := cacheTable(t)
+
+	g, ok := lc.GOidOf(tbl, "GStudent", "DB1", "s1")
+	if !ok || g != "gs1" {
+		t.Fatalf("GOidOf = %s,%v", g, ok)
+	}
+	// Second lookup hits.
+	if g, ok = lc.GOidOf(tbl, "GStudent", "DB1", "s1"); !ok || g != "gs1" {
+		t.Fatalf("cached GOidOf = %s,%v", g, ok)
+	}
+	lbl := metrics.Labels{Site: "DB1", Phase: "gmap"}
+	snap := reg.Snapshot()
+	if hits := snap.CounterValue("cache_hits_total", lbl); hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+	if misses := snap.CounterValue("cache_misses_total", lbl); misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+}
+
+// TestLookupCacheNegativeEntry: "not mapped" is cached too — the table is
+// not re-consulted for a lookup known to miss.
+func TestLookupCacheNegativeEntry(t *testing.T) {
+	reg := metrics.New()
+	lc := NewLookupCache(reg, "DB1")
+	tbl := cacheTable(t)
+
+	for i := 0; i < 2; i++ {
+		if _, ok := lc.GOidOf(tbl, "GStudent", "DB1", "nope"); ok {
+			t.Fatal("unmapped loid reported mapped")
+		}
+	}
+	lbl := metrics.Labels{Site: "DB1", Phase: "gmap"}
+	if hits := reg.Snapshot().CounterValue("cache_hits_total", lbl); hits != 1 {
+		t.Errorf("negative entry hits = %d, want 1", hits)
+	}
+}
+
+func TestLookupCacheLocations(t *testing.T) {
+	lc := NewLookupCache(nil, "DB1")
+	tbl := cacheTable(t)
+
+	locs := lc.Locations(tbl, "GStudent", "gs1")
+	if len(locs) != 2 {
+		t.Fatalf("locations = %v", locs)
+	}
+	if got := lc.Locations(tbl, "GStudent", "gs1"); len(got) != 2 {
+		t.Fatalf("cached locations = %v", got)
+	}
+	if lc.Len() == 0 {
+		t.Error("Len = 0 after fills")
+	}
+}
+
+func TestLookupCacheVerdicts(t *testing.T) {
+	lc := NewLookupCache(nil, "DB1")
+	if _, ok := lc.Verdict("GStudent", "t1", "speciality = database"); ok {
+		t.Fatal("verdict hit on empty cache")
+	}
+	lc.PutVerdict("GStudent", "t1", "speciality = database", tvl.True)
+	v, ok := lc.Verdict("GStudent", "t1", "speciality = database")
+	if !ok || v != tvl.True {
+		t.Fatalf("verdict = %v,%v", v, ok)
+	}
+	// A different suffix is a different entry.
+	if _, ok := lc.Verdict("GStudent", "t1", "address = austin"); ok {
+		t.Fatal("wrong-suffix verdict hit")
+	}
+}
+
+func TestLookupCacheInvalidateClass(t *testing.T) {
+	reg := metrics.New()
+	lc := NewLookupCache(reg, "DB1")
+	tbl := cacheTable(t)
+
+	lc.GOidOf(tbl, "GStudent", "DB1", "s1")
+	lc.Locations(tbl, "GStudent", "gs1")
+	lc.PutVerdict("GStudent", "t1", "x = 1", tvl.False)
+	lc.PutVerdict("GTeacher", "t2", "y = 2", tvl.True)
+	if lc.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", lc.Len())
+	}
+
+	lc.InvalidateClass("GStudent")
+	if lc.Len() != 1 {
+		t.Errorf("Len after invalidate = %d, want 1 (other classes kept)", lc.Len())
+	}
+	if _, ok := lc.Verdict("GTeacher", "t2", "y = 2"); !ok {
+		t.Error("other class's verdict evicted")
+	}
+	if _, ok := lc.Verdict("GStudent", "t1", "x = 1"); ok {
+		t.Error("invalidated verdict still served")
+	}
+	snap := reg.Snapshot()
+	if inv := snap.CounterValue("cache_invalidations_total", metrics.Labels{Site: "DB1"}); inv != 1 {
+		t.Errorf("invalidations = %d, want 1", inv)
+	}
+	if ev := snap.CounterValue("cache_evicted_total", metrics.Labels{Site: "DB1"}); ev != 3 {
+		t.Errorf("evicted = %d, want 3", ev)
+	}
+}
+
+// TestLookupCacheNil: every method must be a safe pass-through on a nil
+// receiver — sites without -cache run exactly this path.
+func TestLookupCacheNil(t *testing.T) {
+	var lc *LookupCache
+	tbl := cacheTable(t)
+
+	if g, ok := lc.GOidOf(tbl, "GStudent", "DB1", "s1"); !ok || g != "gs1" {
+		t.Errorf("nil GOidOf = %s,%v", g, ok)
+	}
+	if locs := lc.Locations(tbl, "GStudent", "gs1"); len(locs) != 2 {
+		t.Errorf("nil Locations = %v", locs)
+	}
+	if _, ok := lc.Verdict("GStudent", "t1", "x"); ok {
+		t.Error("nil Verdict reported a hit")
+	}
+	lc.PutVerdict("GStudent", "t1", "x", tvl.True) // must not panic
+	lc.InvalidateClass("GStudent")                 // must not panic
+	if lc.Len() != 0 {
+		t.Error("nil Len != 0")
+	}
+}

@@ -9,6 +9,7 @@ package gmap
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/hetfed/hetfed/internal/object"
 )
@@ -140,7 +141,14 @@ func (t *Table) Clone() *Table {
 }
 
 // Tables groups the mapping tables of all global classes.
+//
+// The class→table map itself is guarded by a mutex so concurrent queries
+// that touch a class never seen before (lazy creation in Table) do not
+// race. Individual Tables are NOT internally locked: mutation (Bind) is
+// a setup/replication-time operation that callers must serialize against
+// query reads (the TCP server does so with its state lock).
 type Tables struct {
+	mu      sync.RWMutex
 	byClass map[string]*Table
 }
 
@@ -150,10 +158,17 @@ func NewTables() *Tables {
 }
 
 // Table returns the table of the named global class, creating it on first
-// use.
+// use. Safe for concurrent callers.
 func (ts *Tables) Table(class string) *Table {
+	ts.mu.RLock()
 	t := ts.byClass[class]
-	if t == nil {
+	ts.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t = ts.byClass[class]; t == nil {
 		t = NewTable(class)
 		ts.byClass[class] = t
 	}
@@ -162,12 +177,16 @@ func (ts *Tables) Table(class string) *Table {
 
 // Has reports whether a table exists for the named global class.
 func (ts *Tables) Has(class string) bool {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
 	_, ok := ts.byClass[class]
 	return ok
 }
 
 // Classes returns the mapped global class names, sorted.
 func (ts *Tables) Classes() []string {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
 	out := make([]string, 0, len(ts.byClass))
 	for c := range ts.byClass {
 		out = append(out, c)
@@ -178,6 +197,8 @@ func (ts *Tables) Classes() []string {
 
 // Clone deep-copies all tables (a full replication snapshot).
 func (ts *Tables) Clone() *Tables {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
 	cp := NewTables()
 	for c, t := range ts.byClass {
 		cp.byClass[c] = t.Clone()

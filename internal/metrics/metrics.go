@@ -36,6 +36,20 @@
 //	site_unavailable_total{site,peer,alg}  fan-out legs lost to a dead site
 //	degraded_queries_total{site,alg}       queries answered partially
 //	replica_stale_total{site,peer}         replicas an insert could not reach
+//	pool_stale_total{site,peer}            pooled conns found dead and redialed free
+//
+// Concurrent-serving metrics (admission, check batching, lookup cache):
+//
+//	queries_inflight{site}             gauge: queries currently admitted
+//	queries_queued_total{site}         admissions that had to wait for a slot
+//	admission_wait_us{site,alg}        wall-clock wait for an admission slot
+//	check_batches_total{site,peer}     coalesced checkbatch RPCs sent
+//	check_batch_groups{site}           histogram: query groups per batch
+//	check_batch_bytes{site}            histogram: request bytes per batch
+//	cache_hits_total{site,phase}       lookup-cache hits (phase: gmap|verdict)
+//	cache_misses_total{site,phase}     lookup-cache misses
+//	cache_invalidations_total{site}    class invalidations from the Insert path
+//	cache_evicted_total{site}          entries dropped by invalidations
 package metrics
 
 import (

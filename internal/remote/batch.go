@@ -1,0 +1,258 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// BatchConfig tunes the server's outbound check pipeline: instead of one
+// RPC per local query per peer, check items bound for the same peer are
+// coalesced across a flush window into a single checkbatch request. Under
+// concurrent load this collapses N small peer RPCs into one, at the price
+// of up to Window of added latency for the first query in a batch.
+type BatchConfig struct {
+	// Window is how long the first enqueued check waits for co-travelers
+	// before its peer batch flushes. Zero disables batching entirely
+	// (every local query dispatches its own check RPCs, the pre-batching
+	// behavior).
+	Window time.Duration
+	// MaxBytes flushes a peer's batch early once its queued request bytes
+	// reach this threshold, bounding both batch latency under load and the
+	// size of one RPC. Default 64 KiB.
+	MaxBytes int
+	// MaxInflightBytes caps the total request bytes concurrently in flight
+	// to all peers; flushes beyond the cap wait for replies to land.
+	// Default 1 MiB.
+	MaxInflightBytes int
+}
+
+func (b BatchConfig) withDefaults() BatchConfig {
+	if b.MaxBytes <= 0 {
+		b.MaxBytes = 64 << 10
+	}
+	if b.MaxInflightBytes <= 0 {
+		b.MaxInflightBytes = 1 << 20
+	}
+	return b
+}
+
+// batchOutcome is what one waiting local query receives: its own reply
+// group from the shared RPC, or the transport error that took the whole
+// batch down.
+type batchOutcome struct {
+	reply federation.CheckReply
+	err   error
+}
+
+// pendingChecks is one local query's contribution to a peer batch.
+type pendingChecks struct {
+	items []federation.CheckItem
+	trace TraceContext
+	done  chan batchOutcome
+}
+
+// peerQueue accumulates the pending check groups bound for one peer.
+type peerQueue struct {
+	entries []*pendingChecks
+	bytes   int
+	timer   *time.Timer
+}
+
+// batcher coalesces check dispatch across concurrent local queries. Each
+// peer has a queue; the first enqueue arms a flush timer, and the queue
+// flushes when the timer fires or its bytes cross MaxBytes, whichever is
+// first. Flushed batches travel concurrently (replies stream back per peer
+// as they land) under a total in-flight byte cap.
+type batcher struct {
+	s        *Server
+	cfg      BatchConfig
+	inflight *byteGate
+
+	mu     sync.Mutex
+	queues map[object.SiteID]*peerQueue
+	closed bool
+}
+
+func newBatcher(s *Server, cfg BatchConfig) *batcher {
+	cfg = cfg.withDefaults()
+	return &batcher{
+		s:        s,
+		cfg:      cfg,
+		inflight: newByteGate(cfg.MaxInflightBytes),
+		queues:   make(map[object.SiteID]*peerQueue),
+	}
+}
+
+// enqueue queues one query's check items for the target peer and returns
+// the entry whose done channel will carry that query's own verdicts.
+func (b *batcher) enqueue(target object.SiteID, items []federation.CheckItem, tc TraceContext) *pendingChecks {
+	entry := &pendingChecks{items: items, trace: tc, done: make(chan batchOutcome, 1)}
+	bytes := federation.CheckRequest{From: b.s.Site(), Items: items}.WireSize()
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		go b.send(target, []*pendingChecks{entry}, bytes)
+		return entry
+	}
+	q := b.queues[target]
+	if q == nil {
+		q = &peerQueue{}
+		b.queues[target] = q
+	}
+	q.entries = append(q.entries, entry)
+	q.bytes += bytes
+	switch {
+	case q.bytes >= b.cfg.MaxBytes:
+		entries, bytes := b.takeLocked(q)
+		b.mu.Unlock()
+		go b.send(target, entries, bytes)
+	case len(q.entries) == 1:
+		q.timer = time.AfterFunc(b.cfg.Window, func() { b.flushPeer(target) })
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+	return entry
+}
+
+// takeLocked drains a queue (caller holds b.mu) and disarms its timer.
+func (b *batcher) takeLocked(q *peerQueue) ([]*pendingChecks, int) {
+	entries, bytes := q.entries, q.bytes
+	q.entries, q.bytes = nil, 0
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	return entries, bytes
+}
+
+// flushPeer ships whatever is queued for the peer (the window expired).
+func (b *batcher) flushPeer(target object.SiteID) {
+	b.mu.Lock()
+	q := b.queues[target]
+	if q == nil || len(q.entries) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	entries, bytes := b.takeLocked(q)
+	b.mu.Unlock()
+	b.send(target, entries, bytes)
+}
+
+// close flushes every queue immediately; later enqueues bypass batching.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	type flush struct {
+		target  object.SiteID
+		entries []*pendingChecks
+		bytes   int
+	}
+	var flushes []flush
+	for target, q := range b.queues {
+		if len(q.entries) == 0 {
+			continue
+		}
+		entries, bytes := b.takeLocked(q)
+		flushes = append(flushes, flush{target, entries, bytes})
+	}
+	b.mu.Unlock()
+	for _, f := range flushes {
+		go b.send(f.target, f.entries, f.bytes)
+	}
+}
+
+// send performs one coalesced RPC: the entries' item groups travel as one
+// checkbatch request, and the group-aligned replies are routed back to the
+// waiting queries. The whole batch shares one trace context (the first
+// entry's); the per-query spans at the peer are not separable once their
+// wire trip is shared.
+func (b *batcher) send(target object.SiteID, entries []*pendingChecks, bytes int) {
+	fail := func(err error) {
+		for _, e := range entries {
+			e.done <- batchOutcome{err: err}
+		}
+	}
+	addr, ok := b.s.peerAddr(target)
+	if !ok {
+		fail(fmt.Errorf("no address for peer site %s", target))
+		return
+	}
+	charged := b.inflight.acquire(bytes)
+	defer b.inflight.release(charged)
+
+	groups := make([][]federation.CheckItem, len(entries))
+	for i, e := range entries {
+		groups[i] = e.items
+	}
+	self := string(b.s.Site())
+	reg := b.s.cfg.Metrics
+	reg.Counter("check_batches_total", metrics.Labels{Site: self, Peer: string(target)}).Inc()
+	reg.Histogram("check_batch_groups", metrics.Labels{Site: self}).Observe(float64(len(groups)))
+	reg.Histogram("check_batch_bytes", metrics.Labels{Site: self}).Observe(float64(bytes))
+
+	resp, w, err := b.s.client.call(target, addr, Request{
+		Kind:  kindCheckBatch,
+		Batch: groups,
+		Trace: entries[0].trace,
+	})
+	reg.Counter("net_bytes_total",
+		metrics.Labels{Site: self, Peer: string(target), Alg: entries[0].trace.Alg}).Add(w.Sent)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if len(resp.CheckBatch) != len(groups) {
+		fail(fmt.Errorf("checkbatch reply has %d groups, want %d", len(resp.CheckBatch), len(groups)))
+		return
+	}
+	for i, e := range entries {
+		e.done <- batchOutcome{reply: resp.CheckBatch[i]}
+	}
+}
+
+// byteGate caps the bytes concurrently in flight. An acquisition larger
+// than the cap is clamped so an oversized batch still proceeds (alone)
+// instead of deadlocking; acquire returns the amount actually charged,
+// which the caller must release.
+type byteGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+func newByteGate(capacity int) *byteGate {
+	g := &byteGate{cap: capacity}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *byteGate) acquire(n int) int {
+	if n > g.cap {
+		n = g.cap
+	}
+	if n < 0 {
+		n = 0
+	}
+	g.mu.Lock()
+	for g.used+n > g.cap {
+		g.cond.Wait()
+	}
+	g.used += n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *byteGate) release(n int) {
+	g.mu.Lock()
+	g.used -= n
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}

@@ -251,7 +251,7 @@ func (cl *client) callTimeout(site object.SiteID, addr string, req Request, time
 				metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
 			time.Sleep(cl.cfg.backoff(attempt - 1))
 		}
-		pc, err := p.get()
+		pc, pooled, err := p.get()
 		if err != nil {
 			lastErr = err
 			continue
@@ -259,6 +259,23 @@ func (cl *client) callTimeout(site object.SiteID, addr string, req Request, time
 		resp, w, err := pc.exchange(req, timeout)
 		stats.Sent += w.Sent
 		stats.Received += w.Received
+		if err != nil && pooled {
+			// A connection that idled in the pool across a peer restart is
+			// dead on first use; that says nothing about the peer's current
+			// health. Discard it and redial once for free — this probe does
+			// not consume a retry attempt, back off, or (on success) charge
+			// the breaker.
+			pc.close()
+			cl.reg.Counter("pool_stale_total",
+				metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
+			if pc, err = p.dial(); err != nil {
+				lastErr = err
+				continue
+			}
+			resp, w, err = pc.exchange(req, timeout)
+			stats.Sent += w.Sent
+			stats.Received += w.Received
+		}
 		if err != nil {
 			// The connection is torn; never reuse it.
 			pc.close()

@@ -49,6 +49,10 @@ type Coordinator struct {
 	// Call is the networking policy for site calls: timeouts, retries,
 	// pooling, circuit breakers. Zero fields take DefaultCallConfig values.
 	Call CallConfig
+	// MaxConcurrent bounds the queries executing at once (admission
+	// control); calls beyond the bound wait for a slot. Zero or negative
+	// means unbounded. Read at the first Query; set before serving.
+	MaxConcurrent int
 
 	// mu guards Tables (and the Matcher behind it) between concurrent
 	// Query and Insert calls.
@@ -57,6 +61,9 @@ type Coordinator struct {
 
 	clOnce sync.Once
 	cl     *client
+
+	gateOnce sync.Once
+	gate     chan struct{}
 }
 
 // client lazily builds the coordinator's pooled site-call client so the
@@ -81,6 +88,35 @@ func (c *Coordinator) Close() {
 // coordinator, for the health surface.
 func (c *Coordinator) BreakerStates() map[object.SiteID]string {
 	return c.client().BreakerStates()
+}
+
+// admit blocks until the query is admitted under MaxConcurrent and returns
+// the release function. Admission happens after parse/bind (cheap, local)
+// and before any network work.
+func (c *Coordinator) admit(alg string) func() {
+	c.gateOnce.Do(func() {
+		if c.MaxConcurrent > 0 {
+			c.gate = make(chan struct{}, c.MaxConcurrent)
+		}
+	})
+	if c.gate == nil {
+		return func() {}
+	}
+	self := string(c.ID)
+	select {
+	case c.gate <- struct{}{}:
+	default:
+		c.Metrics.Counter("queries_queued_total", metrics.Labels{Site: self}).Inc()
+		start := time.Now()
+		c.gate <- struct{}{}
+		c.Metrics.Histogram("admission_wait_us", metrics.Labels{Site: self, Alg: alg}).
+			Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
+	}
+	c.Metrics.Gauge("queries_inflight", metrics.Labels{Site: self}).Add(1)
+	return func() {
+		c.Metrics.Gauge("queries_inflight", metrics.Labels{Site: self}).Add(-1)
+		<-c.gate
+	}
 }
 
 // qctx scopes one networked query execution.
@@ -142,6 +178,8 @@ func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer
 	if err != nil {
 		return nil, 0, err
 	}
+	release := c.admit(alg.String())
+	defer release()
 
 	start := time.Now()
 	qc := &qctx{qid: fmt.Sprintf("rq%d-%06x", c.qseq.Add(1), qidTag), alg: alg.String()}

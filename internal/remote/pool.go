@@ -56,16 +56,25 @@ func newPool(addr string, dialTimeout time.Duration, max int) *pool {
 	return &pool{addr: addr, dialTimeout: dialTimeout, max: max}
 }
 
-// get returns an idle connection or dials a fresh one.
-func (p *pool) get() (*pconn, error) {
+// get returns an idle connection or dials a fresh one. pooled reports
+// whether the connection came out of the idle set — such a connection may
+// have silently died while idle (peer restart), so its first failure is a
+// staleness signal rather than evidence the peer is down.
+func (p *pool) get() (pc *pconn, pooled bool, err error) {
 	p.mu.Lock()
 	if n := len(p.idle); n > 0 {
-		pc := p.idle[n-1]
+		pc = p.idle[n-1]
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
-		return pc, nil
+		return pc, true, nil
 	}
 	p.mu.Unlock()
+	pc, err = p.dial()
+	return pc, false, err
+}
+
+// dial establishes a fresh connection, bypassing the idle set.
+func (p *pool) dial() (*pconn, error) {
 	conn, err := net.DialTimeout("tcp", p.addr, p.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", p.addr, err)

@@ -51,18 +51,26 @@ type ServerConfig struct {
 	// (assistant-check dispatch): timeouts, retries, pooling, breakers.
 	// Zero fields take DefaultCallConfig values.
 	Call CallConfig
+	// Batch coalesces outbound check RPCs across concurrent local queries;
+	// a zero Window disables batching.
+	Batch BatchConfig
+	// Cache enables the site's read-through lookup cache (GOid mapping
+	// resolutions and checked assistant verdicts), invalidated per class by
+	// the Insert replication path (store + BindDelta).
+	Cache bool
 }
 
 // Server serves one component database over TCP. Connections are
 // persistent: each one carries a sequence of gob-encoded requests until the
 // client closes it (or Close tears it down).
 type Server struct {
-	cfg    ServerConfig
-	site   *federation.Site
-	client *client
-	log    *slog.Logger
-	ln     net.Listener
-	wg     sync.WaitGroup
+	cfg     ServerConfig
+	site    *federation.Site
+	client  *client
+	batcher *batcher
+	log     *slog.Logger
+	ln      net.Listener
+	wg      sync.WaitGroup
 
 	// stateMu guards the component database and the mapping-table replica
 	// against writes (store/bind requests) concurrent with query
@@ -86,13 +94,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
-	return &Server{
+	site := federation.NewSite(cfg.DB, cfg.Global, cfg.Tables)
+	if cfg.Cache {
+		site.WithCache(federation.NewLookupCache(cfg.Metrics, cfg.DB.Site()))
+	}
+	s := &Server{
 		cfg:    cfg,
-		site:   federation.NewSite(cfg.DB, cfg.Global, cfg.Tables),
+		site:   site,
 		client: newClient(cfg.DB.Site(), cfg.Call, cfg.Metrics),
 		log:    log.With("site", string(cfg.DB.Site())),
 		conns:  make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if cfg.Batch.Window > 0 {
+		s.batcher = newBatcher(s, cfg.Batch)
+	}
+	return s, nil
 }
 
 // Listen binds the address and starts serving until Close. Pass
@@ -158,6 +174,9 @@ func (s *Server) Close() error {
 	}
 	for _, c := range conns {
 		_ = c.Close()
+	}
+	if s.batcher != nil {
+		s.batcher.close()
 	}
 	s.client.close()
 	s.wg.Wait()
@@ -227,7 +246,7 @@ func reqAlg(req Request) string {
 // mode's order (P→O basic, O→P parallel).
 func reqPhases(req Request) string {
 	switch req.Kind {
-	case kindRetrieve, kindCheck:
+	case kindRetrieve, kindCheck, kindCheckBatch:
 		return "O"
 	case kindLocal:
 		switch req.Mode {
@@ -338,6 +357,10 @@ func (s *Server) dispatch(req Request, sp trace.Handle) Response {
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
 		return s.handleCheck(req)
+	case kindCheckBatch:
+		s.stateMu.RLock()
+		defer s.stateMu.RUnlock()
+		return s.handleCheckBatch(req)
 	case kindStore:
 		s.stateMu.Lock()
 		defer s.stateMu.Unlock()
@@ -351,7 +374,9 @@ func (s *Server) dispatch(req Request, sp trace.Handle) Response {
 	}
 }
 
-// handleStore inserts an object into the local component database.
+// handleStore inserts an object into the local component database and
+// drops the lookup cache's entries for the object's global class (the new
+// object may now serve as an assistant where a fetch previously failed).
 func (s *Server) handleStore(req Request) Response {
 	if req.Store == nil {
 		return Response{Err: "store request without object"}
@@ -359,10 +384,16 @@ func (s *Server) handleStore(req Request) Response {
 	if err := s.cfg.DB.Insert(req.Store); err != nil {
 		return Response{Err: err.Error()}
 	}
+	if gc := s.cfg.Global.GlobalFor(s.Site(), req.Store.Class); gc != nil {
+		s.site.Cache().InvalidateClass(gc.Name)
+	}
 	return Response{}
 }
 
-// handleBind applies a mapping-table delta to this site's replica.
+// handleBind applies a mapping-table delta to this site's replica and
+// invalidates the class's lookup-cache entries: the binding changes which
+// isomeric locations (and therefore which assistants) the class's entities
+// resolve to, so cached mappings and verdicts of that class are stale.
 func (s *Server) handleBind(req Request) Response {
 	if req.Bind == nil {
 		return Response{Err: "bind request without delta"}
@@ -371,6 +402,7 @@ func (s *Server) handleBind(req Request) Response {
 	if err := s.cfg.Tables.Table(d.Class).Bind(d.GOid, d.Site, d.LOid); err != nil {
 		return Response{Err: err.Error()}
 	}
+	s.site.Cache().InvalidateClass(d.Class)
 	return Response{}
 }
 
@@ -411,6 +443,21 @@ func (s *Server) handleCheck(req Request) Response {
 		return Response{Err: err.Error()}
 	}
 	return Response{Check: reply}
+}
+
+// handleCheckBatch serves a coalesced check request: one RPC carrying the
+// item groups of several concurrent local queries, answered group-aligned
+// so the batching peer can route each group's verdicts back to its query.
+func (s *Server) handleCheckBatch(req Request) Response {
+	replies := make([]federation.CheckReply, len(req.Batch))
+	if err := runReal("checkbatch", func(p fabric.Proc) {
+		for i, items := range req.Batch {
+			replies[i] = s.site.CheckAssistants(p, items)
+		}
+	}); err != nil {
+		return Response{Err: err.Error()}
+	}
+	return Response{CheckBatch: replies}
 }
 
 // handleLocal runs the site flow of a localized strategy. Under the basic
@@ -529,6 +576,10 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 		addrs[i] = addr
 	}
 
+	if s.batcher != nil {
+		return s.dispatchChecksBatched(req, sp, checks, targets)
+	}
+
 	self := string(s.Site())
 	alg := reqAlg(req)
 	replies := make([]federation.CheckReply, len(targets))
@@ -579,6 +630,50 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 		case fatal == nil:
 			// The peer answered with an error: deterministic, fail loudly.
 			fatal = err
+		}
+	}
+	if fatal != nil {
+		return nil, nil, fatal
+	}
+	return out, dead, nil
+}
+
+// dispatchChecksBatched routes the check items through the cross-query
+// batcher instead of per-query RPCs: each target's items join that peer's
+// open batch (flushed on the window or the byte threshold), and the reply
+// groups stream back per peer as their batches land. Error semantics match
+// the direct path: an unreachable peer degrades, a peer-answered error is
+// fatal.
+func (s *Server) dispatchChecksBatched(req Request, sp trace.Handle,
+	checks map[object.SiteID][]federation.CheckItem, targets []object.SiteID) ([]federation.CheckReply, []federation.SiteFailure, error) {
+	self := string(s.Site())
+	alg := reqAlg(req)
+	tc := TraceContext{QueryID: req.Trace.QueryID, Alg: alg, Span: uint64(sp.ID()), From: s.Site()}
+	entries := make([]*pendingChecks, len(targets))
+	for i, target := range targets {
+		items := checks[target]
+		s.cfg.Metrics.Counter("checks_dispatched_total",
+			metrics.Labels{Site: self, Alg: alg}).Add(int64(len(items)))
+		entries[i] = s.batcher.enqueue(target, items, tc)
+	}
+
+	var (
+		out   []federation.CheckReply
+		dead  []federation.SiteFailure
+		fatal error
+	)
+	for i, e := range entries {
+		oc := <-e.done
+		switch {
+		case oc.err == nil:
+			out = append(out, oc.reply)
+		case IsSiteUnavailable(oc.err):
+			s.cfg.Metrics.Counter("site_unavailable_total",
+				metrics.Labels{Site: self, Peer: string(targets[i]), Alg: alg}).Inc()
+			sp.Detailf("peer %s unavailable: %v", targets[i], oc.err)
+			dead = append(dead, federation.SiteFailure{Site: targets[i], Reason: oc.err.Error()})
+		case fatal == nil:
+			fatal = oc.err
 		}
 	}
 	if fatal != nil {

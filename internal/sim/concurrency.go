@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/workload"
+
+	"math/rand"
+)
+
+// ConcurrencyPoint is one client count of the E13 sweep: PerClient queries
+// issued by each of Clients goroutines through one shared engine.
+type ConcurrencyPoint struct {
+	Clients int
+	// QPS is queries completed per wall-clock second.
+	QPS float64
+	// MeanMillis / P95Millis / MaxMillis summarize per-query wall latency.
+	MeanMillis float64
+	P95Millis  float64
+	MaxMillis  float64
+	// Queued counts admissions that waited for a slot at this point.
+	Queued int64
+	// Speedup is QPS relative to the 1-client point of the same report.
+	Speedup float64
+}
+
+// ConcurrencyReport is experiment E13: throughput and latency of one
+// strategy at increasing client counts over a shared engine on the Real
+// (wall-clock) runtime. Unlike the simulated figures this measures actual
+// elapsed time, so the numbers vary run to run with the host — which is
+// why E13 is excluded from `hetsim -figure all` (that output is
+// bit-for-bit deterministic).
+type ConcurrencyReport struct {
+	Alg           string
+	PerClient     int
+	MaxConcurrent int
+	Points        []ConcurrencyPoint
+}
+
+// ConcurrencySweep measures query throughput at each client count over one
+// shared engine (admission bound maxConcurrent, lookup caches on), each
+// client running perClient queries of the strategy on its own Real
+// runtime. The workload is one deterministic Table 2 draw from cfg.
+func ConcurrencySweep(cfg Config, alg exec.Algorithm, clientCounts []int, perClient, maxConcurrent int) (*ConcurrencyReport, error) {
+	if len(clientCounts) == 0 {
+		clientCounts = []int{1, 2, 4, 8, 16}
+	}
+	if perClient <= 0 {
+		perClient = 10
+	}
+	if maxConcurrent <= 0 {
+		maxConcurrent = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := cfg.Ranges.Draw(rng)
+	w, err := workload.Generate(params, rng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: concurrency workload: %w", err)
+	}
+
+	// Model per-operation site latency unless the config supplies its own
+	// fault plan: on the Real runtime the school-scale queries are pure CPU
+	// and a single core shows no overlap, but a coordinator's concurrency
+	// win comes from overlapping its waits on remote sites. A flat 200µs
+	// per site operation stands in for that network round trip.
+	faults := cfg.Faults
+	if faults == nil {
+		faults = func() *fabric.FaultPlan {
+			fp := fabric.NewFaultPlan()
+			for site := range w.Databases {
+				fp.Delay(site, 200)
+			}
+			return fp
+		}
+	}
+
+	rep := &ConcurrencyReport{Alg: alg.String(), PerClient: perClient, MaxConcurrent: maxConcurrent}
+	for _, clients := range clientCounts {
+		// Fresh engine (and so fresh caches and metrics) per point, same
+		// workload: the points differ only in offered concurrency.
+		reg := metrics.New()
+		engCfg := exec.Config{
+			Global:        w.Global,
+			Coordinator:   CoordinatorSite,
+			Databases:     w.Databases,
+			Tables:        w.Tables,
+			Metrics:       reg,
+			MaxConcurrent: maxConcurrent,
+			Cache:         true,
+		}
+		if alg == exec.SBL || alg == exec.SPL {
+			engCfg.Signatures = signature.Build(w.Databases)
+		}
+		engine, err := exec.New(engCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: concurrency engine: %w", err)
+		}
+
+		lat := make([]time.Duration, clients*perClient)
+		var wg sync.WaitGroup
+		var runErr error
+		var errOnce sync.Once
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for q := 0; q < perClient; q++ {
+					t0 := time.Now()
+					rt := fabric.NewReal(cfg.Rates).WithFaults(faults())
+					if _, _, err := engine.Run(rt, alg, w.Bound); err != nil {
+						errOnce.Do(func() { runErr = err })
+						return
+					}
+					lat[c*perClient+q] = time.Since(t0)
+				}
+			}(c)
+		}
+		wg.Wait()
+		if runErr != nil {
+			return nil, fmt.Errorf("sim: concurrency run (%d clients): %w", clients, runErr)
+		}
+		wall := time.Since(start)
+
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		n := len(lat)
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		p95 := lat[min(n-1, n*95/100)]
+		pt := ConcurrencyPoint{
+			Clients:    clients,
+			QPS:        float64(n) / wall.Seconds(),
+			MeanMillis: float64(sum.Microseconds()) / float64(n) / 1e3,
+			P95Millis:  float64(p95.Microseconds()) / 1e3,
+			MaxMillis:  float64(lat[n-1].Microseconds()) / 1e3,
+			Queued:     reg.Snapshot().CounterValue("queries_queued_total", metrics.Labels{Site: string(CoordinatorSite)}),
+		}
+		if len(rep.Points) > 0 && rep.Points[0].QPS > 0 {
+			pt.Speedup = pt.QPS / rep.Points[0].QPS
+		} else {
+			pt.Speedup = 1
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// Table renders the report in the same plain style as Experiment.Table.
+func (r *ConcurrencyReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E13: concurrent query throughput — %s, %d queries/client, admission %d (wall clock, not deterministic)\n",
+		r.Alg, r.PerClient, r.MaxConcurrent)
+	fmt.Fprintf(&b, "%8s %10s %9s %11s %11s %11s %7s\n",
+		"clients", "qps", "speedup", "mean ms", "p95 ms", "max ms", "queued")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %10.1f %8.2fx %11.3f %11.3f %11.3f %7d\n",
+			p.Clients, p.QPS, p.Speedup, p.MeanMillis, p.P95Millis, p.MaxMillis, p.Queued)
+	}
+	return b.String()
+}
+
+// CSV renders the report's series as CSV, mirroring Experiment.CSV.
+func (r *ConcurrencyReport) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,alg,clients,qps,speedup,mean_ms,p95_ms,max_ms,queued\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "concurrency,%s,%d,%.2f,%.3f,%.4f,%.4f,%.4f,%d\n",
+			r.Alg, p.Clients, p.QPS, p.Speedup, p.MeanMillis, p.P95Millis, p.MaxMillis, p.Queued)
+	}
+	return b.String()
+}

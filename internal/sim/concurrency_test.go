@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/exec"
+)
+
+// TestConcurrencySweepSmoke runs E13 at a tiny scale: the report must carry
+// one point per client count with positive throughput and sane latency
+// ordering, and render both table and CSV.
+func TestConcurrencySweepSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	rep, err := ConcurrencySweep(cfg, exec.BL, []int{1, 2}, 2, 2)
+	if err != nil {
+		t.Fatalf("ConcurrencySweep: %v", err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.QPS <= 0 {
+			t.Errorf("clients=%d: qps = %v, want > 0", p.Clients, p.QPS)
+		}
+		if p.MeanMillis <= 0 || p.MaxMillis < p.P95Millis || p.P95Millis < 0 {
+			t.Errorf("clients=%d: latency stats inconsistent: %+v", p.Clients, p)
+		}
+	}
+	if rep.Points[0].Speedup != 1 {
+		t.Errorf("first point speedup = %v, want 1", rep.Points[0].Speedup)
+	}
+	if !strings.Contains(rep.Table(), "E13") {
+		t.Error("Table missing E13 header")
+	}
+	if !strings.HasPrefix(rep.CSV(), "experiment,alg,clients") {
+		t.Errorf("CSV header wrong: %q", rep.CSV())
+	}
+}
