@@ -27,6 +27,7 @@ import (
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/isomer"
 	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/obs"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/school"
 	"github.com/hetfed/hetfed/internal/signature"
@@ -255,6 +256,76 @@ func TestTraceOverheadBudget(t *testing.T) {
 	t.Logf("instrumented/uninstrumented = %.3f (on %v, off %v)", ratio, on, off)
 	if ratio > 2.0 {
 		t.Errorf("observability overhead ratio %.2f exceeds the 2.0 budget", ratio)
+	}
+}
+
+// profiledEngine builds an engine with everything the serving path can
+// attach: span tracer, metrics registry (with exemplars), and the flight
+// recorder assembling a trace.Profile per query.
+func profiledEngine(tb testing.TB, w *workload.Workload) *exec.Engine {
+	tb.Helper()
+	tr := &trace.Tracer{}
+	tr.SetLimit(4096)
+	reg := metrics.New()
+	engine, err := exec.New(exec.Config{
+		Global:      w.Global,
+		Coordinator: "G",
+		Databases:   w.Databases,
+		Tables:      w.Tables,
+		Tracer:      tr,
+		Metrics:     reg,
+		Recorder:    obs.NewRecorder(obs.RecorderConfig{Site: "G", Metrics: reg}),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return engine
+}
+
+// BenchmarkProfileOverhead (E14) extends E11's ladder by one rung: spans +
+// metrics + per-query profile assembly and flight-recorder admission. The
+// profiled rung must stay within E11's observability budget — BuildProfile
+// is one pass over the query's spans, and Record is a ring append.
+func BenchmarkProfileOverhead(b *testing.B) {
+	w := benchWorkload(b, nil)
+	b.Run("off", func(b *testing.B) {
+		runStrategy(b, benchEngine(b, w, nil), w, exec.BL)
+	})
+	b.Run("traced", func(b *testing.B) {
+		runStrategy(b, instrumentedEngine(b, w), w, exec.BL)
+	})
+	b.Run("profiled", func(b *testing.B) {
+		runStrategy(b, profiledEngine(b, w), w, exec.BL)
+	})
+}
+
+// TestProfileOverheadBudget enforces E14's budget: a run with profile
+// assembly and flight-recorder admission on top of full instrumentation must
+// stay within the same 2× ceiling E11 grants the observability layer.
+func TestProfileOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	w := benchWorkloadT(t)
+	runOnce := func(engine *exec.Engine) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := fabric.NewSim(fabric.DefaultRates(), engine.Sites())
+				if _, _, err := engine.Run(rt, exec.BL, w.Bound); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	off := testing.Benchmark(runOnce(benchEngineT(t, w)))
+	profiled := testing.Benchmark(runOnce(profiledEngine(t, w)))
+	if off.NsPerOp() == 0 {
+		t.Skip("baseline too fast to time")
+	}
+	ratio := float64(profiled.NsPerOp()) / float64(off.NsPerOp())
+	t.Logf("profiled/uninstrumented = %.3f (profiled %v, off %v)", ratio, profiled, off)
+	if ratio > 2.0 {
+		t.Errorf("profile overhead ratio %.2f exceeds the 2.0 budget", ratio)
 	}
 }
 

@@ -13,6 +13,8 @@
 //	hetql -fed my.json -alg auto       # query a JSON-defined federation
 //	hetql -fail-sites DB3              # degrade: kill DB3, partial answer
 //	hetql -site-delay DB2=5ms          # wedge DB2 by 5ms per operation
+//	hetql -explain                     # EXPLAIN ANALYZE: predicted vs measured
+//	hetql -version                     # print the build version
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hetfed/hetfed/internal/cost"
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/federation"
@@ -30,6 +33,7 @@ import (
 	"github.com/hetfed/hetfed/internal/gmap"
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
 	"github.com/hetfed/hetfed/internal/planner"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/schema"
@@ -37,6 +41,7 @@ import (
 	"github.com/hetfed/hetfed/internal/signature"
 	"github.com/hetfed/hetfed/internal/store"
 	"github.com/hetfed/hetfed/internal/trace"
+	"github.com/hetfed/hetfed/internal/version"
 )
 
 func main() {
@@ -59,9 +64,15 @@ func run(args []string) error {
 		fedPath     = fs.String("fed", "", "load the federation from this JSON document instead of the built-in example")
 		failSites   = fs.String("fail-sites", "", "comma-separated sites to kill (fault injection; the query degrades)")
 		siteDelay   = fs.String("site-delay", "", "comma-separated SITE=DURATION pairs of extra per-operation latency")
+		explain     = fs.Bool("explain", false, "EXPLAIN ANALYZE: print the planner's predicted per-site/per-phase cost against the measured profile (runs the planner's choice unless -alg names a strategy)")
+		showVersion = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println("hetql", version.String())
+		return nil
 	}
 
 	faults, err := parseFaults(*failSites, *siteDelay)
@@ -116,6 +127,7 @@ func run(args []string) error {
 
 	var tracer trace.Tracer
 	reg := metrics.New()
+	rec := obs.NewRecorder(obs.RecorderConfig{Site: "G", Metrics: reg})
 	engine, err := exec.New(exec.Config{
 		Global:      global,
 		Coordinator: "G",
@@ -124,17 +136,28 @@ func run(args []string) error {
 		Tracer:      &tracer,
 		Metrics:     reg,
 		Signatures:  signature.Build(databases),
+		Recorder:    rec,
 	})
 	if err != nil {
 		return err
 	}
 
+	// -explain without an explicit single strategy runs the planner's choice,
+	// like -alg auto.
+	useAuto := strings.EqualFold(*algName, "auto") ||
+		(*explain && strings.EqualFold(*algName, "all"))
+	var ests []planner.Estimate
+	if useAuto || *explain {
+		cat := planner.BuildCatalog(global, databases, tables)
+		ests = planner.Estimates(cat, b, fabric.DefaultRates())
+	}
+
 	var algs []exec.Algorithm
-	if strings.EqualFold(*algName, "auto") {
+	if useAuto {
 		cat := planner.BuildCatalog(global, databases, tables)
 		chosen := planner.Choose(cat, b, fabric.DefaultRates())
 		fmt.Printf("planner chose %v:\n", chosen)
-		for _, est := range planner.Estimates(cat, b, fabric.DefaultRates()) {
+		for _, est := range ests {
 			fmt.Printf("  %-3v predicted response %8.2f ms, total %8.2f ms\n",
 				est.Alg, est.ResponseMicros/1e3, est.TotalMicros/1e3)
 		}
@@ -164,6 +187,9 @@ func run(args []string) error {
 		fmt.Printf("simulated: response %.2f ms, total execution %.2f ms "+
 			"(disk %d B, cpu %d ops, net %d B)\n",
 			m.ResponseMicros/1e3, m.TotalBusyMicros/1e3, m.DiskBytes, m.CPUOps, m.NetBytes)
+		if *explain {
+			printExplain(ests, alg, rec.Last())
+		}
 		if *showTrace {
 			fmt.Println("\nstep flow:")
 			fmt.Print(tracer.Render())
@@ -218,6 +244,56 @@ func parseFaults(failSites, siteDelay string) (func() *fabric.FaultPlan, error) 
 		}
 		return fp
 	}, nil
+}
+
+// estimateFor finds the planner estimate matching a strategy; the
+// signature-assisted variants read their base strategy's estimate (the
+// planner models CA, BL and PL).
+func estimateFor(ests []planner.Estimate, alg exec.Algorithm) *planner.Estimate {
+	want := alg
+	switch alg {
+	case exec.SBL:
+		want = exec.BL
+	case exec.SPL:
+		want = exec.PL
+	}
+	for i := range ests {
+		if ests[i].Alg == want {
+			return &ests[i]
+		}
+	}
+	return nil
+}
+
+// printExplain lays the planner's predicted per-site/per-phase cost against
+// the measured profile of the run that just finished — EXPLAIN ANALYZE.
+func printExplain(ests []planner.Estimate, alg exec.Algorithm, p *trace.Profile) {
+	fmt.Printf("\nEXPLAIN ANALYZE (%v):\n", alg)
+	var predicted *cost.Breakdown
+	if est := estimateFor(ests, alg); est != nil {
+		fmt.Printf("predicted: response %.3f ms, total %.3f ms\n",
+			est.ResponseMicros/1e3, est.TotalMicros/1e3)
+		predicted = est.Details
+		predicted.Relabel(planner.CoordSite, "G")
+	}
+	var measured *cost.Breakdown
+	if p != nil {
+		fmt.Printf("measured:  response %.3f ms, status %s, %d certain, %d maybe\n",
+			p.WallMicros/1e3, p.Status, p.Certain, p.Maybe)
+		measured = p.Phases
+	}
+	fmt.Print(cost.RenderCompare(predicted, measured))
+	if p != nil && len(p.Counters) > 0 {
+		names := make([]string, 0, len(p.Counters))
+		for name := range p.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("counters:")
+		for _, name := range names {
+			fmt.Printf("  %-20s %d\n", name, p.Counters[name])
+		}
+	}
 }
 
 func pickAlgorithms(name string) ([]exec.Algorithm, error) {

@@ -18,11 +18,15 @@
 //	    -peers DB1=127.0.0.1:7101,DB2=127.0.0.1:7102,DB3=127.0.0.1:7103 \
 //	    -alg BL -trace -metrics
 //
-// With -metrics-addr a site also serves /metrics, /healthz and
-// /debug/trace/last (see the obs package); /healthz includes the site's
-// peer circuit-breaker states and reports "degraded" when any breaker is
-// open. -trace and -metrics print the coordinator's span tree and metrics
-// snapshot after the query.
+// With -metrics-addr a process (site or coordinator) also serves the
+// observability surface: /metrics, /healthz (version, uptime, peer
+// circuit-breaker states — "degraded" when any breaker is open),
+// /debug/queries (the flight recorder's profile listing), /debug/trace/{id}
+// and /debug/trace/{id}.json (per-query Chrome trace-event export for
+// chrome://tracing or ui.perfetto.dev), and /debug/pprof. -slow-query
+// logs queries at/over the threshold and pins their profiles in the
+// recorder. -trace and -metrics print the coordinator's span tree and
+// metrics snapshot after the query.
 //
 // Fault-tolerance policy flags (both modes): -retries, -retry-backoff,
 // -call-timeout, -dial-timeout, -pool, -breaker-failures,
@@ -66,6 +70,7 @@ import (
 	"github.com/hetfed/hetfed/internal/signature"
 	"github.com/hetfed/hetfed/internal/store"
 	"github.com/hetfed/hetfed/internal/trace"
+	"github.com/hetfed/hetfed/internal/version"
 )
 
 // spanLimit bounds a long-running server's tracer so /debug/trace/last stays
@@ -85,7 +90,7 @@ func run(args []string) error {
 	var (
 		siteName    = fs.String("site", "", "serve this component site (DB1, DB2 or DB3)")
 		listen      = fs.String("listen", "127.0.0.1:0", "listen address for -site mode")
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/trace/last on this address in -site mode")
+		metricsAddr = fs.String("metrics-addr", "", "serve the observability surface (/metrics, /healthz, /debug/queries, /debug/trace/…, /debug/pprof/…) on this address")
 		coordinator = fs.Bool("coordinator", false, "act as the global processing site")
 		peersFlag   = fs.String("peers", "", "comma-separated SITE=ADDR pairs")
 		queryText   = fs.String("query", school.Q1, "query to run in -coordinator mode")
@@ -109,9 +114,17 @@ func run(args []string) error {
 		concurrency   = fs.Int("concurrency", 0, "max concurrently executing queries in -coordinator mode (0 = unbounded)")
 		clients       = fs.Int("clients", 1, "concurrent query streams in -coordinator mode")
 		repeat        = fs.Int("repeat", 1, "queries per stream in -coordinator mode")
+
+		slowQuery   = fs.Duration("slow-query", 0, "log queries at/over this latency and always retain their profiles in the flight recorder (0 = percentile-based tail retention only)")
+		recorderLen = fs.Int("recorder-size", obs.DefaultRecorderSize, "flight-recorder ring capacity (profiles kept for /debug/queries)")
+		showVersion = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println("hetserve", version.String())
+		return nil
 	}
 
 	call := remote.CallConfig{
@@ -144,10 +157,12 @@ func run(args []string) error {
 		return runCoordinator(fed, peers, *queryText, *algName, coordOpts{
 			Trace: *showTrace, Metrics: *showMetrics, Call: call,
 			Concurrency: *concurrency, Clients: *clients, Repeat: *repeat,
+			SlowQuery: *slowQuery, RecorderSize: *recorderLen, MetricsAddr: *metricsAddr,
 		})
 	case *siteName != "":
 		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers,
-			siteOpts{Call: call, Batch: batch, Cache: *useCache})
+			siteOpts{Call: call, Batch: batch, Cache: *useCache,
+				SlowQuery: *slowQuery, RecorderSize: *recorderLen})
 	default:
 		return fmt.Errorf("pass -site NAME or -coordinator")
 	}
@@ -190,10 +205,11 @@ func parsePeers(s string) (map[object.SiteID]string, error) {
 // siteRuntime is one running instrumented site: the query server plus its
 // tracer, metrics registry and (optional) observability endpoint.
 type siteRuntime struct {
-	Server  *remote.Server
-	Obs     *obs.Server // nil unless a metrics address was given
-	Tracer  *trace.Tracer
-	Metrics *metrics.Registry
+	Server   *remote.Server
+	Obs      *obs.Server // nil unless a metrics address was given
+	Tracer   *trace.Tracer
+	Metrics  *metrics.Registry
+	Recorder *obs.Recorder
 }
 
 // Close stops the site's servers.
@@ -221,11 +237,16 @@ func breakerHealth(states func() map[object.SiteID]string) obs.Health {
 }
 
 // siteOpts bundles a site's serving policy: networking, check batching,
-// and the lookup cache.
+// the lookup cache, and the flight recorder's retention knobs.
 type siteOpts struct {
 	Call  remote.CallConfig
 	Batch remote.BatchConfig
 	Cache bool
+	// SlowQuery marks served requests at/over this latency slow: logged and
+	// always retained in the flight recorder (0 = percentile retention only).
+	SlowQuery time.Duration
+	// RecorderSize bounds the flight-recorder ring (0 = default).
+	RecorderSize int
 }
 
 // startSite builds and starts one fully instrumented component-site server;
@@ -239,6 +260,13 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 	tr := &trace.Tracer{}
 	tr.SetLimit(spanLimit)
 	reg := metrics.New()
+	rec := obs.NewRecorder(obs.RecorderConfig{
+		Site:          string(site),
+		Size:          opts.RecorderSize,
+		SlowThreshold: opts.SlowQuery,
+		Log:           log,
+		Metrics:       reg,
+	})
 	srv, err := remote.NewServer(remote.ServerConfig{
 		DB:         db,
 		Global:     fed.Global,
@@ -247,6 +275,7 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 		Signatures: signature.Build(fed.Databases),
 		Tracer:     tr,
 		Metrics:    reg,
+		Recorder:   rec,
 		Log:        log,
 		Call:       opts.Call,
 		Batch:      opts.Batch,
@@ -258,9 +287,9 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 	if err := srv.Listen(listen); err != nil {
 		return nil, err
 	}
-	rt := &siteRuntime{Server: srv, Tracer: tr, Metrics: reg}
+	rt := &siteRuntime{Server: srv, Tracer: tr, Metrics: reg, Recorder: rec}
 	if metricsAddr != "" {
-		o, err := obs.Serve(metricsAddr, string(site), reg, tr, breakerHealth(srv.PeerBreakers))
+		o, err := obs.Serve(metricsAddr, string(site), reg, tr, rec, breakerHealth(srv.PeerBreakers))
 		if err != nil {
 			srv.Close()
 			return nil, err
@@ -309,6 +338,14 @@ type coordOpts struct {
 	// report (throughput + latency distribution) instead of result rows.
 	Clients int
 	Repeat  int
+	// SlowQuery and RecorderSize configure the coordinator's flight
+	// recorder (see siteOpts).
+	SlowQuery    time.Duration
+	RecorderSize int
+	// MetricsAddr, when non-empty, serves the coordinator's observability
+	// surface (/metrics, /healthz, /debug/queries, /debug/trace/…) while the
+	// queries run.
+	MetricsAddr string
 }
 
 func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string, opts coordOpts) error {
@@ -327,6 +364,13 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	tr.SetLimit(spanLimit)
 	reg := metrics.New()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("site", "G")
+	rec := obs.NewRecorder(obs.RecorderConfig{
+		Site:          "G",
+		Size:          opts.RecorderSize,
+		SlowThreshold: opts.SlowQuery,
+		Log:           log,
+		Metrics:       reg,
+	})
 	coord := &remote.Coordinator{
 		ID:            "G",
 		Global:        fed.Global,
@@ -334,11 +378,20 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		Sites:         peers,
 		Tracer:        tr,
 		Metrics:       reg,
+		Recorder:      rec,
 		Log:           log,
 		Call:          opts.Call,
 		MaxConcurrent: opts.Concurrency,
 	}
 	defer coord.Close()
+	if opts.MetricsAddr != "" {
+		o, err := obs.Serve(opts.MetricsAddr, "G", reg, tr, rec, breakerHealth(coord.BreakerStates))
+		if err != nil {
+			return err
+		}
+		defer o.Close()
+		log.Info("observability serving", slog.String("addr", o.Addr()))
+	}
 	if err := coord.Ping(); err != nil {
 		// Unreachable sites no longer abort the query: execution degrades
 		// and the affected results come back as maybe.

@@ -19,6 +19,7 @@
 // concurrent clients over one shared engine on the Real runtime; its
 // numbers depend on the host, so it is the one figure excluded from
 // -figure all, which stays bit-for-bit deterministic.
+//
 //	hetsim -trace -metrics           # instrumented demo query, no sweep
 //
 // The -scale flag multiplies the Table 2 extent sizes (5000–6000 objects

@@ -7,9 +7,19 @@
 // Implementations either count the events (real executions) or additionally
 // block the calling process for the corresponding virtual time (the
 // discrete-event fabric).
+//
+// The package also defines Breakdown, the shared site × phase cost
+// attribution shape: the planner emits a predicted Breakdown per strategy
+// and a query profile carries the measured one, so EXPLAIN ANALYZE can lay
+// the two side by side row for row.
 package cost
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
 
 // Sink receives cost events. Implementations may block the caller to model
 // the time the operation takes.
@@ -54,3 +64,159 @@ type discard struct{}
 
 func (discard) DiskRead(int) {}
 func (discard) CPU(int)      {}
+
+// PhaseCost is one row of a Breakdown: the microseconds a site spent in one
+// of the paper's phases (O object location, I integration, P predicate
+// processing), with the number of contributing spans when known.
+type PhaseCost struct {
+	Site   string  `json:"site"`
+	Phase  string  `json:"phase"`
+	Micros float64 `json:"us"`
+	Spans  int     `json:"spans,omitempty"`
+}
+
+// Breakdown accumulates cost per (site, phase). The zero value is ready to
+// use. It is not safe for concurrent use; callers aggregate single-threaded
+// (the planner at plan time, the profile builder at query end).
+type Breakdown struct {
+	rows map[[2]string]*PhaseCost
+}
+
+// Add accumulates micros (and one span) into the site's phase row.
+func (b *Breakdown) Add(site, phase string, micros float64) {
+	b.add(site, phase, micros, 1)
+}
+
+// AddEstimate accumulates micros into the site's phase row without counting
+// a span — predicted rows have no spans behind them.
+func (b *Breakdown) AddEstimate(site, phase string, micros float64) {
+	b.add(site, phase, micros, 0)
+}
+
+func (b *Breakdown) add(site, phase string, micros float64, spans int) {
+	if b.rows == nil {
+		b.rows = make(map[[2]string]*PhaseCost)
+	}
+	k := [2]string{site, phase}
+	r, ok := b.rows[k]
+	if !ok {
+		r = &PhaseCost{Site: site, Phase: phase}
+		b.rows[k] = r
+	}
+	r.Micros += micros
+	r.Spans += spans
+}
+
+// Get returns the accumulated micros for a (site, phase) row, 0 when the
+// row is absent.
+func (b *Breakdown) Get(site, phase string) float64 {
+	if b == nil || b.rows == nil {
+		return 0
+	}
+	if r, ok := b.rows[[2]string{site, phase}]; ok {
+		return r.Micros
+	}
+	return 0
+}
+
+// Rows returns the breakdown ordered by site then phase (phases in the
+// paper's O, I, P order).
+func (b *Breakdown) Rows() []PhaseCost {
+	if b == nil || b.rows == nil {
+		return nil
+	}
+	out := make([]PhaseCost, 0, len(b.rows))
+	for _, r := range b.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return phaseOrder(out[i].Phase) < phaseOrder(out[j].Phase)
+	})
+	return out
+}
+
+// Relabel renames every row of oldSite to newSite, merging into existing
+// newSite rows. The planner predicts coordinator work under the placeholder
+// site "coord"; the caller relabels it once the coordinator is known.
+func (b *Breakdown) Relabel(oldSite, newSite string) {
+	if b == nil || b.rows == nil || oldSite == newSite {
+		return
+	}
+	for k, r := range b.rows {
+		if k[0] != oldSite {
+			continue
+		}
+		delete(b.rows, k)
+		b.add(newSite, k[1], r.Micros, r.Spans)
+	}
+}
+
+// Total returns the summed micros across all rows.
+func (b *Breakdown) Total() float64 {
+	if b == nil {
+		return 0
+	}
+	var t float64
+	for _, r := range b.rows {
+		t += r.Micros
+	}
+	return t
+}
+
+func phaseOrder(p string) int {
+	switch p {
+	case "O":
+		return 0
+	case "I":
+		return 1
+	case "P":
+		return 2
+	default:
+		return 3
+	}
+}
+
+// RenderCompare lays a predicted and a measured Breakdown side by side, one
+// row per (site, phase) appearing in either — the body of the EXPLAIN
+// ANALYZE table. Millisecond columns; a dash marks a side with no row.
+func RenderCompare(predicted, measured *Breakdown) string {
+	seen := make(map[[2]string]bool)
+	var keys [][2]string
+	collect := func(b *Breakdown) {
+		for _, r := range b.Rows() {
+			k := [2]string{r.Site, r.Phase}
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	collect(predicted)
+	collect(measured)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return phaseOrder(keys[i][1]) < phaseOrder(keys[j][1])
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-5s %14s %14s\n", "site", "phase", "predicted(ms)", "measured(ms)")
+	cell := func(bd *Breakdown, k [2]string) string {
+		if bd == nil {
+			return "-"
+		}
+		if _, ok := bd.rows[k]; !ok {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", bd.Get(k[0], k[1])/1e3)
+	}
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-8s %-5s %14s %14s\n", k[0], k[1], cell(predicted, k), cell(measured, k))
+	}
+	fmt.Fprintf(&b, "%-8s %-5s %14.3f %14.3f\n", "total", "", predicted.Total()/1e3, measured.Total()/1e3)
+	return b.String()
+}

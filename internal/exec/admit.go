@@ -33,12 +33,14 @@ func newGate(max int, reg *metrics.Registry, site string) *gate {
 	return &gate{slots: make(chan struct{}, max), reg: reg, site: site}
 }
 
-// enter blocks until the query is admitted and returns the release
-// function. Safe on a nil gate.
-func (g *gate) enter(alg string) func() {
+// enter blocks until the query is admitted and returns the release function
+// together with the microseconds this admission waited (0 when admitted
+// immediately) — the per-query profile records the wait. Safe on a nil gate.
+func (g *gate) enter(alg string) (func(), int64) {
 	if g == nil {
-		return func() {}
+		return func() {}, 0
 	}
+	var waited int64
 	select {
 	case g.slots <- struct{}{}:
 	default:
@@ -46,12 +48,13 @@ func (g *gate) enter(alg string) func() {
 		g.reg.Counter("queries_queued_total", metrics.Labels{Site: g.site}).Inc()
 		start := time.Now()
 		g.slots <- struct{}{}
+		waited = time.Since(start).Microseconds()
 		g.reg.Histogram("admission_wait_us", metrics.Labels{Site: g.site, Alg: alg}).
-			Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
+			Observe(float64(waited))
 	}
 	g.reg.Gauge("queries_inflight", metrics.Labels{Site: g.site}).Add(1)
 	return func() {
 		g.reg.Gauge("queries_inflight", metrics.Labels{Site: g.site}).Add(-1)
 		<-g.slots
-	}
+	}, waited
 }

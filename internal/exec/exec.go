@@ -31,6 +31,7 @@ import (
 	"github.com/hetfed/hetfed/internal/gmap"
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/schema"
 	"github.com/hetfed/hetfed/internal/signature"
@@ -84,6 +85,7 @@ type Engine struct {
 	tracer *trace.Tracer
 	reg    *metrics.Registry
 	sigs   *signature.Index
+	rec    *obs.Recorder
 	gate   *gate
 	qseq   atomic.Uint64
 }
@@ -109,6 +111,10 @@ type Config struct {
 	// Signatures, when non-nil, is the replicated object-signature index
 	// required by the SBL and SPL strategies.
 	Signatures *signature.Index
+	// Recorder, when non-nil, receives a per-query trace.Profile at the end
+	// of every Run — the flight recorder behind /debug/queries. Requires
+	// Tracer (profiles are assembled from the query's spans).
+	Recorder *obs.Recorder
 	// UseIndexes lets the localized strategies probe the databases'
 	// secondary indexes (store.Database.CreateIndex) to select candidate
 	// objects for conjunctive queries.
@@ -142,6 +148,7 @@ func New(cfg Config) (*Engine, error) {
 		tracer: cfg.Tracer,
 		reg:    cfg.Metrics,
 		sigs:   cfg.Signatures,
+		rec:    cfg.Recorder,
 		gate:   newGate(cfg.MaxConcurrent, cfg.Metrics, string(cfg.Coordinator)),
 	}
 	for id, db := range cfg.Databases {
@@ -186,7 +193,7 @@ func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federat
 	if (alg == SBL || alg == SPL) && e.sigs == nil {
 		return nil, fabric.Metrics{}, fmt.Errorf("exec: %v requires a signature index (Config.Signatures)", alg)
 	}
-	release := e.gate.enter(alg.String())
+	release, waitMicros := e.gate.enter(alg.String())
 	defer release()
 	q := &runCtx{qid: fmt.Sprintf("q%d", e.qseq.Add(1)), alg: alg.String()}
 	m, runErr := rt.Run(alg.String(), func(p fabric.Proc) {
@@ -225,7 +232,41 @@ func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federat
 		return nil, m, err
 	}
 	e.record(q, ans, m)
+	e.profile(q, ans, m, waitMicros)
 	return ans, m, nil
+}
+
+// profile assembles the query's trace.Profile from its spans and hands it to
+// the flight recorder. The latency recorded is the runtime's response time —
+// wall clock under the real runtime, virtual time under the DES — matching
+// what query_latency_us observes.
+func (e *Engine) profile(q *runCtx, ans *federation.Answer, m fabric.Metrics, waitMicros int64) {
+	if e.rec == nil || e.tracer == nil {
+		return
+	}
+	p := trace.BuildProfile(q.qid, q.alg, e.tracer.QuerySpans(q.qid))
+	if p == nil {
+		return
+	}
+	if m.ResponseMicros > 0 {
+		p.WallMicros = m.ResponseMicros
+	}
+	if ans != nil {
+		var unavailable []string
+		for _, f := range ans.Unavailable {
+			unavailable = append(unavailable, string(f.Site))
+		}
+		p.SetOutcome(len(ans.Certain), len(ans.Maybe), unavailable, nil)
+	}
+	p.AddCounter("admission_wait_us", waitMicros)
+	for _, sc := range m.PerSite {
+		p.AddCounter("disk_bytes", sc.DiskBytes)
+		p.AddCounter("cpu_ops", sc.CPUOps)
+	}
+	for _, bytes := range m.NetPairs {
+		p.AddCounter("net_bytes", bytes)
+	}
+	e.rec.Record(p)
 }
 
 // runCtx scopes one query execution: its ID, strategy name, and root span.
@@ -308,7 +349,8 @@ func (e *Engine) record(q *runCtx, ans *federation.Answer, m fabric.Metrics) {
 	}
 	coord := string(e.coord.ID())
 	e.reg.Counter("queries_total", metrics.Labels{Site: coord, Alg: q.alg}).Inc()
-	e.reg.Histogram("query_latency_us", metrics.Labels{Site: coord, Alg: q.alg}).Observe(m.ResponseMicros)
+	e.reg.Histogram("query_latency_us", metrics.Labels{Site: coord, Alg: q.alg}).
+		ObserveWithExemplar(m.ResponseMicros, q.qid)
 	if ans != nil {
 		algOnly := metrics.Labels{Alg: q.alg}
 		e.reg.Counter("results_certain_total", algOnly).Add(int64(len(ans.Certain)))

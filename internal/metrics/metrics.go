@@ -50,6 +50,23 @@
 //	cache_misses_total{site,phase}     lookup-cache misses
 //	cache_invalidations_total{site}    class invalidations from the Insert path
 //	cache_evicted_total{site}          entries dropped by invalidations
+//
+// Profile / flight-recorder metrics (see the obs package):
+//
+//	profiles_recorded_total{site}      query profiles admitted to the recorder
+//	profiles_evicted_total{site}       profiles dropped by ring eviction
+//	slow_queries_total{site,alg}       profiles at/over the slow-query threshold
+//
+// Go runtime gauges, refreshed on each /metrics scrape (see the obs package):
+//
+//	go_goroutines{site}                live goroutines
+//	go_gomaxprocs{site}                GOMAXPROCS
+//	go_heap_alloc_bytes{site}          bytes of allocated heap objects
+//	go_gc_runs_total{site}             completed GC cycles (gauge: set, not added)
+//
+// Histograms additionally carry per-bucket exemplars (last trace ID + value)
+// when fed through ObserveWithExemplar, so a latency bucket on /metrics
+// links to a recorded query profile.
 package metrics
 
 import (
@@ -131,17 +148,44 @@ var DefaultBuckets = []float64{
 	50000, 100000, 250000, 500000, 1e6, 2.5e6, 5e6,
 }
 
+// Exemplar links one observed value to the trace (query) that produced it,
+// so a histogram bucket on /metrics resolves to a recorded profile in the
+// flight recorder. Each bucket keeps its most recent exemplar.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+}
+
 // Histogram is a fixed-bucket histogram of microsecond values. Observations
 // are lock-free; the bucket layout is immutable after creation.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
-	sum    atomic.Uint64  // float64 bits, CAS-accumulated
-	count  atomic.Int64
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	sum       atomic.Uint64  // float64 bits, CAS-accumulated
+	count     atomic.Int64
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, last-write-wins
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
+}
+
+// NewHistogram returns a standalone histogram with DefaultBuckets, attached
+// to no registry — for callers that need the distribution estimator alone
+// (the flight recorder's latency tail).
+func NewHistogram() *Histogram { return newHistogram(DefaultBuckets) }
+
+// Snapshot captures the histogram's current state. Nil-safe: a nil
+// histogram yields an empty snapshot.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	if h == nil {
+		return &HistogramSnapshot{}
+	}
+	return h.snapshot()
 }
 
 // Observe records one value.
@@ -161,6 +205,20 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveWithExemplar records one value and attaches the producing trace ID
+// as the bucket's exemplar (last write wins — the freshest query is the one
+// worth debugging).
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
 // snapshot captures the histogram's current state.
 func (h *Histogram) snapshot() *HistogramSnapshot {
 	s := &HistogramSnapshot{
@@ -171,6 +229,12 @@ func (h *Histogram) snapshot() *HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		if e := h.exemplars[i].Load(); e != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]*Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = e
+		}
 	}
 	return s
 }
@@ -246,6 +310,10 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+	// Exemplars, when present, is bucket-aligned with Counts: the last
+	// observation's trace ID per bucket (nil entries for buckets without
+	// one). Absent entirely when no exemplar was ever attached.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Mean is the average observed value, 0 for an empty histogram.
@@ -254,6 +322,57 @@ func (h *HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank — the standard fixed-bucket
+// estimate (what Prometheus's histogram_quantile computes). The overflow
+// bucket has no upper bound, so targets landing there return the largest
+// finite bound. Returns 0 for an empty histogram.
+func (h *HistogramSnapshot) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// ExemplarFor returns the exemplar of the bucket that the value v falls
+// into, nil when none is attached.
+func (h *HistogramSnapshot) ExemplarFor(v float64) *Exemplar {
+	if h == nil || h.Exemplars == nil {
+		return nil
+	}
+	i := sort.SearchFloat64s(h.Bounds, v)
+	if i >= len(h.Exemplars) {
+		return nil
+	}
+	return h.Exemplars[i]
 }
 
 // Sample is one instrument's value at snapshot time.
@@ -349,10 +468,11 @@ func histDelta(cur, old *HistogramSnapshot) *HistogramSnapshot {
 		return cur
 	}
 	d := &HistogramSnapshot{
-		Bounds: cur.Bounds,
-		Counts: make([]int64, len(cur.Counts)),
-		Sum:    cur.Sum - old.Sum,
-		Count:  cur.Count - old.Count,
+		Bounds:    cur.Bounds,
+		Counts:    make([]int64, len(cur.Counts)),
+		Sum:       cur.Sum - old.Sum,
+		Count:     cur.Count - old.Count,
+		Exemplars: cur.Exemplars,
 	}
 	for i := range cur.Counts {
 		d.Counts[i] = cur.Counts[i] - old.Counts[i]
@@ -407,6 +527,17 @@ func histSum(a, b *HistogramSnapshot) *HistogramSnapshot {
 	for i := range a.Counts {
 		d.Counts[i] = a.Counts[i] + b.Counts[i]
 	}
+	// Per-bucket exemplars: keep a's (the receiver's view), fall back to b's.
+	if a.Exemplars != nil || b.Exemplars != nil {
+		d.Exemplars = make([]*Exemplar, len(d.Counts))
+		for i := range d.Exemplars {
+			if a.Exemplars != nil && a.Exemplars[i] != nil {
+				d.Exemplars[i] = a.Exemplars[i]
+			} else if b.Exemplars != nil {
+				d.Exemplars[i] = b.Exemplars[i]
+			}
+		}
+	}
 	return d
 }
 
@@ -430,6 +561,9 @@ func (s Snapshot) Text() string {
 					fmt.Fprintf(&b, " le%.0f:%d", h.Bounds[i], c)
 				} else {
 					fmt.Fprintf(&b, " inf:%d", c)
+				}
+				if h.Exemplars != nil && h.Exemplars[i] != nil {
+					fmt.Fprintf(&b, "#%s", h.Exemplars[i].TraceID)
 				}
 			}
 			b.WriteByte('\n')

@@ -194,6 +194,148 @@ func TestTextAndJSON(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var empty *HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("nil snapshot quantile = %g, want 0", got)
+	}
+	if got := NewHistogram().Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+
+	// 100 observations spread uniformly inside the (100, 250] bucket: the
+	// interpolated median must land mid-bucket, and the extremes must stay
+	// inside the bucket bounds.
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(150)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got < 100 || got > 250 {
+		t.Errorf("median = %g, want within (100, 250]", got)
+	}
+	// All mass in one bucket: q=1 is the bucket's upper bound. q=0 walks to
+	// the first bucket and reports its bound (rank 0 is satisfied there).
+	if got := s.Quantile(1); got != 250 {
+		t.Errorf("q=1 = %g, want 250", got)
+	}
+	if got := s.Quantile(0); got != DefaultBuckets[0] {
+		t.Errorf("q=0 = %g, want first bound %g", got, DefaultBuckets[0])
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("q=-1 = %g, want clamp to q=0", got)
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("q=2 = %g, want clamp to q=1", got)
+	}
+
+	// Two buckets, 90/10 split: p50 in the first, p95 in the second.
+	h2 := NewHistogram()
+	for i := 0; i < 90; i++ {
+		h2.Observe(80) // (50, 100]
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(2000) // (1000, 2500]
+	}
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.5); got < 50 || got > 100 {
+		t.Errorf("p50 = %g, want within (50, 100]", got)
+	}
+	if got := s2.Quantile(0.95); got < 1000 || got > 2500 {
+		t.Errorf("p95 = %g, want within (1000, 2500]", got)
+	}
+
+	// Overflow-bucket targets report the largest finite bound.
+	h3 := NewHistogram()
+	h3.Observe(1e9)
+	top := DefaultBuckets[len(DefaultBuckets)-1]
+	if got := h3.Snapshot().Quantile(0.99); got != top {
+		t.Errorf("overflow quantile = %g, want %g", got, top)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	r := New()
+	h := r.Histogram("query_latency_us", Labels{Site: "G", Alg: "PL"})
+	h.ObserveWithExemplar(120, "q7")
+	h.Observe(80) // plain Observe must not attach or clobber an exemplar
+	h.ObserveWithExemplar(99000, "q9")
+
+	s, ok := r.Snapshot().Get("query_latency_us", Labels{Site: "G", Alg: "PL"})
+	if !ok || s.Hist == nil {
+		t.Fatalf("histogram sample missing (ok=%v)", ok)
+	}
+	hs := s.Hist
+	e := hs.ExemplarFor(120)
+	if e == nil || e.TraceID != "q7" || e.Value != 120 {
+		t.Errorf("ExemplarFor(120) = %+v, want q7/120", e)
+	}
+	if e := hs.ExemplarFor(99000); e == nil || e.TraceID != "q9" {
+		t.Errorf("ExemplarFor(99000) = %+v, want q9", e)
+	}
+	// A bucket that never saw an exemplar resolves to nil.
+	if e := hs.ExemplarFor(3); e != nil {
+		t.Errorf("ExemplarFor(3) = %+v, want nil", e)
+	}
+	// Last write wins within a bucket.
+	h.ObserveWithExemplar(130, "q8")
+	if e := r.Snapshot().Samples[0].Hist.ExemplarFor(120); e == nil || e.TraceID != "q8" {
+		t.Errorf("after overwrite, exemplar = %+v, want q8", e)
+	}
+	// Empty trace ID attaches nothing.
+	h2 := NewHistogram()
+	h2.ObserveWithExemplar(10, "")
+	if h2.Snapshot().Exemplars != nil {
+		t.Error("empty trace ID attached an exemplar")
+	}
+	// Text() marks exemplared buckets with #traceID.
+	text := r.Snapshot().Text()
+	if !strings.Contains(text, "#q8") || !strings.Contains(text, "#q9") {
+		t.Errorf("text missing exemplar markers:\n%s", text)
+	}
+	// Exemplars survive JSON round-trips (the /metrics?format=json surface).
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	ds, _ := decoded.Get("query_latency_us", Labels{Site: "G", Alg: "PL"})
+	if e := ds.Hist.ExemplarFor(120); e == nil || e.TraceID != "q8" {
+		t.Errorf("exemplar lost in JSON round-trip: %+v", e)
+	}
+}
+
+// TestConcurrentExemplars hammers ObserveWithExemplar and Snapshot from many
+// goroutines; under -race this is the exemplar path's thread-safety test.
+func TestConcurrentExemplars(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.ObserveWithExemplar(float64(j%3000), "q"+string(rune('0'+i)))
+				if j%29 == 0 {
+					h.Snapshot().ExemplarFor(float64(j % 3000))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8*500 {
+		t.Errorf("count = %d, want %d", s.Count, 8*500)
+	}
+	if s.ExemplarFor(100) == nil {
+		t.Error("no exemplar survived concurrent writes")
+	}
+}
+
 // TestConcurrentAccess exercises registration and recording from many
 // goroutines; run under -race this is the registry's thread-safety test.
 func TestConcurrentAccess(t *testing.T) {

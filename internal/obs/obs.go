@@ -4,12 +4,20 @@
 //
 // Endpoints:
 //
-//	/healthz           liveness: 200 with a JSON status body; reports peer
-//	                   circuit-breaker states and flips status to "degraded"
-//	                   when any breaker is not closed
-//	/metrics           registry snapshot, JSON by default, ?format=text
-//	/debug/trace/last  span tree of the most recent query at this site
-//	/debug/vars        standard expvar surface (includes the registry)
+//	/healthz                liveness: 200 with a JSON status body; reports
+//	                        version, uptime and peer circuit-breaker states,
+//	                        and flips status to "degraded" when any breaker
+//	                        is not closed
+//	/metrics                registry snapshot, JSON by default, ?format=text;
+//	                        each scrape refreshes the go_* runtime gauges
+//	/debug/queries          flight-recorder listing, newest first (text by
+//	                        default, ?format=json)
+//	/debug/trace/last       span tree of the most recent query at this site
+//	/debug/trace/{id}       span tree of a recorded query profile
+//	/debug/trace/{id}.json  the profile as Chrome trace-event JSON
+//	                        (chrome://tracing, ui.perfetto.dev)
+//	/debug/pprof/           standard net/http/pprof profiling surface
+//	/debug/vars             standard expvar surface (includes the registry)
 //
 // The surface is read-only and unauthenticated; bind it to loopback or an
 // operations network, not the query port.
@@ -21,12 +29,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/trace"
+	"github.com/hetfed/hetfed/internal/version"
 )
 
 // Health contributes the process's peer circuit-breaker states to /healthz:
@@ -68,18 +80,32 @@ type Server struct {
 	start time.Time
 }
 
+// refreshRuntimeGauges samples the Go runtime into the registry. Called on
+// every /metrics scrape so the gauges are as fresh as the scrape itself.
+func refreshRuntimeGauges(site string, reg *metrics.Registry) {
+	labels := metrics.Labels{Site: site}
+	reg.Gauge("go_goroutines", labels).Set(int64(runtime.NumGoroutine()))
+	reg.Gauge("go_gomaxprocs", labels).Set(int64(runtime.GOMAXPROCS(0)))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("go_heap_alloc_bytes", labels).Set(int64(ms.HeapAlloc))
+	reg.Gauge("go_gc_runs_total", labels).Set(int64(ms.NumGC))
+}
+
 // NewMux builds the observability handler for a site without binding a
-// listener (embed it into an existing HTTP server if you have one).
-func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Time, health ...Health) *http.ServeMux {
+// listener (embed it into an existing HTTP server if you have one). rec may
+// be nil; the flight-recorder endpoints then answer 404.
+func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Time, rec *Recorder, health ...Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		body := struct {
 			Status   string            `json:"status"`
 			Site     string            `json:"site"`
+			Version  string            `json:"version"`
 			UptimeS  float64           `json:"uptime_seconds"`
 			Breakers map[string]string `json:"breakers,omitempty"`
 			Degraded []string          `json:"degraded_peers,omitempty"`
-		}{Status: "ok", Site: site, UptimeS: time.Since(start).Seconds()}
+		}{Status: "ok", Site: site, Version: version.String(), UptimeS: time.Since(start).Seconds()}
 		for _, h := range health {
 			for peer, state := range h() {
 				if body.Breakers == nil {
@@ -105,6 +131,7 @@ func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Tim
 		fmt.Fprintln(w)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		refreshRuntimeGauges(site, reg)
 		snap := reg.Snapshot()
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -120,23 +147,80 @@ func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Tim
 		w.Write(data)
 		fmt.Fprintln(w)
 	})
-	mux.HandleFunc("/debug/trace/last", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		out := tr.RenderLastQuery()
-		if out == "" {
-			fmt.Fprintln(w, "(no spans recorded)")
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		profiles := rec.Profiles()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			data, err := json.MarshalIndent(profiles, "", " ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(data)
+			fmt.Fprintln(w)
 			return
 		}
-		fmt.Fprint(w, out)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(profiles) == 0 {
+			fmt.Fprintln(w, "(no queries recorded)")
+			return
+		}
+		fmt.Fprintf(w, "%-14s %-6s %-9s %10s %8s %6s  %s\n",
+			"query", "alg", "status", "wall(ms)", "certain", "maybe", "trace")
+		for _, p := range profiles {
+			fmt.Fprintf(w, "%-14s %-6s %-9s %10.3f %8d %6d  /debug/trace/%s.json\n",
+				p.ID, p.Alg, p.Status, p.WallMicros/1e3, p.Certain, p.Maybe, p.ID)
+		}
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+		if id == "last" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			out := tr.RenderLastQuery()
+			if out == "" {
+				fmt.Fprintln(w, "(no spans recorded)")
+				return
+			}
+			fmt.Fprint(w, out)
+			return
+		}
+		asJSON := strings.HasSuffix(id, ".json")
+		id = strings.TrimSuffix(id, ".json")
+		p := rec.Get(id)
+		if p == nil {
+			http.Error(w, "no such query profile (aged out of the flight recorder?)", http.StatusNotFound)
+			return
+		}
+		if asJSON {
+			data, err := p.ChromeTrace()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+			fmt.Fprintln(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "query %s alg=%s status=%s wall=%.3fms certain=%d maybe=%d\n\n",
+			p.ID, p.Alg, p.Status, p.WallMicros/1e3, p.Certain, p.Maybe)
+		fmt.Fprint(w, p.RenderTree())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
 // Serve binds addr (use "127.0.0.1:0" for an ephemeral port) and serves the
-// observability surface for the given site until Close. Optional Health
-// sources feed the /healthz breaker report.
-func Serve(addr, site string, reg *metrics.Registry, tr *trace.Tracer, health ...Health) (*Server, error) {
+// observability surface for the given site until Close. rec (the site's
+// flight recorder) may be nil. Optional Health sources feed the /healthz
+// breaker report.
+func Serve(addr, site string, reg *metrics.Registry, tr *trace.Tracer, rec *Recorder, health ...Health) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -146,7 +230,7 @@ func Serve(addr, site string, reg *metrics.Registry, tr *trace.Tracer, health ..
 	s := &Server{
 		site:  site,
 		ln:    ln,
-		http:  &http.Server{Handler: NewMux(site, reg, tr, start, health...)},
+		http:  &http.Server{Handler: NewMux(site, reg, tr, start, rec, health...)},
 		start: start,
 	}
 	go s.http.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close

@@ -32,7 +32,7 @@ func TestServeEndpoints(t *testing.T) {
 	tr := &trace.Tracer{}
 	tr.StartSpan(0, "DB1", "serve:local").WithQuery("rq1", "BL").WithPhases("PO").End()
 
-	s, err := Serve("127.0.0.1:0", "DB1", reg, tr)
+	s, err := Serve("127.0.0.1:0", "DB1", reg, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestServeEndpoints(t *testing.T) {
 }
 
 func TestTraceLastEmpty(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", "DB2", metrics.New(), &trace.Tracer{})
+	s, err := Serve("127.0.0.1:0", "DB2", metrics.New(), &trace.Tracer{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestTraceLastEmpty(t *testing.T) {
 func TestExpvarTracksLatestRegistry(t *testing.T) {
 	first := metrics.New()
 	first.Counter("n", metrics.Labels{}).Add(1)
-	s1, err := Serve("127.0.0.1:0", "DB3", first, &trace.Tracer{})
+	s1, err := Serve("127.0.0.1:0", "DB3", first, &trace.Tracer{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestExpvarTracksLatestRegistry(t *testing.T) {
 
 	second := metrics.New()
 	second.Counter("n", metrics.Labels{}).Add(42)
-	s2, err := Serve("127.0.0.1:0", "DB3", second, &trace.Tracer{})
+	s2, err := Serve("127.0.0.1:0", "DB3", second, &trace.Tracer{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestExpvarTracksLatestRegistry(t *testing.T) {
 }
 
 func TestServeBadAddr(t *testing.T) {
-	if _, err := Serve("256.0.0.1:bad", "DBX", metrics.New(), nil); err == nil {
+	if _, err := Serve("256.0.0.1:bad", "DBX", metrics.New(), nil, nil); err == nil {
 		t.Error("bad address accepted")
 	}
 }
@@ -139,7 +139,7 @@ func TestServeBadAddr(t *testing.T) {
 // breaker flips the status to degraded (still 200 — the process is alive).
 func TestHealthzBreakers(t *testing.T) {
 	states := map[string]string{"DB2": "closed", "DB3": "closed"}
-	s, err := Serve("127.0.0.1:0", "DB1", metrics.New(), &trace.Tracer{},
+	s, err := Serve("127.0.0.1:0", "DB1", metrics.New(), &trace.Tracer{}, nil,
 		func() map[string]string { return states })
 	if err != nil {
 		t.Fatal(err)

@@ -3,12 +3,19 @@ package planner
 import (
 	"sort"
 
+	"github.com/hetfed/hetfed/internal/cost"
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/schema"
 )
+
+// CoordSite is the placeholder site name under which an Estimate's Details
+// attribute coordinator-side work — the planner does not know which site will
+// coordinate. Relabel it (cost.Breakdown.Relabel) once the coordinator is
+// known.
+const CoordSite = "coord"
 
 // Wire-size constants mirroring package federation's message model.
 const (
@@ -27,6 +34,11 @@ type Estimate struct {
 	TotalMicros float64
 	// ResponseMicros predicts the response time (critical path).
 	ResponseMicros float64
+	// Details attributes TotalMicros per site and phase (O object location,
+	// I integration, P predicate processing); coordinator-side work is filed
+	// under CoordSite. The attribution is the cost model's, so EXPLAIN
+	// ANALYZE can lay it against a measured Breakdown row for row.
+	Details *cost.Breakdown
 }
 
 // Estimates predicts the costs of CA, BL and PL for a bound query, ordered
@@ -218,6 +230,7 @@ func (e *estimator) ca() Estimate {
 		totalWork   float64 // µs across all resources
 		maxSiteTime float64 // slowest site's local phase
 		netMicros   float64 // serialized shared-medium time
+		details     cost.Breakdown
 	)
 	involved := e.b.InvolvedAttrs()
 	for _, site := range e.b.InvolvedSites() {
@@ -250,27 +263,33 @@ func (e *estimator) ca() Estimate {
 		totalWork += siteTime
 		maxSiteTime = maxf(maxSiteTime, siteTime)
 		netMicros += net * e.rates.NetPerByte
+		// Under CA a site's whole contribution is object retrieval — the O
+		// phase — including shipping its projection to the coordinator.
+		details.AddEstimate(string(site), "O", siteTime+net*e.rates.NetPerByte)
 	}
 
 	// Coordinator: materialization (a lookup plus per-attribute merges per
 	// shipped object) and central evaluation.
-	var coordCPU float64
+	var materializeCPU, evalCPU float64
 	for _, site := range e.b.InvolvedSites() {
 		for class, attrs := range involved {
 			ext := e.extent(class, site)
-			coordCPU += float64(ext.Objects) * float64(1+len(attrs))
+			materializeCPU += float64(ext.Objects) * float64(1+len(attrs))
 		}
 	}
 	rootEntities := float64(e.cat.Classes[e.b.Query.Range].Entities)
 	for _, bp := range e.b.Preds {
-		coordCPU += rootEntities * (float64(len(bp.Path)) + 1)
+		evalCPU += rootEntities * (float64(len(bp.Path)) + 1)
 	}
-	coordMicros := coordCPU * e.rates.CPUPerOp
+	coordMicros := (materializeCPU + evalCPU) * e.rates.CPUPerOp
+	details.AddEstimate(CoordSite, "I", materializeCPU*e.rates.CPUPerOp)
+	details.AddEstimate(CoordSite, "P", evalCPU*e.rates.CPUPerOp)
 
 	return Estimate{
 		Alg:            exec.CA,
 		TotalMicros:    totalWork + netMicros + coordMicros,
 		ResponseMicros: maxSiteTime + netMicros + coordMicros,
+		Details:        &details,
 	}
 }
 
@@ -283,6 +302,8 @@ func (e *estimator) localized(alg exec.Algorithm) Estimate {
 		netMicros   float64
 		coordCPU    float64
 		maxCheckRTT float64
+		details     cost.Breakdown
+		resultBytes float64
 	)
 	for _, site := range e.b.RootSites() {
 		root := e.extent(e.b.Query.Range, site)
@@ -366,6 +387,23 @@ func (e *estimator) localized(alg exec.Algorithm) Estimate {
 		siteTime := disk*e.rates.DiskPerByte + cpu*e.rates.CPUPerOp
 		totalWork += siteTime + checkWork
 		netMicros += (resultNet + checkNet) * e.rates.NetPerByte
+		resultBytes += resultNet
+
+		// Attribution mirrors the executor's span phases. Under BL a site
+		// runs one inseparable P+O step, so both phases carry its full local
+		// time (the same double attribution the measured side applies to a
+		// "PO" span); under PL navigation (O) and evaluation (P) are separate
+		// steps, split here by resource. Check processing happens at
+		// assistant sites the estimator cannot name, so it is filed under the
+		// dispatching site's O.
+		checkMicros := checkWork + checkNet*e.rates.NetPerByte
+		if alg == exec.BL {
+			details.AddEstimate(string(site), "P", siteTime)
+			details.AddEstimate(string(site), "O", siteTime+checkMicros)
+		} else {
+			details.AddEstimate(string(site), "P", cpu*e.rates.CPUPerOp)
+			details.AddEstimate(string(site), "O", disk*e.rates.DiskPerByte+checkMicros)
+		}
 
 		switch alg {
 		case exec.BL:
@@ -381,11 +419,13 @@ func (e *estimator) localized(alg exec.Algorithm) Estimate {
 		coordCPU += checks
 	}
 
+	details.AddEstimate(CoordSite, "I", coordCPU*e.rates.CPUPerOp+resultBytes*e.rates.NetPerByte)
 	resp := maxf(maxSiteTime, maxCheckRTT) + netMicros + coordCPU*e.rates.CPUPerOp
 	return Estimate{
 		Alg:            alg,
 		TotalMicros:    totalWork + netMicros + coordCPU*e.rates.CPUPerOp,
 		ResponseMicros: resp,
+		Details:        &details,
 	}
 }
 

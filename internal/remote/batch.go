@@ -212,6 +212,10 @@ func (b *batcher) send(target object.SiteID, entries []*pendingChecks, bytes int
 		fail(fmt.Errorf("checkbatch reply has %d groups, want %d", len(resp.CheckBatch), len(groups)))
 		return
 	}
+	// The shared wire trip carries the peer's spans for the batch's trace
+	// context (the first entry's query); other queries in the batch lose
+	// span coverage for this hop, same as their wire accounting.
+	b.s.cfg.Tracer.Import(resp.Spans)
 	for i, e := range entries {
 		e.done <- batchOutcome{reply: resp.CheckBatch[i]}
 	}

@@ -18,6 +18,7 @@ import (
 	"github.com/hetfed/hetfed/internal/isomer"
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/schema"
 	"github.com/hetfed/hetfed/internal/trace"
@@ -44,6 +45,11 @@ type Coordinator struct {
 	// Metrics, when non-nil, receives query counters, latency histograms,
 	// and per-site-pair byte accounting as seen from the coordinator.
 	Metrics *metrics.Registry
+	// Recorder, when non-nil, receives a trace.Profile per executed query —
+	// the coordinator's flight recorder. Requires Tracer; the profile's
+	// spans cover every site that answered (servers ship their spans back
+	// with traced responses).
+	Recorder *obs.Recorder
 	// Log, when non-nil, receives structured query logs.
 	Log *slog.Logger
 	// Call is the networking policy for site calls: timeouts, retries,
@@ -91,32 +97,35 @@ func (c *Coordinator) BreakerStates() map[object.SiteID]string {
 }
 
 // admit blocks until the query is admitted under MaxConcurrent and returns
-// the release function. Admission happens after parse/bind (cheap, local)
+// the release function plus the microseconds this admission waited (0 when
+// admitted immediately). Admission happens after parse/bind (cheap, local)
 // and before any network work.
-func (c *Coordinator) admit(alg string) func() {
+func (c *Coordinator) admit(alg string) (func(), int64) {
 	c.gateOnce.Do(func() {
 		if c.MaxConcurrent > 0 {
 			c.gate = make(chan struct{}, c.MaxConcurrent)
 		}
 	})
 	if c.gate == nil {
-		return func() {}
+		return func() {}, 0
 	}
 	self := string(c.ID)
+	var waited int64
 	select {
 	case c.gate <- struct{}{}:
 	default:
 		c.Metrics.Counter("queries_queued_total", metrics.Labels{Site: self}).Inc()
 		start := time.Now()
 		c.gate <- struct{}{}
+		waited = time.Since(start).Microseconds()
 		c.Metrics.Histogram("admission_wait_us", metrics.Labels{Site: self, Alg: alg}).
-			Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
+			Observe(float64(waited))
 	}
 	c.Metrics.Gauge("queries_inflight", metrics.Labels{Site: self}).Add(1)
 	return func() {
 		c.Metrics.Gauge("queries_inflight", metrics.Labels{Site: self}).Add(-1)
 		<-c.gate
-	}
+	}, waited
 }
 
 // qctx scopes one networked query execution.
@@ -178,7 +187,7 @@ func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer
 	if err != nil {
 		return nil, 0, err
 	}
-	release := c.admit(alg.String())
+	release, waitMicros := c.admit(alg.String())
 	defer release()
 
 	start := time.Now()
@@ -213,10 +222,37 @@ func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer
 	root.End()
 	d := time.Since(start)
 	c.observeQuery(qc, ans, d, err)
+	c.profile(qc, ans, d, waitMicros, err)
 	if err != nil {
 		return nil, 0, err
 	}
 	return ans, d, nil
+}
+
+// profile assembles the query's trace.Profile — coordinator spans plus
+// every span the answering sites shipped back — and hands it to the flight
+// recorder. Failed queries record an error profile; the recorder always
+// retains those.
+func (c *Coordinator) profile(q *qctx, ans *federation.Answer, d time.Duration, waitMicros int64, err error) {
+	if c.Recorder == nil || c.Tracer == nil {
+		return
+	}
+	p := trace.BuildProfile(q.qid, q.alg, c.Tracer.QuerySpans(q.qid))
+	if p == nil {
+		return
+	}
+	p.WallMicros = float64(d.Microseconds())
+	var certain, maybe int
+	var unavailable []string
+	if ans != nil {
+		certain, maybe = len(ans.Certain), len(ans.Maybe)
+		for _, f := range ans.Unavailable {
+			unavailable = append(unavailable, string(f.Site))
+		}
+	}
+	p.SetOutcome(certain, maybe, unavailable, err)
+	p.AddCounter("admission_wait_us", waitMicros)
+	c.Recorder.Record(p)
 }
 
 // observeQuery feeds the query's metrics and structured log entry.
@@ -224,7 +260,8 @@ func (c *Coordinator) observeQuery(q *qctx, ans *federation.Answer, d time.Durat
 	us := float64(d.Nanoseconds()) / 1e3
 	self := string(c.ID)
 	c.Metrics.Counter("queries_total", metrics.Labels{Site: self, Alg: q.alg}).Inc()
-	c.Metrics.Histogram("query_latency_us", metrics.Labels{Site: self, Alg: q.alg}).Observe(us)
+	c.Metrics.Histogram("query_latency_us", metrics.Labels{Site: self, Alg: q.alg}).
+		ObserveWithExemplar(us, q.qid)
 	if ans != nil {
 		algOnly := metrics.Labels{Alg: q.alg}
 		c.Metrics.Counter("results_certain_total", algOnly).Add(int64(len(ans.Certain)))
@@ -370,6 +407,10 @@ func (c *Coordinator) fanOut(q *qctx, phases string, sites []object.SiteID, req 
 				Detailf("site %s", site)
 			if errs[i] != nil {
 				sp.Detailf("failed: %v", errs[i])
+			} else {
+				// Stitch the site's spans (and any peer check spans it
+				// forwarded) into the coordinator's query tree.
+				c.Tracer.Import(resps[i].Spans)
 			}
 			sp.End()
 			c.Metrics.Counter("net_bytes_total",

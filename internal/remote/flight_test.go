@@ -1,0 +1,243 @@
+package remote
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+// startRecordedCluster wires a 3-site cluster with a tracer and flight
+// recorder on every server and on the coordinator (ring size ringSize at the
+// coordinator), the full observability path of a production deployment.
+func startRecordedCluster(t *testing.T, ringSize int) (*Coordinator, map[object.SiteID]*Server, func()) {
+	t.Helper()
+	fx := school.New()
+	sigs := signature.Build(fx.Databases)
+
+	servers := make(map[object.SiteID]*Server, len(fx.Databases))
+	addrs := make(map[object.SiteID]string, len(fx.Databases))
+	for site, db := range fx.Databases {
+		srv, err := NewServer(ServerConfig{
+			DB:         db,
+			Global:     fx.Global,
+			Tables:     fx.Mapping,
+			Signatures: sigs,
+			Tracer:     &trace.Tracer{},
+			Metrics:    metrics.New(),
+			Recorder:   obs.NewRecorder(obs.RecorderConfig{Site: string(site)}),
+		})
+		if err != nil {
+			t.Fatalf("NewServer(%s): %v", site, err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatalf("Listen(%s): %v", site, err)
+		}
+		servers[site] = srv
+		addrs[site] = srv.Addr()
+	}
+	for _, srv := range servers {
+		srv.SetPeers(addrs)
+	}
+	coord := &Coordinator{
+		ID:       "G",
+		Global:   fx.Global,
+		Tables:   fx.Mapping,
+		Sites:    addrs,
+		Tracer:   &trace.Tracer{},
+		Metrics:  metrics.New(),
+		Recorder: obs.NewRecorder(obs.RecorderConfig{Site: "G", Size: ringSize}),
+	}
+	cleanup := func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+	return coord, servers, cleanup
+}
+
+// TestClusterProfileCoversAllSites: a coordinator-side profile of a served
+// query must include the spans every participating site shipped back, and
+// its Chrome trace export must be valid JSON naming each of them.
+func TestClusterProfileCoversAllSites(t *testing.T) {
+	coord, _, cleanup := startRecordedCluster(t, 8)
+	defer cleanup()
+	defer coord.Close()
+
+	// CA touches every site from the coordinator; BL reaches DB3 only
+	// site-to-site (check traffic), so its spans arrive transitively.
+	for _, alg := range []exec.Algorithm{exec.CA, exec.BL} {
+		if _, _, err := coord.Query(school.Q1, alg); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		p := coord.Recorder.Last()
+		if p == nil {
+			t.Fatalf("%v: no profile recorded", alg)
+		}
+		if p.Status != trace.StatusOK {
+			t.Errorf("%v: status = %s", alg, p.Status)
+		}
+		siteSeen := make(map[string]bool)
+		for _, s := range p.Sites {
+			siteSeen[string(s)] = true
+		}
+		for _, site := range []string{"G", "DB1", "DB2", "DB3"} {
+			if !siteSeen[site] {
+				t.Errorf("%v: profile sites %v missing %s", alg, p.Sites, site)
+			}
+		}
+		if p.Phases.Total() <= 0 {
+			t.Errorf("%v: no phase attribution", alg)
+		}
+
+		data, err := p.ChromeTrace()
+		if err != nil {
+			t.Fatalf("%v: ChromeTrace: %v", alg, err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Ph   string         `json:"ph"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%v: export is not valid JSON: %v", alg, err)
+		}
+		named := make(map[string]bool)
+		for _, e := range doc.TraceEvents {
+			if e.Ph == "M" {
+				if n, ok := e.Args["name"].(string); ok {
+					named[n] = true
+				}
+			}
+		}
+		for _, site := range []string{"G", "DB1", "DB2", "DB3"} {
+			if !named[site] {
+				t.Errorf("%v: Chrome trace lacks a process for %s", alg, site)
+			}
+		}
+	}
+}
+
+// TestClusterSiteRecorders: traced requests leave profiles in the serving
+// sites' own flight recorders, not only the coordinator's.
+func TestClusterSiteRecorders(t *testing.T) {
+	coord, servers, cleanup := startRecordedCluster(t, 8)
+	defer cleanup()
+	defer coord.Close()
+
+	if _, _, err := coord.Query(school.Q1, exec.CA); err != nil {
+		t.Fatal(err)
+	}
+	for site, srv := range servers {
+		if srv.cfg.Recorder.Recorded() == 0 {
+			t.Errorf("site %s recorded no profiles for a CA query", site)
+		}
+		p := srv.cfg.Recorder.Last()
+		if p == nil || p.ID == "" {
+			t.Errorf("site %s profile = %+v", site, p)
+		}
+	}
+}
+
+// TestClusterDegradedProfileRetained: the acceptance scenario — a query that
+// degrades mid-flight (a site dies) stays resolvable in the coordinator's
+// flight recorder after more than a ring's worth of healthy queries.
+func TestClusterDegradedProfileRetained(t *testing.T) {
+	const ring = 4
+	coord, servers, cleanup := startRecordedCluster(t, ring)
+	defer cleanup()
+	coord.Call = fastFail
+	defer coord.Close()
+
+	// Kill DB3 and run one query: it degrades rather than failing.
+	addr3 := servers["DB3"].Addr()
+	if err := servers["DB3"].Close(); err != nil {
+		t.Fatalf("killing DB3: %v", err)
+	}
+	ans, _, err := coord.Query(school.Q1, exec.BL)
+	if err != nil {
+		t.Fatalf("degraded query: %v", err)
+	}
+	if !ans.Degraded {
+		t.Fatal("answer not degraded with DB3 down")
+	}
+	degraded := coord.Recorder.Last()
+	if degraded == nil || degraded.Status != trace.StatusDegraded {
+		t.Fatalf("degraded profile = %+v", degraded)
+	}
+
+	// Bring DB3 back on its old address so the follow-up traffic is healthy.
+	fx := school.New()
+	srv3, err := NewServer(ServerConfig{
+		DB:         fx.Databases["DB3"],
+		Global:     fx.Global,
+		Tables:     fx.Mapping,
+		Signatures: signature.Build(fx.Databases),
+		Tracer:     &trace.Tracer{},
+		Metrics:    metrics.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lerr error
+	for i := 0; i < 50; i++ { // the freed port can linger briefly
+		if lerr = srv3.Listen(addr3); lerr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if lerr != nil {
+		t.Fatalf("relisten on %s: %v", addr3, lerr)
+	}
+	defer srv3.Close()
+	addrs := make(map[object.SiteID]string)
+	for site, srv := range servers {
+		addrs[site] = srv.Addr()
+	}
+	srv3.SetPeers(addrs)
+
+	// Flood with healthy queries, several ring-fulls past capacity.
+	healthy := 0
+	for i := 0; i < 3*ring; i++ {
+		ans, _, err := coord.Query(school.Q1, exec.BL)
+		if err != nil {
+			t.Fatalf("healthy query %d: %v", i, err)
+		}
+		if !ans.Degraded {
+			healthy++
+		}
+	}
+	if healthy < ring {
+		t.Fatalf("only %d healthy queries completed, need ≥ %d to pressure the ring", healthy, ring)
+	}
+
+	got := coord.Recorder.Get(degraded.ID)
+	if got == nil {
+		t.Fatalf("degraded profile %s evicted after %d healthy queries (ring size %d)",
+			degraded.ID, healthy, ring)
+	}
+	if got.Status != trace.StatusDegraded {
+		t.Errorf("retained profile status = %s", got.Status)
+	}
+	found := false
+	for _, s := range got.Unavailable {
+		if s == "DB3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("retained profile unavailable = %v, want DB3", got.Unavailable)
+	}
+	// The ring itself stays bounded.
+	if n := len(coord.Recorder.Profiles()); n > ring {
+		t.Errorf("recorder holds %d profiles, ring size %d", n, ring)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/trace"
 )
 
 // Request kinds.
@@ -118,6 +119,12 @@ type Response struct {
 	// CheckBatch answers a checkbatch request, aligned 1:1 with the
 	// request's item groups.
 	CheckBatch []federation.CheckReply
+	// Spans ships the server's spans for the request's query back to the
+	// caller (only on traced requests), span IDs and parent links intact, so
+	// the coordinator's profile covers every participating site. A site
+	// forwards the spans it imported from peers (check dispatch) the same
+	// way; the importer deduplicates by span ID.
+	Spans []trace.Span
 }
 
 // wireStats counts one exchange's bytes on the wire as seen by the caller.

@@ -17,6 +17,7 @@ import (
 	"github.com/hetfed/hetfed/internal/gmap"
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
 	"github.com/hetfed/hetfed/internal/query"
 	"github.com/hetfed/hetfed/internal/schema"
 	"github.com/hetfed/hetfed/internal/signature"
@@ -44,6 +45,10 @@ type ServerConfig struct {
 	// Metrics, when non-nil, receives per-request counters, latency
 	// histograms, and per-site-pair byte accounting.
 	Metrics *metrics.Registry
+	// Recorder, when non-nil, receives a trace.Profile for every served
+	// retrieve and local request — the site-side flight recorder. Requires
+	// Tracer.
+	Recorder *obs.Recorder
 	// Log, when non-nil, receives structured request logs. Defaults to a
 	// discarding logger.
 	Log *slog.Logger
@@ -293,19 +298,26 @@ func (s *Server) handle(conn net.Conn) {
 		sp := s.cfg.Tracer.StartSpan(trace.SpanID(req.Trace.Span), s.Site(), "serve:"+req.Kind).
 			WithQuery(req.Trace.QueryID, req.Trace.Alg).WithPhases(reqPhases(req))
 		resp := s.dispatch(req, sp)
+		if resp.Err != "" {
+			sp.Detailf("error: %s", resp.Err)
+		}
+		// The serve span ends before the response is encoded so the copy
+		// shipped back to the caller is closed; traced responses carry this
+		// site's spans for the query (peer check spans it imported included),
+		// letting the caller's profile cover every participating site.
+		sp.End()
+		if req.Trace.QueryID != "" && s.cfg.Tracer != nil {
+			resp.Spans = s.cfg.Tracer.QuerySpans(req.Trace.QueryID)
+		}
 		sent0 := cw.n
 		if err := enc.Encode(resp); err != nil {
 			sp.Detailf("send failed: %v", err)
-			sp.End()
 			return // connection is torn; the client will retry elsewhere
 		}
 		respBytes := cw.n - sent0
 		sp.Add("resp_bytes", respBytes)
-		if resp.Err != "" {
-			sp.Detailf("error: %s", resp.Err)
-		}
-		sp.End()
 		s.observe(req, resp, time.Since(start), respBytes)
+		s.profile(req, resp, time.Since(start))
 	}
 }
 
@@ -336,6 +348,34 @@ func (s *Server) observe(req Request, resp Response, d time.Duration, respBytes 
 		slog.Float64("us", us),
 		slog.String("err", resp.Err),
 	)
+}
+
+// profile records a site-side flight-recorder profile for the substantial
+// request kinds (retrieve and local). The profile covers this request's
+// spans at this site — including peer check spans imported while serving it
+// — so a site records one profile per request it served for a query.
+func (s *Server) profile(req Request, resp Response, d time.Duration) {
+	if s.cfg.Recorder == nil || s.cfg.Tracer == nil || req.Trace.QueryID == "" {
+		return
+	}
+	if req.Kind != kindRetrieve && req.Kind != kindLocal {
+		return
+	}
+	p := trace.BuildProfile(req.Trace.QueryID, reqAlg(req), s.cfg.Tracer.QuerySpans(req.Trace.QueryID))
+	if p == nil {
+		return
+	}
+	p.WallMicros = float64(d.Microseconds())
+	var unavailable []string
+	for _, f := range resp.Local.Unavailable {
+		unavailable = append(unavailable, string(f.Site))
+	}
+	var err error
+	if resp.Err != "" {
+		err = errors.New(resp.Err)
+	}
+	p.SetOutcome(0, len(resp.Local.Result.Rows), unavailable, err)
+	s.cfg.Recorder.Record(p)
 }
 
 func (s *Server) dispatch(req Request, sp trace.Handle) Response {
@@ -608,6 +648,9 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 				errs[i] = err
 				return
 			}
+			// Fold the peer's check spans into this site's tracer; they ship
+			// onward to the coordinator with this site's own response.
+			s.cfg.Tracer.Import(resp.Spans)
 			replies[i] = resp.Check
 		}(i, target, addrs[i], items)
 	}

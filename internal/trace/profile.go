@@ -1,0 +1,252 @@
+// Profile: the per-query cost record assembled at query end from the span
+// tree. Where a Span answers "what did this step do", a Profile answers the
+// paper's question for one whole query — how much time each site spent in
+// each of the O/I/P phases, what travelled where, and whether the answer
+// degraded — in a form a flight recorder can retain and an EXPLAIN ANALYZE
+// table can lay against the planner's prediction.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/cost"
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Profile statuses.
+const (
+	StatusOK       = "ok"
+	StatusDegraded = "degraded"
+	StatusError    = "error"
+)
+
+// Profile is one query execution's cost record.
+type Profile struct {
+	// ID is the query ID the spans share (q<N> in-process, rq<N>-<tag> over
+	// the wire).
+	ID string `json:"id"`
+	// Alg is the executing strategy's name.
+	Alg string `json:"alg"`
+	// Start is the wall-clock start (the root span's).
+	Start time.Time `json:"start"`
+	// WallMicros is the end-to-end latency observed by the recording
+	// process.
+	WallMicros float64 `json:"wall_us"`
+	// VMicros is the latency on the fabric runtime's clock (virtual time
+	// under the DES), -1 when no runtime clock was attached.
+	VMicros float64 `json:"v_us"`
+	// Status is ok, degraded, or error.
+	Status string `json:"status"`
+	// Error holds the failure when Status is error.
+	Error string `json:"error,omitempty"`
+	// Certain and Maybe count the answer's rows.
+	Certain int `json:"certain"`
+	Maybe   int `json:"maybe"`
+	// Unavailable lists the sites that could not serve the query.
+	Unavailable []string `json:"unavailable,omitempty"`
+	// Sites are the sites the query's spans touched, sorted.
+	Sites []object.SiteID `json:"sites"`
+	// Phases is the measured site × phase time attribution. A span tagged
+	// with several phases ("PO") contributes its full duration to each — the
+	// phases are not separable at the site (same rule as phase_time_us).
+	Phases *cost.Breakdown `json:"phases"`
+	// Counters aggregates the spans' named counters (rows, items,
+	// bytes_shipped, sent/recv_bytes, …) plus recorder-added per-query
+	// values (rpcs, admission_wait_us, fabric byte totals).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Spans is the query's span tree (every process's spans the recorder
+	// saw, imported remote spans included).
+	Spans []Span `json:"-"`
+}
+
+// BuildProfile assembles a profile from one query's spans (as returned by
+// Tracer.QuerySpans). Status, answer counts and counter extras are the
+// caller's to fill in; the builder derives timing, sites, phase attribution
+// and span-counter aggregates. Returns nil when no spans are given.
+func BuildProfile(qid, alg string, spans []Span) *Profile {
+	if len(spans) == 0 {
+		return nil
+	}
+	p := &Profile{
+		ID:      qid,
+		Alg:     alg,
+		Status:  StatusOK,
+		VMicros: -1,
+		Phases:  &cost.Breakdown{},
+		Spans:   spans,
+	}
+	present := make(map[SpanID]bool, len(spans))
+	siteSet := make(map[object.SiteID]bool)
+	for _, s := range spans {
+		present[s.ID] = true
+		siteSet[s.Site] = true
+	}
+	for _, s := range spans {
+		for k, v := range s.Counters {
+			if p.Counters == nil {
+				p.Counters = make(map[string]int64)
+			}
+			p.Counters[k] += v
+		}
+		// Phase attribution: one histogram-equivalent observation per phase
+		// letter, runtime clock preferred (the DES wall time is meaningless).
+		if s.Phases != "" && !s.End.IsZero() {
+			d := s.VDurationMicros()
+			if d < 0 {
+				d = s.DurationMicros()
+			}
+			for _, ph := range s.Phases {
+				p.Phases.Add(string(s.Site), string(ph), d)
+			}
+		}
+		// The root span (its parent was recorded elsewhere or is 0) carries
+		// the query's end-to-end timing.
+		if s.Parent == 0 || !present[s.Parent] {
+			if p.Start.IsZero() || s.Start.Before(p.Start) {
+				p.Start = s.Start
+				p.WallMicros = s.DurationMicros()
+				p.VMicros = s.VDurationMicros()
+			}
+		}
+	}
+	for site := range siteSet {
+		p.Sites = append(p.Sites, site)
+	}
+	sort.Slice(p.Sites, func(i, j int) bool { return p.Sites[i] < p.Sites[j] })
+	return p
+}
+
+// AddCounter accumulates a named per-query value (nil-safe).
+func (p *Profile) AddCounter(name string, v int64) {
+	if p == nil || v == 0 {
+		return
+	}
+	if p.Counters == nil {
+		p.Counters = make(map[string]int64)
+	}
+	p.Counters[name] += v
+}
+
+// SetOutcome records the answer shape: row counts, the unavailable sites,
+// and the resulting status (a non-empty err wins over degradation).
+func (p *Profile) SetOutcome(certain, maybe int, unavailable []string, err error) {
+	if p == nil {
+		return
+	}
+	p.Certain, p.Maybe = certain, maybe
+	p.Unavailable = unavailable
+	switch {
+	case err != nil:
+		p.Status = StatusError
+		p.Error = err.Error()
+	case len(unavailable) > 0:
+		p.Status = StatusDegraded
+	default:
+		p.Status = StatusOK
+	}
+}
+
+// Interesting reports whether the profile must survive flight-recorder
+// eviction regardless of age: it describes a degraded or failed query.
+// (Slow-percentile retention is the recorder's call — it owns the latency
+// distribution.)
+func (p *Profile) Interesting() bool {
+	return p != nil && p.Status != StatusOK
+}
+
+// RenderTree renders the profile's span forest (the same shape as
+// Tracer.RenderTree, scoped to this query).
+func (p *Profile) RenderTree() string {
+	if p == nil {
+		return ""
+	}
+	return renderTree(p.Spans)
+}
+
+// chromeEvent is one Chrome trace-event (the JSON Array / traceEvents
+// format understood by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace exports the profile as Chrome trace-event JSON: one "process"
+// per site, spans as complete ("X") events, greedily packed onto
+// non-overlapping lanes per site. Load the output in chrome://tracing or
+// https://ui.perfetto.dev.
+func (p *Profile) ChromeTrace() ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("trace: nil profile")
+	}
+	pids := make(map[object.SiteID]int, len(p.Sites))
+	for i, site := range p.Sites {
+		pids[site] = i + 1
+	}
+
+	// Timestamps are microseconds relative to the profile start. Spans from
+	// other processes share the wall clock (close enough for a debug
+	// surface); an unfinished span gets a minimal visible duration.
+	base := p.Start
+	events := make([]chromeEvent, 0, len(p.Spans)+len(p.Sites))
+	for site, pid := range pids {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": string(site)},
+		})
+	}
+
+	// Greedy lane assignment per site so overlapping spans (parallel forks
+	// at one site) never share a track.
+	type lane struct{ end float64 }
+	lanes := make(map[object.SiteID][]lane)
+	spans := append([]Span(nil), p.Spans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	for _, s := range spans {
+		ts := float64(s.Start.Sub(base).Nanoseconds()) / 1e3
+		dur := s.DurationMicros()
+		if dur <= 0 {
+			dur = 1
+		}
+		tid := -1
+		for i := range lanes[s.Site] {
+			if lanes[s.Site][i].end <= ts {
+				lanes[s.Site][i].end = ts + dur
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			lanes[s.Site] = append(lanes[s.Site], lane{end: ts + dur})
+			tid = len(lanes[s.Site]) - 1
+		}
+		args := map[string]any{"query": s.Query, "span": uint64(s.ID)}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		for k, v := range s.Counters {
+			args[k] = v
+		}
+		cat := "step"
+		if s.Phases != "" {
+			cat = s.Phases
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: cat, Ph: "X",
+			Ts: ts, Dur: dur, Pid: pids[s.Site], Tid: tid, Args: args,
+		})
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	return json.MarshalIndent(doc, "", " ")
+}

@@ -216,6 +216,59 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// QuerySpans returns a copy of the recorded spans scoped to one query ID,
+// in record order.
+func (t *Tracer) QuerySpans(qid string) []Span {
+	if t == nil || qid == "" {
+		return nil
+	}
+	spans := t.Spans()
+	out := spans[:0:0]
+	for _, s := range spans {
+		if s.Query == qid {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Import appends spans recorded by another tracer — typically a remote
+// site's spans shipped back in an RPC response — keeping their IDs, parents
+// and timings so they stitch into this tracer's trees (span IDs are
+// process-unique by construction, see spanIDs). Spans whose ID is already
+// present are skipped: the same remote span can arrive through two paths
+// (a peer's check reply and the peer's own local reply) or twice on a
+// retried call.
+func (t *Tracer) Import(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range spans {
+		if _, dup := t.index[s.ID]; dup || s.ID == 0 {
+			continue
+		}
+		if t.limit > 0 && len(t.spans) >= t.limit {
+			t.dropOldestLocked()
+		}
+		t.seq++
+		s.Seq = t.seq
+		if s.Counters != nil {
+			c := make(map[string]int64, len(s.Counters))
+			for k, v := range s.Counters {
+				c[k] = v
+			}
+			s.Counters = c
+		}
+		t.spans = append(t.spans, s)
+		if t.index == nil {
+			t.index = make(map[SpanID]int)
+		}
+		t.index[s.ID] = len(t.spans) - 1
+	}
+}
+
 // Events returns the flat event view of the recorded spans in record order.
 func (t *Tracer) Events() []Event {
 	spans := t.Spans()

@@ -1,0 +1,27 @@
+// Package version carries the build's version string, stamped at link time:
+//
+//	go build -ldflags "-X github.com/hetfed/hetfed/internal/version.Version=v1.2.3" ./...
+//
+// Unstamped builds report a sane development default.
+package version
+
+import "runtime/debug"
+
+// Version is the stamped release version, overridden via -ldflags -X.
+var Version = "dev"
+
+// String returns the version, annotated with the VCS revision when the
+// binary was built from a checkout and no release version was stamped.
+func String() string {
+	if Version != "dev" {
+		return Version
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return Version + "+" + s.Value[:12]
+			}
+		}
+	}
+	return Version
+}

@@ -1,11 +1,20 @@
 #!/bin/sh
-# check.sh — the repository's verification gate: vet, build, unit tests,
-# and the full test suite under the race detector.
+# check.sh — the repository's verification gate: formatting, vet, build,
+# unit tests, the full test suite under the race detector, and a one-shot
+# compile-and-run smoke of the observability-overhead benchmarks.
 #
 # Usage: scripts/check.sh [package-pattern]   (default ./...)
 set -eu
 cd "$(dirname "$0")/.."
 pkgs="${1:-./...}"
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet $pkgs"
 go vet "$pkgs"
@@ -18,5 +27,8 @@ go test "$pkgs"
 
 echo "== go test -race $pkgs"
 go test -race "$pkgs"
+
+echo "== bench smoke (1 iteration)"
+go test -run - -bench 'BenchmarkTraceOverhead|BenchmarkProfileOverhead' -benchtime 1x .
 
 echo "ok"
