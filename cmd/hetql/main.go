@@ -14,13 +14,16 @@
 //	hetql -fail-sites DB3              # degrade: kill DB3, partial answer
 //	hetql -site-delay DB2=5ms          # wedge DB2 by 5ms per operation
 //	hetql -explain                     # EXPLAIN ANALYZE: predicted vs measured
+//	hetql -deadline 50ms               # budgeted: over-deadline → partial answer
 //	hetql -version                     # print the build version
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
@@ -65,6 +68,7 @@ func run(args []string) error {
 		failSites   = fs.String("fail-sites", "", "comma-separated sites to kill (fault injection; the query degrades)")
 		siteDelay   = fs.String("site-delay", "", "comma-separated SITE=DURATION pairs of extra per-operation latency")
 		explain     = fs.Bool("explain", false, "EXPLAIN ANALYZE: print the planner's predicted per-site/per-phase cost against the measured profile (runs the planner's choice unless -alg names a strategy)")
+		deadline    = fs.Duration("deadline", 0, "end-to-end wall-clock budget per query; an over-budget query returns its sound partial answer (0 = none)")
 		showVersion = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -137,10 +141,17 @@ func run(args []string) error {
 		Metrics:     reg,
 		Signatures:  signature.Build(databases),
 		Recorder:    rec,
+		Deadline:    *deadline,
 	})
 	if err != nil {
 		return err
 	}
+
+	// Ctrl-C cancels the running query instead of killing the process: the
+	// strategy unwinds at its next checkpoint and the partial answer prints
+	// with its outcome. A second interrupt kills the process as usual.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	// -explain without an explicit single strategy runs the planner's choice,
 	// like -alg auto.
@@ -178,7 +189,7 @@ func run(args []string) error {
 			// A fresh plan per run: drop-after budgets are stateful.
 			rt = rt.WithFaults(faults())
 		}
-		ans, m, err := engine.Run(rt, alg, b)
+		ans, m, err := engine.RunContext(ctx, rt, alg, b)
 		if err != nil {
 			return fmt.Errorf("%v: %w", alg, err)
 		}
@@ -309,6 +320,9 @@ func pickAlgorithms(name string) ([]exec.Algorithm, error) {
 }
 
 func printAnswer(ans *federation.Answer, b *query.Bound) {
+	if ans.Interrupted() {
+		fmt.Printf("INTERRUPTED (%s): sound partial answer\n", ans.Outcome)
+	}
 	if ans.Degraded {
 		fmt.Printf("DEGRADED: partial answer, %d site(s) unavailable:\n", len(ans.Unavailable))
 		for _, f := range ans.Unavailable {

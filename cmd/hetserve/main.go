@@ -34,6 +34,15 @@
 // cluster returns a degraded partial answer instead of failing: results
 // that depended on the dead site are reported as maybe.
 //
+// Deadlines and overload: -deadline budgets each coordinator query end to
+// end — the remaining budget travels with every request, sites abort
+// over-budget work mid-phase, and the query returns its sound partial
+// answer instead of an error; ctrl-C cancels in-flight queries the same
+// way. Sites protect themselves with -max-frame (oversized request
+// frames), -idle-timeout (dead-client connection reaping) and
+// -write-timeout (wedged readers); -inject-delay and -inject-down inject
+// site faults for resilience drills.
+//
 // Multi-tenant serving: a site started with -cache keeps a read-through
 // lookup cache (GOid mappings, checked assistant verdicts; invalidated by
 // the Insert replication path), and -batch-window coalesces the check
@@ -45,6 +54,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,6 +69,7 @@ import (
 	"time"
 
 	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/fedfile"
 	"github.com/hetfed/hetfed/internal/gmap"
 	"github.com/hetfed/hetfed/internal/metrics"
@@ -115,6 +126,13 @@ func run(args []string) error {
 		clients       = fs.Int("clients", 1, "concurrent query streams in -coordinator mode")
 		repeat        = fs.Int("repeat", 1, "queries per stream in -coordinator mode")
 
+		deadline     = fs.Duration("deadline", 0, "end-to-end budget per query in -coordinator mode; the remaining budget travels to every site and an over-budget query returns its sound partial answer (0 = none)")
+		maxFrame     = fs.Int("max-frame", 0, "reject request frames larger than this many bytes in -site mode (0 = default 8MiB, negative = unlimited)")
+		idleTimeout  = fs.Duration("idle-timeout", 0, "reap site connections idle longer than this (0 = default 5m, negative = never)")
+		writeTimeout = fs.Duration("write-timeout", 0, "per-response write deadline in -site mode (0 = default 30s, negative = none)")
+		injectDelay  = fs.Duration("inject-delay", 0, "fault injection: stall every served operation at this site by this long")
+		injectDown   = fs.Bool("inject-down", false, "fault injection: answer every non-ping request with site-unavailable")
+
 		slowQuery   = fs.Duration("slow-query", 0, "log queries at/over this latency and always retain their profiles in the flight recorder (0 = percentile-based tail retention only)")
 		recorderLen = fs.Int("recorder-size", obs.DefaultRecorderSize, "flight-recorder ring capacity (profiles kept for /debug/queries)")
 		showVersion = fs.Bool("version", false, "print the build version and exit")
@@ -157,11 +175,14 @@ func run(args []string) error {
 		return runCoordinator(fed, peers, *queryText, *algName, coordOpts{
 			Trace: *showTrace, Metrics: *showMetrics, Call: call,
 			Concurrency: *concurrency, Clients: *clients, Repeat: *repeat,
+			Deadline:  *deadline,
 			SlowQuery: *slowQuery, RecorderSize: *recorderLen, MetricsAddr: *metricsAddr,
 		})
 	case *siteName != "":
 		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers,
 			siteOpts{Call: call, Batch: batch, Cache: *useCache,
+				MaxFrameBytes: *maxFrame, IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
+				InjectDelay: *injectDelay, InjectDown: *injectDown,
 				SlowQuery: *slowQuery, RecorderSize: *recorderLen})
 	default:
 		return fmt.Errorf("pass -site NAME or -coordinator")
@@ -242,6 +263,16 @@ type siteOpts struct {
 	Call  remote.CallConfig
 	Batch remote.BatchConfig
 	Cache bool
+	// MaxFrameBytes, IdleTimeout and WriteTimeout are the server's
+	// self-protection bounds (see remote.ServerConfig).
+	MaxFrameBytes int
+	IdleTimeout   time.Duration
+	WriteTimeout  time.Duration
+	// InjectDelay and InjectDown inject faults at this site: every served
+	// operation stalls by InjectDelay (cancellable by the request's budget),
+	// and InjectDown answers every non-ping request site-unavailable.
+	InjectDelay time.Duration
+	InjectDown  bool
 	// SlowQuery marks served requests at/over this latency slow: logged and
 	// always retained in the flight recorder (0 = percentile retention only).
 	SlowQuery time.Duration
@@ -267,19 +298,33 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 		Log:           log,
 		Metrics:       reg,
 	})
+	var faults *fabric.FaultPlan
+	if opts.InjectDelay > 0 || opts.InjectDown {
+		faults = fabric.NewFaultPlan()
+		if opts.InjectDelay > 0 {
+			faults.Delay(site, float64(opts.InjectDelay.Microseconds()))
+		}
+		if opts.InjectDown {
+			faults.Kill(site)
+		}
+	}
 	srv, err := remote.NewServer(remote.ServerConfig{
-		DB:         db,
-		Global:     fed.Global,
-		Tables:     fed.Mapping,
-		Peers:      peers,
-		Signatures: signature.Build(fed.Databases),
-		Tracer:     tr,
-		Metrics:    reg,
-		Recorder:   rec,
-		Log:        log,
-		Call:       opts.Call,
-		Batch:      opts.Batch,
-		Cache:      opts.Cache,
+		DB:            db,
+		Global:        fed.Global,
+		Tables:        fed.Mapping,
+		Peers:         peers,
+		Signatures:    signature.Build(fed.Databases),
+		Tracer:        tr,
+		Metrics:       reg,
+		Recorder:      rec,
+		Log:           log,
+		Call:          opts.Call,
+		Batch:         opts.Batch,
+		Cache:         opts.Cache,
+		MaxFrameBytes: opts.MaxFrameBytes,
+		IdleTimeout:   opts.IdleTimeout,
+		WriteTimeout:  opts.WriteTimeout,
+		Faults:        faults,
 	})
 	if err != nil {
 		return nil, err
@@ -338,6 +383,8 @@ type coordOpts struct {
 	// report (throughput + latency distribution) instead of result rows.
 	Clients int
 	Repeat  int
+	// Deadline caps each query's end-to-end time (0 = none).
+	Deadline time.Duration
 	// SlowQuery and RecorderSize configure the coordinator's flight
 	// recorder (see siteOpts).
 	SlowQuery    time.Duration
@@ -382,6 +429,7 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		Log:           log,
 		Call:          opts.Call,
 		MaxConcurrent: opts.Concurrency,
+		Deadline:      opts.Deadline,
 	}
 	defer coord.Close()
 	if opts.MetricsAddr != "" {
@@ -397,15 +445,22 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		// and the affected results come back as maybe.
 		log.Warn("some sites unreachable, proceeding degraded", slog.Any("err", err))
 	}
+	// Ctrl-C cancels in-flight queries (in-flight exchanges cut, admission
+	// slots released, partial answers printed) instead of killing the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if opts.Clients*opts.Repeat > 1 {
-		return runLoad(coord, queryText, alg, opts, reg)
+		return runLoad(ctx, coord, queryText, alg, opts, reg)
 	}
-	ans, elapsed, err := coord.Query(queryText, alg)
+	ans, elapsed, err := coord.QueryContext(ctx, queryText, alg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("query: %s\nstrategy: %v  (%.2f ms over TCP)\n", queryText, alg,
 		float64(elapsed.Microseconds())/1e3)
+	if ans.Interrupted() {
+		fmt.Printf("INTERRUPTED (%s): sound partial answer\n", ans.Outcome)
+	}
 	if ans.Degraded {
 		fmt.Printf("DEGRADED: partial answer, %d site(s) unavailable:\n", len(ans.Unavailable))
 		for _, f := range ans.Unavailable {
@@ -432,7 +487,7 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 // runLoad drives Clients concurrent streams of Repeat queries each through
 // the coordinator and prints the measured throughput and latency
 // distribution — the multi-tenant serving path exercised end to end.
-func runLoad(coord *remote.Coordinator, queryText string, alg exec.Algorithm, opts coordOpts, reg *metrics.Registry) error {
+func runLoad(ctx context.Context, coord *remote.Coordinator, queryText string, alg exec.Algorithm, opts coordOpts, reg *metrics.Registry) error {
 	clients, repeat := opts.Clients, opts.Repeat
 	if clients < 1 {
 		clients = 1
@@ -452,9 +507,12 @@ func runLoad(coord *remote.Coordinator, queryText string, alg exec.Algorithm, op
 		go func(c int) {
 			defer wg.Done()
 			for r := 0; r < repeat; r++ {
-				ans, elapsed, err := coord.Query(queryText, alg)
+				if ctx.Err() != nil {
+					return
+				}
+				ans, elapsed, err := coord.QueryContext(ctx, queryText, alg)
 				if err != nil {
-					if errs[c] == nil {
+					if errs[c] == nil && !remote.IsInterrupted(err) {
 						errs[c] = err
 					}
 					continue

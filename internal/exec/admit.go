@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"github.com/hetfed/hetfed/internal/metrics"
@@ -11,10 +13,12 @@ import (
 // the bound queue FIFO-ish on the channel; a nil gate (bound <= 0) admits
 // everything immediately.
 //
-// The gate observes three instruments on the registry:
+// The gate observes four instruments on the registry:
 //
 //	queries_inflight{site}       gauge   queries currently admitted
 //	queries_queued_total{site}   counter admissions that had to wait
+//	queries_shed_total{site}     counter admissions turned away (deadline
+//	                                     expired or caller gone pre-slot)
 //	admission_wait_us{site,alg}  histogram wall-clock wait for a slot
 type gate struct {
 	slots chan struct{}
@@ -33,21 +37,40 @@ func newGate(max int, reg *metrics.Registry, site string) *gate {
 	return &gate{slots: make(chan struct{}, max), reg: reg, site: site}
 }
 
-// enter blocks until the query is admitted and returns the release function
-// together with the microseconds this admission waited (0 when admitted
-// immediately) — the per-query profile records the wait. Safe on a nil gate.
-func (g *gate) enter(alg string) (func(), int64) {
+// enter blocks until the query is admitted, the context expires, or the
+// caller goes away. On admission it returns the release function together
+// with the microseconds this admission waited (0 when admitted immediately)
+// — the per-query profile records the wait. On a done context it sheds: the
+// query never gets a slot and the typed error says why (ErrShed for an
+// expired deadline, ErrCanceled for a vanished caller). Safe on a nil gate,
+// which admits everything — an unbounded engine has nothing to shed; the
+// run itself unwinds at its first checkpoint.
+func (g *gate) enter(ctx context.Context, alg string) (func(), int64, error) {
 	if g == nil {
-		return func() {}, 0
+		return func() {}, 0, nil
+	}
+	// Fail fast: a query that arrives already out of budget must not consume
+	// a slot, not even instantaneously.
+	if err := ctx.Err(); err != nil {
+		return nil, 0, g.shed(err)
 	}
 	var waited int64
 	select {
 	case g.slots <- struct{}{}:
 	default:
-		// Full: this admission waits. Record the queuing and the wait.
+		// Full: this admission waits. Record the queuing and the wait —
+		// including a wait that ends in shedding, so admission_wait_us shows
+		// how long shed queries held out.
 		g.reg.Counter("queries_queued_total", metrics.Labels{Site: g.site}).Inc()
 		start := time.Now()
-		g.slots <- struct{}{}
+		select {
+		case g.slots <- struct{}{}:
+		case <-ctx.Done():
+			waited = time.Since(start).Microseconds()
+			g.reg.Histogram("admission_wait_us", metrics.Labels{Site: g.site, Alg: alg}).
+				Observe(float64(waited))
+			return nil, waited, g.shed(ctx.Err())
+		}
 		waited = time.Since(start).Microseconds()
 		g.reg.Histogram("admission_wait_us", metrics.Labels{Site: g.site, Alg: alg}).
 			Observe(float64(waited))
@@ -56,5 +79,14 @@ func (g *gate) enter(alg string) (func(), int64) {
 	return func() {
 		g.reg.Gauge("queries_inflight", metrics.Labels{Site: g.site}).Add(-1)
 		<-g.slots
-	}, waited
+	}, waited, nil
+}
+
+// shed counts the turn-away and types the cause.
+func (g *gate) shed(cause error) error {
+	g.reg.Counter("queries_shed_total", metrics.Labels{Site: g.site}).Inc()
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return ErrShed
+	}
+	return ErrCanceled
 }

@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/obs"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+// cancelEngine builds a fully instrumented engine (metrics + recorder) for
+// the interruption tests.
+func cancelEngine(t testing.TB, deadline time.Duration, maxConcurrent int) (*Engine, *query.Bound, *metrics.Registry, *obs.Recorder) {
+	t.Helper()
+	fx := school.New()
+	reg := metrics.New()
+	rec := obs.NewRecorder(obs.RecorderConfig{Site: "G", Metrics: reg})
+	e, err := New(Config{
+		Global:        fx.Global,
+		Coordinator:   "G",
+		Databases:     fx.Databases,
+		Tables:        fx.Mapping,
+		Tracer:        &trace.Tracer{},
+		Metrics:       reg,
+		Signatures:    signature.Build(fx.Databases),
+		Recorder:      rec,
+		Deadline:      deadline,
+		MaxConcurrent: maxConcurrent,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e, query.MustBind(query.MustParse(school.Q1), fx.Global), reg, rec
+}
+
+// assertNoGoroutineLeak fails the test if the goroutine count has not
+// settled back to (about) the baseline within a generous window. The slack
+// absorbs runtime-internal goroutines; a leaked per-site worker per
+// cancelled query grows far beyond it.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d running, baseline %d", n, baseline)
+}
+
+// TestDeadlineInterruptsDelayedSites is the acceptance scenario at the
+// engine level: a 50ms-deadline query against sites wedged by a 5s Delay
+// fault must come back well within the fault's delay (≈ the deadline, with
+// generous slack for slow CI), as a sound partial answer — outcome
+// deadline, every wedged site reported unavailable, certain rows empty —
+// and must not leak the per-site worker goroutines.
+func TestDeadlineInterruptsDelayedSites(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	e, b, reg, rec := cancelEngine(t, 50*time.Millisecond, 0)
+	for _, alg := range []Algorithm{CA, BL, PL} {
+		rt := fabric.NewReal(fabric.DefaultRates()).WithFaults(
+			fabric.NewFaultPlan().
+				Delay("DB1", 5e6).Delay("DB2", 5e6).Delay("DB3", 5e6))
+		start := time.Now()
+		ans, _, err := e.Run(rt, alg, b)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("%v: interrupted query failed instead of degrading: %v", alg, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("%v: returned after %v — the deadline did not cut the 5s delay", alg, elapsed)
+		}
+		if ans.Outcome != federation.OutcomeDeadline {
+			t.Errorf("%v: outcome = %q, want %q", alg, ans.Outcome, federation.OutcomeDeadline)
+		}
+		if !ans.Interrupted() || !ans.Degraded {
+			t.Errorf("%v: Interrupted=%v Degraded=%v, want both", alg, ans.Interrupted(), ans.Degraded)
+		}
+		if len(ans.Certain) != 0 {
+			t.Errorf("%v: certain = %v, want none (no site answered in budget)", alg, ans.Certain)
+		}
+		if len(ans.Unavailable) == 0 {
+			t.Errorf("%v: no sites reported unavailable", alg)
+		}
+		if p := rec.Last(); p == nil || p.Status != trace.StatusDeadline {
+			t.Errorf("%v: recorded profile status = %v, want %q", alg, p, trace.StatusDeadline)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("deadline_exceeded_total", metrics.Labels{Site: "G", Alg: "PL"}); got != 1 {
+		t.Errorf("deadline_exceeded_total{PL} = %d, want 1", got)
+	}
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestCancelMidQuery cancels the context while the sites are wedged: the
+// strategies must unwind at their next checkpoint with outcome canceled.
+func TestCancelMidQuery(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	e, b, reg, _ := cancelEngine(t, 0, 0)
+	for _, alg := range []Algorithm{CA, BL, PL} {
+		rt := fabric.NewReal(fabric.DefaultRates()).WithFaults(
+			fabric.NewFaultPlan().
+				Delay("DB1", 5e6).Delay("DB2", 5e6).Delay("DB3", 5e6))
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		ans, _, err := e.RunContext(ctx, rt, alg, b)
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			t.Fatalf("%v: cancelled query failed instead of degrading: %v", alg, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("%v: returned after %v — cancellation did not cut the 5s delay", alg, elapsed)
+		}
+		if ans.Outcome != federation.OutcomeCanceled {
+			t.Errorf("%v: outcome = %q, want %q", alg, ans.Outcome, federation.OutcomeCanceled)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("queries_canceled_total", metrics.Labels{Site: "G", Alg: "CA"}); got != 1 {
+		t.Errorf("queries_canceled_total{CA} = %d, want 1", got)
+	}
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestCancelSimRuntime covers the virtual-time fabric: a pre-cancelled
+// context must still yield a sound partial answer (every site interrupted)
+// rather than an error, on the same code path the CLI's ctrl-C takes.
+func TestCancelSimRuntime(t *testing.T) {
+	e, b, _, _ := cancelEngine(t, 0, 0)
+	for _, alg := range []Algorithm{CA, BL, PL} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		rt := fabric.NewSim(fabric.DefaultRates(), e.Sites())
+		ans, _, err := e.RunContext(ctx, rt, alg, b)
+		if err != nil {
+			t.Fatalf("%v/sim: %v", alg, err)
+		}
+		if ans.Outcome != federation.OutcomeCanceled {
+			t.Errorf("%v/sim: outcome = %q, want canceled", alg, ans.Outcome)
+		}
+		if len(ans.Certain) != 0 {
+			t.Errorf("%v/sim: certain = %v, want none", alg, ans.Certain)
+		}
+	}
+}
+
+// TestShedAtAdmission wedges the single admission slot with a slow query
+// and then offers queries whose budget cannot survive the queue: they must
+// fail fast with the typed sentinels (ErrShed for an expired deadline,
+// ErrCanceled for a cancelled wait) and count queries_shed_total — and the
+// slot must come back once the slow query finishes.
+func TestShedAtAdmission(t *testing.T) {
+	e, b, reg, _ := cancelEngine(t, 0, 1)
+
+	slowStarted := make(chan struct{})
+	slowDone := make(chan error, 1)
+	go func() {
+		rt := fabric.NewReal(fabric.DefaultRates()).WithFaults(
+			fabric.NewFaultPlan().Delay("DB1", 3e5).Delay("DB2", 3e5).Delay("DB3", 3e5))
+		close(slowStarted)
+		_, _, err := e.Run(rt, CA, b)
+		slowDone <- err
+	}()
+	<-slowStarted
+	time.Sleep(20 * time.Millisecond) // let the slow query take the slot
+
+	// Deadline dies while queued → ErrShed (wraps context.DeadlineExceeded).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	_, _, err := e.RunContext(ctx, fabric.NewReal(fabric.DefaultRates()), BL, b)
+	cancel()
+	if !errors.Is(err, ErrShed) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("queued-past-deadline error = %v, want ErrShed", err)
+	}
+
+	// Caller leaves while queued → ErrCanceled.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel2()
+	}()
+	_, _, err = e.RunContext(ctx2, fabric.NewReal(fabric.DefaultRates()), BL, b)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled-while-queued error = %v, want ErrCanceled", err)
+	}
+
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow query: %v", err)
+	}
+	// The released slot admits a fresh query immediately.
+	ans, _, err := e.Run(fabric.NewReal(fabric.DefaultRates()), BL, b)
+	if err != nil || ans.Interrupted() {
+		t.Fatalf("post-shed query: ans=%v err=%v", ans, err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("queries_shed_total", metrics.Labels{Site: "G"}); got != 2 {
+		t.Errorf("queries_shed_total = %d, want 2", got)
+	}
+}

@@ -21,10 +21,13 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/federation"
@@ -79,15 +82,16 @@ func AllAlgorithms() []Algorithm { return []Algorithm{CA, BL, PL, SBL, SPL} }
 
 // Engine executes global queries against a federation.
 type Engine struct {
-	global *schema.Global
-	coord  *federation.Coordinator
-	sites  map[object.SiteID]*federation.Site
-	tracer *trace.Tracer
-	reg    *metrics.Registry
-	sigs   *signature.Index
-	rec    *obs.Recorder
-	gate   *gate
-	qseq   atomic.Uint64
+	global   *schema.Global
+	coord    *federation.Coordinator
+	sites    map[object.SiteID]*federation.Site
+	tracer   *trace.Tracer
+	reg      *metrics.Registry
+	sigs     *signature.Index
+	rec      *obs.Recorder
+	gate     *gate
+	deadline time.Duration
+	qseq     atomic.Uint64
 }
 
 // Config assembles an engine.
@@ -123,6 +127,12 @@ type Config struct {
 	// calls beyond the bound wait for a slot (admission control). Zero or
 	// negative means unbounded.
 	MaxConcurrent int
+	// Deadline, when positive, caps every query's end-to-end execution time.
+	// RunContext applies it only when the caller's context carries no
+	// deadline of its own (the caller's tighter budget always wins). An
+	// over-deadline query returns a sound partial answer with
+	// Answer.Outcome = OutcomeDeadline rather than an error.
+	Deadline time.Duration
 	// Cache enables a per-site read-through lookup cache for GOid
 	// mapping-table resolutions and checked assistant verdicts. The engine
 	// operates over immutable fixtures, so the caches never need
@@ -142,14 +152,15 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("exec: coordinator %s clashes with a component site", cfg.Coordinator)
 	}
 	e := &Engine{
-		global: cfg.Global,
-		coord:  federation.NewCoordinator(cfg.Coordinator, cfg.Global, cfg.Tables),
-		sites:  make(map[object.SiteID]*federation.Site, len(cfg.Databases)),
-		tracer: cfg.Tracer,
-		reg:    cfg.Metrics,
-		sigs:   cfg.Signatures,
-		rec:    cfg.Recorder,
-		gate:   newGate(cfg.MaxConcurrent, cfg.Metrics, string(cfg.Coordinator)),
+		global:   cfg.Global,
+		coord:    federation.NewCoordinator(cfg.Coordinator, cfg.Global, cfg.Tables),
+		sites:    make(map[object.SiteID]*federation.Site, len(cfg.Databases)),
+		tracer:   cfg.Tracer,
+		reg:      cfg.Metrics,
+		sigs:     cfg.Signatures,
+		rec:      cfg.Recorder,
+		gate:     newGate(cfg.MaxConcurrent, cfg.Metrics, string(cfg.Coordinator)),
+		deadline: cfg.Deadline,
 	}
 	for id, db := range cfg.Databases {
 		if db.Site() != id {
@@ -184,8 +195,24 @@ func (e *Engine) Coordinator() object.SiteID { return e.coord.ID() }
 
 // Run executes the query under the given strategy on the given runtime and
 // returns the answer with the runtime's metrics. Each run gets a fresh
-// query ID scoping its span tree and metric samples.
+// query ID scoping its span tree and metric samples. Equivalent to
+// RunContext with context.Background().
 func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federation.Answer, fabric.Metrics, error) {
+	return e.RunContext(context.Background(), rt, alg, b)
+}
+
+// RunContext is Run under a caller context: cancellation and deadline
+// propagate into the execution. The context gates admission (a query whose
+// budget expires while queued is shed with ErrShed / ErrCanceled and never
+// takes a slot) and, when the runtime supports it (fabric.ContextRuntime —
+// both Real and Sim do), is consulted by the strategies at every site-bound
+// step, so an interrupted query unwinds mid-phase instead of running to
+// completion. An admitted query that is interrupted does NOT return an
+// error: it returns its sound partial answer — whatever certified before
+// the cut stays certain, the rest stays maybe — with Answer.Outcome set to
+// OutcomeCanceled or OutcomeDeadline. When Config.Deadline is set and ctx
+// carries no deadline, the engine's default applies.
+func (e *Engine) RunContext(ctx context.Context, rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federation.Answer, fabric.Metrics, error) {
 	var (
 		ans *federation.Answer
 		err error
@@ -193,8 +220,24 @@ func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federat
 	if (alg == SBL || alg == SPL) && e.sigs == nil {
 		return nil, fabric.Metrics{}, fmt.Errorf("exec: %v requires a signature index (Config.Signatures)", alg)
 	}
-	release, waitMicros := e.gate.enter(alg.String())
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.deadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.deadline)
+			defer cancel()
+		}
+	}
+	release, waitMicros, admitErr := e.gate.enter(ctx, alg.String())
+	if admitErr != nil {
+		return nil, fabric.Metrics{}, admitErr
+	}
 	defer release()
+	if cr, ok := rt.(fabric.ContextRuntime); ok {
+		rt = cr.BindContext(ctx)
+	}
 	q := &runCtx{qid: fmt.Sprintf("q%d", e.qseq.Add(1)), alg: alg.String()}
 	m, runErr := rt.Run(alg.String(), func(p fabric.Proc) {
 		root := e.begin(q, p, 0, e.coord.ID(), alg.String(), "")
@@ -231,16 +274,31 @@ func (e *Engine) Run(rt fabric.Runtime, alg Algorithm, b *query.Bound) (*federat
 	if err != nil {
 		return nil, m, err
 	}
+	if ans != nil {
+		ans.Outcome = outcomeOf(ctx.Err())
+	}
 	e.record(q, ans, m)
-	e.profile(q, ans, m, waitMicros)
+	e.profile(q, ans, m, waitMicros, ctx.Err())
 	return ans, m, nil
+}
+
+// outcomeOf maps a context error onto the answer's Outcome field.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return federation.OutcomeOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return federation.OutcomeDeadline
+	default:
+		return federation.OutcomeCanceled
+	}
 }
 
 // profile assembles the query's trace.Profile from its spans and hands it to
 // the flight recorder. The latency recorded is the runtime's response time —
 // wall clock under the real runtime, virtual time under the DES — matching
 // what query_latency_us observes.
-func (e *Engine) profile(q *runCtx, ans *federation.Answer, m fabric.Metrics, waitMicros int64) {
+func (e *Engine) profile(q *runCtx, ans *federation.Answer, m fabric.Metrics, waitMicros int64, ctxErr error) {
 	if e.rec == nil || e.tracer == nil {
 		return
 	}
@@ -256,7 +314,9 @@ func (e *Engine) profile(q *runCtx, ans *federation.Answer, m fabric.Metrics, wa
 		for _, f := range ans.Unavailable {
 			unavailable = append(unavailable, string(f.Site))
 		}
-		p.SetOutcome(len(ans.Certain), len(ans.Maybe), unavailable, nil)
+		// A context error classifies the profile canceled/deadline — always
+		// retained by the flight recorder, like degraded and failed queries.
+		p.SetOutcome(len(ans.Certain), len(ans.Maybe), unavailable, ctxErr)
 	}
 	p.AddCounter("admission_wait_us", waitMicros)
 	for _, sc := range m.PerSite {
@@ -294,6 +354,29 @@ func (q *runCtx) siteFailed(site object.SiteID, reason string) {
 		}
 	}
 	q.failures = append(q.failures, federation.SiteFailure{Site: site, Reason: reason})
+}
+
+// interrupted is the strategies' cancellation checkpoint before a
+// site-bound step. A done context records the site as unavailable — the
+// step's contribution becomes unknown, so dependent results degrade to
+// maybe under exactly the site-failure semantics — and the step is skipped.
+// Deduplication in siteFailed keeps a site that is both faulted and
+// interrupt-skipped at one entry.
+func (q *runCtx) interrupted(p fabric.Proc, site object.SiteID) bool {
+	err := p.Context().Err()
+	if err == nil {
+		return false
+	}
+	q.siteFailed(site, ctxReason(err))
+	return true
+}
+
+// ctxReason renders a context error as a SiteFailure reason.
+func ctxReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline exceeded"
+	}
+	return "query canceled"
 }
 
 // dead returns the failed-site membership map for certification (nil when
@@ -365,6 +448,12 @@ func (e *Engine) record(q *runCtx, ans *federation.Answer, m fabric.Metrics) {
 					metrics.Labels{Site: coord, Peer: string(f.Site), Alg: q.alg}).Inc()
 			}
 		}
+		switch ans.Outcome {
+		case federation.OutcomeCanceled:
+			e.reg.Counter("queries_canceled_total", metrics.Labels{Site: coord, Alg: q.alg}).Inc()
+		case federation.OutcomeDeadline:
+			e.reg.Counter("deadline_exceeded_total", metrics.Labels{Site: coord, Alg: q.alg}).Inc()
+		}
 	}
 	for site, sc := range m.PerSite {
 		l := metrics.Labels{Site: string(site), Alg: q.alg}
@@ -413,6 +502,12 @@ func (e *Engine) runCA(q *runCtx, p fabric.Proc, b *query.Bound) *federation.Ans
 			if reason, down := siteDown(p, siteID); down {
 				q.siteFailed(siteID, reason)
 				c1.Detailf("unavailable: %s", reason).EndV(p.Now())
+				return
+			}
+			// Checkpoint after the fault delay: a Delay-faulted site whose
+			// sleep the context cut short must not ship anything.
+			if q.interrupted(p, siteID) {
+				c1.Detailf("skipped: %s", ctxReason(p.Context().Err())).EndV(p.Now())
 				return
 			}
 			site := e.sites[siteID]
@@ -478,6 +573,12 @@ func (e *Engine) dispatchChecks(q *runCtx, parent trace.SpanID, origin object.Si
 				c3.Detailf("unavailable: %s", reason).EndV(p.Now())
 				return
 			}
+			// An interrupted query stops dispatching checks; the unsolved
+			// predicates stay unknown, same as a dead target.
+			if q.interrupted(p, target) {
+				c3.Detailf("skipped: %s", ctxReason(p.Context().Err())).EndV(p.Now())
+				return
+			}
 			req := federation.CheckRequest{From: origin, Items: items}
 			p.Transfer(origin, target, req.WireSize())
 			reply := e.sites[target].CheckAssistants(p, items)
@@ -530,6 +631,11 @@ func (e *Engine) runBL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 				q.siteFailed(siteID, reason)
 				markDeadRoot(siteID)
 				c12.Detailf("unavailable: %s", reason).EndV(p.Now())
+				return
+			}
+			if q.interrupted(p, siteID) {
+				markDeadRoot(siteID)
+				c12.Detailf("skipped: %s", ctxReason(p.Context().Err())).EndV(p.Now())
 				return
 			}
 			site := e.sites[siteID]
@@ -602,6 +708,10 @@ func (e *Engine) runPL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 				markDeadRoot(siteID)
 				return
 			}
+			if q.interrupted(p, siteID) {
+				markDeadRoot(siteID)
+				return
+			}
 			p.Transfer(coord, siteID, federation.QueryWireSize(b))
 
 			// PL_C1 (phase O): locate unsolved items for every object and
@@ -614,6 +724,15 @@ func (e *Engine) runPL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 			checkH := make([]fabric.Handle, 0, len(checks))
 			for j, fn := range e.dispatchChecks(q, c1.ID(), siteID, checks, addReply) {
 				checkH = append(checkH, p.Go(fmt.Sprintf("%s-check-%d", siteID, j), fn))
+			}
+
+			// Mid-phase checkpoint: a query interrupted between dispatch (O)
+			// and local evaluation (P) skips the evaluation but still joins
+			// its in-flight checks, keeping the spawn/wait discipline intact.
+			if q.interrupted(p, siteID) {
+				markDeadRoot(siteID)
+				p.Wait(checkH...)
+				return
 			}
 
 			// PL_C2 (phase P) runs while the checks are in flight.

@@ -15,6 +15,7 @@
 package fabric
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hetfed/hetfed/internal/cost"
@@ -76,6 +77,12 @@ type Proc interface {
 	// are configured. Strategy code consults it to skip dead sites and
 	// degrade the answer instead of failing.
 	Faults() *FaultPlan
+	// Context returns the execution's context (context.Background when the
+	// runtime was given none). Strategy code checks it at phase boundaries
+	// and before per-site work so a cancelled or over-deadline query unwinds
+	// instead of running to completion; Sleep honors it, so injected Delay
+	// faults cannot outlive the query's budget.
+	Context() context.Context
 }
 
 // SiteCost is the local work charged to one site during an execution.
@@ -113,6 +120,19 @@ type Metrics struct {
 type Runtime interface {
 	// Run executes fn to completion, including all tasks it spawned.
 	Run(name string, fn func(Proc)) (Metrics, error)
+}
+
+// ContextRuntime is a Runtime that can bind a context consulted by its
+// Procs (both Real and Sim implement it). Callers that hold a context
+// type-assert against it; a runtime without context support simply runs to
+// completion, which stays correct — cancellation is an optimization of how
+// fast a doomed query unwinds, never of what it answers.
+type ContextRuntime interface {
+	Runtime
+	// BindContext returns a runtime whose Procs return ctx from Context.
+	// The receiver is not mutated: a shared runtime serving concurrent runs
+	// hands each caller its own context-bound view.
+	BindContext(ctx context.Context) Runtime
 }
 
 func forkImpl(p Proc, fns []func(Proc)) {

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -20,9 +21,13 @@ import (
 type Real struct {
 	rates  Rates
 	faults *FaultPlan
+	ctx    context.Context
 }
 
-var _ Runtime = (*Real)(nil)
+var (
+	_ Runtime        = (*Real)(nil)
+	_ ContextRuntime = (*Real)(nil)
+)
 
 // NewReal returns a real runtime with the given cost rates (used only to
 // convert counts into modeled work for Metrics).
@@ -36,6 +41,19 @@ func (r *Real) WithFaults(fp *FaultPlan) *Real {
 	r.faults = fp
 	return r
 }
+
+// WithContext returns a copy of the runtime bound to ctx, consulted by
+// Proc.Context and honored by Sleep (a cancelled context cuts injected
+// delays short). The receiver is left untouched so a Real shared by
+// concurrent Runs can bind a different context per query.
+func (r *Real) WithContext(ctx context.Context) *Real {
+	r2 := *r
+	r2.ctx = ctx
+	return &r2
+}
+
+// BindContext implements ContextRuntime.
+func (r *Real) BindContext(ctx context.Context) Runtime { return r.WithContext(ctx) }
 
 // realRun holds the state of one Run invocation. Concurrent Runs over a
 // shared Real each get their own realRun, so their sinks, byte counters
@@ -168,12 +186,34 @@ func (p *realProc) Now() float64 {
 	return float64(time.Since(p.run.start).Nanoseconds()) / 1e3
 }
 
-// Sleep implements Proc: a wall-clock sleep.
+// Sleep implements Proc: a wall-clock sleep, cut short when the runtime's
+// context is done — a wedged (Delay-faulted) site step must not outlive the
+// query's deadline or cancellation.
 func (p *realProc) Sleep(micros float64) {
-	if micros > 0 {
-		time.Sleep(time.Duration(micros * float64(time.Microsecond)))
+	if micros <= 0 {
+		return
+	}
+	d := time.Duration(micros * float64(time.Microsecond))
+	ctx := p.run.rt.ctx
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }
 
 // Faults implements Proc.
 func (p *realProc) Faults() *FaultPlan { return p.run.rt.faults }
+
+// Context implements Proc.
+func (p *realProc) Context() context.Context {
+	if p.run.rt.ctx != nil {
+		return p.run.rt.ctx
+	}
+	return context.Background()
+}

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hetfed/hetfed/internal/cost"
@@ -18,6 +19,7 @@ import (
 type Sim struct {
 	rates  Rates
 	faults *FaultPlan
+	ctx    context.Context
 	sim    *des.Simulator
 	cpu    map[object.SiteID]*des.Resource
 	disk   map[object.SiteID]*des.Resource
@@ -34,7 +36,10 @@ type Sim struct {
 	used      bool
 }
 
-var _ Runtime = (*Sim)(nil)
+var (
+	_ Runtime        = (*Sim)(nil)
+	_ ContextRuntime = (*Sim)(nil)
+)
 
 // NewSim returns a simulated runtime for the given sites (component
 // databases plus the global processing site).
@@ -62,6 +67,19 @@ func (s *Sim) WithFaults(fp *FaultPlan) *Sim {
 	s.faults = fp
 	return s
 }
+
+// WithContext binds a context consulted by Proc.Context. The simulator runs
+// in virtual time, so cancellation is checked (Sleep skips its delay and
+// strategy code unwinds at its next checkpoint) rather than interrupting a
+// running event. Call before Run.
+func (s *Sim) WithContext(ctx context.Context) *Sim {
+	s.ctx = ctx
+	return s
+}
+
+// BindContext implements ContextRuntime. A Sim is single-use and never
+// shared, so binding in place is safe.
+func (s *Sim) BindContext(ctx context.Context) Runtime { return s.WithContext(ctx) }
 
 // Run implements Runtime.
 func (s *Sim) Run(name string, fn func(Proc)) (Metrics, error) {
@@ -150,15 +168,29 @@ func (sp *simProc) Transfer(from, to object.SiteID, bytes int) {
 // Now implements Proc: the current virtual time.
 func (sp *simProc) Now() float64 { return sp.p.Now() }
 
-// Sleep implements Proc: a virtual-time delay.
+// Sleep implements Proc: a virtual-time delay, skipped once the runtime's
+// context is done (a cancelled query stops accumulating injected Delay
+// faults in virtual time).
 func (sp *simProc) Sleep(micros float64) {
-	if micros > 0 {
-		sp.p.Delay(micros)
+	if micros <= 0 {
+		return
 	}
+	if ctx := sp.rt.ctx; ctx != nil && ctx.Err() != nil {
+		return
+	}
+	sp.p.Delay(micros)
 }
 
 // Faults implements Proc.
 func (sp *simProc) Faults() *FaultPlan { return sp.rt.faults }
+
+// Context implements Proc.
+func (sp *simProc) Context() context.Context {
+	if sp.rt.ctx != nil {
+		return sp.rt.ctx
+	}
+	return context.Background()
+}
 
 // simSink charges CPU and disk events as virtual time on the site's
 // resources. It is bound to one process and must not be shared.

@@ -88,10 +88,28 @@ type Answer struct {
 	// Unavailable lists the sites that could not contribute, with reasons,
 	// sorted by site. Empty unless Degraded.
 	Unavailable []SiteFailure
+	// Outcome records how the execution ended: OutcomeOK for a run that
+	// completed, OutcomeCanceled when the caller cancelled it mid-flight,
+	// OutcomeDeadline when its deadline expired. An interrupted query still
+	// returns a sound partial answer — whatever certified before the cut
+	// stays certain, everything pending stays maybe — exactly the degraded
+	// semantics with the interruption as one more missingness mechanism.
+	Outcome string
 	// Stats summarizes how the answer came to be (observability; not part
 	// of the paper's answer model).
 	Stats AnswerStats
 }
+
+// Answer outcomes.
+const (
+	OutcomeOK       = ""         // run to completion
+	OutcomeCanceled = "canceled" // caller cancelled mid-flight
+	OutcomeDeadline = "deadline" // per-query deadline expired
+)
+
+// Interrupted reports whether the execution was cut short (cancelled or
+// over deadline) rather than run to completion.
+func (a *Answer) Interrupted() bool { return a.Outcome != OutcomeOK }
 
 // MarkDegraded records the given site failures on the answer, deduplicating
 // by site (first reason wins) and keeping the list sorted. A no-op for an

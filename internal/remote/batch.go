@@ -53,7 +53,11 @@ type batchOutcome struct {
 type pendingChecks struct {
 	items []federation.CheckItem
 	trace TraceContext
-	done  chan batchOutcome
+	// deadline is the originating query's budget expiry (zero when the
+	// query has none); the batch RPC's wire budget is derived from its
+	// entries' deadlines.
+	deadline time.Time
+	done     chan batchOutcome
 }
 
 // peerQueue accumulates the pending check groups bound for one peer.
@@ -90,8 +94,8 @@ func newBatcher(s *Server, cfg BatchConfig) *batcher {
 
 // enqueue queues one query's check items for the target peer and returns
 // the entry whose done channel will carry that query's own verdicts.
-func (b *batcher) enqueue(target object.SiteID, items []federation.CheckItem, tc TraceContext) *pendingChecks {
-	entry := &pendingChecks{items: items, trace: tc, done: make(chan batchOutcome, 1)}
+func (b *batcher) enqueue(target object.SiteID, items []federation.CheckItem, tc TraceContext, deadline time.Time) *pendingChecks {
+	entry := &pendingChecks{items: items, trace: tc, deadline: deadline, done: make(chan batchOutcome, 1)}
 	bytes := federation.CheckRequest{From: b.s.Site(), Items: items}.WireSize()
 
 	b.mu.Lock()
@@ -119,6 +123,32 @@ func (b *batcher) enqueue(target object.SiteID, items []federation.CheckItem, tc
 		b.mu.Unlock()
 	}
 	return entry
+}
+
+// remove pulls a still-queued entry out of its peer queue — the owning
+// query was cancelled while its checks waited for the flush window. It
+// reports whether the entry was removed; false means the entry already
+// flushed (its batch is in flight) and the caller should simply abandon it:
+// the buffered done channel lets the batch complete without a receiver.
+func (b *batcher) remove(target object.SiteID, entry *pendingChecks) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[target]
+	if q == nil {
+		return false
+	}
+	for i, e := range q.entries {
+		if e == entry {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.bytes -= federation.CheckRequest{From: b.s.Site(), Items: e.items}.WireSize()
+			if len(q.entries) == 0 && q.timer != nil {
+				q.timer.Stop()
+				q.timer = nil
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // takeLocked drains a queue (caller holds b.mu) and disarms its timer.
@@ -197,10 +227,28 @@ func (b *batcher) send(target object.SiteID, entries []*pendingChecks, bytes int
 	reg.Histogram("check_batch_groups", metrics.Labels{Site: self}).Observe(float64(len(groups)))
 	reg.Histogram("check_batch_bytes", metrics.Labels{Site: self}).Observe(float64(bytes))
 
+	// The batch's wire budget is the WIDEST of its entries' budgets: a tight
+	// query sharing a batch with a roomy one must not cut the roomy one's
+	// checks short. Any entry without a deadline lifts the budget entirely.
+	var budget int64
+	for i, e := range entries {
+		if e.deadline.IsZero() {
+			budget = 0
+			break
+		}
+		rem := time.Until(e.deadline).Microseconds() + 1
+		if rem < 1 {
+			rem = 1
+		}
+		if i == 0 || rem > budget {
+			budget = rem
+		}
+	}
 	resp, w, err := b.s.client.call(target, addr, Request{
-		Kind:  kindCheckBatch,
-		Batch: groups,
-		Trace: entries[0].trace,
+		Kind:           kindCheckBatch,
+		Batch:          groups,
+		Trace:          entries[0].trace,
+		DeadlineMicros: budget,
 	})
 	reg.Counter("net_bytes_total",
 		metrics.Labels{Site: self, Peer: string(target), Alg: entries[0].trace.Alg}).Add(w.Sent)

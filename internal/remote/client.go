@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -227,12 +228,30 @@ func (cl *client) close() {
 // call performs one request/response exchange with the site server at addr,
 // with retries and breaker accounting, under the config's call timeout.
 func (cl *client) call(site object.SiteID, addr string, req Request) (Response, wireStats, error) {
-	return cl.callTimeout(site, addr, req, cl.cfg.CallTimeout)
+	return cl.callCtx(context.Background(), site, addr, req)
 }
 
-// callTimeout is call with an explicit per-exchange timeout (health probes
-// use a tighter bound than queries).
-func (cl *client) callTimeout(site object.SiteID, addr string, req Request, timeout time.Duration) (Response, wireStats, error) {
+// callCtx is call under a caller context. The context does three jobs:
+//
+//   - Budget on the wire: the remaining time until ctx's deadline is stamped
+//     onto the request (Request.DeadlineMicros) as a relative duration, so
+//     the server re-arms the budget on arrival regardless of clock skew.
+//   - Per-attempt timeouts: each exchange runs under the smaller of the
+//     configured call timeout and the remaining budget — a 50ms budget never
+//     waits out a 60s timeout.
+//   - Cancellation: a dying context aborts backoff sleeps and slams the
+//     in-flight connection's deadline (see pconn.exchange). A call ended by
+//     its context returns the ctx error (errors.Is-able against
+//     context.Canceled / DeadlineExceeded), is NOT retried, and does NOT
+//     charge the circuit breaker — the caller going away says nothing about
+//     the peer's health.
+func (cl *client) callCtx(ctx context.Context, site object.SiteID, addr string, req Request) (Response, wireStats, error) {
+	return cl.callTimeout(ctx, site, addr, req, cl.cfg.CallTimeout)
+}
+
+// callTimeout is callCtx with an explicit per-exchange timeout (health
+// probes use a tighter bound than queries).
+func (cl *client) callTimeout(ctx context.Context, site object.SiteID, addr string, req Request, timeout time.Duration) (Response, wireStats, error) {
 	br := cl.breaker(site)
 	if br != nil && !br.Allow() {
 		cl.reg.Counter("breaker_fastfail_total",
@@ -246,20 +265,39 @@ func (cl *client) callTimeout(site object.SiteID, addr string, req Request, time
 	)
 	p := cl.pool(addr)
 	for attempt := 1; attempt <= cl.cfg.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Response{}, stats, fmt.Errorf("remote: call %s: %w", addr, err)
+		}
 		if attempt > 1 {
 			cl.reg.Counter("call_retries_total",
 				metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
-			time.Sleep(cl.cfg.backoff(attempt - 1))
+			if !sleepCtx(ctx, cl.cfg.backoff(attempt-1)) {
+				return Response{}, stats, fmt.Errorf("remote: call %s: %w", addr, ctx.Err())
+			}
+		}
+		// Derive this attempt's timeout and wire budget from the remaining
+		// context budget (the tighter bound wins).
+		t := timeout
+		r := req
+		if dl, ok := ctx.Deadline(); ok {
+			rem := time.Until(dl)
+			if rem <= 0 {
+				return Response{}, stats, fmt.Errorf("remote: call %s: %w", addr, context.DeadlineExceeded)
+			}
+			if rem < t {
+				t = rem
+			}
+			r.DeadlineMicros = rem.Microseconds() + 1
 		}
 		pc, pooled, err := p.get()
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		resp, w, err := pc.exchange(req, timeout)
+		resp, w, err := pc.exchange(ctx, r, t)
 		stats.Sent += w.Sent
 		stats.Received += w.Received
-		if err != nil && pooled {
+		if err != nil && pooled && ctx.Err() == nil {
 			// A connection that idled in the pool across a peer restart is
 			// dead on first use; that says nothing about the peer's current
 			// health. Discard it and redial once for free — this probe does
@@ -272,19 +310,34 @@ func (cl *client) callTimeout(site object.SiteID, addr string, req Request, time
 				lastErr = err
 				continue
 			}
-			resp, w, err = pc.exchange(req, timeout)
+			resp, w, err = pc.exchange(ctx, r, t)
 			stats.Sent += w.Sent
 			stats.Received += w.Received
 		}
 		if err != nil {
 			// The connection is torn; never reuse it.
 			pc.close()
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				// The context tore it, not the peer: typed return, no retry,
+				// no breaker charge.
+				return Response{}, stats, fmt.Errorf("remote: call %s: %w", addr, ctxErr)
+			}
 			lastErr = fmt.Errorf("%s: %w", addr, err)
 			continue
 		}
 		p.put(pc)
 		if br != nil {
 			br.Success()
+		}
+		if resp.Err == errDeadline {
+			// The budget died on the server's side of the wire; same typed
+			// error as if it had died here.
+			return Response{}, stats, fmt.Errorf("remote: %s: %w", addr, context.DeadlineExceeded)
+		}
+		if resp.Err == errUnavailable {
+			// Injected fault: the site is "down" by decree; degrade like a
+			// real outage.
+			return Response{}, stats, &SiteError{Site: site, Err: errors.New(resp.Err)}
 		}
 		if resp.Err != "" {
 			// The site answered: it is alive, the request itself is bad.
@@ -298,6 +351,29 @@ func (cl *client) callTimeout(site object.SiteID, addr string, req Request, time
 	cl.reg.Counter("call_failures_total",
 		metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
 	return Response{}, stats, &SiteError{Site: site, Err: lastErr}
+}
+
+// sleepCtx sleeps for d unless ctx dies first; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// IsInterrupted reports whether err carries a context cancellation or
+// deadline expiry — from either side of the wire.
+func IsInterrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // IsSiteUnavailable reports whether err marks a transport-level site

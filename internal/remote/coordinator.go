@@ -59,6 +59,11 @@ type Coordinator struct {
 	// control); calls beyond the bound wait for a slot. Zero or negative
 	// means unbounded. Read at the first Query; set before serving.
 	MaxConcurrent int
+	// Deadline, when positive, caps every query's end-to-end time.
+	// QueryContext applies it only when the caller's context carries no
+	// deadline of its own. An over-deadline query returns its sound partial
+	// answer with Answer.Outcome = OutcomeDeadline.
+	Deadline time.Duration
 
 	// mu guards Tables (and the Matcher behind it) between concurrent
 	// Query and Insert calls.
@@ -70,7 +75,17 @@ type Coordinator struct {
 
 	gateOnce sync.Once
 	gate     chan struct{}
+
+	// resyncMu guards the pending-delta queues: bind deltas a replica
+	// missed (failed broadcast), re-sent on the next successful Ping.
+	resyncMu sync.Mutex
+	resync   map[object.SiteID][]*BindDelta
 }
+
+// maxPendingDeltas bounds each peer's pending-delta resync queue; beyond
+// it the oldest delta is dropped (replica_resync_dropped_total) — a replica
+// that far behind needs a rebuild, not a replay.
+const maxPendingDeltas = 256
 
 // client lazily builds the coordinator's pooled site-call client so the
 // zero-value-plus-fields construction pattern keeps working.
@@ -96,27 +111,46 @@ func (c *Coordinator) BreakerStates() map[object.SiteID]string {
 	return c.client().BreakerStates()
 }
 
-// admit blocks until the query is admitted under MaxConcurrent and returns
-// the release function plus the microseconds this admission waited (0 when
-// admitted immediately). Admission happens after parse/bind (cheap, local)
-// and before any network work.
-func (c *Coordinator) admit(alg string) (func(), int64) {
+// admit blocks until the query is admitted under MaxConcurrent, the context
+// expires, or the caller goes away; it returns the release function plus
+// the microseconds this admission waited (0 when admitted immediately).
+// Admission happens after parse/bind (cheap, local) and before any network
+// work. A query whose context dies pre-slot is shed (queries_shed_total)
+// with the matching typed error — overload never queues doomed work.
+func (c *Coordinator) admit(ctx context.Context, alg string) (func(), int64, error) {
 	c.gateOnce.Do(func() {
 		if c.MaxConcurrent > 0 {
 			c.gate = make(chan struct{}, c.MaxConcurrent)
 		}
 	})
 	if c.gate == nil {
-		return func() {}, 0
+		return func() {}, 0, nil
 	}
 	self := string(c.ID)
+	shed := func(cause error) error {
+		c.Metrics.Counter("queries_shed_total", metrics.Labels{Site: self}).Inc()
+		if errors.Is(cause, context.DeadlineExceeded) {
+			return exec.ErrShed
+		}
+		return exec.ErrCanceled
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, shed(err)
+	}
 	var waited int64
 	select {
 	case c.gate <- struct{}{}:
 	default:
 		c.Metrics.Counter("queries_queued_total", metrics.Labels{Site: self}).Inc()
 		start := time.Now()
-		c.gate <- struct{}{}
+		select {
+		case c.gate <- struct{}{}:
+		case <-ctx.Done():
+			waited = time.Since(start).Microseconds()
+			c.Metrics.Histogram("admission_wait_us", metrics.Labels{Site: self, Alg: alg}).
+				Observe(float64(waited))
+			return nil, waited, shed(ctx.Err())
+		}
 		waited = time.Since(start).Microseconds()
 		c.Metrics.Histogram("admission_wait_us", metrics.Labels{Site: self, Alg: alg}).
 			Observe(float64(waited))
@@ -125,7 +159,7 @@ func (c *Coordinator) admit(alg string) (func(), int64) {
 	return func() {
 		c.Metrics.Gauge("queries_inflight", metrics.Labels{Site: self}).Add(-1)
 		<-c.gate
-	}, waited
+	}, waited, nil
 }
 
 // qctx scopes one networked query execution.
@@ -167,9 +201,13 @@ func (c *Coordinator) Ping() error {
 		wg.Add(1)
 		go func(i int, site object.SiteID) {
 			defer wg.Done()
-			if _, _, err := cl.callTimeout(site, c.Sites[site], Request{Kind: kindPing}, pingTimeout); err != nil {
+			if _, _, err := cl.callTimeout(context.Background(), site, c.Sites[site], Request{Kind: kindPing}, pingTimeout); err != nil {
 				errs[i] = fmt.Errorf("remote: site %s unreachable: %w", site, err)
+				return
 			}
+			// The site answered: if its replica missed bind deltas while it
+			// was down, bring it back in sync now.
+			c.replayResync(site)
 		}(i, site)
 	}
 	wg.Wait()
@@ -178,7 +216,21 @@ func (c *Coordinator) Ping() error {
 
 // Query parses, binds and executes a global query under the given strategy
 // across the cluster, returning the answer and the wall-clock time spent.
+// Equivalent to QueryContext with context.Background().
 func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer, time.Duration, error) {
+	return c.QueryContext(context.Background(), text, alg)
+}
+
+// QueryContext is Query under a caller context: the deadline travels to
+// every site as a remaining-budget stamp on each request, cancellation
+// unwinds the fan-out (in-flight exchanges are cut, queued batch items
+// withdrawn, the admission slot released), and a query whose context dies
+// while queued for admission is shed with a typed error. An admitted query
+// that is interrupted mid-flight does NOT fail: it returns its sound
+// partial answer with Answer.Outcome set (canceled/deadline) and the
+// skipped sites listed as unavailable. When Deadline is set and ctx has no
+// deadline, the coordinator's default applies.
+func (c *Coordinator) QueryContext(ctx context.Context, text string, alg exec.Algorithm) (*federation.Answer, time.Duration, error) {
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, 0, err
@@ -187,7 +239,20 @@ func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer
 	if err != nil {
 		return nil, 0, err
 	}
-	release, waitMicros := c.admit(alg.String())
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.Deadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.Deadline)
+			defer cancel()
+		}
+	}
+	release, waitMicros, admitErr := c.admit(ctx, alg.String())
+	if admitErr != nil {
+		return nil, 0, admitErr
+	}
 	defer release()
 
 	start := time.Now()
@@ -197,20 +262,27 @@ func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer
 	var ans *federation.Answer
 	switch alg {
 	case exec.CA:
-		ans, err = c.runCA(qc, text, b)
+		ans, err = c.runCA(ctx, qc, text, b)
 	case exec.BL:
-		ans, err = c.runLocalized(qc, text, b, ModeBL)
+		ans, err = c.runLocalized(ctx, qc, text, b, ModeBL)
 	case exec.PL:
-		ans, err = c.runLocalized(qc, text, b, ModePL)
+		ans, err = c.runLocalized(ctx, qc, text, b, ModePL)
 	case exec.SBL:
-		ans, err = c.runLocalized(qc, text, b, ModeSBL)
+		ans, err = c.runLocalized(ctx, qc, text, b, ModeSBL)
 	case exec.SPL:
-		ans, err = c.runLocalized(qc, text, b, ModeSPL)
+		ans, err = c.runLocalized(ctx, qc, text, b, ModeSPL)
 	default:
 		root.End()
 		return nil, 0, fmt.Errorf("remote: unsupported algorithm %v", alg)
 	}
 	if ans != nil {
+		switch ctxErr := ctx.Err(); {
+		case ctxErr == nil:
+		case errors.Is(ctxErr, context.DeadlineExceeded):
+			ans.Outcome = federation.OutcomeDeadline
+		default:
+			ans.Outcome = federation.OutcomeCanceled
+		}
 		root.Add("certain", int64(len(ans.Certain))).Add("maybe", int64(len(ans.Maybe)))
 		if ans.Degraded {
 			root.Add("degraded", 1)
@@ -218,11 +290,18 @@ func (c *Coordinator) Query(text string, alg exec.Algorithm) (*federation.Answer
 				root.Detailf("unavailable %s", f)
 			}
 		}
+		if ans.Interrupted() {
+			root.Detailf("interrupted: %s", ans.Outcome)
+		}
 	}
 	root.End()
 	d := time.Since(start)
 	c.observeQuery(qc, ans, d, err)
-	c.profile(qc, ans, d, waitMicros, err)
+	profErr := err
+	if profErr == nil {
+		profErr = ctx.Err()
+	}
+	c.profile(qc, ans, d, waitMicros, profErr)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -271,6 +350,12 @@ func (c *Coordinator) observeQuery(q *qctx, ans *federation.Answer, d time.Durat
 		if ans.Degraded {
 			c.Metrics.Counter("degraded_queries_total",
 				metrics.Labels{Site: self, Alg: q.alg}).Inc()
+		}
+		switch ans.Outcome {
+		case federation.OutcomeCanceled:
+			c.Metrics.Counter("queries_canceled_total", metrics.Labels{Site: self, Alg: q.alg}).Inc()
+		case federation.OutcomeDeadline:
+			c.Metrics.Counter("deadline_exceeded_total", metrics.Labels{Site: self, Alg: q.alg}).Inc()
 		}
 	}
 	if c.Log != nil {
@@ -352,12 +437,70 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 			if _, _, err := cl.call(peer, c.Sites[peer], Request{Kind: kindBind, Bind: delta}); err != nil {
 				c.Metrics.Counter("replica_stale_total",
 					metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Inc()
+				c.queueResync(peer, delta)
 				errs[i] = fmt.Errorf("remote: replica at %s is stale: %w", peer, err)
 			}
 		}(i, peer)
 	}
 	wg.Wait()
 	return goid, errors.Join(errs...)
+}
+
+// queueResync remembers a bind delta a replica missed (its broadcast
+// failed) so the next successful Ping can replay it. Each peer's queue is
+// bounded at maxPendingDeltas; beyond it the oldest deltas are dropped and
+// counted — a replica that far behind needs a rebuild, not a replay.
+func (c *Coordinator) queueResync(peer object.SiteID, delta *BindDelta) {
+	c.resyncMu.Lock()
+	defer c.resyncMu.Unlock()
+	if c.resync == nil {
+		c.resync = make(map[object.SiteID][]*BindDelta)
+	}
+	q := append(c.resync[peer], delta)
+	if drop := len(q) - maxPendingDeltas; drop > 0 {
+		q = append([]*BindDelta(nil), q[drop:]...)
+		c.Metrics.Counter("replica_resync_dropped_total",
+			metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Add(int64(drop))
+	}
+	c.resync[peer] = q
+}
+
+// replayResync re-sends a reachable peer's pending bind deltas in order.
+// A delta that fails again puts itself and everything after it back at the
+// front of the queue (preserving order against deltas queued meanwhile) for
+// the next Ping to retry.
+func (c *Coordinator) replayResync(peer object.SiteID) {
+	c.resyncMu.Lock()
+	pending := c.resync[peer]
+	delete(c.resync, peer)
+	c.resyncMu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	cl := c.client()
+	addr, ok := c.Sites[peer]
+	if !ok {
+		return
+	}
+	for i, delta := range pending {
+		if _, _, err := cl.call(peer, addr, Request{Kind: kindBind, Bind: delta}); err != nil {
+			c.resyncMu.Lock()
+			if c.resync == nil {
+				c.resync = make(map[object.SiteID][]*BindDelta)
+			}
+			q := append(append([]*BindDelta(nil), pending[i:]...), c.resync[peer]...)
+			if drop := len(q) - maxPendingDeltas; drop > 0 {
+				q = append([]*BindDelta(nil), q[drop:]...)
+				c.Metrics.Counter("replica_resync_dropped_total",
+					metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Add(int64(drop))
+			}
+			c.resync[peer] = q
+			c.resyncMu.Unlock()
+			return
+		}
+		c.Metrics.Counter("replica_resync_total",
+			metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Inc()
+	}
 }
 
 // siteResponse is one site's outcome in a fan-out: its response, or the
@@ -380,7 +523,7 @@ type siteResponse struct {
 // failures (dead sites, open breakers) become SiteFailures — the query
 // degrades; an error a site answered (bad query) is deterministic and fails
 // the fan-out.
-func (c *Coordinator) fanOut(q *qctx, phases string, sites []object.SiteID, req Request) ([]siteResponse, []federation.SiteFailure, error) {
+func (c *Coordinator) fanOut(ctx context.Context, q *qctx, phases string, sites []object.SiteID, req Request) ([]siteResponse, []federation.SiteFailure, error) {
 	addrs := make([]string, len(sites))
 	for i, site := range sites {
 		addr, ok := c.Sites[site]
@@ -402,7 +545,7 @@ func (c *Coordinator) fanOut(q *qctx, phases string, sites []object.SiteID, req 
 			req := req
 			req.Trace = TraceContext{QueryID: q.qid, Alg: q.alg, Span: uint64(sp.ID()), From: c.ID}
 			var w wireStats
-			resps[i], w, errs[i] = cl.call(site, addr, req)
+			resps[i], w, errs[i] = cl.callCtx(ctx, site, addr, req)
 			sp.Add("sent_bytes", w.Sent).Add("recv_bytes", w.Received).
 				Detailf("site %s", site)
 			if errs[i] != nil {
@@ -430,6 +573,12 @@ func (c *Coordinator) fanOut(q *qctx, phases string, sites []object.SiteID, req 
 		switch {
 		case err == nil:
 			ok = append(ok, siteResponse{Site: sites[i], Resp: resps[i]})
+		case IsInterrupted(err):
+			// The budget died (here or at the site) or the caller left: what
+			// this site would have contributed stays unknown — degrade, but
+			// leave the site's health record (breaker, unavailable counter)
+			// untouched.
+			dead = append(dead, federation.SiteFailure{Site: sites[i], Reason: err.Error()})
 		case IsSiteUnavailable(err):
 			c.Metrics.Counter("site_unavailable_total",
 				metrics.Labels{Site: string(c.ID), Peer: string(sites[i]), Alg: q.alg}).Inc()
@@ -456,8 +605,8 @@ func deadMap(failures []federation.SiteFailure) map[object.SiteID]bool {
 	return m
 }
 
-func (c *Coordinator) runCA(q *qctx, text string, b *query.Bound) (*federation.Answer, error) {
-	resps, failures, err := c.fanOut(q, "O", b.InvolvedSites(), Request{Kind: kindRetrieve, Query: text})
+func (c *Coordinator) runCA(ctx context.Context, q *qctx, text string, b *query.Bound) (*federation.Answer, error) {
+	resps, failures, err := c.fanOut(ctx, q, "O", b.InvolvedSites(), Request{Kind: kindRetrieve, Query: text})
 	if err != nil {
 		return nil, err
 	}
@@ -469,7 +618,7 @@ func (c *Coordinator) runCA(q *qctx, text string, b *query.Bound) (*federation.A
 	defer c.mu.RUnlock()
 	coord := federation.NewCoordinator(c.ID, c.Global, c.Tables)
 	var ans *federation.Answer
-	err = runReal("ca-coordinator", func(p fabric.Proc) {
+	err = runReal(ctx, "ca-coordinator", func(p fabric.Proc) {
 		g2 := c.span(q, q.root, "CA_G2", "I")
 		view := coord.Materialize(p, b, replies)
 		g2.Detailf("materialized %d objects", view.Len()).End()
@@ -490,8 +639,8 @@ func (c *Coordinator) runCA(q *qctx, text string, b *query.Bound) (*federation.A
 	return ans, err
 }
 
-func (c *Coordinator) runLocalized(q *qctx, text string, b *query.Bound, mode string) (*federation.Answer, error) {
-	resps, failures, err := c.fanOut(q, reqPhases(Request{Kind: kindLocal, Mode: mode}), b.RootSites(),
+func (c *Coordinator) runLocalized(ctx context.Context, q *qctx, text string, b *query.Bound, mode string) (*federation.Answer, error) {
+	resps, failures, err := c.fanOut(ctx, q, reqPhases(Request{Kind: kindLocal, Mode: mode}), b.RootSites(),
 		Request{Kind: kindLocal, Query: text, Mode: mode})
 	if err != nil {
 		return nil, err
@@ -515,7 +664,7 @@ func (c *Coordinator) runLocalized(q *qctx, text string, b *query.Bound, mode st
 	defer c.mu.RUnlock()
 	coord := federation.NewCoordinator(c.ID, c.Global, c.Tables)
 	var ans *federation.Answer
-	err = runReal("certify", func(p fabric.Proc) {
+	err = runReal(ctx, "certify", func(p fabric.Proc) {
 		g2 := c.span(q, q.root, "certify", "I")
 		ans = coord.CertifyDegraded(p, b, results, replies, deadMap(failures))
 		g2.End()

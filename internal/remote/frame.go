@@ -1,0 +1,58 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrameBytes caps one gob-decoded message on an accepted
+// connection. gob allocates buffers according to lengths read off the wire,
+// so an unlimited decode lets one malformed (or hostile) frame balloon the
+// server's memory; 8 MiB comfortably covers the largest legitimate reply in
+// the workloads while stopping runaway frames.
+const DefaultMaxFrameBytes = 8 << 20
+
+// ErrFrameTooLarge marks a gob message that exceeded the connection's frame
+// limit. The connection is torn down — a gob stream cannot be resynchronized
+// mid-message — and frames_rejected_total counts the event.
+var ErrFrameTooLarge = errors.New("remote: frame exceeds maximum size")
+
+// frameLimitReader bounds the bytes one gob message may pull off a
+// connection. The server resets it before each Decode; a message that reads
+// past the limit trips the reader, which then refuses further reads with
+// ErrFrameTooLarge.
+//
+// The accounting is per-decode, not per-wire-frame: gob's internal buffering
+// may read a little of the next message into the current window, so the
+// effective limit is approximate by up to the decoder's read-ahead (~4 KiB)
+// — negligible against a megabyte-scale limit, and always on the permissive
+// side.
+type frameLimitReader struct {
+	r       io.Reader
+	limit   int64
+	n       int64
+	tripped bool
+}
+
+func (f *frameLimitReader) Read(p []byte) (int, error) {
+	if f.limit <= 0 {
+		return f.r.Read(p)
+	}
+	if f.n >= f.limit {
+		f.tripped = true
+		return 0, fmt.Errorf("%w (limit %d bytes)", ErrFrameTooLarge, f.limit)
+	}
+	if int64(len(p)) > f.limit-f.n {
+		p = p[:f.limit-f.n]
+	}
+	n, err := f.r.Read(p)
+	f.n += int64(n)
+	return n, err
+}
+
+// reset starts a new message window.
+func (f *frameLimitReader) reset() {
+	f.n = 0
+	f.tripped = false
+}

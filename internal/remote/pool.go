@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -24,8 +25,21 @@ func (pc *pconn) close() { _ = pc.conn.Close() }
 // exchange performs one request/response round trip on the connection under
 // the given deadline, returning the bytes moved in each direction. A
 // non-nil error means the connection is no longer usable.
-func (pc *pconn) exchange(req Request, timeout time.Duration) (Response, wireStats, error) {
+//
+// A cancelable ctx arms an AfterFunc that slams the connection deadline
+// into the past the moment the context dies, so a blocking gob read or
+// write unwinds immediately instead of running out its timeout — this is
+// how client disconnect propagates into an in-flight exchange. The caller
+// distinguishes "ctx killed it" from a genuine transport failure by
+// checking ctx.Err first.
+func (pc *pconn) exchange(ctx context.Context, req Request, timeout time.Duration) (Response, wireStats, error) {
 	_ = pc.conn.SetDeadline(time.Now().Add(timeout))
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			_ = pc.conn.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
 	sent0, recv0 := pc.cw.n, pc.cr.n
 	stats := func() wireStats { return wireStats{Sent: pc.cw.n - sent0, Received: pc.cr.n - recv0} }
 	if err := pc.enc.Encode(req); err != nil {

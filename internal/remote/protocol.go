@@ -47,6 +47,20 @@ const (
 	ModeSPL = "SPL"
 )
 
+// errDeadline is the server's answer when a request's wire budget
+// (Request.DeadlineMicros) expired while serving it. The client maps it
+// back onto context.DeadlineExceeded, so callers see the same typed error
+// whether the budget died on their side of the wire or the server's — and
+// the circuit breaker is never charged: an over-budget request says nothing
+// about the site's health.
+const errDeadline = "deadline exceeded at site"
+
+// errUnavailable is the server's answer when its injected fault plan
+// (ServerConfig.Faults) marks the site down. The client maps it onto a
+// SiteError, so an injected outage degrades queries exactly like a real
+// one, without tearing connections.
+const errUnavailable = "site unavailable (injected fault)"
+
 // TraceContext propagates span context across the wire: a server handling
 // a request records its work as a child span of Span in its own tracer,
 // scoped to the same query, so the coordinator's span tree and the sites'
@@ -69,6 +83,13 @@ type Request struct {
 	// Trace carries the caller's span context; the zero value means an
 	// untraced request.
 	Trace TraceContext
+	// DeadlineMicros is the query budget remaining at the caller when the
+	// request was sent, in microseconds; 0 means no deadline. The budget is
+	// relative — a duration, not a wall-clock instant — so it survives clock
+	// skew between machines: the server re-arms its own timer on arrival
+	// (the network transit time is the caller's risk, not a skew error) and
+	// aborts O/I/P work when it expires, answering errDeadline.
+	DeadlineMicros int64
 	// Query is the global query text for retrieve and local requests; the
 	// site binds it against its own copy of the global schema.
 	Query string

@@ -1,0 +1,352 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/federation"
+	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+// startRobustCluster is startObservedCluster with a per-site ServerConfig
+// hook, for tests that need faults, frame limits or idle timeouts.
+func startRobustCluster(t *testing.T, mod func(site object.SiteID, cfg *ServerConfig)) (*Coordinator, map[object.SiteID]*Server, func()) {
+	t.Helper()
+	fx := school.New()
+	sigs := signature.Build(fx.Databases)
+
+	servers := make(map[object.SiteID]*Server, len(fx.Databases))
+	addrs := make(map[object.SiteID]string, len(fx.Databases))
+	for site, db := range fx.Databases {
+		cfg := ServerConfig{
+			DB:         db,
+			Global:     fx.Global,
+			Tables:     fx.Mapping,
+			Signatures: sigs,
+			Tracer:     &trace.Tracer{},
+			Metrics:    metrics.New(),
+		}
+		if mod != nil {
+			mod(site, &cfg)
+		}
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatalf("NewServer(%s): %v", site, err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatalf("Listen(%s): %v", site, err)
+		}
+		servers[site] = srv
+		addrs[site] = srv.Addr()
+	}
+	for _, srv := range servers {
+		srv.SetPeers(addrs)
+	}
+	coord := &Coordinator{
+		ID:      "G",
+		Global:  fx.Global,
+		Tables:  fx.Mapping,
+		Sites:   addrs,
+		Tracer:  &trace.Tracer{},
+		Metrics: metrics.New(),
+	}
+	cleanup := func() {
+		coord.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+	return coord, servers, cleanup
+}
+
+// delayAll wedges every site by d per served operation (cancellable: the
+// stall observes the request's wire budget).
+func delayAll(d time.Duration) func(object.SiteID, *ServerConfig) {
+	return func(site object.SiteID, cfg *ServerConfig) {
+		cfg.Faults = fabric.NewFaultPlan().Delay(site, float64(d.Microseconds()))
+	}
+}
+
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d running, baseline %d", n, baseline)
+}
+
+// TestClusterDeadlineCutsDelayedSites is the acceptance scenario over real
+// TCP: every site wedged by a 5s fault, a 50ms coordinator deadline. Each
+// strategy must return a sound partial answer well within the fault's
+// stall (generous 2s bound for slow CI), release its admission slot for
+// the next query, and leave no goroutines behind.
+func TestClusterDeadlineCutsDelayedSites(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	coord, _, cleanup := startRobustCluster(t, delayAll(5*time.Second))
+	defer cleanup()
+	coord.Deadline = 50 * time.Millisecond
+	coord.MaxConcurrent = 1 // serial queries double as the slot-release check
+
+	for _, alg := range []exec.Algorithm{exec.CA, exec.BL, exec.PL} {
+		start := time.Now()
+		ans, _, err := coord.Query(school.Q1, alg)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("%v: over-deadline query failed instead of degrading: %v", alg, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("%v: returned after %v — the deadline did not cut the 5s stall", alg, elapsed)
+		}
+		if ans.Outcome != federation.OutcomeDeadline {
+			t.Errorf("%v: outcome = %q, want %q", alg, ans.Outcome, federation.OutcomeDeadline)
+		}
+		if !ans.Degraded || len(ans.Unavailable) == 0 {
+			t.Errorf("%v: Degraded=%v Unavailable=%v, want degraded with sites listed",
+				alg, ans.Degraded, ans.Unavailable)
+		}
+		if len(ans.Certain) != 0 {
+			t.Errorf("%v: certain = %v, want none (no site answered in budget)", alg, ans.Certain)
+		}
+	}
+	snap := coord.Metrics.Snapshot()
+	var outcomes int64
+	for _, alg := range []string{"CA", "BL", "PL"} {
+		outcomes += snap.CounterValue("deadline_exceeded_total", metrics.Labels{Site: "G", Alg: alg})
+	}
+	if outcomes != 3 {
+		t.Errorf("deadline_exceeded_total across CA/BL/PL = %d, want 3", outcomes)
+	}
+	if got := snap.CounterValue("queries_shed_total", metrics.Labels{Site: "G"}); got != 0 {
+		t.Errorf("queries_shed_total = %d, want 0 (slots were released, nothing queued)", got)
+	}
+	// Tear the cluster down first: accept loops and handlers parked on
+	// pooled idle connections go away, so whatever remains above the
+	// baseline is a genuine per-query leak. cleanup is idempotent — the
+	// deferred call becomes a no-op.
+	cleanup()
+	settleGoroutines(t, baseline)
+}
+
+// TestClusterCancelReleasesSlot cancels a query mid-flight (the client
+// walked away) and verifies the admission slot comes back: a follow-up
+// query is admitted immediately instead of being shed from the queue.
+func TestClusterCancelReleasesSlot(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// A client disconnect is not forwarded to a site already serving a
+	// deadline-free request, so the injected stall bounds how long server
+	// handlers linger; keep it short so the leak check stays meaningful.
+	coord, _, cleanup := startRobustCluster(t, delayAll(500*time.Millisecond))
+	defer cleanup()
+	coord.MaxConcurrent = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	ans, _, err := coord.QueryContext(ctx, school.Q1, exec.BL)
+	if err != nil {
+		t.Fatalf("cancelled query failed instead of degrading: %v", err)
+	}
+	if ans.Outcome != federation.OutcomeCanceled {
+		t.Errorf("outcome = %q, want %q", ans.Outcome, federation.OutcomeCanceled)
+	}
+
+	// If the cancelled query leaked its slot, this one would queue forever
+	// and be shed when its own deadline dies; admitted immediately, it runs
+	// and comes back as a deadline-bounded partial answer instead.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	_, _, err = coord.QueryContext(ctx2, school.Q1, exec.BL)
+	if errors.Is(err, exec.ErrShed) {
+		t.Fatalf("follow-up query was shed: the cancelled query did not release its slot")
+	}
+	if err != nil {
+		t.Fatalf("follow-up query: %v", err)
+	}
+	if got := coord.Metrics.Snapshot().CounterValue("queries_shed_total", metrics.Labels{Site: "G"}); got != 0 {
+		t.Errorf("queries_shed_total = %d, want 0", got)
+	}
+	cleanup() // see TestClusterDeadlineCutsDelayedSites
+	settleGoroutines(t, baseline)
+}
+
+// TestClusterShedsUnderOverload wedges the single slot and fires doomed
+// queries at the queue: each must be shed with the typed error before any
+// network work, and the shed count must match.
+func TestClusterShedsUnderOverload(t *testing.T) {
+	coord, _, cleanup := startRobustCluster(t, delayAll(500*time.Millisecond))
+	defer cleanup()
+	coord.MaxConcurrent = 1
+
+	slowCtx, slowCancel := context.WithCancel(context.Background())
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		coord.QueryContext(slowCtx, school.Q1, exec.BL)
+	}()
+	time.Sleep(30 * time.Millisecond) // let the slow query take the slot
+
+	const doomed = 4
+	for i := 0; i < doomed; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		_, _, err := coord.QueryContext(ctx, school.Q1, exec.BL)
+		cancel()
+		if !errors.Is(err, exec.ErrShed) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("doomed query %d: err = %v, want ErrShed", i, err)
+		}
+	}
+	slowCancel()
+	<-slowDone
+	if got := coord.Metrics.Snapshot().CounterValue("queries_shed_total", metrics.Labels{Site: "G"}); got != doomed {
+		t.Errorf("queries_shed_total = %d, want %d", got, doomed)
+	}
+}
+
+// TestServerRejectsOversizedFrame sends a request far beyond the server's
+// frame cap: the connection is rejected (the call fails) and the rejection
+// is counted, while a normal-sized request on a fresh connection still
+// works.
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	coord, servers, cleanup := startRobustCluster(t, func(site object.SiteID, cfg *ServerConfig) {
+		cfg.MaxFrameBytes = 16 << 10
+	})
+	defer cleanup()
+
+	addr := coord.Sites["DB1"]
+	if _, err := testCall(t, addr, Request{
+		Kind:  kindRetrieve,
+		Query: "select name from Student where address.city = \"" + strings.Repeat("x", 1<<20) + "\"",
+	}); err == nil {
+		t.Fatal("1MiB frame accepted despite a 16KiB cap")
+	}
+	snap := servers["DB1"].cfg.Metrics.Snapshot()
+	if got := snap.CounterValue("frames_rejected_total", metrics.Labels{Site: "DB1"}); got != 1 {
+		t.Errorf("frames_rejected_total = %d, want 1", got)
+	}
+	// The limit polices frames, not the site: normal traffic still serves.
+	if _, err := testCall(t, addr, Request{Kind: kindPing}); err != nil {
+		t.Errorf("ping after rejected frame: %v", err)
+	}
+}
+
+// TestServerReapsIdleConnections opens a raw connection, sends nothing, and
+// expects the server to close it once the idle window passes.
+func TestServerReapsIdleConnections(t *testing.T) {
+	coord, servers, cleanup := startRobustCluster(t, func(site object.SiteID, cfg *ServerConfig) {
+		cfg.IdleTimeout = 50 * time.Millisecond
+	})
+	defer cleanup()
+
+	conn, err := net.Dial("tcp", coord.Sites["DB2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection still open: read returned data")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := servers["DB2"].cfg.Metrics.Snapshot()
+		if snap.CounterValue("conns_reaped_total", metrics.Labels{Site: "DB2"}) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("conns_reaped_total never incremented")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestResyncReplaysMissedDeltas: a bind broadcast that misses a dead
+// replica is queued, and the next successful Ping replays it — the revived
+// replica's mapping table catches up without a rebuild.
+func TestResyncReplaysMissedDeltas(t *testing.T) {
+	coord, servers, cleanup := startRobustCluster(t, nil)
+	defer cleanup()
+	coord.Call = fastFail
+
+	fx := school.New()
+	matcher := isomer.NewMatcher(coord.Global)
+	if err := matcher.Adopt(fx.Databases, coord.Tables.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	coord.Matcher = matcher
+	coord.Tables = matcher.Tables()
+
+	servers["DB3"].Close()
+	goid, err := coord.Insert("DB2", object.New("t9'", "Teacher", map[string]object.Value{
+		"name": object.Str("Haley"), "speciality": object.Str("database"),
+	}))
+	if err == nil {
+		t.Fatal("insert with a dead replica reported no staleness")
+	}
+	if goid != "gt3" {
+		t.Fatalf("insert GOid = %s, want gt3", goid)
+	}
+
+	// Revive DB3 with a fresh replica that never saw the delta, and point
+	// the coordinator at it.
+	freshFx := school.New()
+	revived, err := NewServer(ServerConfig{
+		DB:         freshFx.Databases["DB3"],
+		Global:     freshFx.Global,
+		Tables:     freshFx.Mapping,
+		Signatures: signature.Build(freshFx.Databases),
+		Tracer:     &trace.Tracer{},
+		Metrics:    metrics.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := revived.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	coord.Sites["DB3"] = revived.Addr()
+
+	// The server owns a private clone of the tables it was built with; that
+	// clone is the replica the resync must catch up.
+	replica := revived.cfg.Tables
+	if _, ok := replica.Table("Teacher").LOidAt("gt3", "DB2"); ok {
+		t.Fatal("fresh replica already has the delta — test setup broken")
+	}
+	if err := coord.Ping(); err != nil {
+		t.Fatalf("ping of the revived cluster: %v", err)
+	}
+	if loid, ok := replica.Table("Teacher").LOidAt("gt3", "DB2"); !ok || loid != "t9'" {
+		t.Errorf("revived replica after resync: gt3@DB2 = (%q, %v), want (t9', true)", loid, ok)
+	}
+	snap := coord.Metrics.Snapshot()
+	if got := snap.CounterValue("replica_resync_total", metrics.Labels{Site: "G", Peer: "DB3"}); got != 1 {
+		t.Errorf("replica_resync_total = %d, want 1", got)
+	}
+	// A second ping has nothing left to replay.
+	if err := coord.Ping(); err != nil {
+		t.Fatalf("second ping: %v", err)
+	}
+	if got := coord.Metrics.Snapshot().CounterValue("replica_resync_total", metrics.Labels{Site: "G", Peer: "DB3"}); got != 1 {
+		t.Errorf("replica_resync_total after second ping = %d, want still 1", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -59,11 +60,38 @@ type ServerConfig struct {
 	// Batch coalesces outbound check RPCs across concurrent local queries;
 	// a zero Window disables batching.
 	Batch BatchConfig
+	// MaxFrameBytes caps one gob-decoded request on an accepted connection;
+	// a connection sending a larger frame is rejected and closed
+	// (frames_rejected_total counts it). 0 means DefaultMaxFrameBytes;
+	// negative disables the limit.
+	MaxFrameBytes int
+	// IdleTimeout reaps accepted connections with no request activity: a
+	// connection that stays silent longer is closed (conns_reaped_total).
+	// Clients hold idle pooled connections, so a reaped connection costs
+	// them one free stale-pool redial, nothing more. 0 means
+	// DefaultIdleTimeout; negative disables reaping.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response; a client that stops reading
+	// cannot wedge a handler goroutine forever. 0 means
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// Faults, when non-nil, injects failures at this server, mirroring the
+	// engine's fault plan semantics over the wire: Delay stalls every
+	// non-ping request (cut short when the request's wire budget expires),
+	// Kill/DropAfter make the server answer errUnavailable, which clients
+	// treat as a transport-level site failure.
+	Faults *fabric.FaultPlan
 	// Cache enables the site's read-through lookup cache (GOid mapping
 	// resolutions and checked assistant verdicts), invalidated per class by
 	// the Insert replication path (store + BindDelta).
 	Cache bool
 }
+
+// Server timeout defaults (see ServerConfig.IdleTimeout / WriteTimeout).
+const (
+	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
 
 // Server serves one component database over TCP. Connections are
 // persistent: each one carries a sequence of gob-encoded requests until the
@@ -264,12 +292,45 @@ func reqPhases(req Request) string {
 	return ""
 }
 
+// maxFrame resolves the configured per-request frame limit (0 = unlimited).
+func (s *Server) maxFrame() int64 {
+	switch {
+	case s.cfg.MaxFrameBytes < 0:
+		return 0
+	case s.cfg.MaxFrameBytes == 0:
+		return DefaultMaxFrameBytes
+	default:
+		return int64(s.cfg.MaxFrameBytes)
+	}
+}
+
+// idleTimeout resolves the configured idle reap timeout (0 = disabled).
+func (s *Server) idleTimeout() time.Duration {
+	switch {
+	case s.cfg.IdleTimeout < 0:
+		return 0
+	case s.cfg.IdleTimeout == 0:
+		return DefaultIdleTimeout
+	default:
+		return s.cfg.IdleTimeout
+	}
+}
+
+// writeTimeout resolves the configured response write bound.
+func (s *Server) writeTimeout() time.Duration {
+	if s.cfg.WriteTimeout > 0 {
+		return s.cfg.WriteTimeout
+	}
+	return DefaultWriteTimeout
+}
+
 // handle serves one persistent connection: a sequence of request/response
 // exchanges over a single pair of gob streams (gob ships type information
 // once per stream, so the encoder and decoder must live as long as the
 // connection). The loop ends when the client closes the connection (a clean
-// EOF, not an error — pooled clients park idle connections) or on a
-// malformed request.
+// EOF, not an error — pooled clients park idle connections), on a malformed
+// or oversized request, or when the connection idles past IdleTimeout (the
+// idle reaper: a read deadline re-armed before every request).
 func (s *Server) handle(conn net.Conn) {
 	if !s.track(conn) {
 		_ = conn.Close()
@@ -280,24 +341,51 @@ func (s *Server) handle(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	self := string(s.Site())
-	cr := &countReader{r: conn}
+	fl := &frameLimitReader{r: conn, limit: s.maxFrame()}
+	cr := &countReader{r: fl}
 	cw := &countWriter{w: conn}
 	dec := gob.NewDecoder(cr)
 	enc := gob.NewEncoder(cw)
+	idle := s.idleTimeout()
 	for {
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		fl.reset()
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
-				!errors.Is(err, net.ErrClosed) && !s.isClosed() {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+				errors.Is(err, net.ErrClosed), s.isClosed():
+				// Client hung up, or we are shutting down.
+			case fl.tripped:
+				s.cfg.Metrics.Counter("frames_rejected_total", metrics.Labels{Site: self}).Inc()
+				s.log.LogAttrs(context.Background(), slog.LevelWarn, "frame rejected",
+					slog.Int64("limit", fl.limit))
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				// No request within the idle window: reap the connection.
+				s.cfg.Metrics.Counter("conns_reaped_total", metrics.Labels{Site: self}).Inc()
+			default:
 				// Mid-stream garbage, not a client hanging up.
 				s.cfg.Metrics.Counter("request_errors_total", metrics.Labels{Site: self}).Inc()
 			}
 			return
 		}
 		start := time.Now()
+		// Re-arm the caller's remaining budget as a local deadline: the wire
+		// carries a relative duration, so clock skew between machines cannot
+		// corrupt it — only the (already-spent) transit time is lost.
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if req.DeadlineMicros > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMicros)*time.Microsecond)
+		}
 		sp := s.cfg.Tracer.StartSpan(trace.SpanID(req.Trace.Span), s.Site(), "serve:"+req.Kind).
 			WithQuery(req.Trace.QueryID, req.Trace.Alg).WithPhases(reqPhases(req))
-		resp := s.dispatch(req, sp)
+		resp := s.dispatch(ctx, req, sp)
+		if cancel != nil {
+			cancel()
+		}
 		if resp.Err != "" {
 			sp.Detailf("error: %s", resp.Err)
 		}
@@ -309,6 +397,7 @@ func (s *Server) handle(conn net.Conn) {
 		if req.Trace.QueryID != "" && s.cfg.Tracer != nil {
 			resp.Spans = s.cfg.Tracer.QuerySpans(req.Trace.QueryID)
 		}
+		_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
 		sent0 := cw.n
 		if err := enc.Encode(resp); err != nil {
 			sp.Detailf("send failed: %v", err)
@@ -378,29 +467,46 @@ func (s *Server) profile(req Request, resp Response, d time.Duration) {
 	s.cfg.Recorder.Record(p)
 }
 
-func (s *Server) dispatch(req Request, sp trace.Handle) Response {
-	switch req.Kind {
-	case kindPing:
+func (s *Server) dispatch(ctx context.Context, req Request, sp trace.Handle) Response {
+	if req.Kind == kindPing {
+		// Liveness probes bypass fault injection and budgets: Ping asks
+		// whether the transport works, and the resync path depends on it.
 		return Response{}
+	}
+	// Server-side fault injection, mirroring the engine's siteDown: Delay
+	// stalls the request (cut short when the budget dies), Kill/DropAfter
+	// answer errUnavailable, which the client maps onto a SiteError.
+	if fp := s.cfg.Faults; fp != nil {
+		if d := fp.DelayMicros(s.Site()); d > 0 {
+			sleepCtx(ctx, time.Duration(d*float64(time.Microsecond)))
+		}
+		if !fp.BeginOp(s.Site()) {
+			return Response{Err: errUnavailable}
+		}
+	}
+	if ctx.Err() != nil {
+		return Response{Err: errDeadline}
+	}
+	switch req.Kind {
 	case kindRetrieve:
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
-		return s.handleRetrieve(req)
+		return s.handleRetrieve(ctx, req)
 	case kindLocal:
 		// handleLocal manages the state lock itself: it must not be held
 		// across the check RPCs to peers. Holding it there deadlocks the
 		// federation — site A's local handler waits on a check at site B,
 		// B's check waits on B's read lock behind a queued insert writer,
 		// and B's own local handler waits on a check at A in the same way.
-		return s.handleLocal(req, sp)
+		return s.handleLocal(ctx, req, sp)
 	case kindCheck:
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
-		return s.handleCheck(req)
+		return s.handleCheck(ctx, req)
 	case kindCheckBatch:
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
-		return s.handleCheckBatch(req)
+		return s.handleCheckBatch(ctx, req)
 	case kindStore:
 		s.stateMu.Lock()
 		defer s.stateMu.Unlock()
@@ -455,32 +561,43 @@ func (s *Server) bind(text string) (*query.Bound, error) {
 	return query.Bind(q, s.cfg.Global)
 }
 
-// runReal executes a federation operation on the real fabric.
-func runReal(name string, fn func(fabric.Proc)) error {
-	_, err := fabric.NewReal(fabric.DefaultRates()).Run(name, fn)
+// runReal executes a federation operation on the real fabric under the
+// request's context: fault-injected delays inside the operation are cut
+// short when the budget dies, and strategy checkpoints see the context
+// through Proc.Context.
+func runReal(ctx context.Context, name string, fn func(fabric.Proc)) error {
+	_, err := fabric.NewReal(fabric.DefaultRates()).WithContext(ctx).Run(name, fn)
 	return err
 }
 
-func (s *Server) handleRetrieve(req Request) Response {
+func (s *Server) handleRetrieve(ctx context.Context, req Request) Response {
 	b, err := s.bind(req.Query)
 	if err != nil {
 		return Response{Err: err.Error()}
 	}
 	var reply federation.RetrieveReply
-	if err := runReal("retrieve", func(p fabric.Proc) {
+	if err := runReal(ctx, "retrieve", func(p fabric.Proc) {
 		reply = s.site.Retrieve(p, b)
 	}); err != nil {
 		return Response{Err: err.Error()}
 	}
+	if ctx.Err() != nil {
+		// The budget died mid-retrieve; the reply would arrive too late to
+		// integrate, so answer the marker instead of shipping dead bytes.
+		return Response{Err: errDeadline}
+	}
 	return Response{Retrieve: reply}
 }
 
-func (s *Server) handleCheck(req Request) Response {
+func (s *Server) handleCheck(ctx context.Context, req Request) Response {
 	var reply federation.CheckReply
-	if err := runReal("check", func(p fabric.Proc) {
+	if err := runReal(ctx, "check", func(p fabric.Proc) {
 		reply = s.site.CheckAssistants(p, req.Items)
 	}); err != nil {
 		return Response{Err: err.Error()}
+	}
+	if ctx.Err() != nil {
+		return Response{Err: errDeadline}
 	}
 	return Response{Check: reply}
 }
@@ -488,14 +605,22 @@ func (s *Server) handleCheck(req Request) Response {
 // handleCheckBatch serves a coalesced check request: one RPC carrying the
 // item groups of several concurrent local queries, answered group-aligned
 // so the batching peer can route each group's verdicts back to its query.
-func (s *Server) handleCheckBatch(req Request) Response {
+// The batch's wire budget is the widest of its queries' budgets, so a group
+// whose own query died is simply discarded by the waiting peer.
+func (s *Server) handleCheckBatch(ctx context.Context, req Request) Response {
 	replies := make([]federation.CheckReply, len(req.Batch))
-	if err := runReal("checkbatch", func(p fabric.Proc) {
+	if err := runReal(ctx, "checkbatch", func(p fabric.Proc) {
 		for i, items := range req.Batch {
+			if p.Context().Err() != nil {
+				return
+			}
 			replies[i] = s.site.CheckAssistants(p, items)
 		}
 	}); err != nil {
 		return Response{Err: err.Error()}
+	}
+	if ctx.Err() != nil {
+		return Response{Err: errDeadline}
 	}
 	return Response{CheckBatch: replies}
 }
@@ -510,7 +635,7 @@ func (s *Server) handleCheckBatch(req Request) Response {
 // waiting on the check RPCs. The peers' check handlers take their own
 // read locks, so holding ours across the wait would let two sites'
 // local handlers block on each other whenever insert writers are queued.
-func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
+func (s *Server) handleLocal(ctx context.Context, req Request, sp trace.Handle) Response {
 	b, err := s.bind(req.Query)
 	if err != nil {
 		return Response{Err: err.Error()}
@@ -532,14 +657,19 @@ func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
 	case ModeBL, ModeSBL:
 		var checks map[object.SiteID][]federation.CheckItem
 		s.stateMu.RLock()
-		evalErr := runReal("local-bl", func(p fabric.Proc) {
+		evalErr := runReal(ctx, "local-bl", func(p fabric.Proc) {
 			reply.Result, checks = s.site.EvalLocalBasic(p, b, sigs)
 		})
 		s.stateMu.RUnlock()
 		if evalErr != nil {
 			return Response{Err: evalErr.Error()}
 		}
-		replies, dead, err := s.dispatchChecks(req, sp, checks)
+		if ctx.Err() != nil {
+			// Budget died between phase P and check dispatch: answering the
+			// marker beats shipping a result the caller can no longer use.
+			return Response{Err: errDeadline}
+		}
+		replies, dead, err := s.dispatchChecks(ctx, req, sp, checks)
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
@@ -551,11 +681,15 @@ func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
 			checks map[object.SiteID][]federation.CheckItem
 		)
 		s.stateMu.RLock()
-		if err := runReal("local-pl-o", func(p fabric.Proc) {
+		if err := runReal(ctx, "local-pl-o", func(p fabric.Proc) {
 			nav, checks = s.site.NavigateAll(p, b, sigs)
 		}); err != nil {
 			s.stateMu.RUnlock()
 			return Response{Err: err.Error()}
+		}
+		if ctx.Err() != nil {
+			s.stateMu.RUnlock()
+			return Response{Err: errDeadline}
 		}
 		// Phase O's checks proceed at the peers while phase P runs here.
 		// The dispatcher goroutine runs unlocked; phase P keeps the read
@@ -567,10 +701,10 @@ func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
 		}
 		done := make(chan checkOutcome, 1)
 		go func() {
-			replies, dead, err := s.dispatchChecks(req, sp, checks)
+			replies, dead, err := s.dispatchChecks(ctx, req, sp, checks)
 			done <- checkOutcome{replies: replies, dead: dead, err: err}
 		}()
-		perr := runReal("local-pl-p", func(p fabric.Proc) {
+		perr := runReal(ctx, "local-pl-p", func(p fabric.Proc) {
 			reply.Result = s.site.EvalNavigated(p, b, nav)
 		})
 		s.stateMu.RUnlock()
@@ -599,7 +733,7 @@ func (s *Server) handleLocal(req Request, sp trace.Handle) Response {
 // peer addresses are validated before any goroutine is spawned (a missing
 // address is a configuration error, and returning early with workers still
 // writing the shared slices would race).
-func (s *Server) dispatchChecks(req Request, sp trace.Handle,
+func (s *Server) dispatchChecks(ctx context.Context, req Request, sp trace.Handle,
 	checks map[object.SiteID][]federation.CheckItem) ([]federation.CheckReply, []federation.SiteFailure, error) {
 	targets := make([]object.SiteID, 0, len(checks))
 	for t := range checks {
@@ -617,7 +751,7 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 	}
 
 	if s.batcher != nil {
-		return s.dispatchChecksBatched(req, sp, checks, targets)
+		return s.dispatchChecksBatched(ctx, req, sp, checks, targets)
 	}
 
 	self := string(s.Site())
@@ -632,7 +766,7 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 		wg.Add(1)
 		go func(i int, target object.SiteID, addr string, items []federation.CheckItem) {
 			defer wg.Done()
-			resp, w, err := s.client.call(target, addr, Request{
+			resp, w, err := s.client.callCtx(ctx, target, addr, Request{
 				Kind:  kindCheck,
 				Items: items,
 				Trace: TraceContext{
@@ -665,6 +799,12 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 		switch {
 		case err == nil:
 			out = append(out, replies[i])
+		case IsInterrupted(err):
+			// The query's budget died (or its caller left) mid-dispatch: the
+			// verdicts are simply missing, same shape as a dead peer, but the
+			// peer's health record stays clean.
+			sp.Detailf("peer %s check interrupted: %v", targets[i], err)
+			dead = append(dead, federation.SiteFailure{Site: targets[i], Reason: err.Error()})
 		case IsSiteUnavailable(err):
 			s.cfg.Metrics.Counter("site_unavailable_total",
 				metrics.Labels{Site: self, Peer: string(targets[i]), Alg: alg}).Inc()
@@ -687,17 +827,21 @@ func (s *Server) dispatchChecks(req Request, sp trace.Handle,
 // groups stream back per peer as their batches land. Error semantics match
 // the direct path: an unreachable peer degrades, a peer-answered error is
 // fatal.
-func (s *Server) dispatchChecksBatched(req Request, sp trace.Handle,
+func (s *Server) dispatchChecksBatched(ctx context.Context, req Request, sp trace.Handle,
 	checks map[object.SiteID][]federation.CheckItem, targets []object.SiteID) ([]federation.CheckReply, []federation.SiteFailure, error) {
 	self := string(s.Site())
 	alg := reqAlg(req)
 	tc := TraceContext{QueryID: req.Trace.QueryID, Alg: alg, Span: uint64(sp.ID()), From: s.Site()}
+	var deadline time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = dl
+	}
 	entries := make([]*pendingChecks, len(targets))
 	for i, target := range targets {
 		items := checks[target]
 		s.cfg.Metrics.Counter("checks_dispatched_total",
 			metrics.Labels{Site: self, Alg: alg}).Add(int64(len(items)))
-		entries[i] = s.batcher.enqueue(target, items, tc)
+		entries[i] = s.batcher.enqueue(target, items, tc, deadline)
 	}
 
 	var (
@@ -706,10 +850,24 @@ func (s *Server) dispatchChecksBatched(req Request, sp trace.Handle,
 		fatal error
 	)
 	for i, e := range entries {
-		oc := <-e.done
+		var oc batchOutcome
+		select {
+		case oc = <-e.done:
+		case <-ctx.Done():
+			// The query died while its checks sat in (or flew with) a batch.
+			// A still-queued entry is pulled out so the eventual batch does
+			// not carry dead items; an already-flushed entry is abandoned —
+			// its done channel is buffered, so the batch completes for its
+			// surviving co-travelers without a blocked receiver.
+			s.batcher.remove(targets[i], e)
+			oc = batchOutcome{err: fmt.Errorf("check dispatch to %s: %w", targets[i], ctx.Err())}
+		}
 		switch {
 		case oc.err == nil:
 			out = append(out, oc.reply)
+		case IsInterrupted(oc.err):
+			sp.Detailf("peer %s check interrupted: %v", targets[i], oc.err)
+			dead = append(dead, federation.SiteFailure{Site: targets[i], Reason: oc.err.Error()})
 		case IsSiteUnavailable(oc.err):
 			s.cfg.Metrics.Counter("site_unavailable_total",
 				metrics.Labels{Site: self, Peer: string(targets[i]), Alg: alg}).Inc()

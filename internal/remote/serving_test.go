@@ -152,8 +152,8 @@ func TestBatcherCoalesces(t *testing.T) {
 		Assistant: "t4'",
 		SourceIdx: 1,
 	}
-	e1 := src.batcher.enqueue("DB3", []federation.CheckItem{item}, TraceContext{From: "DB1"})
-	e2 := src.batcher.enqueue("DB3", []federation.CheckItem{item}, TraceContext{From: "DB1"})
+	e1 := src.batcher.enqueue("DB3", []federation.CheckItem{item}, TraceContext{From: "DB1"}, time.Time{})
+	e2 := src.batcher.enqueue("DB3", []federation.CheckItem{item}, TraceContext{From: "DB1"}, time.Time{})
 	for i, e := range []*pendingChecks{e1, e2} {
 		select {
 		case out := <-e.done:

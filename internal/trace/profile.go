@@ -7,7 +7,9 @@
 package trace
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -21,6 +23,12 @@ const (
 	StatusOK       = "ok"
 	StatusDegraded = "degraded"
 	StatusError    = "error"
+	// StatusCanceled and StatusDeadline mark queries cut short mid-flight:
+	// the caller went away, or the per-query deadline expired. Both always
+	// survive flight-recorder eviction — an interrupted query is precisely
+	// the kind worth a post-mortem.
+	StatusCanceled = "canceled"
+	StatusDeadline = "deadline"
 )
 
 // Profile is one query execution's cost record.
@@ -131,7 +139,9 @@ func (p *Profile) AddCounter(name string, v int64) {
 }
 
 // SetOutcome records the answer shape: row counts, the unavailable sites,
-// and the resulting status (a non-empty err wins over degradation).
+// and the resulting status (a non-empty err wins over degradation; a
+// context error classifies as canceled/deadline rather than error, since
+// the interrupted query still produced a sound partial answer).
 func (p *Profile) SetOutcome(certain, maybe int, unavailable []string, err error) {
 	if p == nil {
 		return
@@ -139,6 +149,12 @@ func (p *Profile) SetOutcome(certain, maybe int, unavailable []string, err error
 	p.Certain, p.Maybe = certain, maybe
 	p.Unavailable = unavailable
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		p.Status = StatusDeadline
+		p.Error = err.Error()
+	case errors.Is(err, context.Canceled):
+		p.Status = StatusCanceled
+		p.Error = err.Error()
 	case err != nil:
 		p.Status = StatusError
 		p.Error = err.Error()

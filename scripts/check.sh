@@ -19,14 +19,23 @@ fi
 echo "== go vet $pkgs"
 go vet "$pkgs"
 
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck $pkgs"
+    staticcheck "$pkgs"
+else
+    echo "== staticcheck (skipped: not installed)"
+fi
+
 echo "== go build $pkgs"
 go build "$pkgs"
 
+# -timeout 120s: a wedged cancellation/deadline test must fail the gate
+# with a goroutine dump, not hang it for the default 10 minutes.
 echo "== go test $pkgs"
-go test "$pkgs"
+go test -timeout 120s "$pkgs"
 
 echo "== go test -race $pkgs"
-go test -race "$pkgs"
+go test -race -timeout 120s "$pkgs"
 
 echo "== bench smoke (1 iteration)"
 go test -run - -bench 'BenchmarkTraceOverhead|BenchmarkProfileOverhead' -benchtime 1x .
