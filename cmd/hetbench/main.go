@@ -1,0 +1,332 @@
+// Command hetbench runs the scenario-matrix benchmark harness: it sweeps
+// execution strategy × workload × concurrency × fault plan × serving
+// config, drives each cell with a seeded load generator, and reports both
+// the client-observed latency distribution and the servers' own truth
+// (scraped /metrics deltas: bytes moved, cache hits, degraded/maybe
+// fractions). Reports are stable, diffable BENCH_<topic>.json files.
+//
+// Run a matrix and write the report:
+//
+//	hetbench run -topic strategies -out BENCH_strategies.json \
+//	    -runtimes live -strategies CA,BL,PL -workloads school,table2 \
+//	    -clients 1,4 -faults none,kill:DB3 -queries 40 -seed 42
+//
+// Gate a fresh run against a committed baseline (exit 1 on regression):
+//
+//	hetbench run -topic smoke -runtimes sim -strategies CA,BL,PL \
+//	    -queries 8 -seed 42 -check BENCH_smoke.json -tolerance 10%
+//
+// Compare two existing reports:
+//
+//	hetbench check -old BENCH_smoke.json -new /tmp/BENCH_new.json -tolerance 10%
+//
+// Answer an SLO question (exit 1 when any cell misses it, naming the
+// limiting metric):
+//
+//	hetbench slo -qps 2000 -p99 50ms -max-maybe-frac 0.2 \
+//	    -runtimes live -strategies BL -workloads school -clients 8 -queries 200
+//
+// Fault specs: none, kill:SITE, drop:SITE:N, delay:SITE:MICROS. Serving
+// specs: plain, cached, batch:WINDOW, cached+batch:WINDOW. On the sim
+// runtime identical seeds reproduce byte-identical cell results; the live
+// runtime spawns real TCP site servers per cell and tears them down after.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/bench"
+	"github.com/hetfed/hetfed/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: hetbench run|check|slo [flags] (-h for help)")
+	}
+	switch args[0] {
+	case "run":
+		return runCmd(args[1:])
+	case "check":
+		return checkCmd(args[1:])
+	case "slo":
+		return sloCmd(args[1:])
+	case "-version", "--version", "version":
+		fmt.Println("hetbench", version.String())
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want run, check or slo)", args[0])
+	}
+}
+
+// matrixFlags registers the sweep-dimension flags shared by run and slo.
+func matrixFlags(fs *flag.FlagSet) (get func() (bench.MatrixSpec, error)) {
+	var (
+		runtimes   = fs.String("runtimes", "sim", "comma-separated runtimes: sim (deterministic DES), live (real TCP servers)")
+		strategies = fs.String("strategies", "CA,BL,PL", "comma-separated strategies: CA, BL, PL, SBL, SPL")
+		workloads  = fs.String("workloads", "school", "comma-separated workloads: school, table2, table2eq")
+		clients    = fs.String("clients", "1", "comma-separated concurrency levels")
+		faults     = fs.String("faults", "none", "comma-separated fault plans: none, kill:SITE, drop:SITE:N, delay:SITE:MICROS")
+		serving    = fs.String("serving", "plain", "comma-separated serving configs: plain, cached, batch:WINDOW, cached+batch:WINDOW")
+		queries    = fs.Int("queries", 20, "queries per cell")
+		rate       = fs.Float64("rate", 0, "open-loop arrival rate in qps per client (0 = closed loop); live runtime only")
+		zipf       = fs.Float64("zipf", 0.9, "Zipfian skew over query variants (0 = uniform)")
+		variants   = fs.Int("variants", 3, "number of query variants under the skew")
+		maxConc    = fs.Int("concurrency", 0, "coordinator admission bound (0 = unbounded)")
+		deadline   = fs.Duration("deadline", 0, "per-query end-to-end budget (live runtime; 0 = none)")
+		scale      = fs.Float64("scale", 0.02, "Table 2 extent scale for the table2 workloads (1 = paper scale)")
+		seed       = fs.Int64("seed", 42, "root seed: workload draws, arrivals, variant skew")
+	)
+	return func() (bench.MatrixSpec, error) {
+		cl, err := parseInts(*clients)
+		if err != nil {
+			return bench.MatrixSpec{}, fmt.Errorf("bad -clients: %w", err)
+		}
+		srv, err := parseServing(*serving)
+		if err != nil {
+			return bench.MatrixSpec{}, err
+		}
+		return bench.MatrixSpec{
+			Runtimes:      splitList(*runtimes),
+			Strategies:    splitList(*strategies),
+			Workloads:     splitList(*workloads),
+			Clients:       cl,
+			Faults:        splitList(*faults),
+			Serving:       srv,
+			Queries:       *queries,
+			RateQPS:       *rate,
+			Zipf:          *zipf,
+			Variants:      *variants,
+			MaxConcurrent: *maxConc,
+			Deadline:      *deadline,
+			Scale:         *scale,
+			Seed:          *seed,
+		}, nil
+	}
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("hetbench run", flag.ContinueOnError)
+	get := matrixFlags(fs)
+	var (
+		topic     = fs.String("topic", "bench", "report topic (names the BENCH_<topic>.json)")
+		out       = fs.String("out", "", "output path (default BENCH_<topic>.json; \"-\" for stdout only)")
+		checkPath = fs.String("check", "", "baseline report to gate against; regressions exit non-zero")
+		tolerance = fs.String("tolerance", "10%", "relative regression tolerance for -check (e.g. 10% or 0.1)")
+		quiet     = fs.Bool("q", false, "suppress per-cell progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := get()
+	if err != nil {
+		return err
+	}
+	report, err := runMatrix(spec, *topic, *quiet)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *topic + ".json"
+	}
+	if path == "-" {
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	} else {
+		if err := report.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", path, len(report.Cells))
+	}
+	if *checkPath == "" {
+		return nil
+	}
+	tol, err := bench.ParseTolerance(*tolerance)
+	if err != nil {
+		return err
+	}
+	baseline, err := bench.ReadReport(*checkPath)
+	if err != nil {
+		return err
+	}
+	if violations := bench.Check(baseline, report, tol); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "regression:", v)
+		}
+		return fmt.Errorf("%d regression(s) vs %s at tolerance %s", len(violations), *checkPath, *tolerance)
+	}
+	fmt.Printf("no regressions vs %s (tolerance %s)\n", *checkPath, *tolerance)
+	return nil
+}
+
+func checkCmd(args []string) error {
+	fs := flag.NewFlagSet("hetbench check", flag.ContinueOnError)
+	var (
+		oldPath   = fs.String("old", "", "baseline report")
+		newPath   = fs.String("new", "", "candidate report")
+		tolerance = fs.String("tolerance", "10%", "relative regression tolerance (e.g. 10% or 0.1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("check needs -old and -new")
+	}
+	tol, err := bench.ParseTolerance(*tolerance)
+	if err != nil {
+		return err
+	}
+	baseline, err := bench.ReadReport(*oldPath)
+	if err != nil {
+		return err
+	}
+	candidate, err := bench.ReadReport(*newPath)
+	if err != nil {
+		return err
+	}
+	if violations := bench.Check(baseline, candidate, tol); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "regression:", v)
+		}
+		return fmt.Errorf("%d regression(s) at tolerance %s", len(violations), *tolerance)
+	}
+	fmt.Printf("no regressions (tolerance %s)\n", *tolerance)
+	return nil
+}
+
+func sloCmd(args []string) error {
+	fs := flag.NewFlagSet("hetbench slo", flag.ContinueOnError)
+	get := matrixFlags(fs)
+	var (
+		in          = fs.String("in", "", "evaluate an existing report instead of running the matrix")
+		minQPS      = fs.Float64("qps", 0, "throughput floor per cell (0 = unset)")
+		p99         = fs.Duration("p99", 0, "client p99 latency cap (0 = unset)")
+		maxMaybe    = fs.Float64("max-maybe-frac", -1, "cap on the maybe share of returned rows (-1 = unset)")
+		maxDegraded = fs.Float64("max-degraded-frac", -1, "cap on the degraded share of queries (-1 = unset)")
+		allowErrors = fs.Bool("allow-errors", false, "tolerate client errors/sheds (default: any error fails)")
+		quiet       = fs.Bool("q", false, "suppress per-cell progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	slo := bench.SLO{
+		MinQPS:          *minQPS,
+		P99:             *p99,
+		MaxMaybeFrac:    *maxMaybe,
+		MaxDegradedFrac: *maxDegraded,
+		NoErrors:        !*allowErrors,
+	}
+	var report *bench.Report
+	if *in != "" {
+		var err error
+		if report, err = bench.ReadReport(*in); err != nil {
+			return err
+		}
+	} else {
+		spec, err := get()
+		if err != nil {
+			return err
+		}
+		if report, err = runMatrix(spec, "slo", *quiet); err != nil {
+			return err
+		}
+	}
+	failed := 0
+	for _, cell := range report.Cells {
+		v := bench.EvaluateSLO(cell, slo)
+		status := "PASS"
+		if !v.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %s  (limiting: %s)\n", status, v.Cell, v.Limiting)
+		for _, c := range v.Checks {
+			fmt.Printf("    %s\n", c)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("SLO missed in %d of %d cells", failed, len(report.Cells))
+	}
+	fmt.Printf("SLO met in all %d cells\n", len(report.Cells))
+	return nil
+}
+
+// runMatrix executes the matrix under signal cancellation with progress on
+// stderr.
+func runMatrix(spec bench.MatrixSpec, topic string, quiet bool) (*bench.Report, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if quiet {
+		progress = nil
+	}
+	return bench.Run(ctx, spec, topic, progress)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseServing reads the serving sweep: each entry is "plain", "cached",
+// "batch:WINDOW" or "cached+batch:WINDOW"; the entry string names the cell.
+func parseServing(s string) ([]bench.ServingSpec, error) {
+	var out []bench.ServingSpec
+	for _, part := range splitList(s) {
+		spec := bench.ServingSpec{Name: part}
+		rest := part
+		if strings.HasPrefix(rest, "cached") {
+			spec.Cache = true
+			rest = strings.TrimPrefix(rest, "cached")
+			rest = strings.TrimPrefix(rest, "+")
+		}
+		if strings.HasPrefix(rest, "batch:") {
+			w, err := time.ParseDuration(strings.TrimPrefix(rest, "batch:"))
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("bad serving spec %q (batch window)", part)
+			}
+			spec.BatchWindow = w
+			rest = ""
+		}
+		if rest != "" && rest != "plain" {
+			return nil, fmt.Errorf("bad serving spec %q (want plain, cached, batch:WINDOW or cached+batch:WINDOW)", part)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}

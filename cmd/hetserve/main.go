@@ -61,13 +61,12 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/hetfed/hetfed/internal/bench"
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/fedfile"
@@ -486,7 +485,9 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 
 // runLoad drives Clients concurrent streams of Repeat queries each through
 // the coordinator and prints the measured throughput and latency
-// distribution — the multi-tenant serving path exercised end to end.
+// distribution — the multi-tenant serving path exercised end to end. The
+// driving and the statistics are internal/bench's closed-loop generator and
+// exact-percentile summary, the same machinery hetbench measures with.
 func runLoad(ctx context.Context, coord *remote.Coordinator, queryText string, alg exec.Algorithm, opts coordOpts, reg *metrics.Registry) error {
 	clients, repeat := opts.Clients, opts.Repeat
 	if clients < 1 {
@@ -495,67 +496,45 @@ func runLoad(ctx context.Context, coord *remote.Coordinator, queryText string, a
 	if repeat < 1 {
 		repeat = 1
 	}
-	total := clients * repeat
-	latencies := make([]time.Duration, total)
-	errs := make([]error, clients)
-	var degraded atomic.Int64
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for r := 0; r < repeat; r++ {
-				if ctx.Err() != nil {
-					return
-				}
-				ans, elapsed, err := coord.QueryContext(ctx, queryText, alg)
-				if err != nil {
-					if errs[c] == nil && !remote.IsInterrupted(err) {
-						errs[c] = err
-					}
-					continue
-				}
-				latencies[c*repeat+r] = elapsed
-				if ans.Degraded {
-					degraded.Add(1)
-				}
+	var firstErr atomic.Value
+	fn := func(ctx context.Context, _ int) bench.Result {
+		ans, elapsed, err := coord.QueryContext(ctx, queryText, alg)
+		if err != nil {
+			if !remote.IsInterrupted(err) {
+				firstErr.CompareAndSwap(nil, err)
 			}
-		}(c)
-	}
-	wg.Wait()
-	wall := time.Since(start)
-
-	var ok []time.Duration
-	for _, d := range latencies {
-		if d > 0 {
-			ok = append(ok, d)
+			return bench.Result{Err: err, Shed: errors.Is(err, exec.ErrShed)}
+		}
+		return bench.Result{
+			Micros:      float64(elapsed.Nanoseconds()) / 1e3,
+			Degraded:    ans.Degraded,
+			Interrupted: ans.Interrupted(),
 		}
 	}
-	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	start := time.Now()
+	results := bench.RunClosed(ctx, clients, make([]int, clients*repeat), fn)
+	st := bench.Summarize(results, float64(time.Since(start).Nanoseconds())/1e3)
+
 	fmt.Printf("load: %d clients x %d queries (%v, concurrency %d)\n",
 		clients, repeat, alg, opts.Concurrency)
 	fmt.Printf("completed %d/%d in %.2f ms  →  %.1f queries/s\n",
-		len(ok), total, float64(wall.Microseconds())/1e3,
-		float64(len(ok))/wall.Seconds())
-	if n := len(ok); n > 0 {
-		var sum time.Duration
-		for _, d := range ok {
-			sum += d
-		}
-		pct := func(p float64) time.Duration { return ok[min(n-1, int(p*float64(n)))] }
-		fmt.Printf("latency: mean %.2f ms  p50 %.2f  p95 %.2f  max %.2f\n",
-			float64(sum.Microseconds())/float64(n)/1e3,
-			float64(pct(0.50).Microseconds())/1e3,
-			float64(pct(0.95).Microseconds())/1e3,
-			float64(ok[n-1].Microseconds())/1e3)
+		st.Completed, st.Queries, st.WallMillis, st.QPS)
+	if st.Completed > 0 {
+		fmt.Printf("latency: mean %.2f ms  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+			st.MeanMicros/1e3, st.P50Micros/1e3, st.P95Micros/1e3,
+			st.P99Micros/1e3, st.MaxMicros/1e3)
 	}
-	if d := degraded.Load(); d > 0 {
-		fmt.Printf("degraded answers: %d\n", d)
+	if st.Degraded > 0 {
+		fmt.Printf("degraded answers: %d\n", st.Degraded)
+	}
+	if st.Shed > 0 {
+		fmt.Printf("shed at admission: %d\n", st.Shed)
 	}
 	if opts.Metrics {
 		fmt.Printf("\ncoordinator metrics:\n%s", reg.Snapshot().Text())
 	}
-	return errors.Join(errs...)
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
 }

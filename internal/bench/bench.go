@@ -1,0 +1,247 @@
+// Package bench is the repository's scenario-matrix experiment runner: the
+// measurement half of the paper's contribution, industrialized. A matrix
+// sweeps strategy (CA/BL/PL/SBL/SPL) × workload shape (the school example
+// and Table 2 draws) × concurrency × fault plan × serving config, drives
+// each cell with a seeded load generator (closed-loop clients or an
+// open-loop Poisson schedule with Zipfian query-variant skew), and measures
+// each cell from two sides:
+//
+//   - client-observed: p50/p95/p99/max latency, throughput, error/shed
+//     counts — what a caller experiences;
+//   - server truth: /metrics snapshot deltas scraped from the serving
+//     processes — bytes moved, cache hits, batch efficiency, and the
+//     answer-quality fractions (certain vs maybe vs degraded) that
+//     distinguish this system's SLOs from plain latency SLOs.
+//
+// Cells run on either runtime: "live" spawns real TCP site servers (plus
+// their observability endpoints, scraped over HTTP) and tears them down per
+// cell; "sim" executes on the discrete-event fabric, where identical seeds
+// reproduce byte-identical cell results — the regression-gate currency.
+//
+// A run emits a schema-versioned, diffable BENCH_<topic>.json; Check
+// compares two reports under a tolerance for regression gating, and
+// Evaluate answers SLO questions ("can 5 sites sustain 2k qps at p99 <
+// 50ms with ≤ 20% maybe answers?") with a pass/fail and the limiting
+// metric.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump on breaking
+// changes; Check refuses to compare across schema versions.
+const SchemaVersion = 1
+
+// ServingSpec is one cache/batch serving configuration of the sweep.
+type ServingSpec struct {
+	// Name labels the configuration in cell keys ("plain", "cached", …).
+	Name string `json:"name"`
+	// Cache enables the sites' read-through lookup cache.
+	Cache bool `json:"cache,omitempty"`
+	// BatchWindow coalesces outbound check RPCs per peer across this flush
+	// window (live runtime only; 0 = no batching).
+	BatchWindow time.Duration `json:"batch_window,omitempty"`
+}
+
+// MatrixSpec defines a benchmark matrix: the sweep dimensions and the load
+// shape shared by every cell. The cell set is the cross product of
+// Runtimes × Strategies × Workloads × Clients × Faults × Serving.
+type MatrixSpec struct {
+	// Runtimes are the execution substrates: "live" (real TCP servers,
+	// wall-clock latency, scraped /metrics) and/or "sim" (discrete-event
+	// fabric, virtual latency, deterministic from Seed).
+	Runtimes []string `json:"runtimes"`
+	// Strategies are execution strategy names: CA, BL, PL, SBL, SPL.
+	Strategies []string `json:"strategies"`
+	// Workloads name the federations queried: "school" (the paper's
+	// running example) and/or "table2" (a seeded draw from the paper's
+	// Table 2 ranges; "table2eq" uses equality predicates).
+	Workloads []string `json:"workloads"`
+	// Clients are the concurrency levels: closed-loop worker counts, or —
+	// when RateQPS is set — multipliers on the open-loop arrival rate.
+	Clients []int `json:"clients"`
+	// Faults are fault-plan specs: "none", "kill:SITE",
+	// "drop:SITE:N" (dark after N operations), "delay:SITE:MICROS".
+	Faults []string `json:"faults"`
+	// Serving are the cache/batch variants; empty means one plain config.
+	Serving []ServingSpec `json:"serving,omitempty"`
+
+	// Queries is the number of queries driven per cell.
+	Queries int `json:"queries"`
+	// RateQPS, when positive, switches the live driver to open loop:
+	// arrivals follow a seeded Poisson schedule at RateQPS × cell clients
+	// per second and do not wait for completions. 0 = closed loop.
+	RateQPS float64 `json:"rate_qps,omitempty"`
+	// Zipf is the query-variant popularity skew (0 = uniform).
+	Zipf float64 `json:"zipf"`
+	// Variants is the number of query variants Zipf picks between (≥ 1).
+	Variants int `json:"variants"`
+	// MaxConcurrent bounds coordinator admission (0 = unbounded).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Deadline is the per-query end-to-end budget (live runtime only;
+	// the sim runtime ignores it to stay wall-clock free). 0 = none.
+	Deadline time.Duration `json:"deadline,omitempty"`
+	// Scale multiplies the Table 2 extent sizes for the table2 workloads
+	// (1.0 = paper scale; keep small for smoke runs). 0 = 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// Seed roots every random choice: workload draws, arrival schedules,
+	// Zipf key sequences. Identical seeds on the sim runtime reproduce
+	// byte-identical cell results.
+	Seed int64 `json:"seed"`
+}
+
+// Cell identifies one matrix cell.
+type Cell struct {
+	Runtime  string `json:"runtime"`
+	Strategy string `json:"strategy"`
+	Workload string `json:"workload"`
+	Clients  int    `json:"clients"`
+	Fault    string `json:"fault"`
+	Serving  string `json:"serving"`
+	// Seed is the cell's derived seed (stable under matrix reordering).
+	Seed int64 `json:"seed"`
+}
+
+// Key renders the cell's identity — the join key for regression checks.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%s/c%d/%s/%s",
+		c.Runtime, c.Strategy, c.Workload, c.Clients, c.Fault, c.Serving)
+}
+
+// ClientStats is the client-observed side of a cell: what the load
+// generator measured. Latencies are microseconds — wall-clock on the live
+// runtime, virtual time on the sim runtime.
+type ClientStats struct {
+	Queries     int     `json:"queries"`
+	Completed   int     `json:"completed"`
+	Errors      int     `json:"errors"`
+	Shed        int     `json:"shed"`
+	Degraded    int     `json:"degraded"`
+	Interrupted int     `json:"interrupted"`
+	WallMillis  float64 `json:"wall_ms"`
+	QPS         float64 `json:"qps"`
+	MeanMicros  float64 `json:"mean_us"`
+	P50Micros   float64 `json:"p50_us"`
+	P95Micros   float64 `json:"p95_us"`
+	P99Micros   float64 `json:"p99_us"`
+	MaxMicros   float64 `json:"max_us"`
+}
+
+// ServerStats is the server-truth side of a cell, extracted from /metrics
+// snapshot deltas (scraped over HTTP on the live runtime, read from the
+// engine's registry on the sim runtime). Fractions are the answer-quality
+// axis: of everything the strategy returned, how much was certain, how
+// much merely possible, and how many queries were degraded by failure.
+type ServerStats struct {
+	Queries          int64   `json:"queries"`
+	CertainRows      int64   `json:"certain_rows"`
+	MaybeRows        int64   `json:"maybe_rows"`
+	CertainFrac      float64 `json:"certain_frac"`
+	MaybeFrac        float64 `json:"maybe_frac"`
+	DegradedQueries  int64   `json:"degraded_queries"`
+	DegradedFrac     float64 `json:"degraded_frac"`
+	NetBytes         int64   `json:"net_bytes"`
+	DiskBytes        int64   `json:"disk_bytes,omitempty"`
+	CPUOps           int64   `json:"cpu_ops,omitempty"`
+	ChecksDispatched int64   `json:"checks_dispatched,omitempty"`
+	CacheHits        int64   `json:"cache_hits,omitempty"`
+	CacheMisses      int64   `json:"cache_misses,omitempty"`
+	CacheHitRate     float64 `json:"cache_hit_rate,omitempty"`
+	CheckBatches     int64   `json:"check_batches,omitempty"`
+	BatchedGroups    int64   `json:"batched_groups,omitempty"`
+	BatchEfficiency  float64 `json:"batch_efficiency,omitempty"`
+	Shed             int64   `json:"shed,omitempty"`
+	DeadlineExceeded int64   `json:"deadline_exceeded,omitempty"`
+	Canceled         int64   `json:"canceled,omitempty"`
+	SiteUnavailable  int64   `json:"site_unavailable,omitempty"`
+}
+
+// CellResult is one measured cell.
+type CellResult struct {
+	Cell   Cell        `json:"cell"`
+	Client ClientStats `json:"client"`
+	Server ServerStats `json:"server"`
+}
+
+// Report is one benchmark run: the matrix, its provenance, and every cell's
+// results, ordered by cell key so the JSON form is diffable.
+type Report struct {
+	Schema  int          `json:"schema"`
+	Topic   string       `json:"topic"`
+	Version string       `json:"version"`
+	Seed    int64        `json:"seed"`
+	Matrix  MatrixSpec   `json:"matrix"`
+	Cells   []CellResult `json:"cells"`
+}
+
+// sortCells orders results by cell key for stable, diffable output.
+func sortCells(cells []CellResult) {
+	sort.Slice(cells, func(i, j int) bool {
+		return cells[i].Cell.Key() < cells[j].Cell.Key()
+	})
+}
+
+// JSON renders the report in its canonical indented, cell-key-ordered form.
+func (r *Report) JSON() ([]byte, error) {
+	sortCells(r.Cells)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encode report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the report to path in canonical form.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Get returns the result for a cell key.
+func (r *Report) Get(key string) (CellResult, bool) {
+	for _, c := range r.Cells {
+		if c.Cell.Key() == key {
+			return c, true
+		}
+	}
+	return CellResult{}, false
+}
+
+// ReadReport loads a report written by WriteFile and validates its schema
+// version.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %d, this build reads %d",
+			path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// cellSeed derives a cell's seed from the matrix seed and the cell's
+// identity, so a cell's randomness is stable when the matrix around it is
+// reordered or extended.
+func cellSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return base ^ int64(h.Sum64())
+}

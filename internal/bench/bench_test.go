@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smokeSpec is a tiny sim matrix exercising strategy and fault dimensions.
+func smokeSpec() MatrixSpec {
+	return MatrixSpec{
+		Runtimes:   []string{"sim"},
+		Strategies: []string{"CA", "BL"},
+		Workloads:  []string{"school"},
+		Clients:    []int{1},
+		Faults:     []string{"none", "kill:DB3"},
+		Queries:    6,
+		Zipf:       0.8,
+		Variants:   3,
+		Seed:       42,
+	}
+}
+
+// TestSimDeterminism: identical seeds on the sim runtime reproduce
+// byte-identical reports — the property the regression gate banks on.
+func TestSimDeterminism(t *testing.T) {
+	run := func() []byte {
+		r, err := Run(context.Background(), smokeSpec(), "smoke", nil)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		data, err := r.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different reports:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+
+	// A different seed must actually change the measurements (the seed
+	// reaches the workload draws and variant sequences).
+	spec := smokeSpec()
+	spec.Seed = 43
+	r2, err := Run(context.Background(), spec, "smoke", nil)
+	if err != nil {
+		t.Fatalf("Run(seed 43): %v", err)
+	}
+	d2, _ := r2.JSON()
+	if bytes.Equal(a, d2) {
+		t.Fatal("different seeds produced byte-identical reports")
+	}
+}
+
+// TestSimCellContent: the measured cells carry both measurement sides with
+// sane values, and the fault dimension shows up as degradation.
+func TestSimCellContent(t *testing.T) {
+	r, err := Run(context.Background(), smokeSpec(), "smoke", nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(r.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		key := c.Cell.Key()
+		if c.Client.Completed != 6 {
+			t.Errorf("%s: completed %d, want 6", key, c.Client.Completed)
+		}
+		if c.Client.P50Micros <= 0 || c.Client.P99Micros < c.Client.P50Micros ||
+			c.Client.MaxMicros < c.Client.P99Micros {
+			t.Errorf("%s: broken latency ordering p50=%v p99=%v max=%v",
+				key, c.Client.P50Micros, c.Client.P99Micros, c.Client.MaxMicros)
+		}
+		if c.Client.QPS <= 0 {
+			t.Errorf("%s: qps %v", key, c.Client.QPS)
+		}
+		if c.Server.Queries != 6 {
+			t.Errorf("%s: server saw %d queries, want 6", key, c.Server.Queries)
+		}
+		if c.Server.NetBytes <= 0 {
+			t.Errorf("%s: no network bytes measured", key)
+		}
+		if c.Server.CertainRows > 0 || c.Server.MaybeRows > 0 {
+			if sum := c.Server.CertainFrac + c.Server.MaybeFrac; sum < 0.99 || sum > 1.01 {
+				t.Errorf("%s: fractions sum to %v", key, sum)
+			}
+		}
+		switch c.Cell.Fault {
+		case "kill:DB3":
+			// Only queries whose variant involves DB3 degrade; the Zipf-hot
+			// Q1 does, so some but not necessarily all queries are affected.
+			if c.Server.DegradedFrac <= 0 {
+				t.Errorf("%s: degraded frac %v with a dead site, want > 0", key, c.Server.DegradedFrac)
+			}
+			if c.Client.Degraded == 0 {
+				t.Errorf("%s: no client-observed degraded answers", key)
+			}
+			if int64(c.Client.Degraded) != c.Server.DegradedQueries {
+				t.Errorf("%s: client saw %d degraded, server recorded %d",
+					key, c.Client.Degraded, c.Server.DegradedQueries)
+			}
+		case "none":
+			if c.Server.DegradedFrac != 0 {
+				t.Errorf("%s: degraded frac %v with no faults", key, c.Server.DegradedFrac)
+			}
+		}
+	}
+	// The dead-site cells must not report identical answer quality to the
+	// healthy ones for the same strategy: killing DB3 moves rows to maybe.
+	healthy, _ := r.Get("sim/BL/school/c1/none/plain")
+	dead, _ := r.Get("sim/BL/school/c1/kill:DB3/plain")
+	if dead.Server.MaybeFrac <= healthy.Server.MaybeFrac {
+		t.Errorf("maybe frac with dead site %v, healthy %v — fault had no quality effect",
+			dead.Server.MaybeFrac, healthy.Server.MaybeFrac)
+	}
+}
+
+// TestReportRoundTrip: WriteFile → ReadReport is lossless and the schema
+// gate refuses foreign versions.
+func TestReportRoundTrip(t *testing.T) {
+	r, err := Run(context.Background(), MatrixSpec{
+		Runtimes: []string{"sim"}, Strategies: []string{"PL"},
+		Workloads: []string{"school"}, Queries: 2, Seed: 7,
+	}, "roundtrip", nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_roundtrip.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if len(back.Cells) != len(r.Cells) || back.Topic != "roundtrip" || back.Seed != 7 {
+		t.Errorf("round trip mangled the report: %+v", back)
+	}
+	bad := *back
+	bad.Schema = SchemaVersion + 1
+	if err := bad.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Error("foreign schema version should refuse to load")
+	}
+}
+
+// TestRunCanceled: a cancelled context stops the matrix run with its error.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, smokeSpec(), "smoke", nil); err == nil {
+		t.Fatal("cancelled run should report the context error")
+	}
+}
+
+// TestValidate: bad dimensions fail fast, before any cell runs.
+func TestValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*MatrixSpec)
+	}{
+		{"strategy", func(s *MatrixSpec) { s.Strategies = []string{"XX"} }},
+		{"runtime", func(s *MatrixSpec) { s.Runtimes = []string{"warp"} }},
+		{"fault", func(s *MatrixSpec) { s.Faults = []string{"explode:DB1"} }},
+		{"fault-arity", func(s *MatrixSpec) { s.Faults = []string{"drop:DB1"} }},
+		{"workload", func(s *MatrixSpec) { s.Workloads = []string{"nope"} }},
+	} {
+		spec := smokeSpec()
+		tc.mutate(&spec)
+		if _, err := Run(context.Background(), spec, "bad", nil); err == nil {
+			t.Errorf("%s: bad spec ran anyway", tc.name)
+		}
+	}
+}
+
+// TestBundleStability: the same workload name and seed always builds the
+// same federation and variant queries (cells compare apples to apples).
+func TestBundleStability(t *testing.T) {
+	a, err := BuildBundle("table2", 3, 0.01, 11)
+	if err != nil {
+		t.Fatalf("BuildBundle: %v", err)
+	}
+	b, err := BuildBundle("table2", 3, 0.01, 11)
+	if err != nil {
+		t.Fatalf("BuildBundle: %v", err)
+	}
+	if len(a.Queries) != 3 || len(a.Bounds) != 3 {
+		t.Fatalf("got %d queries, %d bounds", len(a.Queries), len(a.Bounds))
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Errorf("variant %d diverged:\n%s\n%s", i, a.Queries[i], b.Queries[i])
+		}
+	}
+	// Variants differ from each other when the base query has a predicate.
+	if len(a.Queries) > 1 && a.Queries[0] == a.Queries[1] {
+		t.Logf("note: variants identical (base query may have no predicates): %s", a.Queries[0])
+	}
+	for _, name := range []string{"school", "table2eq"} {
+		if _, err := BuildBundle(name, 4, 0.01, 5); err != nil {
+			t.Errorf("BuildBundle(%s): %v", name, err)
+		}
+	}
+}
+
+// TestSummarize: the stats reduction counts outcomes and orders percentiles.
+func TestSummarize(t *testing.T) {
+	results := []Result{
+		{Micros: 100}, {Micros: 300, Degraded: true}, {Micros: 200},
+		{Err: context.Canceled}, {Shed: true, Err: context.DeadlineExceeded},
+	}
+	st := Summarize(results, 1e6) // 1s wall
+	if st.Queries != 5 || st.Completed != 3 || st.Errors != 1 || st.Shed != 1 || st.Degraded != 1 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.QPS != 3 {
+		t.Errorf("qps = %v, want 3", st.QPS)
+	}
+	if st.P50Micros != 200 || st.MaxMicros != 300 {
+		t.Errorf("percentiles wrong: p50=%v max=%v", st.P50Micros, st.MaxMicros)
+	}
+	if st.MeanMicros != 200 {
+		t.Errorf("mean = %v, want 200", st.MeanMicros)
+	}
+	empty := Summarize(nil, 0)
+	if empty.QPS != 0 || empty.P99Micros != 0 {
+		t.Errorf("empty summarize: %+v", empty)
+	}
+}
+
+// TestParseFault covers the spec grammar's edges.
+func TestParseFault(t *testing.T) {
+	for _, good := range []string{"none", "", "kill:DB2", "drop:DB1:5", "delay:DB3:1500"} {
+		if _, err := parseFault(good); err != nil {
+			t.Errorf("parseFault(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{"kill", "kill:", "drop:DB1:x", "drop:DB1:-1", "delay:DB1", "zap:DB1"} {
+		if _, err := parseFault(bad); err == nil {
+			t.Errorf("parseFault(%q) accepted", bad)
+		}
+	}
+	// The factory yields independent plans: consuming one plan's drop
+	// budget must not bleed into the next (per-query semantics).
+	factory, _ := parseFault("drop:DB1:1")
+	p1 := factory()
+	p1.BeginOp("DB1")
+	if p1.BeginOp("DB1") {
+		t.Error("drop budget not consumed")
+	}
+	if p2 := factory(); !p2.BeginOp("DB1") {
+		t.Error("fresh plan inherited a consumed budget")
+	}
+}
+
+// TestDeadlineSimIgnored: a spec deadline must not perturb sim determinism
+// (wall deadlines don't exist in virtual time).
+func TestDeadlineSimIgnored(t *testing.T) {
+	spec := smokeSpec()
+	base, err := Run(context.Background(), spec, "smoke", nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	spec.Deadline = 1 * time.Nanosecond // would shred every query if applied
+	tight, err := Run(context.Background(), spec, "smoke", nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range base.Cells {
+		if base.Cells[i].Client.Completed != tight.Cells[i].Client.Completed {
+			t.Errorf("%s: deadline leaked into the sim runtime", base.Cells[i].Cell.Key())
+		}
+	}
+}

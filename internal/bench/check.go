@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// latencySlackMicros absorbs sub-microsecond float wiggle when comparing
+// latencies; a live baseline compared on noisy hardware needs the relative
+// tolerance, not this.
+const latencySlackMicros = 1.0
+
+// Violation is one regression Check found.
+type Violation struct {
+	Cell   string  `json:"cell"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s regressed %.2f → %.2f", v.Cell, v.Metric, v.Old, v.New)
+}
+
+// Check compares a new report against a baseline under a relative tolerance
+// (0.10 = 10%). For every baseline cell it flags:
+//
+//   - latency regressions: p50/p95/p99 above baseline by more than the
+//     tolerance,
+//   - throughput regressions: qps below baseline by more than the tolerance,
+//   - answer-quality regressions: the maybe or degraded fraction up by more
+//     than the tolerance in absolute terms, or client errors appearing where
+//     the baseline had none,
+//   - coverage regressions: a baseline cell missing from the new report.
+//
+// Cells only the new report has are fine (the matrix grew). An empty return
+// means the new report is no worse than the baseline.
+func Check(baseline, current *Report, tolerance float64) []Violation {
+	var out []Violation
+	for _, old := range baseline.Cells {
+		key := old.Cell.Key()
+		cur, ok := current.Get(key)
+		if !ok {
+			out = append(out, Violation{Cell: key, Metric: "missing"})
+			continue
+		}
+		add := func(metric string, oldV, newV float64) {
+			out = append(out, Violation{Cell: key, Metric: metric, Old: oldV, New: newV})
+		}
+		lat := func(metric string, oldV, newV float64) {
+			if newV > oldV*(1+tolerance)+latencySlackMicros {
+				add(metric, oldV, newV)
+			}
+		}
+		lat("p50_us", old.Client.P50Micros, cur.Client.P50Micros)
+		lat("p95_us", old.Client.P95Micros, cur.Client.P95Micros)
+		lat("p99_us", old.Client.P99Micros, cur.Client.P99Micros)
+		if cur.Client.QPS < old.Client.QPS*(1-tolerance) {
+			add("qps", old.Client.QPS, cur.Client.QPS)
+		}
+		if cur.Server.MaybeFrac > old.Server.MaybeFrac+tolerance {
+			add("maybe_frac", old.Server.MaybeFrac, cur.Server.MaybeFrac)
+		}
+		if cur.Server.DegradedFrac > old.Server.DegradedFrac+tolerance {
+			add("degraded_frac", old.Server.DegradedFrac, cur.Server.DegradedFrac)
+		}
+		if old.Client.Errors == 0 && cur.Client.Errors > 0 {
+			add("errors", float64(old.Client.Errors), float64(cur.Client.Errors))
+		}
+	}
+	return out
+}
+
+// ParseTolerance reads a tolerance flag: "10%" or "0.10".
+func ParseTolerance(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bench: bad tolerance %q (want e.g. 10%% or 0.10)", s)
+	}
+	if pct {
+		v /= 100
+	}
+	return v, nil
+}

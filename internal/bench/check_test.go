@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// baselineReport builds a deterministic sim report to gate against.
+func baselineReport(t *testing.T) *Report {
+	t.Helper()
+	r, err := Run(context.Background(), smokeSpec(), "gate", nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+// TestCheckNoFalsePositives: a report checked against itself is clean, as
+// is a rerun with the same seed (byte-identical on the sim runtime).
+func TestCheckNoFalsePositives(t *testing.T) {
+	base := baselineReport(t)
+	if v := Check(base, base, 0.10); len(v) != 0 {
+		t.Fatalf("self-check found %d violations: %v", len(v), v)
+	}
+	rerun := baselineReport(t)
+	if v := Check(base, rerun, 0.10); len(v) != 0 {
+		t.Fatalf("identical rerun flagged: %v", v)
+	}
+}
+
+// TestCheckCatchesRegressions: injected regressions at/over tolerance fail,
+// sub-tolerance drift passes.
+func TestCheckCatchesRegressions(t *testing.T) {
+	base := baselineReport(t)
+
+	worse := baselineReport(t)
+	worse.Cells[0].Client.P99Micros *= 1.5
+	worse.Cells[1].Client.QPS *= 0.5
+	worse.Cells[2].Server.MaybeFrac += 0.5
+	worse.Cells[3].Client.Errors = 2
+	v := Check(base, worse, 0.10)
+	if len(v) != 4 {
+		t.Fatalf("got %d violations, want 4: %v", len(v), v)
+	}
+	seen := map[string]bool{}
+	for _, viol := range v {
+		seen[viol.Metric] = true
+		if viol.String() == "" {
+			t.Error("empty violation rendering")
+		}
+	}
+	for _, m := range []string{"p99_us", "qps", "maybe_frac", "errors"} {
+		if !seen[m] {
+			t.Errorf("metric %s not flagged (flagged: %v)", m, seen)
+		}
+	}
+
+	// Drift inside the tolerance is not a regression.
+	drift := baselineReport(t)
+	for i := range drift.Cells {
+		drift.Cells[i].Client.P99Micros *= 1.05
+		drift.Cells[i].Client.QPS *= 0.95
+	}
+	if v := Check(base, drift, 0.10); len(v) != 0 {
+		t.Fatalf("5%% drift flagged under 10%% tolerance: %v", v)
+	}
+
+	// A vanished cell is a coverage regression.
+	shrunk := baselineReport(t)
+	shrunk.Cells = shrunk.Cells[1:]
+	v = Check(base, shrunk, 0.10)
+	if len(v) != 1 || v[0].Metric != "missing" {
+		t.Fatalf("missing cell not flagged: %v", v)
+	}
+	// A grown matrix is fine.
+	if v := Check(shrunk, base, 0.10); len(v) != 0 {
+		t.Fatalf("extra cells flagged: %v", v)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{{"10%", 0.10}, {"0.10", 0.10}, {" 25% ", 0.25}, {"0", 0}} {
+		got, err := ParseTolerance(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseTolerance(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x%", "-5%"} {
+		if _, err := ParseTolerance(bad); err == nil {
+			t.Errorf("ParseTolerance(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSLOVerdicts: pass/fail with the limiting metric named.
+func TestSLOVerdicts(t *testing.T) {
+	res := CellResult{
+		Cell:   Cell{Runtime: "sim", Strategy: "BL", Workload: "school", Clients: 4, Fault: "none", Serving: "plain"},
+		Client: ClientStats{QPS: 2500, P99Micros: 40000, Completed: 100},
+		Server: ServerStats{MaybeFrac: 0.15, DegradedFrac: 0},
+	}
+	pass := EvaluateSLO(res, SLO{
+		MinQPS: 2000, P99: 50 * time.Millisecond,
+		MaxMaybeFrac: 0.20, MaxDegradedFrac: -1, NoErrors: true,
+	})
+	if !pass.Pass {
+		t.Fatalf("should pass: %+v", pass)
+	}
+	if pass.Limiting == "" {
+		t.Error("passing verdict should still name the tightest metric")
+	}
+	if len(pass.Checks) != 4 {
+		t.Errorf("got %d checks, want 4 (degraded bound unset)", len(pass.Checks))
+	}
+
+	fail := EvaluateSLO(res, SLO{MinQPS: 3000, P99: 50 * time.Millisecond, MaxMaybeFrac: 0.20, MaxDegradedFrac: -1})
+	if fail.Pass || fail.Limiting != "qps" {
+		t.Fatalf("want qps-limited failure, got %+v", fail)
+	}
+
+	// Two violations: the deeper one is limiting (maybe frac at 3× its
+	// bound is deeper than qps at 1.2× below its floor).
+	fail2 := EvaluateSLO(res, SLO{MinQPS: 3000, MaxMaybeFrac: 0.05, MaxDegradedFrac: -1})
+	if fail2.Pass || fail2.Limiting != "maybe_frac" {
+		t.Fatalf("want maybe_frac-limited failure, got limiting=%q", fail2.Limiting)
+	}
+
+	// Unset bounds evaluate nothing — trivially passing, no limiting metric.
+	empty := EvaluateSLO(res, SLO{MaxMaybeFrac: -1, MaxDegradedFrac: -1})
+	if !empty.Pass || len(empty.Checks) != 0 {
+		t.Fatalf("unset SLO should be empty-pass: %+v", empty)
+	}
+
+	bad := EvaluateSLO(CellResult{Client: ClientStats{Errors: 3}}, SLO{MaxMaybeFrac: -1, MaxDegradedFrac: -1, NoErrors: true})
+	if bad.Pass || bad.Limiting != "errors" {
+		t.Fatalf("errors should fail NoErrors: %+v", bad)
+	}
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/workload"
+)
+
+// QueryFunc executes one query of a driven run: variant selects which query
+// text the generator's Zipf drew for this arrival. Implementations must
+// honor ctx (the drivers cancel stragglers through it) and classify their
+// outcome in the returned Result.
+type QueryFunc func(ctx context.Context, variant int) Result
+
+// DrawVariants pre-draws the variant choice for n arrivals. Drawing happens
+// single-threaded before any query launches, so the sequence depends only
+// on the seed — never on goroutine interleaving. A nil sampler (one query,
+// no skew) yields all zeros.
+func DrawVariants(z *workload.Zipf, n int) []int {
+	out := make([]int, n)
+	if z == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = z.Next()
+	}
+	return out
+}
+
+// RunClosed drives len(variants) queries through fn from a fixed pool of
+// concurrent clients (closed loop: each client issues its next query only
+// after its previous one completes — the hetserve -clients/-repeat shape).
+// Queries are dealt to clients round-robin by index so the variant sequence
+// partition is deterministic. A cancelled ctx stops every client at its
+// next issue point and the call returns once all in-flight queries unwind;
+// unissued slots come back as zero Results with Err = ctx.Err().
+func RunClosed(ctx context.Context, clients int, variants []int, fn QueryFunc) []Result {
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > len(variants) {
+		clients = len(variants)
+	}
+	results := make([]Result, len(variants))
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(variants); i += clients {
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Err: err}
+					continue
+				}
+				results[i] = fn(ctx, variants[i])
+			}
+		}(c)
+	}
+	wg.Wait()
+	return results
+}
+
+// RunOpen drives one query per arrival offset (open loop: arrivals do not
+// wait for completions, so queueing shows up as latency instead of reduced
+// offered load). offsets[i] is query i's launch time relative to the run
+// start — produce it with workload.Arrivals for a Poisson process. A
+// cancelled ctx abandons unlaunched arrivals (their Results carry
+// ctx.Err()) and the call returns once every launched query unwinds — no
+// goroutine outlives RunOpen.
+func RunOpen(ctx context.Context, offsets []time.Duration, variants []int, fn QueryFunc) []Result {
+	n := len(offsets)
+	if len(variants) < n {
+		n = len(variants)
+	}
+	results := make([]Result, n)
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	var wg sync.WaitGroup
+launch:
+	for i := 0; i < n; i++ {
+		if wait := offsets[i] - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			for j := i; j < n; j++ {
+				results[j] = Result{Err: err}
+			}
+			break launch
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = fn(ctx, variants[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// arrivalSchedule builds the open-loop launch offsets for a cell: a seeded
+// Poisson process at rate qps, or an all-at-once burst when qps <= 0.
+func arrivalSchedule(rng *rand.Rand, n int, qps float64) []time.Duration {
+	return workload.Arrivals(rng, n, qps)
+}

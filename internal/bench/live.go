@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
+	"github.com/hetfed/hetfed/internal/remote"
+	"github.com/hetfed/hetfed/internal/signature"
+)
+
+// liveCluster is one cell's serving deployment: every component site as a
+// real TCP server with its own metrics registry and observability endpoint,
+// plus an in-process coordinator. Built per cell and torn down after it, so
+// no state (caches, breakers, batch queues, counters) leaks between cells.
+type liveCluster struct {
+	coord    *remote.Coordinator
+	coordReg *metrics.Registry
+	servers  []*remote.Server
+	obsSrvs  []*obs.Server
+	scrapes  []string // per-site /metrics URLs, index-aligned with servers
+}
+
+func (lc *liveCluster) close() {
+	if lc.coord != nil {
+		lc.coord.Close()
+	}
+	for _, o := range lc.obsSrvs {
+		o.Close()
+	}
+	for _, s := range lc.servers {
+		s.Close()
+	}
+}
+
+// startLiveCluster deploys the bundle's federation for one cell. The cell's
+// fault plan is installed into every server: each server consults the plan
+// under its own site ID, so the one shared plan kills/delays exactly the
+// site the spec names. Site metrics are served over HTTP (obs.Serve) and
+// later scraped — the measurement exercises the real observability surface,
+// not an in-process shortcut.
+func startLiveCluster(spec MatrixSpec, cell Cell, bundle *Bundle) (*liveCluster, error) {
+	faults, err := parseFault(cell.Fault)
+	if err != nil {
+		return nil, err
+	}
+	serving := servingByName(spec, cell.Serving)
+	sigs := signature.Build(bundle.Databases)
+	plan := faults()
+
+	lc := &liveCluster{}
+	sites := make([]object.SiteID, 0, len(bundle.Databases))
+	for site := range bundle.Databases {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+
+	addrs := make(map[object.SiteID]string, len(sites))
+	for _, site := range sites {
+		reg := metrics.New()
+		srv, err := remote.NewServer(remote.ServerConfig{
+			DB:         bundle.Databases[site],
+			Global:     bundle.Global,
+			Tables:     bundle.Tables,
+			Signatures: sigs,
+			Metrics:    reg,
+			Batch:      remote.BatchConfig{Window: serving.BatchWindow},
+			Cache:      serving.Cache,
+			Faults:     plan,
+		})
+		if err != nil {
+			lc.close()
+			return nil, fmt.Errorf("server %s: %w", site, err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			lc.close()
+			return nil, fmt.Errorf("listen %s: %w", site, err)
+		}
+		lc.servers = append(lc.servers, srv)
+		addrs[site] = srv.Addr()
+
+		o, err := obs.Serve("127.0.0.1:0", string(site), reg, nil, nil)
+		if err != nil {
+			lc.close()
+			return nil, fmt.Errorf("obs %s: %w", site, err)
+		}
+		lc.obsSrvs = append(lc.obsSrvs, o)
+		lc.scrapes = append(lc.scrapes, "http://"+o.Addr()+"/metrics")
+	}
+	for _, srv := range lc.servers {
+		srv.SetPeers(addrs)
+	}
+	lc.coordReg = metrics.New()
+	lc.coord = &remote.Coordinator{
+		ID:            coordinatorID,
+		Global:        bundle.Global,
+		Tables:        bundle.Tables,
+		Sites:         addrs,
+		Metrics:       lc.coordReg,
+		MaxConcurrent: spec.MaxConcurrent,
+		Deadline:      spec.Deadline,
+	}
+	return lc, nil
+}
+
+// scrapeAll snapshots every site's /metrics endpoint over HTTP.
+func (lc *liveCluster) scrapeAll(ctx context.Context) ([]metrics.Snapshot, error) {
+	out := make([]metrics.Snapshot, len(lc.scrapes))
+	for i, url := range lc.scrapes {
+		s, err := metrics.Scrape(ctx, url)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// runLiveCell executes the cell against a freshly spawned TCP cluster.
+// Client stats come from the load generator's own clock; server stats come
+// from /metrics deltas scraped around the run (pre-scrape to post-scrape),
+// so warmup work (the reachability ping) never pollutes the window.
+func runLiveCell(ctx context.Context, spec MatrixSpec, cell Cell, bundle *Bundle) (CellResult, error) {
+	alg, err := algByName(cell.Strategy)
+	if err != nil {
+		return CellResult{}, err
+	}
+	lc, err := startLiveCluster(spec, cell, bundle)
+	if err != nil {
+		return CellResult{}, err
+	}
+	defer lc.close()
+	// Reachability probe; against a faulted cell some sites are dead by
+	// design, so a failed ping only means degraded answers, not a bad cell.
+	_ = lc.coord.Ping()
+
+	rng := rand.New(rand.NewSource(cell.Seed))
+	variants := DrawVariants(zipfFor(rng, spec, bundle), spec.Queries)
+
+	preSites, err := lc.scrapeAll(ctx)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("pre-scrape: %w", err)
+	}
+	preCoord := lc.coordReg.Snapshot()
+
+	fn := func(ctx context.Context, variant int) Result {
+		ans, elapsed, err := lc.coord.QueryContext(ctx, bundle.Queries[variant], alg)
+		if err != nil {
+			return Result{Err: err, Shed: errors.Is(err, exec.ErrShed)}
+		}
+		return Result{
+			Micros:      float64(elapsed.Nanoseconds()) / 1e3,
+			Degraded:    ans.Degraded,
+			Interrupted: ans.Interrupted(),
+		}
+	}
+	start := time.Now()
+	var results []Result
+	if spec.RateQPS > 0 {
+		offsets := arrivalSchedule(rng, spec.Queries, spec.RateQPS*float64(cell.Clients))
+		results = RunOpen(ctx, offsets, variants, fn)
+	} else {
+		results = RunClosed(ctx, cell.Clients, variants, fn)
+	}
+	wallMicros := float64(time.Since(start).Nanoseconds()) / 1e3
+
+	postSites, err := lc.scrapeAll(ctx)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("post-scrape: %w", err)
+	}
+	siteDeltas := make([]metrics.Snapshot, len(postSites))
+	for i := range postSites {
+		siteDeltas[i] = postSites[i].Delta(preSites[i])
+	}
+	coordDelta := lc.coordReg.Delta(preCoord)
+
+	return CellResult{
+		Cell:   cell,
+		Client: Summarize(results, wallMicros),
+		Server: extractServerStats(coordDelta, siteDeltas),
+	}, nil
+}

@@ -1,0 +1,366 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/version"
+	"github.com/hetfed/hetfed/internal/workload"
+)
+
+// coordinatorID is the global processing site in every benchmark topology
+// (matches the school example and the sim package's convention).
+const coordinatorID = "G"
+
+// Run executes the matrix and assembles the report. Cells run sequentially
+// — each cell owns the whole machine while it is measured, so cells never
+// contend with each other. progress, when non-nil, receives one line per
+// cell as it completes.
+func Run(ctx context.Context, spec MatrixSpec, topic string, progress func(string)) (*Report, error) {
+	if err := validate(&spec); err != nil {
+		return nil, err
+	}
+	report := &Report{
+		Schema:  SchemaVersion,
+		Topic:   topic,
+		Version: version.String(),
+		Seed:    spec.Seed,
+		Matrix:  spec,
+	}
+	// One bundle per workload name, shared by every cell that queries it:
+	// comparisons across strategies and faults are over identical data.
+	bundles := make(map[string]*Bundle, len(spec.Workloads))
+	for _, name := range spec.Workloads {
+		b, err := BuildBundle(name, spec.Variants, spec.Scale, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bundles[name] = b
+	}
+	for _, cell := range expand(spec) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := runCell(ctx, spec, cell, bundles[cell.Workload])
+		if err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", cell.Key(), err)
+		}
+		report.Cells = append(report.Cells, res)
+		if progress != nil {
+			progress(fmt.Sprintf("%-44s p50 %8.0fµs  p99 %8.0fµs  %7.1f q/s  maybe %.2f  degraded %.2f",
+				cell.Key(), res.Client.P50Micros, res.Client.P99Micros,
+				res.Client.QPS, res.Server.MaybeFrac, res.Server.DegradedFrac))
+		}
+	}
+	sortCells(report.Cells)
+	return report, nil
+}
+
+// validate fills the spec's defaults and rejects nonsense before any cell
+// spends time.
+func validate(spec *MatrixSpec) error {
+	if len(spec.Runtimes) == 0 {
+		spec.Runtimes = []string{"sim"}
+	}
+	for _, rt := range spec.Runtimes {
+		if rt != "sim" && rt != "live" {
+			return fmt.Errorf("bench: unknown runtime %q (want sim or live)", rt)
+		}
+	}
+	if len(spec.Strategies) == 0 {
+		return errors.New("bench: no strategies")
+	}
+	for _, s := range spec.Strategies {
+		if _, err := algByName(s); err != nil {
+			return err
+		}
+	}
+	if len(spec.Workloads) == 0 {
+		return errors.New("bench: no workloads")
+	}
+	if len(spec.Clients) == 0 {
+		spec.Clients = []int{1}
+	}
+	if len(spec.Faults) == 0 {
+		spec.Faults = []string{"none"}
+	}
+	for _, f := range spec.Faults {
+		if _, err := parseFault(f); err != nil {
+			return err
+		}
+	}
+	if len(spec.Serving) == 0 {
+		spec.Serving = []ServingSpec{{Name: "plain"}}
+	}
+	if spec.Queries < 1 {
+		spec.Queries = 1
+	}
+	if spec.Variants < 1 {
+		spec.Variants = 1
+	}
+	return nil
+}
+
+// expand produces the cell cross product in canonical (sorted-key) order.
+func expand(spec MatrixSpec) []Cell {
+	var cells []Cell
+	for _, rt := range spec.Runtimes {
+		for _, strat := range spec.Strategies {
+			for _, wl := range spec.Workloads {
+				for _, cl := range spec.Clients {
+					for _, fault := range spec.Faults {
+						for _, srv := range spec.Serving {
+							c := Cell{
+								Runtime:  rt,
+								Strategy: strat,
+								Workload: wl,
+								Clients:  cl,
+								Fault:    fault,
+								Serving:  srv.Name,
+							}
+							c.Seed = cellSeed(spec.Seed, c.Key())
+							cells = append(cells, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// servingByName resolves a cell's serving config from the spec.
+func servingByName(spec MatrixSpec, name string) ServingSpec {
+	for _, s := range spec.Serving {
+		if s.Name == name {
+			return s
+		}
+	}
+	return ServingSpec{Name: name}
+}
+
+func runCell(ctx context.Context, spec MatrixSpec, cell Cell, bundle *Bundle) (CellResult, error) {
+	switch cell.Runtime {
+	case "sim":
+		return runSimCell(ctx, spec, cell, bundle)
+	case "live":
+		return runLiveCell(ctx, spec, cell, bundle)
+	default:
+		return CellResult{}, fmt.Errorf("unknown runtime %q", cell.Runtime)
+	}
+}
+
+// runSimCell executes the cell on the discrete-event fabric: queries run
+// sequentially (the DES models intra-query parallelism; the clients
+// dimension shapes live cells only), latencies are virtual micros, and
+// every number derives from the cell seed — identical seeds reproduce
+// byte-identical results. The per-query deadline is ignored here: a wall
+// deadline against virtual time would couple results to host speed.
+func runSimCell(ctx context.Context, spec MatrixSpec, cell Cell, bundle *Bundle) (CellResult, error) {
+	alg, err := algByName(cell.Strategy)
+	if err != nil {
+		return CellResult{}, err
+	}
+	faults, err := parseFault(cell.Fault)
+	if err != nil {
+		return CellResult{}, err
+	}
+	serving := servingByName(spec, cell.Serving)
+	reg := metrics.New()
+	engine, err := exec.New(exec.Config{
+		Global:        bundle.Global,
+		Coordinator:   coordinatorID,
+		Databases:     bundle.Databases,
+		Tables:        bundle.Tables,
+		Metrics:       reg,
+		Signatures:    signature.Build(bundle.Databases),
+		MaxConcurrent: spec.MaxConcurrent,
+		Cache:         serving.Cache,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cell.Seed))
+	variants := DrawVariants(zipfFor(rng, spec, bundle), spec.Queries)
+
+	results := make([]Result, spec.Queries)
+	var virtualMicros float64
+	for i := 0; i < spec.Queries; i++ {
+		if err := ctx.Err(); err != nil {
+			return CellResult{}, err
+		}
+		// Each query gets a fresh fault plan: DropAfter budgets are
+		// per-query (mid-query crash), matching the sim package's semantics.
+		rt := fabric.NewSim(fabric.DefaultRates(), engine.Sites()).WithFaults(faults())
+		ans, m, err := engine.Run(rt, alg, bundle.Bounds[variants[i]])
+		if err != nil {
+			results[i] = Result{Err: err, Shed: errors.Is(err, exec.ErrShed)}
+			continue
+		}
+		virtualMicros += m.ResponseMicros
+		results[i] = Result{
+			Micros:      m.ResponseMicros,
+			Degraded:    ans.Degraded,
+			Interrupted: ans.Interrupted(),
+		}
+	}
+	return CellResult{
+		Cell:   cell,
+		Client: Summarize(results, virtualMicros),
+		Server: extractServerStats(reg.Snapshot(), nil),
+	}, nil
+}
+
+// zipfFor builds the cell's variant sampler; nil when there is only one
+// variant to choose from.
+func zipfFor(rng *rand.Rand, spec MatrixSpec, bundle *Bundle) *workload.Zipf {
+	if len(bundle.Queries) <= 1 {
+		return nil
+	}
+	return workload.NewZipf(rng, len(bundle.Queries), spec.Zipf)
+}
+
+// algByName resolves a strategy name (case-insensitive) to its algorithm.
+func algByName(name string) (exec.Algorithm, error) {
+	for _, a := range exec.AllAlgorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("bench: unknown strategy %q (want CA, BL, PL, SBL or SPL)", name)
+}
+
+// parseFault compiles a fault spec into a plan factory. Each call of the
+// factory yields a fresh plan, so drop-after budgets restart per consumer
+// (per query on the sim runtime, per cell on the live runtime, where the
+// plan is installed once into each server). Specs:
+//
+//	none              no faults
+//	kill:SITE         SITE is dead for the whole run
+//	drop:SITE:N       SITE serves N operations, then goes dark
+//	delay:SITE:MICROS every operation at SITE stalls this many micros
+func parseFault(spec string) (func() *fabric.FaultPlan, error) {
+	if spec == "" || spec == "none" {
+		return func() *fabric.FaultPlan { return nil }, nil
+	}
+	parts := strings.Split(spec, ":")
+	bad := func() error {
+		return fmt.Errorf("bench: bad fault %q (want none, kill:SITE, drop:SITE:N or delay:SITE:MICROS)", spec)
+	}
+	if len(parts) < 2 || parts[1] == "" {
+		return nil, bad()
+	}
+	site := object.SiteID(parts[1])
+	switch parts[0] {
+	case "kill":
+		if len(parts) != 2 {
+			return nil, bad()
+		}
+		return func() *fabric.FaultPlan { return fabric.NewFaultPlan().Kill(site) }, nil
+	case "drop":
+		if len(parts) != 3 {
+			return nil, bad()
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n < 0 {
+			return nil, bad()
+		}
+		return func() *fabric.FaultPlan { return fabric.NewFaultPlan().DropAfter(site, n) }, nil
+	case "delay":
+		if len(parts) != 3 {
+			return nil, bad()
+		}
+		us, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || us < 0 {
+			return nil, bad()
+		}
+		return func() *fabric.FaultPlan { return fabric.NewFaultPlan().Delay(site, us) }, nil
+	default:
+		return nil, bad()
+	}
+}
+
+// extractServerStats reduces metric snapshot deltas to the report's server
+// truth. coord is the coordinator's delta; sites are the component sites'
+// (empty on the sim runtime, where one registry holds everything).
+//
+// Network bytes need care: the coordinator records coordinator↔site traffic
+// in both directions as it sees it, and each site additionally records its
+// own outbound bytes — including responses to the coordinator, which the
+// coordinator already counted. Site samples whose peer is the coordinator
+// are therefore excluded; what remains from the sites is site↔site check
+// traffic, which the coordinator never sees.
+func extractServerStats(coord metrics.Snapshot, sites []metrics.Snapshot) ServerStats {
+	all := append([]metrics.Snapshot{coord}, sites...)
+	sumAll := func(name string) int64 {
+		var t int64
+		for _, s := range all {
+			t += s.Sum(name)
+		}
+		return t
+	}
+	st := ServerStats{
+		Queries:          coord.Sum("queries_total"),
+		CertainRows:      coord.Sum("results_certain_total"),
+		MaybeRows:        coord.Sum("results_maybe_total"),
+		DegradedQueries:  coord.Sum("degraded_queries_total"),
+		DiskBytes:        sumAll("disk_bytes_total"),
+		CPUOps:           sumAll("cpu_ops_total"),
+		ChecksDispatched: sumAll("checks_dispatched_total"),
+		CacheHits:        sumAll("cache_hits_total"),
+		CacheMisses:      sumAll("cache_misses_total"),
+		Shed:             coord.Sum("queries_shed_total"),
+		DeadlineExceeded: coord.Sum("deadline_exceeded_total"),
+		Canceled:         coord.Sum("queries_canceled_total"),
+		SiteUnavailable:  coord.Sum("site_unavailable_total"),
+	}
+	st.NetBytes = coord.Sum("net_bytes_total")
+	for _, s := range sites {
+		st.NetBytes += sumWhere(s, "net_bytes_total", func(l metrics.Labels) bool {
+			return l.Peer != coordinatorID
+		})
+		n, groups := s.HistTotals("check_batch_groups")
+		st.CheckBatches += n
+		st.BatchedGroups += int64(groups)
+	}
+	if rows := st.CertainRows + st.MaybeRows; rows > 0 {
+		st.CertainFrac = frac(st.CertainRows, rows)
+		st.MaybeFrac = frac(st.MaybeRows, rows)
+	}
+	if st.Queries > 0 {
+		st.DegradedFrac = frac(st.DegradedQueries, st.Queries)
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = frac(st.CacheHits, lookups)
+	}
+	if st.CheckBatches > 0 {
+		st.BatchEfficiency = float64(st.BatchedGroups) / float64(st.CheckBatches)
+	}
+	return st
+}
+
+// frac rounds a ratio to 4 decimals so report floats stay diffable and free
+// of representation noise.
+func frac(num, den int64) float64 {
+	return float64(int64(float64(num)/float64(den)*1e4+0.5)) / 1e4
+}
+
+// sumWhere totals a counter across the label sets keep admits.
+func sumWhere(s metrics.Snapshot, name string, keep func(metrics.Labels) bool) int64 {
+	var t int64
+	for _, smp := range s.Samples {
+		if smp.Name == name && smp.Hist == nil && (keep == nil || keep(smp.Labels)) {
+			t += smp.Value
+		}
+	}
+	return t
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// SLO is a service-level objective over one cell's measurements. Zero/
+// negative bounds are unset and not evaluated, except the fraction bounds
+// where a genuine 0 is meaningful — those use negative for "unset".
+type SLO struct {
+	// MinQPS is the throughput floor (0 = unset).
+	MinQPS float64
+	// P99 caps the client-observed 99th-percentile latency (0 = unset).
+	P99 time.Duration
+	// MaxMaybeFrac caps the maybe share of returned rows (< 0 = unset).
+	MaxMaybeFrac float64
+	// MaxDegradedFrac caps the degraded share of queries (< 0 = unset).
+	MaxDegradedFrac float64
+	// NoErrors additionally requires zero client-observed errors and sheds.
+	NoErrors bool
+}
+
+// SLOCheck is one evaluated bound.
+type SLOCheck struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Bound  float64 `json:"bound"`
+	OK     bool    `json:"ok"`
+	// margin is the relative distance to the bound: positive = headroom,
+	// negative = violation depth. Used to pick the limiting metric.
+	margin float64
+}
+
+func (c SLOCheck) String() string {
+	verdict := "ok"
+	if !c.OK {
+		verdict = "VIOLATED"
+	}
+	return fmt.Sprintf("%-14s %10.2f  (bound %10.2f)  %s", c.Metric, c.Value, c.Bound, verdict)
+}
+
+// SLOVerdict is the pass/fail answer for one cell: the limiting metric is
+// the violated bound that is deepest in violation, or — when everything
+// passes — the bound with the least headroom (what would give way first if
+// load or failure got worse).
+type SLOVerdict struct {
+	Cell     string     `json:"cell"`
+	Pass     bool       `json:"pass"`
+	Limiting string     `json:"limiting"`
+	Checks   []SLOCheck `json:"checks"`
+}
+
+// EvaluateSLO checks one cell's results against the objective.
+func EvaluateSLO(res CellResult, slo SLO) SLOVerdict {
+	v := SLOVerdict{Cell: res.Cell.Key(), Pass: true}
+	// floor: value must be >= bound; cap: value must be <= bound.
+	floor := func(metric string, value, bound float64) {
+		if bound <= 0 {
+			return
+		}
+		v.Checks = append(v.Checks, SLOCheck{
+			Metric: metric, Value: value, Bound: bound,
+			OK: value >= bound, margin: (value - bound) / bound,
+		})
+	}
+	ceil := func(metric string, value, bound float64, set bool) {
+		if !set {
+			return
+		}
+		c := SLOCheck{Metric: metric, Value: value, Bound: bound, OK: value <= bound}
+		if bound > 0 {
+			c.margin = (bound - value) / bound
+		} else if value > 0 {
+			c.margin = -1 // a zero bound with a nonzero value: fully violated
+		}
+		v.Checks = append(v.Checks, c)
+	}
+	floor("qps", res.Client.QPS, slo.MinQPS)
+	ceil("p99_us", res.Client.P99Micros, float64(slo.P99.Microseconds()), slo.P99 > 0)
+	ceil("maybe_frac", res.Server.MaybeFrac, slo.MaxMaybeFrac, slo.MaxMaybeFrac >= 0)
+	ceil("degraded_frac", res.Server.DegradedFrac, slo.MaxDegradedFrac, slo.MaxDegradedFrac >= 0)
+	if slo.NoErrors {
+		ceil("errors", float64(res.Client.Errors+res.Client.Shed), 0, true)
+	}
+	// Pick the limiting metric: deepest violation when failing, least
+	// headroom when passing.
+	limiting, best := "", 0.0
+	for _, c := range v.Checks {
+		if !c.OK {
+			v.Pass = false
+		}
+	}
+	for _, c := range v.Checks {
+		if v.Pass != c.OK {
+			continue // when failing, only violated checks compete
+		}
+		if limiting == "" || c.margin < best {
+			limiting, best = c.Metric, c.margin
+		}
+	}
+	v.Limiting = limiting
+	return v
+}

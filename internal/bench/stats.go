@@ -1,0 +1,69 @@
+package bench
+
+import "sort"
+
+// Result is one driven query as the load generator saw it. Micros is the
+// client-observed latency (wall-clock on the live runtime, virtual time on
+// the sim runtime); a Result with Err set contributes to the error counts
+// and is excluded from the latency distribution.
+type Result struct {
+	Micros      float64
+	Degraded    bool
+	Interrupted bool
+	Shed        bool
+	Err         error
+}
+
+// Summarize reduces a run's results to the client-observed statistics.
+// wallMicros is the run's span from first launch to last completion;
+// throughput is completed queries over that span. Percentiles are exact
+// (nearest-rank over the sorted completions), not histogram estimates —
+// the generator holds every sample, so there is no reason to approximate.
+func Summarize(results []Result, wallMicros float64) ClientStats {
+	st := ClientStats{Queries: len(results), WallMillis: wallMicros / 1e3}
+	lat := make([]float64, 0, len(results))
+	var sum float64
+	for _, r := range results {
+		switch {
+		case r.Shed:
+			st.Shed++
+		case r.Err != nil:
+			st.Errors++
+		default:
+			st.Completed++
+			lat = append(lat, r.Micros)
+			sum += r.Micros
+			if r.Degraded {
+				st.Degraded++
+			}
+			if r.Interrupted {
+				st.Interrupted++
+			}
+		}
+	}
+	if wallMicros > 0 {
+		st.QPS = float64(st.Completed) / (wallMicros / 1e6)
+	}
+	if len(lat) == 0 {
+		return st
+	}
+	sort.Float64s(lat)
+	st.MeanMicros = sum / float64(len(lat))
+	st.P50Micros = pctl(lat, 0.50)
+	st.P95Micros = pctl(lat, 0.95)
+	st.P99Micros = pctl(lat, 0.99)
+	st.MaxMicros = lat[len(lat)-1]
+	return st
+}
+
+// pctl is the nearest-rank percentile of a sorted sample.
+func pctl(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

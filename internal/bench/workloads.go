@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetfed/hetfed/internal/gmap"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/schema"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/workload"
+)
+
+// Bundle is one benchmark workload: a federation plus its query variants.
+// Variant 0 is the hot query under Zipfian skew; every variant is carried
+// both as parseable text (what the live coordinator's parser consumes) and
+// in bound form (what the in-process engine consumes), guaranteed
+// equivalent because the bound form is compiled from the same AST that
+// rendered the text.
+type Bundle struct {
+	Name      string
+	Global    *schema.Global
+	Databases map[object.SiteID]*store.Database
+	Tables    *gmap.Tables
+	Queries   []string
+	Bounds    []*query.Bound
+}
+
+// schoolVariantTexts are the query variants over the paper's school
+// federation: Q1 plus progressively narrower relatives, so Zipfian skew has
+// distinct shapes to concentrate on.
+var schoolVariantTexts = []string{
+	school.Q1,
+	`select name from Student where age < 30 and address.city = "Taipei"`,
+	`select name, advisor.name from Student where advisor.speciality = "database"`,
+	`select name from Student where advisor.department.name = "CS" and sex = "F"`,
+	`select name, address.city from Student where address.city = "Taipei"`,
+}
+
+// BuildBundle constructs a named workload. Supported names:
+//
+//   - "school": the paper's running example federation with the Q1 family
+//     of query variants (scale/seed are ignored — the fixture is fixed).
+//   - "table2": a federation drawn from the paper's Table 2 ranges with
+//     range predicates; variants sweep the root predicate's literal, so
+//     variants differ in selectivity.
+//   - "table2eq": Table 2 with equality predicates (the shape the
+//     signature-assisted strategies accelerate).
+//
+// scale multiplies the Table 2 extent sizes (0 or 1 = paper scale; use
+// ~0.01 for smoke runs). The same name/variants/scale/seed always builds an
+// identical bundle, so every cell of a matrix queries the same federation.
+func BuildBundle(name string, variants int, scale float64, seed int64) (*Bundle, error) {
+	if variants < 1 {
+		variants = 1
+	}
+	switch name {
+	case "school":
+		return schoolBundle(variants)
+	case "table2":
+		return table2Bundle(name, variants, scale, seed, false)
+	case "table2eq":
+		return table2Bundle(name, variants, scale, seed, true)
+	default:
+		return nil, fmt.Errorf("bench: unknown workload %q (want school, table2 or table2eq)", name)
+	}
+}
+
+func schoolBundle(variants int) (*Bundle, error) {
+	fx := school.New()
+	b := &Bundle{
+		Name:      "school",
+		Global:    fx.Global,
+		Databases: fx.Databases,
+		Tables:    fx.Mapping,
+	}
+	for v := 0; v < variants; v++ {
+		text := schoolVariantTexts[v%len(schoolVariantTexts)]
+		q, err := query.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("bench: school variant %d: %w", v, err)
+		}
+		bound, err := query.Bind(q, fx.Global)
+		if err != nil {
+			return nil, fmt.Errorf("bench: school variant %d: %w", v, err)
+		}
+		b.Queries = append(b.Queries, text)
+		b.Bounds = append(b.Bounds, bound)
+	}
+	return b, nil
+}
+
+func table2Bundle(name string, variants int, scale float64, seed int64, equality bool) (*Bundle, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	ranges := workload.DefaultRanges()
+	ranges.EqualityPreds = equality
+	ranges.NObjects[0] = scaled(ranges.NObjects[0], scale)
+	ranges.NObjects[1] = scaled(ranges.NObjects[1], scale)
+	rng := rand.New(rand.NewSource(seed))
+	w, err := workload.Generate(ranges.Draw(rng), rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generate %s: %w", name, err)
+	}
+	b := &Bundle{
+		Name:      name,
+		Global:    w.Global,
+		Databases: w.Databases,
+		Tables:    w.Tables,
+	}
+	for v := 0; v < variants; v++ {
+		q := variantQuery(w.Query, v, variants, equality)
+		bound, err := query.Bind(q, w.Global)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s variant %d: %w", name, v, err)
+		}
+		b.Queries = append(b.Queries, q.String())
+		b.Bounds = append(b.Bounds, bound)
+	}
+	return b, nil
+}
+
+// scaled shrinks a Table 2 extent bound, clamped so even tiny smoke scales
+// keep a real extent.
+func scaled(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 20 {
+		v = 20
+	}
+	return v
+}
+
+// variantQuery derives variant v of a generated query by perturbing its
+// first predicate's literal: range predicates sweep the literal (and with
+// it the selectivity) across variants, equality predicates probe different
+// domain values. Variant 0 is the generated query itself.
+func variantQuery(base *query.Query, v, variants int, equality bool) *query.Query {
+	q := &query.Query{
+		Range:   base.Range,
+		Targets: base.Targets,
+		Preds:   append([]query.Predicate(nil), base.Preds...),
+		Groups:  base.Groups,
+	}
+	if v == 0 || len(q.Preds) == 0 {
+		return q
+	}
+	p := q.Preds[0]
+	if p.Literal.Kind() == object.KindInt {
+		if equality {
+			p.Literal = object.Int(int64(v))
+		} else {
+			scaledLit := p.Literal.Int64() * int64(variants-v) / int64(variants)
+			if scaledLit < 1 {
+				scaledLit = 1
+			}
+			p.Literal = object.Int(scaledLit)
+		}
+		q.Preds[0] = p
+	}
+	return q
+}

@@ -439,9 +439,71 @@ func (s Snapshot) CounterValue(name string, l Labels) int64 {
 	return smp.Value
 }
 
+// Sum totals a counter (or gauge) metric across every label set it was
+// recorded under — e.g. net_bytes_total over all site pairs. Absent
+// metrics sum to 0.
+func (s Snapshot) Sum(name string) int64 {
+	var total int64
+	for _, smp := range s.Samples {
+		if smp.Name == name && smp.Kind != "histogram" {
+			total += smp.Value
+		}
+	}
+	return total
+}
+
+// HistTotals aggregates a histogram metric across every label set,
+// returning the total observation count and value sum. Absent metrics
+// and nil histogram snapshots yield zeros.
+func (s Snapshot) HistTotals(name string) (count int64, sum float64) {
+	for _, smp := range s.Samples {
+		if smp.Name == name && smp.Kind == "histogram" && smp.Hist != nil {
+			count += smp.Hist.Count
+			sum += smp.Hist.Sum
+		}
+	}
+	return count, sum
+}
+
+// MergedHist sums a histogram metric's buckets across every label set into
+// one HistogramSnapshot (for quantile estimates over the whole cluster).
+// Returns nil when the metric was never observed.
+func (s Snapshot) MergedHist(name string) *HistogramSnapshot {
+	var out *HistogramSnapshot
+	for _, smp := range s.Samples {
+		if smp.Name != name || smp.Kind != "histogram" || smp.Hist == nil {
+			continue
+		}
+		if out == nil {
+			out = &HistogramSnapshot{
+				Bounds: smp.Hist.Bounds,
+				Counts: append([]int64(nil), smp.Hist.Counts...),
+				Sum:    smp.Hist.Sum,
+				Count:  smp.Hist.Count,
+			}
+			continue
+		}
+		out = histSum(out, smp.Hist)
+	}
+	return out
+}
+
+// Delta captures the registry's current values minus a previous snapshot
+// of it — the scrape-based measurement primitive: take a Snapshot before a
+// run, Delta after it, and long-lived instruments (a server that has
+// already served other runs) never double-count. Nil-safe: a nil registry
+// yields an empty snapshot regardless of prev.
+func (r *Registry) Delta(prev Snapshot) Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return r.Snapshot().Delta(prev)
+}
+
 // Delta returns s minus prev: counters and histograms are differenced,
 // gauges keep their current value. Samples absent from prev pass through
-// unchanged.
+// unchanged (a series born between the snapshots starts from zero, so its
+// full value IS its delta); series present only in prev are dropped.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	base := make(map[key]Sample, len(prev.Samples))
 	for _, smp := range prev.Samples {

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// scrapeTimeout bounds one /metrics exchange; a wedged observability
+// endpoint must not wedge the measurement harness scraping it.
+const scrapeTimeout = 10 * time.Second
+
+// Scrape fetches a /metrics endpoint (the obs package's JSON form) and
+// parses it into a Snapshot — the client half of scrape-based measurement:
+// snapshot a server before a run, again after it, and Delta the two so the
+// server's own truth (bytes moved, cache hits, degraded counts) is measured
+// without trusting the client's view.
+//
+// url is the full endpoint URL, e.g. "http://127.0.0.1:8101/metrics". The
+// request carries ctx (cancellation) and a 10s default deadline when ctx
+// has none.
+func Scrape(ctx context.Context, url string) (Snapshot, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, scrapeTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: scrape %s: %w", url, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Snapshot{}, fmt.Errorf("metrics: scrape %s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: scrape %s: read: %w", url, err)
+	}
+	return ParseSnapshot(body)
+}
+
+// ParseSnapshot decodes the JSON form rendered by Snapshot.JSON (and served
+// on /metrics). The empty or "null" body parses to an empty snapshot.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if len(data) == 0 {
+		return s, nil
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: parse snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^theta — the popularity skew of real query traffic (a few hot
+// keys, a long cold tail). Unlike math/rand's Zipf it accepts any skew
+// theta ≥ 0: theta = 0 is uniform, theta ≈ 1 the classic Zipf law, larger
+// values sharper. Sampling is inverse-CDF over a precomputed cumulative
+// table, so a Zipf driven by a seeded *rand.Rand is fully deterministic.
+//
+// The sampler itself is not safe for concurrent use (it shares the caller's
+// rng); load generators sample the whole key sequence up front, which also
+// keeps the sequence independent of goroutine interleaving.
+type Zipf struct {
+	cum []float64 // cum[k] = P(rank <= k), ascending, cum[n-1] == 1
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n ranks with skew theta ≥ 0, drawing from
+// rng. n must be ≥ 1; theta < 0 is clamped to 0 (uniform).
+func NewZipf(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), theta)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &Zipf{cum: cum, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Next draws one rank in [0, N).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}
+
+// Prob returns the sampler's probability of rank k (diagnostics and
+// goodness-of-fit tests).
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cum) {
+		return 0
+	}
+	if k == 0 {
+		return z.cum[0]
+	}
+	return z.cum[k] - z.cum[k-1]
+}
+
+// Arrivals returns n open-loop arrival offsets from time zero at a mean
+// rate of ratePerSec arrivals per second, with exponentially distributed
+// inter-arrival times (a Poisson process) — the open-loop load shape where
+// arrivals do not wait for completions, so queueing delay shows up in the
+// measured latency instead of silently throttling the offered load.
+//
+// The schedule is deterministic from rng. ratePerSec ≤ 0 degenerates to an
+// all-at-zero burst (every arrival due immediately).
+func Arrivals(rng *rand.Rand, n int, ratePerSec float64) []time.Duration {
+	offsets := make([]time.Duration, n)
+	if ratePerSec <= 0 {
+		return offsets
+	}
+	t := 0.0 // seconds
+	for i := range offsets {
+		t += rng.ExpFloat64() / ratePerSec
+		offsets[i] = time.Duration(t * float64(time.Second))
+	}
+	return offsets
+}

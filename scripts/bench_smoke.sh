@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench_smoke.sh — the benchmark regression smoke: a tiny deterministic
+# 2-cell sim matrix (CA and BL over the school federation) checked against
+# the committed baseline BENCH_smoke.json. The sim runtime measures in
+# virtual time, so the same seed reproduces byte-identical results on any
+# machine — a >10% drift means the code changed the measured behaviour.
+#
+# Usage:
+#   scripts/bench_smoke.sh          run the matrix and gate against baseline
+#   scripts/bench_smoke.sh regen    regenerate the committed baseline
+#
+# BENCH_OUT overrides where the gated run writes its report
+# (default /tmp/BENCH_smoke.json).
+set -eu
+cd "$(dirname "$0")/.."
+
+run_matrix() {
+    go run ./cmd/hetbench run -topic smoke \
+        -runtimes sim -strategies CA,BL -workloads school \
+        -clients 1 -faults none -serving plain \
+        -queries 6 -zipf 0.8 -variants 3 -seed 42 \
+        "$@"
+}
+
+if [ "${1:-}" = "regen" ]; then
+    run_matrix -out BENCH_smoke.json
+    echo "baseline regenerated: BENCH_smoke.json"
+else
+    run_matrix -out "${BENCH_OUT:-/tmp/BENCH_smoke.json}" \
+        -check BENCH_smoke.json -tolerance 10%
+fi

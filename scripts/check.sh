@@ -40,4 +40,11 @@ go test -race -timeout 120s "$pkgs"
 echo "== bench smoke (1 iteration)"
 go test -run - -bench 'BenchmarkTraceOverhead|BenchmarkProfileOverhead' -benchtime 1x .
 
+# BENCH_SMOKE=1 additionally runs the hetbench regression smoke: a tiny
+# deterministic sim matrix gated against the committed BENCH_smoke.json.
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+    echo "== hetbench smoke (vs committed BENCH_smoke.json)"
+    scripts/bench_smoke.sh
+fi
+
 echo "ok"
