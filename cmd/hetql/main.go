@@ -14,6 +14,7 @@
 //	hetql -fail-sites DB3              # degrade: kill DB3, partial answer
 //	hetql -site-delay DB2=5ms          # wedge DB2 by 5ms per operation
 //	hetql -explain                     # EXPLAIN ANALYZE: predicted vs measured
+//	hetql -alg adaptive -repeat 5      # calibrating selector, fed by each run's profile
 //	hetql -deadline 50ms               # budgeted: over-deadline → partial answer
 //	hetql -version                     # print the build version
 package main
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hetfed/hetfed/internal/adapt"
 	"github.com/hetfed/hetfed/internal/cost"
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fabric"
@@ -58,7 +60,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hetql", flag.ContinueOnError)
 	var (
 		queryText   = fs.String("query", school.Q1, "global query (SQL/X-like)")
-		algName     = fs.String("alg", "all", "strategy: CA, BL, PL, SBL, SPL, auto (planner), or all")
+		algName     = fs.String("alg", "all", "strategy: CA, BL, PL, SBL, SPL, auto (planner), adaptive (calibrating selector), or all")
+		repeat      = fs.Int("repeat", 1, "run the query this many times per strategy (lets -alg adaptive calibrate)")
 		showTrace   = fs.Bool("trace", false, "print the executed step flow (Figure 8) and the span tree")
 		showMetrics = fs.Bool("metrics", false, "print each strategy's metrics (snapshot delta)")
 		show        = fs.Bool("show", false, "print the federation's schemas and objects, then exit")
@@ -129,10 +132,31 @@ func run(args []string) error {
 		return err
 	}
 
+	// -explain without an explicit single strategy runs the planner's choice,
+	// like -alg auto.
+	useAuto := strings.EqualFold(*algName, "auto") ||
+		(*explain && strings.EqualFold(*algName, "all"))
+	adaptive := strings.EqualFold(*algName, exec.Adaptive.String())
+
+	// One catalog build serves planning, the EXPLAIN baseline, and the
+	// adaptive selector alike.
+	var (
+		ests     []planner.Estimate
+		selector *adapt.Selector
+	)
+	if useAuto || *explain || adaptive {
+		cat := planner.BuildCatalog(global, databases, tables)
+		ests = planner.Estimates(cat, b, fabric.DefaultRates())
+		if adaptive {
+			selector = adapt.NewSelector(cat,
+				adapt.NewCalibrator(adapt.Config{Coordinator: "G"}), nil)
+		}
+	}
+
 	var tracer trace.Tracer
 	reg := metrics.New()
 	rec := obs.NewRecorder(obs.RecorderConfig{Site: "G", Metrics: reg})
-	engine, err := exec.New(exec.Config{
+	cfg := exec.Config{
 		Global:      global,
 		Coordinator: "G",
 		Databases:   databases,
@@ -142,7 +166,11 @@ func run(args []string) error {
 		Signatures:  signature.Build(databases),
 		Recorder:    rec,
 		Deadline:    *deadline,
-	})
+	}
+	if selector != nil {
+		cfg.Selector = selector
+	}
+	engine, err := exec.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -153,27 +181,19 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	// -explain without an explicit single strategy runs the planner's choice,
-	// like -alg auto.
-	useAuto := strings.EqualFold(*algName, "auto") ||
-		(*explain && strings.EqualFold(*algName, "all"))
-	var ests []planner.Estimate
-	if useAuto || *explain {
-		cat := planner.BuildCatalog(global, databases, tables)
-		ests = planner.Estimates(cat, b, fabric.DefaultRates())
-	}
-
 	var algs []exec.Algorithm
-	if useAuto {
-		cat := planner.BuildCatalog(global, databases, tables)
-		chosen := planner.Choose(cat, b, fabric.DefaultRates())
+	switch {
+	case useAuto:
+		chosen := planner.ChooseFrom(ests).Alg
 		fmt.Printf("planner chose %v:\n", chosen)
 		for _, est := range ests {
 			fmt.Printf("  %-3v predicted response %8.2f ms, total %8.2f ms\n",
 				est.Alg, est.ResponseMicros/1e3, est.TotalMicros/1e3)
 		}
 		algs = []exec.Algorithm{chosen}
-	} else {
+	case adaptive:
+		algs = []exec.Algorithm{exec.Adaptive}
+	default:
 		algs, err = pickAlgorithms(*algName)
 		if err != nil {
 			return err
@@ -183,35 +203,54 @@ func run(args []string) error {
 	fmt.Printf("query: %s\n", q)
 	prev := reg.Snapshot()
 	for _, alg := range algs {
-		tracer.Reset()
-		rt := fabric.NewSim(fabric.DefaultRates(), engine.Sites())
-		if faults != nil {
-			// A fresh plan per run: drop-after budgets are stateful.
-			rt = rt.WithFaults(faults())
-		}
-		ans, m, err := engine.RunContext(ctx, rt, alg, b)
-		if err != nil {
-			return fmt.Errorf("%v: %w", alg, err)
-		}
-		fmt.Printf("\n=== %v ===\n", alg)
-		printAnswer(ans, b)
-		fmt.Printf("simulated: response %.2f ms, total execution %.2f ms "+
-			"(disk %d B, cpu %d ops, net %d B)\n",
-			m.ResponseMicros/1e3, m.TotalBusyMicros/1e3, m.DiskBytes, m.CPUOps, m.NetBytes)
-		if *explain {
-			printExplain(ests, alg, rec.Last())
-		}
-		if *showTrace {
-			fmt.Println("\nstep flow:")
-			fmt.Print(tracer.Render())
-			fmt.Println("\nspan tree:")
-			fmt.Print(tracer.RenderTree())
-		}
-		if *showMetrics {
-			cur := reg.Snapshot()
-			fmt.Println("\nmetrics:")
-			fmt.Print(cur.Delta(prev).Text())
-			prev = cur
+		for run := 0; run < *repeat; run++ {
+			tracer.Reset()
+			rt := fabric.NewSim(fabric.DefaultRates(), engine.Sites())
+			if faults != nil {
+				// A fresh plan per run: drop-after budgets are stateful.
+				rt = rt.WithFaults(faults())
+			}
+			ans, m, err := engine.RunContext(ctx, rt, alg, b)
+			if err != nil {
+				return fmt.Errorf("%v: %w", alg, err)
+			}
+			executed := alg
+			header := alg.String()
+			if alg == exec.Adaptive {
+				if d := selector.LastDecision(); d != nil {
+					executed = d.Alg
+					header = fmt.Sprintf("adaptive → %v", d.Alg)
+				}
+			}
+			if *repeat > 1 {
+				header = fmt.Sprintf("%s (run %d/%d)", header, run+1, *repeat)
+			}
+			fmt.Printf("\n=== %s ===\n", header)
+			printAnswer(ans, b)
+			fmt.Printf("simulated: response %.2f ms, total execution %.2f ms "+
+				"(disk %d B, cpu %d ops, net %d B)\n",
+				m.ResponseMicros/1e3, m.TotalBusyMicros/1e3, m.DiskBytes, m.CPUOps, m.NetBytes)
+			if *explain {
+				var calibrated []planner.Estimate
+				if alg == exec.Adaptive {
+					if d := selector.LastDecision(); d != nil {
+						calibrated = d.Estimates
+					}
+				}
+				printExplain(ests, calibrated, executed, rec.Last())
+			}
+			if *showTrace {
+				fmt.Println("\nstep flow:")
+				fmt.Print(tracer.Render())
+				fmt.Println("\nspan tree:")
+				fmt.Print(tracer.RenderTree())
+			}
+			if *showMetrics {
+				cur := reg.Snapshot()
+				fmt.Println("\nmetrics:")
+				fmt.Print(cur.Delta(prev).Text())
+				prev = cur
+			}
 		}
 	}
 	return nil
@@ -278,14 +317,33 @@ func estimateFor(ests []planner.Estimate, alg exec.Algorithm) *planner.Estimate 
 
 // printExplain lays the planner's predicted per-site/per-phase cost against
 // the measured profile of the run that just finished — EXPLAIN ANALYZE.
-func printExplain(ests []planner.Estimate, alg exec.Algorithm, p *trace.Profile) {
+// With a calibrated estimate set (the adaptive selector's decision) the
+// table grows a third column: Table 1 prediction, calibrated prediction,
+// measured.
+func printExplain(table1, calibrated []planner.Estimate, alg exec.Algorithm, p *trace.Profile) {
 	fmt.Printf("\nEXPLAIN ANALYZE (%v):\n", alg)
+	var (
+		labels []string
+		bds    []*cost.Breakdown
+	)
+	predictedLabel := "predicted"
+	if calibrated != nil {
+		predictedLabel = "table1"
+	}
 	var predicted *cost.Breakdown
-	if est := estimateFor(ests, alg); est != nil {
-		fmt.Printf("predicted: response %.3f ms, total %.3f ms\n",
-			est.ResponseMicros/1e3, est.TotalMicros/1e3)
+	if est := estimateFor(table1, alg); est != nil {
+		fmt.Printf("%s: response %.3f ms, total %.3f ms\n",
+			predictedLabel, est.ResponseMicros/1e3, est.TotalMicros/1e3)
 		predicted = est.Details
 		predicted.Relabel(planner.CoordSite, "G")
+	}
+	labels, bds = append(labels, predictedLabel), append(bds, predicted)
+	if est := estimateFor(calibrated, alg); est != nil {
+		fmt.Printf("calibrated: response %.3f ms, total %.3f ms\n",
+			est.ResponseMicros/1e3, est.TotalMicros/1e3)
+		cb := est.Details
+		cb.Relabel(planner.CoordSite, "G")
+		labels, bds = append(labels, "calibrated"), append(bds, cb)
 	}
 	var measured *cost.Breakdown
 	if p != nil {
@@ -293,7 +351,8 @@ func printExplain(ests []planner.Estimate, alg exec.Algorithm, p *trace.Profile)
 			p.WallMicros/1e3, p.Status, p.Certain, p.Maybe)
 		measured = p.Phases
 	}
-	fmt.Print(cost.RenderCompare(predicted, measured))
+	labels, bds = append(labels, "measured"), append(bds, measured)
+	fmt.Print(cost.RenderColumns(labels, bds))
 	if p != nil && len(p.Counters) > 0 {
 		names := make([]string, 0, len(p.Counters))
 		for name := range p.Counters {
@@ -311,12 +370,11 @@ func pickAlgorithms(name string) ([]exec.Algorithm, error) {
 	if strings.EqualFold(name, "all") {
 		return exec.Algorithms(), nil
 	}
-	for _, alg := range exec.AllAlgorithms() {
-		if strings.EqualFold(alg.String(), name) {
-			return []exec.Algorithm{alg}, nil
-		}
+	alg, err := exec.ParseAlgorithm(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown algorithm %q (want CA, BL, PL, SBL, SPL, all)", name)
+	return []exec.Algorithm{alg}, nil
 }
 
 func printAnswer(ans *federation.Answer, b *query.Bound) {

@@ -66,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hetfed/hetfed/internal/adapt"
 	"github.com/hetfed/hetfed/internal/bench"
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fabric"
@@ -74,6 +75,7 @@ import (
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/obs"
+	"github.com/hetfed/hetfed/internal/planner"
 	"github.com/hetfed/hetfed/internal/remote"
 	"github.com/hetfed/hetfed/internal/schema"
 	"github.com/hetfed/hetfed/internal/school"
@@ -104,7 +106,7 @@ func run(args []string) error {
 		coordinator = fs.Bool("coordinator", false, "act as the global processing site")
 		peersFlag   = fs.String("peers", "", "comma-separated SITE=ADDR pairs")
 		queryText   = fs.String("query", school.Q1, "query to run in -coordinator mode")
-		algName     = fs.String("alg", "BL", "strategy for -coordinator mode: CA, BL, PL, SBL, SPL")
+		algName     = fs.String("alg", "BL", "strategy for -coordinator mode: CA, BL, PL, SBL, SPL, or adaptive (calibrating selector fed by measured profiles and breaker states)")
 		fedPath     = fs.String("fed", "", "serve/query this JSON federation instead of the built-in example")
 		showTrace   = fs.Bool("trace", false, "print the query's span tree in -coordinator mode")
 		showMetrics = fs.Bool("metrics", false, "print the coordinator's metrics snapshot in -coordinator mode")
@@ -395,16 +397,9 @@ type coordOpts struct {
 }
 
 func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string, opts coordOpts) error {
-	var alg exec.Algorithm
-	found := false
-	for _, a := range exec.AllAlgorithms() {
-		if strings.EqualFold(a.String(), algName) {
-			alg, found = a, true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown algorithm %q", algName)
+	alg, err := exec.ParseAlgorithm(algName)
+	if err != nil {
+		return err
 	}
 	tr := &trace.Tracer{}
 	tr.SetLimit(spanLimit)
@@ -431,6 +426,17 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		Deadline:      opts.Deadline,
 	}
 	defer coord.Close()
+	// Adaptive mode: the selector plans over the bundle's catalog (the
+	// coordinator holds the same federation document the sites serve from),
+	// calibrated by each query's measured profile and steered by the live
+	// peer breaker states.
+	var selector *adapt.Selector
+	if alg == exec.Adaptive {
+		cat := planner.BuildCatalog(fed.Global, fed.Databases, fed.Mapping)
+		selector = adapt.NewSelector(cat,
+			adapt.NewCalibrator(adapt.Config{Coordinator: "G"}), coord.BreakerStates)
+		coord.Selector = selector
+	}
 	if opts.MetricsAddr != "" {
 		o, err := obs.Serve(opts.MetricsAddr, "G", reg, tr, rec, breakerHealth(coord.BreakerStates))
 		if err != nil {
@@ -455,7 +461,13 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	if err != nil {
 		return err
 	}
-	fmt.Printf("query: %s\nstrategy: %v  (%.2f ms over TCP)\n", queryText, alg,
+	algLabel := alg.String()
+	if selector != nil {
+		if d := selector.LastDecision(); d != nil {
+			algLabel = fmt.Sprintf("adaptive → %v", d.Alg)
+		}
+	}
+	fmt.Printf("query: %s\nstrategy: %s  (%.2f ms over TCP)\n", queryText, algLabel,
 		float64(elapsed.Microseconds())/1e3)
 	if ans.Interrupted() {
 		fmt.Printf("INTERRUPTED (%s): sound partial answer\n", ans.Outcome)

@@ -1,0 +1,154 @@
+package adapt
+
+import (
+	"sync"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/planner"
+	"github.com/hetfed/hetfed/internal/query"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+// Penalty weights per breaker state: an open breaker doubles a plan's
+// check-time share, a half-open one adds it once. CA ships no checks
+// (CheckMicros zero) and is never penalized; PL checks every object and is
+// demoted below BL when a peer is suspect — BL ships fewer checks, which is
+// exactly the degradation-aware fallback the selector encodes.
+const (
+	penaltyOpen     = 2.0
+	penaltyHalfOpen = 1.0
+)
+
+// Health reports live per-site breaker states ("closed", "half-open",
+// "open"), e.g. remote.Coordinator.BreakerStates. Nil when no breakers run
+// (in-process and simulated executions); the calibrator's failure scores
+// then carry the degradation signal alone.
+type Health func() map[object.SiteID]string
+
+// Decision records one adaptive choice for introspection (EXPLAIN).
+type Decision struct {
+	// Alg is the chosen strategy.
+	Alg exec.Algorithm
+	// Estimates are the calibrated predictions the choice ranked, in
+	// exec.Algorithms() order.
+	Estimates []planner.Estimate
+	// Penalized is each strategy's degradation-penalized response time, the
+	// value actually minimized.
+	Penalized map[exec.Algorithm]float64
+	// Health is the merged per-site state the penalty was computed from
+	// (live breakers and calibrator failure scores).
+	Health map[object.SiteID]string
+	// Scales is the calibrator's per-site slowdown snapshot at choice time.
+	Scales map[object.SiteID]float64
+}
+
+// Selector picks a concrete strategy per query from the calibrated cost
+// model and feeds finished profiles back into the calibrator. It implements
+// exec.Selector and is safe for concurrent use.
+type Selector struct {
+	cat    *planner.Catalog
+	cal    *Calibrator
+	health Health
+
+	mu   sync.Mutex
+	last *Decision
+}
+
+var _ exec.Selector = (*Selector)(nil)
+
+// NewSelector builds a selector choosing over the given catalog with the
+// given calibrator. health may be nil.
+func NewSelector(cat *planner.Catalog, cal *Calibrator, health Health) *Selector {
+	if cal == nil {
+		cal = NewCalibrator(Config{})
+	}
+	return &Selector{cat: cat, cal: cal, health: health}
+}
+
+// Calibrator returns the selector's calibrator.
+func (s *Selector) Calibrator() *Calibrator { return s.cal }
+
+// Select implements exec.Selector: estimate CA/BL/PL under the calibrated
+// per-site rates, penalize check-heavy plans by degraded-site state, and
+// return the cheapest.
+func (s *Selector) Select(b *query.Bound) exec.Algorithm {
+	ests := planner.EstimatesWith(s.cat, b, s.cal)
+	health := s.cal.Degraded()
+	if s.health != nil {
+		for site, state := range s.health() {
+			if severity(state) > severity(health[site]) {
+				health[site] = state
+			}
+		}
+	}
+	best, penalized := Rank(ests, b.InvolvedSites(), health)
+
+	s.mu.Lock()
+	s.last = &Decision{
+		Alg:       best.Alg,
+		Estimates: ests,
+		Penalized: penalized,
+		Health:    health,
+		Scales:    s.cal.Scales(),
+	}
+	s.mu.Unlock()
+	return best.Alg
+}
+
+// Observe implements exec.Selector.
+func (s *Selector) Observe(p *trace.Profile) { s.cal.Observe(p) }
+
+// LastDecision returns the most recent choice, nil before the first Select.
+func (s *Selector) LastDecision() *Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Rank orders estimates by degradation-penalized response time and returns
+// the winner plus every strategy's penalized score. The penalty weight is
+// the worst state among the query's involved sites: a plan's CheckMicros —
+// the work it ships to peer sites for assistant checking — is added w times
+// to its response prediction, so when any involved peer is open or
+// half-open, check-light plans (BL over PL, CA over both) win sooner. Pure
+// function: no calibrator state, directly testable.
+func Rank(ests []planner.Estimate, sites []object.SiteID, health map[object.SiteID]string) (planner.Estimate, map[exec.Algorithm]float64) {
+	w := 0.0
+	for _, site := range sites {
+		switch health[site] {
+		case "open":
+			w = penaltyOpen
+		case "half-open":
+			if w < penaltyHalfOpen {
+				w = penaltyHalfOpen
+			}
+		}
+		if w == penaltyOpen {
+			break
+		}
+	}
+	penalized := make(map[exec.Algorithm]float64, len(ests))
+	var best planner.Estimate
+	bestScore := 0.0
+	for i, est := range ests {
+		score := est.ResponseMicros + w*est.CheckMicros
+		penalized[est.Alg] = score
+		if i == 0 || score < bestScore ||
+			(score == bestScore && est.TotalMicros < best.TotalMicros) {
+			best, bestScore = est, score
+		}
+	}
+	return best, penalized
+}
+
+func severity(state string) int {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}

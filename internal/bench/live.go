@@ -8,12 +8,15 @@ import (
 	"sort"
 	"time"
 
+	"github.com/hetfed/hetfed/internal/adapt"
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/obs"
+	"github.com/hetfed/hetfed/internal/planner"
 	"github.com/hetfed/hetfed/internal/remote"
 	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/trace"
 )
 
 // liveCluster is one cell's serving deployment: every component site as a
@@ -106,6 +109,19 @@ func startLiveCluster(spec MatrixSpec, cell Cell, bundle *Bundle) (*liveCluster,
 		Metrics:       lc.coordReg,
 		MaxConcurrent: spec.MaxConcurrent,
 		Deadline:      spec.Deadline,
+	}
+	// Adaptive cells wire the coordinator's feedback loop: a span-capped
+	// tracer supplies measured profiles, the calibrating selector consumes
+	// them, and the live breaker states steer choices away from check-heavy
+	// plans while a peer is suspect.
+	if alg, err := algByName(cell.Strategy); err == nil && alg == exec.Adaptive {
+		tr := &trace.Tracer{}
+		tr.SetLimit(4096)
+		lc.coord.Tracer = tr
+		cat := planner.BuildCatalog(bundle.Global, bundle.Databases, bundle.Tables)
+		lc.coord.Selector = adapt.NewSelector(cat,
+			adapt.NewCalibrator(adapt.Config{Coordinator: coordinatorID}),
+			lc.coord.BreakerStates)
 	}
 	return lc, nil
 }

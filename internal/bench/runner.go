@@ -8,11 +8,14 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/hetfed/hetfed/internal/adapt"
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/planner"
 	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/trace"
 	"github.com/hetfed/hetfed/internal/version"
 	"github.com/hetfed/hetfed/internal/workload"
 )
@@ -176,7 +179,7 @@ func runSimCell(ctx context.Context, spec MatrixSpec, cell Cell, bundle *Bundle)
 	}
 	serving := servingByName(spec, cell.Serving)
 	reg := metrics.New()
-	engine, err := exec.New(exec.Config{
+	cfg := exec.Config{
 		Global:        bundle.Global,
 		Coordinator:   coordinatorID,
 		Databases:     bundle.Databases,
@@ -185,7 +188,21 @@ func runSimCell(ctx context.Context, spec MatrixSpec, cell Cell, bundle *Bundle)
 		Signatures:    signature.Build(bundle.Databases),
 		MaxConcurrent: spec.MaxConcurrent,
 		Cache:         serving.Cache,
-	})
+	}
+	// Adaptive cells close the feedback loop: a tracer feeds each query's
+	// measured profile into the calibrating selector. Queries run
+	// sequentially here, so the selection sequence is as deterministic as
+	// the DES itself.
+	var tracer trace.Tracer
+	var selector *adapt.Selector
+	if alg == exec.Adaptive {
+		cat := planner.BuildCatalog(bundle.Global, bundle.Databases, bundle.Tables)
+		selector = adapt.NewSelector(cat,
+			adapt.NewCalibrator(adapt.Config{Coordinator: coordinatorID}), nil)
+		cfg.Tracer = &tracer
+		cfg.Selector = selector
+	}
+	engine, err := exec.New(cfg)
 	if err != nil {
 		return CellResult{}, err
 	}
@@ -197,6 +214,9 @@ func runSimCell(ctx context.Context, spec MatrixSpec, cell Cell, bundle *Bundle)
 	for i := 0; i < spec.Queries; i++ {
 		if err := ctx.Err(); err != nil {
 			return CellResult{}, err
+		}
+		if selector != nil {
+			tracer.Reset()
 		}
 		// Each query gets a fresh fault plan: DropAfter budgets are
 		// per-query (mid-query crash), matching the sim package's semantics.
@@ -229,14 +249,10 @@ func zipfFor(rng *rand.Rand, spec MatrixSpec, bundle *Bundle) *workload.Zipf {
 	return workload.NewZipf(rng, len(bundle.Queries), spec.Zipf)
 }
 
-// algByName resolves a strategy name (case-insensitive) to its algorithm.
+// algByName resolves a strategy name (case-insensitive) to its algorithm —
+// the shared exec parser, so the matrix accepts "adaptive" cells too.
 func algByName(name string) (exec.Algorithm, error) {
-	for _, a := range exec.AllAlgorithms() {
-		if strings.EqualFold(a.String(), name) {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("bench: unknown strategy %q (want CA, BL, PL, SBL or SPL)", name)
+	return exec.ParseAlgorithm(name)
 }
 
 // parseFault compiles a fault spec into a plan factory. Each call of the

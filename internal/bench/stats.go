@@ -1,6 +1,9 @@
 package bench
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Result is one driven query as the load generator saw it. Micros is the
 // client-observed latency (wall-clock on the live runtime, virtual time on
@@ -56,12 +59,19 @@ func Summarize(results []Result, wallMicros float64) ClientStats {
 	return st
 }
 
-// pctl is the nearest-rank percentile of a sorted sample.
+// pctl is the nearest-rank percentile of a sorted sample: the smallest
+// element with at least p·n of the sample at or below it, i.e. rank ⌈p·n⌉
+// (index ⌈p·n⌉−1). Truncating p·n instead of taking its ceiling reads one
+// rank too high whenever p·n is integral — p50 of 100 samples is the 50th
+// element, not the 51st.
 func pctl(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)))
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

@@ -183,10 +183,18 @@ func phaseOrder(p string) int {
 // row per (site, phase) appearing in either — the body of the EXPLAIN
 // ANALYZE table. Millisecond columns; a dash marks a side with no row.
 func RenderCompare(predicted, measured *Breakdown) string {
+	return RenderColumns([]string{"predicted", "measured"}, []*Breakdown{predicted, measured})
+}
+
+// RenderColumns lays any number of Breakdowns side by side under the given
+// column labels ("(ms)" is appended), one row per (site, phase) appearing
+// in any of them. The adaptive EXPLAIN uses three columns: the Table 1
+// prediction, the calibrated prediction, and the measured profile.
+func RenderColumns(labels []string, bds []*Breakdown) string {
 	seen := make(map[[2]string]bool)
 	var keys [][2]string
-	collect := func(b *Breakdown) {
-		for _, r := range b.Rows() {
+	for _, bd := range bds {
+		for _, r := range bd.Rows() {
 			k := [2]string{r.Site, r.Phase}
 			if !seen[k] {
 				seen[k] = true
@@ -194,8 +202,6 @@ func RenderCompare(predicted, measured *Breakdown) string {
 			}
 		}
 	}
-	collect(predicted)
-	collect(measured)
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i][0] != keys[j][0] {
 			return keys[i][0] < keys[j][0]
@@ -204,7 +210,11 @@ func RenderCompare(predicted, measured *Breakdown) string {
 	})
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-5s %14s %14s\n", "site", "phase", "predicted(ms)", "measured(ms)")
+	fmt.Fprintf(&b, "%-8s %-5s", "site", "phase")
+	for _, label := range labels {
+		fmt.Fprintf(&b, " %14s", label+"(ms)")
+	}
+	b.WriteByte('\n')
 	cell := func(bd *Breakdown, k [2]string) string {
 		if bd == nil {
 			return "-"
@@ -215,8 +225,16 @@ func RenderCompare(predicted, measured *Breakdown) string {
 		return fmt.Sprintf("%.3f", bd.Get(k[0], k[1])/1e3)
 	}
 	for _, k := range keys {
-		fmt.Fprintf(&b, "%-8s %-5s %14s %14s\n", k[0], k[1], cell(predicted, k), cell(measured, k))
+		fmt.Fprintf(&b, "%-8s %-5s", k[0], k[1])
+		for _, bd := range bds {
+			fmt.Fprintf(&b, " %14s", cell(bd, k))
+		}
+		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "%-8s %-5s %14.3f %14.3f\n", "total", "", predicted.Total()/1e3, measured.Total()/1e3)
+	fmt.Fprintf(&b, "%-8s %-5s", "total", "")
+	for _, bd := range bds {
+		fmt.Fprintf(&b, " %14.3f", bd.Total()/1e3)
+	}
+	b.WriteByte('\n')
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"strings"
 	"sync"
 	"testing"
 )
@@ -39,4 +40,38 @@ func TestCounterConcurrent(t *testing.T) {
 func TestDiscard(t *testing.T) {
 	Discard.DiskRead(1 << 30)
 	Discard.CPU(1 << 30) // must not panic or accumulate anything
+}
+
+func TestRenderColumns(t *testing.T) {
+	var a, b, c Breakdown
+	a.AddEstimate("DB1", "O", 1000)
+	a.AddEstimate("coord", "I", 500)
+	b.AddEstimate("DB1", "O", 2000)
+	c.Add("DB1", "O", 1500)
+	c.Add("DB2", "P", 250)
+
+	out := RenderColumns([]string{"table1", "calibrated", "measured"}, []*Breakdown{&a, &b, &c})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + rows for (DB1,O), (DB2,P), (coord,I) + total.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "table1(ms)") || !strings.Contains(lines[0], "calibrated(ms)") ||
+		!strings.Contains(lines[0], "measured(ms)") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// DB1/O appears in every column; DB2/P only in the measured one.
+	if !strings.Contains(lines[1], "1.000") || !strings.Contains(lines[1], "2.000") ||
+		!strings.Contains(lines[1], "1.500") {
+		t.Errorf("DB1 row = %q", lines[1])
+	}
+	db2 := lines[2]
+	if !strings.Contains(db2, "DB2") || strings.Count(db2, "-") != 2 || !strings.Contains(db2, "0.250") {
+		t.Errorf("DB2 row = %q", db2)
+	}
+	// A nil breakdown renders dashes and a zero total (RenderCompare shape).
+	two := RenderCompare(&a, nil)
+	if !strings.Contains(two, "predicted(ms)") || !strings.Contains(two, "measured(ms)") {
+		t.Errorf("compare header missing:\n%s", two)
+	}
 }

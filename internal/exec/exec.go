@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,11 @@ const (
 	PL                       // parallel localized approach
 	SBL                      // signature-assisted basic localized
 	SPL                      // signature-assisted parallel localized
+	// Adaptive is not a strategy of its own: it asks Config.Selector to pick
+	// one of the paper's strategies per query from the calibrated cost model,
+	// so the executed algorithm (spans, metrics, profiles) is always one of
+	// CA/BL/PL.
+	Adaptive
 )
 
 // String returns the paper's abbreviation for the algorithm.
@@ -69,6 +75,8 @@ func (a Algorithm) String() string {
 		return "SBL"
 	case SPL:
 		return "SPL"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -77,8 +85,35 @@ func (a Algorithm) String() string {
 // Algorithms lists the paper's strategies in paper order.
 func Algorithms() []Algorithm { return []Algorithm{CA, BL, PL} }
 
-// AllAlgorithms additionally includes the signature-assisted variants.
+// AllAlgorithms additionally includes the signature-assisted variants (but
+// not Adaptive, which is a selection policy over these, not a strategy).
 func AllAlgorithms() []Algorithm { return []Algorithm{CA, BL, PL, SBL, SPL} }
+
+// ParseAlgorithm resolves a strategy name (case-insensitive), including the
+// "adaptive" selection policy — the one parser every CLI and the benchmark
+// runner share.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range AllAlgorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	if strings.EqualFold(name, Adaptive.String()) {
+		return Adaptive, nil
+	}
+	return 0, fmt.Errorf("exec: unknown algorithm %q (want CA, BL, PL, SBL, SPL or adaptive)", name)
+}
+
+// Selector picks a concrete strategy per query and learns from finished
+// ones. The adapt package provides the calibrating implementation; the
+// interface lives here so the engine need not import it.
+type Selector interface {
+	// Select picks the strategy to execute a bound query with.
+	Select(b *query.Bound) Algorithm
+	// Observe feeds one finished query's measured profile back into the
+	// selector's cost model. Implementations must be safe for concurrent use.
+	Observe(p *trace.Profile)
+}
 
 // Engine executes global queries against a federation.
 type Engine struct {
@@ -89,6 +124,7 @@ type Engine struct {
 	reg      *metrics.Registry
 	sigs     *signature.Index
 	rec      *obs.Recorder
+	selector Selector
 	gate     *gate
 	deadline time.Duration
 	qseq     atomic.Uint64
@@ -119,6 +155,10 @@ type Config struct {
 	// of every Run — the flight recorder behind /debug/queries. Requires
 	// Tracer (profiles are assembled from the query's spans).
 	Recorder *obs.Recorder
+	// Selector, when non-nil, resolves Alg == Adaptive to a concrete strategy
+	// per query and is fed every finished query's profile (requires Tracer,
+	// like Recorder — the feedback loop runs on measured spans).
+	Selector Selector
 	// UseIndexes lets the localized strategies probe the databases'
 	// secondary indexes (store.Database.CreateIndex) to select candidate
 	// objects for conjunctive queries.
@@ -159,6 +199,7 @@ func New(cfg Config) (*Engine, error) {
 		reg:      cfg.Metrics,
 		sigs:     cfg.Signatures,
 		rec:      cfg.Recorder,
+		selector: cfg.Selector,
 		gate:     newGate(cfg.MaxConcurrent, cfg.Metrics, string(cfg.Coordinator)),
 		deadline: cfg.Deadline,
 	}
@@ -217,6 +258,16 @@ func (e *Engine) RunContext(ctx context.Context, rt fabric.Runtime, alg Algorith
 		ans *federation.Answer
 		err error
 	)
+	if alg == Adaptive {
+		if e.selector == nil {
+			return nil, fabric.Metrics{}, fmt.Errorf("exec: Adaptive requires a selector (Config.Selector)")
+		}
+		alg = e.selector.Select(b)
+		if e.reg != nil {
+			e.reg.Counter("adaptive_choice_total",
+				metrics.Labels{Site: string(e.coord.ID()), Alg: alg.String()}).Inc()
+		}
+	}
 	if (alg == SBL || alg == SPL) && e.sigs == nil {
 		return nil, fabric.Metrics{}, fmt.Errorf("exec: %v requires a signature index (Config.Signatures)", alg)
 	}
@@ -295,11 +346,11 @@ func outcomeOf(err error) string {
 }
 
 // profile assembles the query's trace.Profile from its spans and hands it to
-// the flight recorder. The latency recorded is the runtime's response time —
-// wall clock under the real runtime, virtual time under the DES — matching
-// what query_latency_us observes.
+// the flight recorder and the adaptive selector. The latency recorded is the
+// runtime's response time — wall clock under the real runtime, virtual time
+// under the DES — matching what query_latency_us observes.
 func (e *Engine) profile(q *runCtx, ans *federation.Answer, m fabric.Metrics, waitMicros int64, ctxErr error) {
-	if e.rec == nil || e.tracer == nil {
+	if (e.rec == nil && e.selector == nil) || e.tracer == nil {
 		return
 	}
 	p := trace.BuildProfile(q.qid, q.alg, e.tracer.QuerySpans(q.qid))
@@ -319,14 +370,22 @@ func (e *Engine) profile(q *runCtx, ans *federation.Answer, m fabric.Metrics, wa
 		p.SetOutcome(len(ans.Certain), len(ans.Maybe), unavailable, ctxErr)
 	}
 	p.AddCounter("admission_wait_us", waitMicros)
-	for _, sc := range m.PerSite {
+	for site, sc := range m.PerSite {
 		p.AddCounter("disk_bytes", sc.DiskBytes)
 		p.AddCounter("cpu_ops", sc.CPUOps)
+		p.AddIO(string(site), trace.SiteIO{DiskBytes: sc.DiskBytes, CPUOps: sc.CPUOps})
 	}
-	for _, bytes := range m.NetPairs {
+	for pair, bytes := range m.NetPairs {
 		p.AddCounter("net_bytes", bytes)
+		// Outbound bytes charge the shipping site.
+		p.AddIO(string(pair.From), trace.SiteIO{NetBytes: bytes})
 	}
-	e.rec.Record(p)
+	if e.rec != nil {
+		e.rec.Record(p)
+	}
+	if e.selector != nil {
+		e.selector.Observe(p)
+	}
 }
 
 // runCtx scopes one query execution: its ID, strategy name, and root span.

@@ -27,6 +27,23 @@ const (
 	checkReplyBytes = object.GOidWireSize + verdictBytes
 )
 
+// RateModel supplies the cost-model parameters the estimator charges each
+// site's work under. The static planner uses one Table 1 constant set for
+// every site (Uniform); the adaptive selector substitutes per-site rates
+// calibrated from measured profiles. Coordinator-side work is charged under
+// the CoordSite placeholder.
+type RateModel interface {
+	SiteRates(site object.SiteID) fabric.Rates
+}
+
+// Uniform is the RateModel that charges every site the same rates — the
+// paper's Table 1 world.
+func Uniform(r fabric.Rates) RateModel { return uniform{r} }
+
+type uniform struct{ r fabric.Rates }
+
+func (u uniform) SiteRates(object.SiteID) fabric.Rates { return u.r }
+
 // Estimate is the predicted cost of one strategy.
 type Estimate struct {
 	Alg exec.Algorithm
@@ -34,6 +51,12 @@ type Estimate struct {
 	TotalMicros float64
 	// ResponseMicros predicts the response time (critical path).
 	ResponseMicros float64
+	// CheckMicros is the share of TotalMicros spent on assistant-object
+	// checking at other sites (check shipping, assistant reads, verdict
+	// evaluation). Zero for CA, which ships no checks; largest for PL, which
+	// checks every object. The degradation-aware selector penalizes this
+	// share when a check target's breaker is open.
+	CheckMicros float64
 	// Details attributes TotalMicros per site and phase (O object location,
 	// I integration, P predicate processing); coordinator-side work is filed
 	// under CoordSite. The attribution is the cost model's, so EXPLAIN
@@ -41,30 +64,53 @@ type Estimate struct {
 	Details *cost.Breakdown
 }
 
-// Estimates predicts the costs of CA, BL and PL for a bound query, ordered
-// as exec.Algorithms().
+// Estimates predicts the costs of CA, BL and PL for a bound query under one
+// global rate set, ordered as exec.Algorithms().
 func Estimates(cat *Catalog, b *query.Bound, rates fabric.Rates) []Estimate {
-	e := estimator{cat: cat, b: b, rates: rates}
+	return EstimatesWith(cat, b, Uniform(rates))
+}
+
+// EstimatesWith predicts the costs of CA, BL and PL under a per-site rate
+// model, ordered as exec.Algorithms().
+func EstimatesWith(cat *Catalog, b *query.Bound, model RateModel) []Estimate {
+	e := estimator{cat: cat, b: b, model: model}
 	return []Estimate{e.ca(), e.localized(exec.BL), e.localized(exec.PL)}
 }
 
 // Choose returns the strategy with the lowest predicted response time,
 // breaking ties by total execution time.
 func Choose(cat *Catalog, b *query.Bound, rates fabric.Rates) exec.Algorithm {
-	ests := Estimates(cat, b, rates)
-	sort.SliceStable(ests, func(i, j int) bool {
-		if ests[i].ResponseMicros != ests[j].ResponseMicros {
-			return ests[i].ResponseMicros < ests[j].ResponseMicros
+	return ChooseFrom(Estimates(cat, b, rates)).Alg
+}
+
+// ChooseFrom returns the estimate with the lowest predicted response time,
+// breaking ties by total execution time. The input slice is not modified, so
+// callers can keep their Estimates in exec.Algorithms() order.
+func ChooseFrom(ests []Estimate) Estimate {
+	sorted := append([]Estimate(nil), ests...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].ResponseMicros != sorted[j].ResponseMicros {
+			return sorted[i].ResponseMicros < sorted[j].ResponseMicros
 		}
-		return ests[i].TotalMicros < ests[j].TotalMicros
+		return sorted[i].TotalMicros < sorted[j].TotalMicros
 	})
-	return ests[0].Alg
+	return sorted[0]
 }
 
 type estimator struct {
 	cat   *Catalog
 	b     *query.Bound
-	rates fabric.Rates
+	model RateModel
+}
+
+// rates returns the site's cost parameters under the model.
+func (e *estimator) rates(site object.SiteID) fabric.Rates {
+	return e.model.SiteRates(site)
+}
+
+// coordRates returns the coordinator placeholder's cost parameters.
+func (e *estimator) coordRates() fabric.Rates {
+	return e.model.SiteRates(object.SiteID(CoordSite))
 }
 
 func (e *estimator) extent(class string, site object.SiteID) ExtentStats {
@@ -92,7 +138,9 @@ func (e *estimator) selectivity(bp query.BoundPredicate, site object.SiteID) flo
 		if s.Distinct > 0 {
 			return clamp01(1 - 1/float64(s.Distinct))
 		}
-		return fallback
+		// Complement of the = fallback: with no statistics, != keeps what =
+		// would drop.
+		return 1 - fallback
 	case query.OpLt, query.OpLe, query.OpGt, query.OpGe:
 		if !s.Numeric || s.Max <= s.Min {
 			return fallback
@@ -234,6 +282,7 @@ func (e *estimator) ca() Estimate {
 	)
 	involved := e.b.InvolvedAttrs()
 	for _, site := range e.b.InvolvedSites() {
+		rates := e.rates(site)
 		var disk, cpu, net float64
 		net += requestOverhead
 		for class, attrs := range involved {
@@ -259,13 +308,15 @@ func (e *estimator) ca() Estimate {
 			}
 			net += float64(ext.Objects) * per
 		}
-		siteTime := disk*e.rates.DiskPerByte + cpu*e.rates.CPUPerOp
+		siteTime := disk*rates.DiskPerByte + cpu*rates.CPUPerOp
 		totalWork += siteTime
 		maxSiteTime = maxf(maxSiteTime, siteTime)
-		netMicros += net * e.rates.NetPerByte
+		// Shipping is charged under the shipping site's network rate — a
+		// site behind a slow link is slow to ship regardless of the peer.
+		netMicros += net * rates.NetPerByte
 		// Under CA a site's whole contribution is object retrieval — the O
 		// phase — including shipping its projection to the coordinator.
-		details.AddEstimate(string(site), "O", siteTime+net*e.rates.NetPerByte)
+		details.AddEstimate(string(site), "O", siteTime+net*rates.NetPerByte)
 	}
 
 	// Coordinator: materialization (a lookup plus per-attribute merges per
@@ -281,9 +332,9 @@ func (e *estimator) ca() Estimate {
 	for _, bp := range e.b.Preds {
 		evalCPU += rootEntities * (float64(len(bp.Path)) + 1)
 	}
-	coordMicros := (materializeCPU + evalCPU) * e.rates.CPUPerOp
-	details.AddEstimate(CoordSite, "I", materializeCPU*e.rates.CPUPerOp)
-	details.AddEstimate(CoordSite, "P", evalCPU*e.rates.CPUPerOp)
+	coordMicros := (materializeCPU + evalCPU) * e.coordRates().CPUPerOp
+	details.AddEstimate(CoordSite, "I", materializeCPU*e.coordRates().CPUPerOp)
+	details.AddEstimate(CoordSite, "P", evalCPU*e.coordRates().CPUPerOp)
 
 	return Estimate{
 		Alg:            exec.CA,
@@ -304,8 +355,10 @@ func (e *estimator) localized(alg exec.Algorithm) Estimate {
 		maxCheckRTT float64
 		details     cost.Breakdown
 		resultBytes float64
+		checkTotal  float64
 	)
 	for _, site := range e.b.RootSites() {
+		rates := e.rates(site)
 		root := e.extent(e.b.Query.Range, site)
 		n := float64(root.Objects)
 
@@ -379,14 +432,18 @@ func (e *estimator) localized(alg exec.Algorithm) Estimate {
 		resultNet := requestOverhead + survivors*(float64(rowBytes)+unsolvedPerRow*unsolvedBytes)
 
 		// Check processing at the target sites (disk + eval) and verdict
-		// transfer to the coordinator.
+		// transfer to the coordinator. The estimator cannot name the target
+		// sites (the mapping tables decide per object), so check work is
+		// charged under the average rates of the OTHER root sites — the pool
+		// the assistants live in.
 		checkNet := checks * (checkItemBytes + checkReplyBytes)
 		avgAssistantBytes := root.AvgObjectBytes() // same order as the root class
-		checkWork := checks * (avgAssistantBytes*e.rates.DiskPerByte + 3*e.rates.CPUPerOp)
+		peer := e.peerRates(site)
+		checkWork := checks * (avgAssistantBytes*peer.DiskPerByte + 3*peer.CPUPerOp)
 
-		siteTime := disk*e.rates.DiskPerByte + cpu*e.rates.CPUPerOp
+		siteTime := disk*rates.DiskPerByte + cpu*rates.CPUPerOp
 		totalWork += siteTime + checkWork
-		netMicros += (resultNet + checkNet) * e.rates.NetPerByte
+		netMicros += (resultNet + checkNet) * rates.NetPerByte
 		resultBytes += resultNet
 
 		// Attribution mirrors the executor's span phases. Under BL a site
@@ -396,13 +453,14 @@ func (e *estimator) localized(alg exec.Algorithm) Estimate {
 		// steps, split here by resource. Check processing happens at
 		// assistant sites the estimator cannot name, so it is filed under the
 		// dispatching site's O.
-		checkMicros := checkWork + checkNet*e.rates.NetPerByte
+		checkMicros := checkWork + checkNet*rates.NetPerByte
+		checkTotal += checkMicros
 		if alg == exec.BL {
 			details.AddEstimate(string(site), "P", siteTime)
 			details.AddEstimate(string(site), "O", siteTime+checkMicros)
 		} else {
-			details.AddEstimate(string(site), "P", cpu*e.rates.CPUPerOp)
-			details.AddEstimate(string(site), "O", disk*e.rates.DiskPerByte+checkMicros)
+			details.AddEstimate(string(site), "P", cpu*rates.CPUPerOp)
+			details.AddEstimate(string(site), "O", disk*rates.DiskPerByte+checkMicros)
 		}
 
 		switch alg {
@@ -419,13 +477,41 @@ func (e *estimator) localized(alg exec.Algorithm) Estimate {
 		coordCPU += checks
 	}
 
-	details.AddEstimate(CoordSite, "I", coordCPU*e.rates.CPUPerOp+resultBytes*e.rates.NetPerByte)
-	resp := maxf(maxSiteTime, maxCheckRTT) + netMicros + coordCPU*e.rates.CPUPerOp
+	coord := e.coordRates()
+	details.AddEstimate(CoordSite, "I", coordCPU*coord.CPUPerOp+resultBytes*coord.NetPerByte)
+	resp := maxf(maxSiteTime, maxCheckRTT) + netMicros + coordCPU*coord.CPUPerOp
 	return Estimate{
 		Alg:            alg,
-		TotalMicros:    totalWork + netMicros + coordCPU*e.rates.CPUPerOp,
+		TotalMicros:    totalWork + netMicros + coordCPU*coord.CPUPerOp,
 		ResponseMicros: resp,
+		CheckMicros:    checkTotal,
 		Details:        &details,
+	}
+}
+
+// peerRates averages the rates of the root sites other than the given one —
+// the estimator's stand-in for unnamed check-target sites. With no other
+// root site (or a uniform model) it degenerates to the site's own rates.
+func (e *estimator) peerRates(site object.SiteID) fabric.Rates {
+	var sum fabric.Rates
+	n := 0
+	for _, other := range e.b.RootSites() {
+		if other == site {
+			continue
+		}
+		r := e.rates(other)
+		sum.DiskPerByte += r.DiskPerByte
+		sum.NetPerByte += r.NetPerByte
+		sum.CPUPerOp += r.CPUPerOp
+		n++
+	}
+	if n == 0 {
+		return e.rates(site)
+	}
+	return fabric.Rates{
+		DiskPerByte: sum.DiskPerByte / float64(n),
+		NetPerByte:  sum.NetPerByte / float64(n),
+		CPUPerOp:    sum.CPUPerOp / float64(n),
 	}
 }
 

@@ -51,7 +51,7 @@ func TestBuildCatalogSchool(t *testing.T) {
 
 func TestSelectivityEstimates(t *testing.T) {
 	fx, cat, _ := schoolCatalog(t)
-	e := estimator{cat: cat, rates: fabric.DefaultRates()}
+	e := estimator{cat: cat, model: Uniform(fabric.DefaultRates())}
 
 	// age < 30 on DB1's students: range [24,31], (30-24)/(31-24) ≈ 0.857.
 	b := query.MustBind(query.MustParse(`select name from Student where age < 30`), fx.Global)
@@ -79,7 +79,7 @@ func TestSelectivityEstimates(t *testing.T) {
 func TestUnknownProb(t *testing.T) {
 	fx, cat, b := schoolCatalog(t)
 	_ = fx
-	e := estimator{cat: cat, b: b, rates: fabric.DefaultRates()}
+	e := estimator{cat: cat, b: b, model: Uniform(fabric.DefaultRates())}
 
 	// address.city at DB1: missing attribute → 1.
 	if u := e.unknownProb(b.Preds[0], "DB1"); u != 1 {

@@ -50,6 +50,12 @@ type Coordinator struct {
 	// spans cover every site that answered (servers ship their spans back
 	// with traced responses).
 	Recorder *obs.Recorder
+	// Selector, when non-nil, resolves exec.Adaptive to a concrete strategy
+	// per query and is fed every finished query's profile — the calibration
+	// loop, closed over the wire: the servers stamp their measured work onto
+	// the spans they ship back, and the selector's health source is typically
+	// this coordinator's BreakerStates.
+	Selector exec.Selector
 	// Log, when non-nil, receives structured query logs.
 	Log *slog.Logger
 	// Call is the networking policy for site calls: timeouts, retries,
@@ -239,6 +245,14 @@ func (c *Coordinator) QueryContext(ctx context.Context, text string, alg exec.Al
 	if err != nil {
 		return nil, 0, err
 	}
+	if alg == exec.Adaptive {
+		if c.Selector == nil {
+			return nil, 0, fmt.Errorf("remote: adaptive requires a selector (Coordinator.Selector)")
+		}
+		alg = c.Selector.Select(b)
+		c.Metrics.Counter("adaptive_choice_total",
+			metrics.Labels{Site: string(c.ID), Alg: alg.String()}).Inc()
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -313,7 +327,7 @@ func (c *Coordinator) QueryContext(ctx context.Context, text string, alg exec.Al
 // recorder. Failed queries record an error profile; the recorder always
 // retains those.
 func (c *Coordinator) profile(q *qctx, ans *federation.Answer, d time.Duration, waitMicros int64, err error) {
-	if c.Recorder == nil || c.Tracer == nil {
+	if (c.Recorder == nil && c.Selector == nil) || c.Tracer == nil {
 		return
 	}
 	p := trace.BuildProfile(q.qid, q.alg, c.Tracer.QuerySpans(q.qid))
@@ -331,7 +345,12 @@ func (c *Coordinator) profile(q *qctx, ans *federation.Answer, d time.Duration, 
 	}
 	p.SetOutcome(certain, maybe, unavailable, err)
 	p.AddCounter("admission_wait_us", waitMicros)
-	c.Recorder.Record(p)
+	if c.Recorder != nil {
+		c.Recorder.Record(p)
+	}
+	if c.Selector != nil {
+		c.Selector.Observe(p)
+	}
 }
 
 // observeQuery feeds the query's metrics and structured log entry.
@@ -618,7 +637,7 @@ func (c *Coordinator) runCA(ctx context.Context, q *qctx, text string, b *query.
 	defer c.mu.RUnlock()
 	coord := federation.NewCoordinator(c.ID, c.Global, c.Tables)
 	var ans *federation.Answer
-	err = runReal(ctx, "ca-coordinator", func(p fabric.Proc) {
+	_, err = runReal(ctx, "ca-coordinator", func(p fabric.Proc) {
 		g2 := c.span(q, q.root, "CA_G2", "I")
 		view := coord.Materialize(p, b, replies)
 		g2.Detailf("materialized %d objects", view.Len()).End()
@@ -664,7 +683,7 @@ func (c *Coordinator) runLocalized(ctx context.Context, q *qctx, text string, b 
 	defer c.mu.RUnlock()
 	coord := federation.NewCoordinator(c.ID, c.Global, c.Tables)
 	var ans *federation.Answer
-	err = runReal(ctx, "certify", func(p fabric.Proc) {
+	_, err = runReal(ctx, "certify", func(p fabric.Proc) {
 		g2 := c.span(q, q.root, "certify", "I")
 		ans = coord.CertifyDegraded(p, b, results, replies, deadMap(failures))
 		g2.End()

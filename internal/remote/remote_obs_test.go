@@ -9,6 +9,7 @@ import (
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
 	"github.com/hetfed/hetfed/internal/school"
 	"github.com/hetfed/hetfed/internal/signature"
 	"github.com/hetfed/hetfed/internal/trace"
@@ -132,6 +133,40 @@ func TestSpanPropagationAcrossWire(t *testing.T) {
 		if sp.Phases != "O" {
 			t.Errorf("serve:check phases = %q, want O", sp.Phases)
 		}
+	}
+}
+
+// TestRemoteProfileCarriesSiteIO: the serving sites stamp disk_bytes/cpu_ops
+// on their spans, those spans ship back over the wire, and BuildProfile
+// attributes them to the site — so the coordinator's recorded profile carries
+// the per-site event counts the adaptive calibrator divides by.
+func TestRemoteProfileCarriesSiteIO(t *testing.T) {
+	coord, _, cleanup := startObservedCluster(t)
+	defer cleanup()
+	rec := obs.NewRecorder(obs.RecorderConfig{Site: "G"})
+	coord.Recorder = rec
+
+	if _, _, err := coord.Query(school.Q1, exec.BL); err != nil {
+		t.Fatal(err)
+	}
+	p := rec.Last()
+	if p == nil {
+		t.Fatal("no profile recorded")
+	}
+	if len(p.IO) == 0 {
+		t.Fatal("profile has no per-site IO counts")
+	}
+	var sawWork bool
+	for site, io := range p.IO {
+		if site == "G" {
+			t.Errorf("coordinator %q attributed IO %+v; it reads no extents", site, io)
+		}
+		if io.DiskBytes > 0 && io.CPUOps > 0 {
+			sawWork = true
+		}
+	}
+	if !sawWork {
+		t.Errorf("no serving site reported both disk and cpu counts: %+v", p.IO)
 	}
 }
 

@@ -491,7 +491,7 @@ func (s *Server) dispatch(ctx context.Context, req Request, sp trace.Handle) Res
 	case kindRetrieve:
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
-		return s.handleRetrieve(ctx, req)
+		return s.handleRetrieve(ctx, req, sp)
 	case kindLocal:
 		// handleLocal manages the state lock itself: it must not be held
 		// across the check RPCs to peers. Holding it there deadlocks the
@@ -502,11 +502,11 @@ func (s *Server) dispatch(ctx context.Context, req Request, sp trace.Handle) Res
 	case kindCheck:
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
-		return s.handleCheck(ctx, req)
+		return s.handleCheck(ctx, req, sp)
 	case kindCheckBatch:
 		s.stateMu.RLock()
 		defer s.stateMu.RUnlock()
-		return s.handleCheckBatch(ctx, req)
+		return s.handleCheckBatch(ctx, req, sp)
 	case kindStore:
 		s.stateMu.Lock()
 		defer s.stateMu.Unlock()
@@ -564,23 +564,33 @@ func (s *Server) bind(text string) (*query.Bound, error) {
 // runReal executes a federation operation on the real fabric under the
 // request's context: fault-injected delays inside the operation are cut
 // short when the budget dies, and strategy checkpoints see the context
-// through Proc.Context.
-func runReal(ctx context.Context, name string, fn func(fabric.Proc)) error {
-	_, err := fabric.NewReal(fabric.DefaultRates()).WithContext(ctx).Run(name, fn)
-	return err
+// through Proc.Context. The returned metrics carry the operation's counted
+// events (disk bytes, CPU ops) so serve spans can ship the measured work
+// back to the coordinator for calibration.
+func runReal(ctx context.Context, name string, fn func(fabric.Proc)) (fabric.Metrics, error) {
+	return fabric.NewReal(fabric.DefaultRates()).WithContext(ctx).Run(name, fn)
 }
 
-func (s *Server) handleRetrieve(ctx context.Context, req Request) Response {
+// addWork stamps an operation's counted events onto a span. The profile
+// builder aggregates these counters per site, giving the adaptive
+// calibrator its cost-model denominators for remotely served queries.
+func addWork(sp trace.Handle, m fabric.Metrics) {
+	sp.Add("disk_bytes", m.DiskBytes).Add("cpu_ops", m.CPUOps)
+}
+
+func (s *Server) handleRetrieve(ctx context.Context, req Request, sp trace.Handle) Response {
 	b, err := s.bind(req.Query)
 	if err != nil {
 		return Response{Err: err.Error()}
 	}
 	var reply federation.RetrieveReply
-	if err := runReal(ctx, "retrieve", func(p fabric.Proc) {
+	m, err := runReal(ctx, "retrieve", func(p fabric.Proc) {
 		reply = s.site.Retrieve(p, b)
-	}); err != nil {
+	})
+	if err != nil {
 		return Response{Err: err.Error()}
 	}
+	addWork(sp, m)
 	if ctx.Err() != nil {
 		// The budget died mid-retrieve; the reply would arrive too late to
 		// integrate, so answer the marker instead of shipping dead bytes.
@@ -589,13 +599,15 @@ func (s *Server) handleRetrieve(ctx context.Context, req Request) Response {
 	return Response{Retrieve: reply}
 }
 
-func (s *Server) handleCheck(ctx context.Context, req Request) Response {
+func (s *Server) handleCheck(ctx context.Context, req Request, sp trace.Handle) Response {
 	var reply federation.CheckReply
-	if err := runReal(ctx, "check", func(p fabric.Proc) {
+	m, err := runReal(ctx, "check", func(p fabric.Proc) {
 		reply = s.site.CheckAssistants(p, req.Items)
-	}); err != nil {
+	})
+	if err != nil {
 		return Response{Err: err.Error()}
 	}
+	addWork(sp, m)
 	if ctx.Err() != nil {
 		return Response{Err: errDeadline}
 	}
@@ -607,18 +619,20 @@ func (s *Server) handleCheck(ctx context.Context, req Request) Response {
 // so the batching peer can route each group's verdicts back to its query.
 // The batch's wire budget is the widest of its queries' budgets, so a group
 // whose own query died is simply discarded by the waiting peer.
-func (s *Server) handleCheckBatch(ctx context.Context, req Request) Response {
+func (s *Server) handleCheckBatch(ctx context.Context, req Request, sp trace.Handle) Response {
 	replies := make([]federation.CheckReply, len(req.Batch))
-	if err := runReal(ctx, "checkbatch", func(p fabric.Proc) {
+	m, err := runReal(ctx, "checkbatch", func(p fabric.Proc) {
 		for i, items := range req.Batch {
 			if p.Context().Err() != nil {
 				return
 			}
 			replies[i] = s.site.CheckAssistants(p, items)
 		}
-	}); err != nil {
+	})
+	if err != nil {
 		return Response{Err: err.Error()}
 	}
+	addWork(sp, m)
 	if ctx.Err() != nil {
 		return Response{Err: errDeadline}
 	}
@@ -657,13 +671,14 @@ func (s *Server) handleLocal(ctx context.Context, req Request, sp trace.Handle) 
 	case ModeBL, ModeSBL:
 		var checks map[object.SiteID][]federation.CheckItem
 		s.stateMu.RLock()
-		evalErr := runReal(ctx, "local-bl", func(p fabric.Proc) {
+		m, evalErr := runReal(ctx, "local-bl", func(p fabric.Proc) {
 			reply.Result, checks = s.site.EvalLocalBasic(p, b, sigs)
 		})
 		s.stateMu.RUnlock()
 		if evalErr != nil {
 			return Response{Err: evalErr.Error()}
 		}
+		addWork(sp, m)
 		if ctx.Err() != nil {
 			// Budget died between phase P and check dispatch: answering the
 			// marker beats shipping a result the caller can no longer use.
@@ -681,9 +696,10 @@ func (s *Server) handleLocal(ctx context.Context, req Request, sp trace.Handle) 
 			checks map[object.SiteID][]federation.CheckItem
 		)
 		s.stateMu.RLock()
-		if err := runReal(ctx, "local-pl-o", func(p fabric.Proc) {
+		mo, err := runReal(ctx, "local-pl-o", func(p fabric.Proc) {
 			nav, checks = s.site.NavigateAll(p, b, sigs)
-		}); err != nil {
+		})
+		if err != nil {
 			s.stateMu.RUnlock()
 			return Response{Err: err.Error()}
 		}
@@ -691,6 +707,7 @@ func (s *Server) handleLocal(ctx context.Context, req Request, sp trace.Handle) 
 			s.stateMu.RUnlock()
 			return Response{Err: errDeadline}
 		}
+		addWork(sp, mo)
 		// Phase O's checks proceed at the peers while phase P runs here.
 		// The dispatcher goroutine runs unlocked; phase P keeps the read
 		// lock so both local phases see one consistent state snapshot.
@@ -704,7 +721,7 @@ func (s *Server) handleLocal(ctx context.Context, req Request, sp trace.Handle) 
 			replies, dead, err := s.dispatchChecks(ctx, req, sp, checks)
 			done <- checkOutcome{replies: replies, dead: dead, err: err}
 		}()
-		perr := runReal(ctx, "local-pl-p", func(p fabric.Proc) {
+		mp, perr := runReal(ctx, "local-pl-p", func(p fabric.Proc) {
 			reply.Result = s.site.EvalNavigated(p, b, nav)
 		})
 		s.stateMu.RUnlock()
@@ -712,6 +729,7 @@ func (s *Server) handleLocal(ctx context.Context, req Request, sp trace.Handle) 
 			<-done // do not leak the dispatcher
 			return Response{Err: perr.Error()}
 		}
+		addWork(sp, mp)
 		outcome := <-done
 		if outcome.err != nil {
 			return Response{Err: outcome.err.Error()}

@@ -65,9 +65,39 @@ type Profile struct {
 	// bytes_shipped, sent/recv_bytes, …) plus recorder-added per-query
 	// values (rpcs, admission_wait_us, fabric byte totals).
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// IO attributes the query's measured event counts to the site that
+	// performed them — the denominators the adaptive calibrator divides the
+	// measured phase times by to observe each site's effective rates. Filled
+	// from the runtime's per-site metrics in process, or from the disk_bytes/
+	// cpu_ops counters the serving sites stamp on their spans over the wire.
+	IO map[string]SiteIO `json:"io,omitempty"`
 	// Spans is the query's span tree (every process's spans the recorder
 	// saw, imported remote spans included).
 	Spans []Span `json:"-"`
+}
+
+// SiteIO is one site's measured event counts within a query: the cost-model
+// denominators (disk bytes read, CPU comparisons, net bytes shipped) whose
+// measured-time-over-modeled-time ratio calibrates the site's rates.
+type SiteIO struct {
+	DiskBytes int64 `json:"disk_bytes,omitempty"`
+	CPUOps    int64 `json:"cpu_ops,omitempty"`
+	NetBytes  int64 `json:"net_bytes,omitempty"`
+}
+
+// AddIO accumulates measured event counts under a site (nil-safe).
+func (p *Profile) AddIO(site string, io SiteIO) {
+	if p == nil || (io.DiskBytes == 0 && io.CPUOps == 0 && io.NetBytes == 0) {
+		return
+	}
+	if p.IO == nil {
+		p.IO = make(map[string]SiteIO)
+	}
+	cur := p.IO[site]
+	cur.DiskBytes += io.DiskBytes
+	cur.CPUOps += io.CPUOps
+	cur.NetBytes += io.NetBytes
+	p.IO[site] = cur
 }
 
 // BuildProfile assembles a profile from one query's spans (as returned by
@@ -99,6 +129,12 @@ func BuildProfile(qid, alg string, spans []Span) *Profile {
 			}
 			p.Counters[k] += v
 		}
+		// Spans stamped with measured event counts (the serving sites' spans
+		// over the wire) feed the per-site IO attribution.
+		p.AddIO(string(s.Site), SiteIO{
+			DiskBytes: s.Counters["disk_bytes"],
+			CPUOps:    s.Counters["cpu_ops"],
+		})
 		// Phase attribution: one histogram-equivalent observation per phase
 		// letter, runtime clock preferred (the DES wall time is meaningless).
 		if s.Phases != "" && !s.End.IsZero() {

@@ -1,0 +1,37 @@
+#!/bin/sh
+# bench_adaptive.sh — the static-vs-adaptive A/B scenario behind
+# BENCH_adaptive.json: every static strategy (CA, BL, PL) against the
+# calibrating adaptive selector, over the Zipf-skewed school workload,
+# healthy and with one site killed. Deterministic sim cells, so the
+# committed baseline is byte-stable.
+#
+# The claim the baseline records (see EXPERIMENTS.md E16): on the skewed
+# healthy workload adaptive's p50 stays within tolerance of the best
+# static cell, and under kill-one-site it beats the worst static cell
+# outright (the selector steers away from check-shipping plans once the
+# dead site shows up in the profiles).
+#
+# Usage:
+#   scripts/bench_adaptive.sh          run the matrix and gate against baseline
+#   scripts/bench_adaptive.sh regen    regenerate the committed baseline
+#
+# BENCH_OUT overrides where the gated run writes its report
+# (default /tmp/BENCH_adaptive.json).
+set -eu
+cd "$(dirname "$0")/.."
+
+run_matrix() {
+    go run ./cmd/hetbench run -topic adaptive \
+        -runtimes sim -strategies CA,BL,PL,adaptive -workloads school \
+        -clients 1 -faults none,kill:DB3 -serving plain \
+        -queries 40 -zipf 0.8 -variants 3 -seed 42 \
+        "$@"
+}
+
+if [ "${1:-}" = "regen" ]; then
+    run_matrix -out BENCH_adaptive.json
+    echo "baseline regenerated: BENCH_adaptive.json"
+else
+    run_matrix -out "${BENCH_OUT:-/tmp/BENCH_adaptive.json}" \
+        -check BENCH_adaptive.json -tolerance 10%
+fi

@@ -1,9 +1,11 @@
 #!/bin/sh
 # bench_smoke.sh — the benchmark regression smoke: a tiny deterministic
-# 2-cell sim matrix (CA and BL over the school federation) checked against
-# the committed baseline BENCH_smoke.json. The sim runtime measures in
-# virtual time, so the same seed reproduces byte-identical results on any
-# machine — a >10% drift means the code changed the measured behaviour.
+# sim matrix (static CA and BL plus the adaptive selector, over the school
+# federation) checked against the committed baseline BENCH_smoke.json. The
+# static/adaptive cell pair gates the feedback loop too: calibration runs
+# on the DES's virtual time, so the same seed reproduces byte-identical
+# results — including the selector's choice sequence — on any machine.
+# A >10% drift means the code changed the measured behaviour.
 #
 # Usage:
 #   scripts/bench_smoke.sh          run the matrix and gate against baseline
@@ -16,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 run_matrix() {
     go run ./cmd/hetbench run -topic smoke \
-        -runtimes sim -strategies CA,BL -workloads school \
+        -runtimes sim -strategies CA,BL,adaptive -workloads school \
         -clients 1 -faults none -serving plain \
         -queries 6 -zipf 0.8 -variants 3 -seed 42 \
         "$@"
