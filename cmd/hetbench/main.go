@@ -65,12 +65,75 @@ func run(args []string) error {
 		return checkCmd(args[1:])
 	case "slo":
 		return sloCmd(args[1:])
+	case "durability":
+		return durabilityCmd(args[1:])
 	case "-version", "--version", "version":
 		fmt.Println("hetbench", version.String())
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run, check or slo)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, check, slo or durability)", args[0])
 	}
+}
+
+// durabilityCmd measures the storage engines against each other — identical
+// school-style insert streams through mem, wal and wal-fsync plus a timed
+// cold-start recovery of each durable directory — and writes
+// BENCH_durability.json. The run gates itself: recovery must reproduce
+// every inserted object, and -max-overhead bounds the buffered WAL's write
+// overhead over the in-memory baseline. Wall-clock fields in the report are
+// machine-dependent; the gates are the run's own invariants, so the command
+// is CI-safe without a baseline diff.
+func durabilityCmd(args []string) error {
+	fs := flag.NewFlagSet("hetbench durability", flag.ContinueOnError)
+	var (
+		objects   = fs.Int("objects", 20000, "objects inserted per engine cell")
+		snapEvery = fs.Int("snapshot-every", 0, "WAL snapshot cadence in appends (0 = engine default, negative = never)")
+		seed      = fs.Int64("seed", 42, "seed for the generated insert stream")
+		rounds    = fs.Int("rounds", 0, "rounds per engine, best kept (0 = default 3)")
+		maxOver   = fs.Float64("max-overhead", 0, "fail if the buffered WAL's write overhead exceeds this multiple of mem (0 = report only)")
+		out       = fs.String("out", "BENCH_durability.json", "output path (\"-\" for stdout only)")
+		dir       = fs.String("dir", "", "scratch directory for the WAL cells (default: a fresh temp dir, removed after)")
+		quiet     = fs.Bool("q", false, "suppress per-cell progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scratch := *dir
+	if scratch == "" {
+		tmp, err := os.MkdirTemp("", "hetbench-durability-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		scratch = tmp
+	}
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+	report, err := bench.RunDurability(bench.DurabilitySpec{
+		Objects:       *objects,
+		SnapshotEvery: *snapEvery,
+		Seed:          *seed,
+		Rounds:        *rounds,
+		MaxOverhead:   *maxOver,
+	}, scratch, progress)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	}
+	if err := report.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *out, len(report.Cells))
+	return nil
 }
 
 // matrixFlags registers the sweep-dimension flags shared by run and slo.

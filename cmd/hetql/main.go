@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"github.com/hetfed/hetfed/internal/school"
 	"github.com/hetfed/hetfed/internal/signature"
 	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/store/wal"
 	"github.com/hetfed/hetfed/internal/trace"
 	"github.com/hetfed/hetfed/internal/version"
 )
@@ -72,6 +74,7 @@ func run(args []string) error {
 		siteDelay   = fs.String("site-delay", "", "comma-separated SITE=DURATION pairs of extra per-operation latency")
 		explain     = fs.Bool("explain", false, "EXPLAIN ANALYZE: print the planner's predicted per-site/per-phase cost against the measured profile (runs the planner's choice unless -alg names a strategy)")
 		deadline    = fs.Duration("deadline", 0, "end-to-end wall-clock budget per query; an over-budget query returns its sound partial answer (0 = none)")
+		dataDir     = fs.String("data-dir", "", "query the durable state under this root (WAL+snapshot directories as written by hetserve) instead of the in-memory fixture; missing directories are seeded from the fixture")
 		showVersion = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +107,38 @@ func run(args []string) error {
 	} else {
 		fx := school.New()
 		schemas, global, databases, tables = fx.Schemas, fx.Global, fx.Databases, fx.Mapping
+	}
+
+	// -data-dir: query the durable state hetserve wrote, not the in-memory
+	// fixture. Each site's database is recovered from <data-dir>/<site> and
+	// the global mapping from <data-dir>/G; fixture entries the recovered
+	// state doesn't hold yet are merged in, so the flag also works against a
+	// fresh or partially-populated root. -show/-stats/-export then report
+	// the recovered federation.
+	if *dataDir != "" {
+		for site, db := range databases {
+			eng, rdb, _, err := wal.Open(db.Schema(), wal.Options{
+				Dir:  filepath.Join(*dataDir, string(site)),
+				Site: string(site),
+			})
+			if err != nil {
+				return err
+			}
+			defer eng.Close()
+			if err := eng.Import(db, tables); err != nil {
+				return err
+			}
+			databases[site] = rdb
+		}
+		gx, rtables, err := wal.OpenLog(wal.Options{Dir: filepath.Join(*dataDir, "G"), Site: "G"})
+		if err != nil {
+			return err
+		}
+		defer gx.Close()
+		if err := gx.Import(nil, tables); err != nil {
+			return err
+		}
+		tables = rtables
 	}
 
 	if *export {

@@ -61,6 +61,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -81,6 +82,7 @@ import (
 	"github.com/hetfed/hetfed/internal/school"
 	"github.com/hetfed/hetfed/internal/signature"
 	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/store/wal"
 	"github.com/hetfed/hetfed/internal/trace"
 	"github.com/hetfed/hetfed/internal/version"
 )
@@ -137,6 +139,10 @@ func run(args []string) error {
 		slowQuery   = fs.Duration("slow-query", 0, "log queries at/over this latency and always retain their profiles in the flight recorder (0 = percentile-based tail retention only)")
 		recorderLen = fs.Int("recorder-size", obs.DefaultRecorderSize, "flight-recorder ring capacity (profiles kept for /debug/queries)")
 		showVersion = fs.Bool("version", false, "print the build version and exit")
+
+		dataDir   = fs.String("data-dir", "", "durable storage root: state is recovered from <data-dir>/<site> on boot (WAL+snapshot) and every mutation is logged; empty = in-memory only")
+		fsync     = fs.Bool("fsync", false, "with -data-dir, fsync the WAL after every append (each acked write survives power loss; off = buffered, a crash loses only the unsynced tail)")
+		snapEvery = fs.Int("snapshot-every", 0, "with -data-dir, compact the WAL into a snapshot every N appends (0 = default, negative = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -178,13 +184,15 @@ func run(args []string) error {
 			Concurrency: *concurrency, Clients: *clients, Repeat: *repeat,
 			Deadline:  *deadline,
 			SlowQuery: *slowQuery, RecorderSize: *recorderLen, MetricsAddr: *metricsAddr,
+			DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery,
 		})
 	case *siteName != "":
 		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers,
 			siteOpts{Call: call, Batch: batch, Cache: *useCache,
 				MaxFrameBytes: *maxFrame, IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
 				InjectDelay: *injectDelay, InjectDown: *injectDown,
-				SlowQuery: *slowQuery, RecorderSize: *recorderLen})
+				SlowQuery: *slowQuery, RecorderSize: *recorderLen,
+				DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery})
 	default:
 		return fmt.Errorf("pass -site NAME or -coordinator")
 	}
@@ -232,13 +240,19 @@ type siteRuntime struct {
 	Tracer   *trace.Tracer
 	Metrics  *metrics.Registry
 	Recorder *obs.Recorder
+	Engine   *wal.Engine // nil unless the site is durable (-data-dir)
 }
 
-// Close stops the site's servers.
+// Close stops the site's servers and flushes its durable engine.
 func (rt *siteRuntime) Close() error {
 	err := rt.Server.Close()
 	if rt.Obs != nil {
 		if cerr := rt.Obs.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if rt.Engine != nil {
+		if cerr := rt.Engine.Close(); err == nil {
 			err = cerr
 		}
 	}
@@ -279,6 +293,13 @@ type siteOpts struct {
 	SlowQuery time.Duration
 	// RecorderSize bounds the flight-recorder ring (0 = default).
 	RecorderSize int
+	// DataDir, Fsync and SnapshotEvery configure durable storage: with a
+	// DataDir the site recovers its state from <DataDir>/<site> before
+	// serving (seeding the federation fixture on first boot) and logs
+	// every mutation through a WAL+snapshot engine.
+	DataDir       string
+	Fsync         bool
+	SnapshotEvery int
 }
 
 // startSite builds and starts one fully instrumented component-site server;
@@ -309,10 +330,42 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 			faults.Kill(site)
 		}
 	}
-	srv, err := remote.NewServer(remote.ServerConfig{
+	// Durable mode: recover this site's state from its WAL+snapshot
+	// directory, merge any fixture entries the recovered store doesn't have
+	// yet (first boot seeds everything), and serve the recovered database
+	// and mapping tables with every further mutation logged through the
+	// engine.
+	tables := fed.Mapping
+	var eng *wal.Engine
+	if opts.DataDir != "" {
+		var rdb *store.Database
+		var err error
+		eng, rdb, tables, err = wal.Open(db.Schema(), wal.Options{
+			Dir:           filepath.Join(opts.DataDir, string(site)),
+			Fsync:         opts.Fsync,
+			SnapshotEvery: opts.SnapshotEvery,
+			Site:          string(site),
+			Metrics:       reg,
+			Tracer:        tr,
+			Log:           log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.Import(db, fed.Mapping); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		log.Info("durable store ready",
+			slog.String("dir", filepath.Join(opts.DataDir, string(site))),
+			slog.Uint64("seq", eng.Seq()),
+			slog.Bool("fsync", opts.Fsync))
+		db = rdb
+	}
+	cfg := remote.ServerConfig{
 		DB:            db,
 		Global:        fed.Global,
-		Tables:        fed.Mapping,
+		Tables:        tables,
 		Peers:         peers,
 		Signatures:    signature.Build(fed.Databases),
 		Tracer:        tr,
@@ -326,14 +379,24 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 		IdleTimeout:   opts.IdleTimeout,
 		WriteTimeout:  opts.WriteTimeout,
 		Faults:        faults,
-	})
+	}
+	if eng != nil {
+		cfg.Engine = eng
+	}
+	srv, err := remote.NewServer(cfg)
 	if err != nil {
+		if eng != nil {
+			eng.Close()
+		}
 		return nil, err
 	}
 	if err := srv.Listen(listen); err != nil {
+		if eng != nil {
+			eng.Close()
+		}
 		return nil, err
 	}
-	rt := &siteRuntime{Server: srv, Tracer: tr, Metrics: reg, Recorder: rec}
+	rt := &siteRuntime{Server: srv, Tracer: tr, Metrics: reg, Recorder: rec, Engine: eng}
 	if metricsAddr != "" {
 		o, err := obs.Serve(metricsAddr, string(site), reg, tr, rec, breakerHealth(srv.PeerBreakers))
 		if err != nil {
@@ -394,6 +457,14 @@ type coordOpts struct {
 	// surface (/metrics, /healthz, /debug/queries, /debug/trace/…) while the
 	// queries run.
 	MetricsAddr string
+	// DataDir, Fsync and SnapshotEvery make the coordinator durable: the
+	// global mapping table and its bind-delta log are recovered from
+	// <DataDir>/G on boot, every accepted bind is logged before it is
+	// applied, and an overflowed replica-resync queue is rebuilt by
+	// replaying the log instead of dropping deltas.
+	DataDir       string
+	Fsync         bool
+	SnapshotEvery int
 }
 
 func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string, opts coordOpts) error {
@@ -412,10 +483,40 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		Log:           log,
 		Metrics:       reg,
 	})
+	// Durable mode: recover the global mapping tables and bind-delta log
+	// from <DataDir>/G, merge fixture bindings the log doesn't have yet, and
+	// hand the coordinator the recovered tables plus the log itself (every
+	// accepted bind is appended before it is applied; the resync path
+	// replays the log instead of dropping deltas on overflow).
+	tables := fed.Mapping
+	var deltaLog *wal.Engine
+	if opts.DataDir != "" {
+		var err error
+		deltaLog, tables, err = wal.OpenLog(wal.Options{
+			Dir:           filepath.Join(opts.DataDir, "G"),
+			Fsync:         opts.Fsync,
+			SnapshotEvery: opts.SnapshotEvery,
+			Site:          "G",
+			Metrics:       reg,
+			Tracer:        tr,
+			Log:           log,
+		})
+		if err != nil {
+			return err
+		}
+		defer deltaLog.Close()
+		if err := deltaLog.Import(nil, fed.Mapping); err != nil {
+			return err
+		}
+		log.Info("durable delta log ready",
+			slog.String("dir", filepath.Join(opts.DataDir, "G")),
+			slog.Uint64("seq", deltaLog.Seq()),
+			slog.Bool("fsync", opts.Fsync))
+	}
 	coord := &remote.Coordinator{
 		ID:            "G",
 		Global:        fed.Global,
-		Tables:        fed.Mapping,
+		Tables:        tables,
 		Sites:         peers,
 		Tracer:        tr,
 		Metrics:       reg,
@@ -425,6 +526,9 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		MaxConcurrent: opts.Concurrency,
 		Deadline:      opts.Deadline,
 	}
+	if deltaLog != nil {
+		coord.DeltaLog = deltaLog
+	}
 	defer coord.Close()
 	// Adaptive mode: the selector plans over the bundle's catalog (the
 	// coordinator holds the same federation document the sites serve from),
@@ -432,13 +536,18 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	// peer breaker states.
 	var selector *adapt.Selector
 	if alg == exec.Adaptive {
-		cat := planner.BuildCatalog(fed.Global, fed.Databases, fed.Mapping)
+		cat := planner.BuildCatalog(fed.Global, fed.Databases, tables)
 		selector = adapt.NewSelector(cat,
 			adapt.NewCalibrator(adapt.Config{Coordinator: "G"}), coord.BreakerStates)
 		coord.Selector = selector
 	}
 	if opts.MetricsAddr != "" {
-		o, err := obs.Serve(opts.MetricsAddr, "G", reg, tr, rec, breakerHealth(coord.BreakerStates))
+		// /healthz merges the peer breaker states with the replica-resync
+		// backlog ("resync:DB2" → "pending(3)"/"needs-rebuild"), so a
+		// coordinator holding undelivered bind deltas reports degraded.
+		o, err := obs.Serve(opts.MetricsAddr, "G", reg, tr, rec,
+			breakerHealth(coord.BreakerStates),
+			obs.PrefixHealth("resync", breakerHealth(coord.ResyncStates)))
 		if err != nil {
 			return err
 		}

@@ -40,6 +40,24 @@ func TestBindAndLookups(t *testing.T) {
 	}
 }
 
+// TestBound pins the exact-duplicate probe replicas and WAL replay use to
+// apply binds idempotently: true only for a binding that exists verbatim.
+func TestBound(t *testing.T) {
+	tab := figure5Student()
+	if !tab.Bound("gs1", "DB2", "s2'") {
+		t.Error("existing binding not Bound")
+	}
+	if tab.Bound("gs9", "DB2", "s2'") {
+		t.Error("same location, different GOid reported Bound")
+	}
+	if tab.Bound("gs1", "DB2", "nope") {
+		t.Error("unknown LOid reported Bound")
+	}
+	if tab.Bound("gs1", "DB3", "s2'") {
+		t.Error("unknown site reported Bound")
+	}
+}
+
 func TestBindErrors(t *testing.T) {
 	tab := figure5Student()
 	if err := tab.Bind("gs9", "DB1", "s1"); err == nil {

@@ -407,29 +407,39 @@ func (o *Object) String() string {
 // objects and messages containing them) can travel over gob-encoded
 // connections in the TCP deployment.
 func (v Value) MarshalBinary() ([]byte, error) {
-	var b []byte
-	b = append(b, byte(v.kind))
+	return v.AppendBinary(nil)
+}
+
+// AppendBinary appends the value's binary encoding to dst and returns the
+// extended slice: MarshalBinary without the per-value allocation, for hot
+// encode paths (the storage engine logs every inserted attribute).
+func (v Value) AppendBinary(dst []byte) ([]byte, error) {
+	dst = append(dst, byte(v.kind))
 	switch v.kind {
 	case 0, KindNull:
 	case KindInt, KindBool:
-		b = appendInt64(b, v.i)
+		dst = appendInt64(dst, v.i)
 	case KindFloat:
-		b = appendInt64(b, int64(math.Float64bits(v.f)))
+		dst = appendInt64(dst, int64(math.Float64bits(v.f)))
 	case KindString, KindRef, KindGRef:
-		b = append(b, []byte(v.s)...)
+		dst = append(dst, v.s...)
 	case KindList:
 		for _, e := range v.list {
-			eb, err := e.MarshalBinary()
+			// The element length prefix is fixed-width, so it can be
+			// reserved up front and backfilled once the element is encoded.
+			at := len(dst)
+			dst = appendInt64(dst, 0)
+			var err error
+			dst, err = e.AppendBinary(dst)
 			if err != nil {
 				return nil, err
 			}
-			b = appendInt64(b, int64(len(eb)))
-			b = append(b, eb...)
+			putInt64(dst[at:], int64(len(dst)-at-8))
 		}
 	default:
 		return nil, fmt.Errorf("object: marshal of invalid kind %d", v.kind)
 	}
-	return b, nil
+	return dst, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
@@ -487,6 +497,13 @@ func appendInt64(b []byte, v int64) []byte {
 	return append(b,
 		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
 		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// putInt64 overwrites the 8 bytes at the start of b with v's encoding.
+func putInt64(b []byte, v int64) {
+	u := uint64(v)
+	b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+	b[4], b[5], b[6], b[7] = byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56)
 }
 
 func readInt64(b []byte) (int64, []byte, error) {

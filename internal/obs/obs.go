@@ -41,12 +41,36 @@ import (
 	"github.com/hetfed/hetfed/internal/version"
 )
 
-// Health contributes the process's peer circuit-breaker states to /healthz:
-// peer site name → breaker state ("closed", "half-open", "open"). Any
-// non-closed breaker turns the reported status from "ok" to "degraded"; the
-// endpoint still answers 200, because the process itself is alive — it is
-// the federation around it that is partially down.
+// Health contributes per-peer conditions to /healthz: entry name → state.
+// The canonical source is circuit-breaker states (peer site name →
+// "closed"/"half-open"/"open"); other sources report under a namespacing
+// prefix (see PrefixHealth), e.g. the coordinator's replica-resync backlog
+// as "resync:DB2" → "needs-rebuild". Any state other than "closed" turns
+// the reported status from "ok" to "degraded"; the endpoint still answers
+// 200, because the process itself is alive — it is the federation around
+// it that is partially down.
 type Health func() map[string]string
+
+// PrefixHealth namespaces a health source: each key is reported as
+// "<prefix>:<key>", so one /healthz can combine breaker states with other
+// per-peer conditions without the entries colliding. A nil source yields
+// no entries.
+func PrefixHealth(prefix string, src Health) Health {
+	return func() map[string]string {
+		if src == nil {
+			return nil
+		}
+		in := src()
+		if len(in) == 0 {
+			return nil
+		}
+		out := make(map[string]string, len(in))
+		for k, v := range in {
+			out[prefix+":"+k] = v
+		}
+		return out
+	}
+}
 
 // expvar registration is global per process; a test (or a process hosting
 // several sites) may start multiple servers for the same site name, so the

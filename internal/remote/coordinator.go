@@ -70,45 +70,83 @@ type Coordinator struct {
 	// deadline of its own. An over-deadline query returns its sound partial
 	// answer with Answer.Outcome = OutcomeDeadline.
 	Deadline time.Duration
+	// DeltaLog, when set, makes Insert's bind deltas durable: every
+	// assigned binding is appended to the log before broadcast, and a
+	// replica whose pending-delta queue overflows is rebuilt by replaying
+	// the gap from the log on the next successful Ping instead of losing
+	// the dropped deltas. Typically a *wal.Engine opened with OpenLog.
+	DeltaLog DeltaLog
 
 	// mu guards Tables (and the Matcher behind it) between concurrent
 	// Query and Insert calls.
 	mu   sync.RWMutex
 	qseq atomic.Uint64
 
-	clOnce sync.Once
-	cl     *client
+	// clMu guards the lazily-built pooled site-call client. Not a
+	// sync.Once: Close must be idempotent and allocation-free when no
+	// client was ever built, and a post-Close call must build a FRESH
+	// client rather than reuse the closed one.
+	clMu sync.Mutex
+	cl   *client
 
 	gateOnce sync.Once
 	gate     chan struct{}
 
-	// resyncMu guards the pending-delta queues: bind deltas a replica
-	// missed (failed broadcast), re-sent on the next successful Ping.
-	resyncMu sync.Mutex
-	resync   map[object.SiteID][]*BindDelta
+	// resyncMu guards the pending-delta queues and rebuild marks: bind
+	// deltas a replica missed (failed broadcast) are re-sent on the next
+	// successful Ping; a peer whose queue overflowed is marked for a
+	// log rebuild instead.
+	resyncMu    sync.Mutex
+	resync      map[object.SiteID][]pendingDelta
+	rebuildFrom map[object.SiteID]uint64
+}
+
+// DeltaLog is the durable bind-delta log behind the coordinator's replica
+// resync: AppendBind persists one binding and returns its log sequence
+// number; ReplayBinds streams every persisted binding with sequence >= from
+// in log order. *wal.Engine implements it.
+type DeltaLog interface {
+	AppendBind(class string, goid object.GOid, site object.SiteID, loid object.LOid) (uint64, error)
+	ReplayBinds(from uint64, fn func(class string, goid object.GOid, site object.SiteID, loid object.LOid) error) error
+}
+
+// pendingDelta is one queued resync entry: the delta plus its DeltaLog
+// sequence (0 when no log is configured).
+type pendingDelta struct {
+	delta *BindDelta
+	seq   uint64
 }
 
 // maxPendingDeltas bounds each peer's pending-delta resync queue; beyond
-// it the oldest delta is dropped (replica_resync_dropped_total) — a replica
-// that far behind needs a rebuild, not a replay.
+// it the peer is marked needs-rebuild. With a DeltaLog the whole gap is
+// replayed from the log on the next Ping; without one the oldest deltas
+// are dropped (replica_resync_dropped_total) and the mark stays until an
+// operator re-seeds the replica.
 const maxPendingDeltas = 256
 
 // client lazily builds the coordinator's pooled site-call client so the
-// zero-value-plus-fields construction pattern keeps working.
+// zero-value-plus-fields construction pattern keeps working. After Close
+// it builds a fresh client.
 func (c *Coordinator) client() *client {
-	c.clOnce.Do(func() {
+	c.clMu.Lock()
+	defer c.clMu.Unlock()
+	if c.cl == nil {
 		c.cl = newClient(c.ID, c.Call, c.Metrics)
-	})
+	}
 	return c.cl
 }
 
-// Close releases the coordinator's pooled connections. The coordinator
-// remains usable (calls will dial fresh connections).
+// Close releases the coordinator's pooled connections. It is idempotent
+// and allocation-free when no client was ever built, and the coordinator
+// remains usable afterwards: the next call builds a fresh client.
 func (c *Coordinator) Close() {
-	c.clOnce.Do(func() {
-		c.cl = newClient(c.ID, c.Call, c.Metrics)
-	})
-	c.cl.close()
+	c.clMu.Lock()
+	cl := c.cl
+	c.cl = nil
+	c.clMu.Unlock()
+	if cl != nil {
+		cl.close()
+	}
 }
 
 // BreakerStates reports each site's circuit-breaker state as seen from the
@@ -430,9 +468,18 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 	if _, _, err := cl.call(site, addr, Request{Kind: kindStore, Store: o}); err != nil {
 		return "", err
 	}
-	// 2. Assign the GOid (entity match by key).
+	// 2. Assign the GOid (entity match by key) and persist the binding.
+	// The log append happens under the same lock as the table mutation so
+	// a concurrent append's snapshot never reads a half-updated table.
+	var seq uint64
 	c.mu.Lock()
 	goid, err := c.Matcher.Add(site, o.Class, o)
+	if err == nil && c.DeltaLog != nil {
+		seq, err = c.DeltaLog.AppendBind(gc.Name, goid, site, o.LOid)
+		if err != nil {
+			err = fmt.Errorf("remote: delta log: %w", err)
+		}
+	}
 	c.mu.Unlock()
 	if err != nil {
 		return "", err
@@ -456,7 +503,7 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 			if _, _, err := cl.call(peer, c.Sites[peer], Request{Kind: kindBind, Bind: delta}); err != nil {
 				c.Metrics.Counter("replica_stale_total",
 					metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Inc()
-				c.queueResync(peer, delta)
+				c.queueResync(peer, delta, seq)
 				errs[i] = fmt.Errorf("remote: replica at %s is stale: %w", peer, err)
 			}
 		}(i, peer)
@@ -467,59 +514,141 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 
 // queueResync remembers a bind delta a replica missed (its broadcast
 // failed) so the next successful Ping can replay it. Each peer's queue is
-// bounded at maxPendingDeltas; beyond it the oldest deltas are dropped and
-// counted — a replica that far behind needs a rebuild, not a replay.
-func (c *Coordinator) queueResync(peer object.SiteID, delta *BindDelta) {
+// bounded at maxPendingDeltas; on overflow the peer is marked
+// needs-rebuild (surfaced on /healthz via ResyncStates). With a DeltaLog
+// the queue is released — the durable log holds everything from the
+// oldest queued sequence on, and the next Ping replays that gap; without
+// one the oldest deltas are dropped and counted, and the mark is sticky.
+func (c *Coordinator) queueResync(peer object.SiteID, delta *BindDelta, seq uint64) {
 	c.resyncMu.Lock()
 	defer c.resyncMu.Unlock()
 	if c.resync == nil {
-		c.resync = make(map[object.SiteID][]*BindDelta)
+		c.resync = make(map[object.SiteID][]pendingDelta)
 	}
-	q := append(c.resync[peer], delta)
+	q := append(c.resync[peer], pendingDelta{delta: delta, seq: seq})
 	if drop := len(q) - maxPendingDeltas; drop > 0 {
-		q = append([]*BindDelta(nil), q[drop:]...)
-		c.Metrics.Counter("replica_resync_dropped_total",
-			metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Add(int64(drop))
+		if c.DeltaLog != nil {
+			c.markRebuildLocked(peer, q[0].seq)
+			q = nil
+		} else {
+			c.markRebuildLocked(peer, 0)
+			q = append([]pendingDelta(nil), q[drop:]...)
+			c.Metrics.Counter("replica_resync_dropped_total",
+				metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Add(int64(drop))
+		}
 	}
 	c.resync[peer] = q
 }
 
-// replayResync re-sends a reachable peer's pending bind deltas in order.
-// A delta that fails again puts itself and everything after it back at the
-// front of the queue (preserving order against deltas queued meanwhile) for
-// the next Ping to retry.
+// markRebuildLocked flags a peer as needing a rebuild from the given log
+// sequence (keeping the earliest when marked repeatedly). Caller holds
+// resyncMu.
+func (c *Coordinator) markRebuildLocked(peer object.SiteID, seq uint64) {
+	if c.rebuildFrom == nil {
+		c.rebuildFrom = make(map[object.SiteID]uint64)
+	}
+	if cur, ok := c.rebuildFrom[peer]; !ok || seq < cur {
+		c.rebuildFrom[peer] = seq
+	}
+	c.Metrics.Gauge("replica_needs_rebuild",
+		metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Set(1)
+}
+
+// replayResync brings a reachable peer's replica back in sync. A peer
+// marked needs-rebuild is replayed from the durable log first (the whole
+// gap since the oldest lost delta); then the in-memory pending queue is
+// re-sent in order. Replicas apply exact-duplicate binds idempotently, so
+// overlap between log replay and queued deltas is harmless. A delta that
+// fails again puts itself and everything after it back at the front of the
+// queue (preserving order against deltas queued meanwhile) for the next
+// Ping to retry; a failed rebuild keeps the rebuild mark.
 func (c *Coordinator) replayResync(peer object.SiteID) {
 	c.resyncMu.Lock()
 	pending := c.resync[peer]
 	delete(c.resync, peer)
+	rebuildSeq, rebuild := c.rebuildFrom[peer]
+	if rebuild && c.DeltaLog != nil {
+		delete(c.rebuildFrom, peer)
+	}
 	c.resyncMu.Unlock()
-	if len(pending) == 0 {
+	if len(pending) == 0 && !rebuild {
 		return
 	}
-	cl := c.client()
 	addr, ok := c.Sites[peer]
 	if !ok {
 		return
 	}
-	for i, delta := range pending {
-		if _, _, err := cl.call(peer, addr, Request{Kind: kindBind, Bind: delta}); err != nil {
+	cl := c.client()
+	labels := metrics.Labels{Site: string(c.ID), Peer: string(peer)}
+
+	if rebuild && c.DeltaLog != nil {
+		err := c.DeltaLog.ReplayBinds(rebuildSeq, func(class string, goid object.GOid, site object.SiteID, loid object.LOid) error {
+			d := &BindDelta{Class: class, GOid: goid, Site: site, LOid: loid}
+			if _, _, err := cl.call(peer, addr, Request{Kind: kindBind, Bind: d}); err != nil {
+				return err
+			}
+			c.Metrics.Counter("replica_resync_total", labels).Inc()
+			return nil
+		})
+		if err != nil {
+			// Put everything back for the next Ping: the rebuild mark and
+			// any deltas queued meanwhile.
+			c.resyncMu.Lock()
+			c.markRebuildLocked(peer, rebuildSeq)
+			c.resync[peer] = append(pending, c.resync[peer]...)
+			c.resyncMu.Unlock()
+			return
+		}
+		c.Metrics.Counter("replica_rebuild_total", labels).Inc()
+		c.Metrics.Gauge("replica_needs_rebuild", labels).Set(0)
+		// The log covered every sequence from rebuildSeq through its tail,
+		// which includes all queued deltas (their sequences were assigned
+		// before they could be queued); nothing left to re-send.
+		pending = nil
+	}
+
+	for i, pd := range pending {
+		if _, _, err := cl.call(peer, addr, Request{Kind: kindBind, Bind: pd.delta}); err != nil {
 			c.resyncMu.Lock()
 			if c.resync == nil {
-				c.resync = make(map[object.SiteID][]*BindDelta)
+				c.resync = make(map[object.SiteID][]pendingDelta)
 			}
-			q := append(append([]*BindDelta(nil), pending[i:]...), c.resync[peer]...)
+			q := append(append([]pendingDelta(nil), pending[i:]...), c.resync[peer]...)
 			if drop := len(q) - maxPendingDeltas; drop > 0 {
-				q = append([]*BindDelta(nil), q[drop:]...)
-				c.Metrics.Counter("replica_resync_dropped_total",
-					metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Add(int64(drop))
+				if c.DeltaLog != nil {
+					c.markRebuildLocked(peer, q[0].seq)
+					q = nil
+				} else {
+					c.markRebuildLocked(peer, 0)
+					q = append([]pendingDelta(nil), q[drop:]...)
+					c.Metrics.Counter("replica_resync_dropped_total", labels).Add(int64(drop))
+				}
 			}
 			c.resync[peer] = q
 			c.resyncMu.Unlock()
 			return
 		}
-		c.Metrics.Counter("replica_resync_total",
-			metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Inc()
+		c.Metrics.Counter("replica_resync_total", labels).Inc()
 	}
+}
+
+// ResyncStates reports each out-of-sync replica's condition for the health
+// surface: "needs-rebuild" for peers whose pending-delta queue overflowed,
+// "pending(N)" for peers with N deltas awaiting replay. In-sync peers are
+// absent.
+func (c *Coordinator) ResyncStates() map[object.SiteID]string {
+	c.resyncMu.Lock()
+	defer c.resyncMu.Unlock()
+	out := make(map[object.SiteID]string)
+	for peer, q := range c.resync {
+		if len(q) > 0 {
+			out[peer] = fmt.Sprintf("pending(%d)", len(q))
+		}
+	}
+	for peer := range c.rebuildFrom {
+		out[peer] = "needs-rebuild"
+	}
+	return out
 }
 
 // siteResponse is one site's outcome in a fan-out: its response, or the

@@ -85,6 +85,14 @@ type ServerConfig struct {
 	// resolutions and checked assistant verdicts), invalidated per class by
 	// the Insert replication path (store + BindDelta).
 	Cache bool
+	// Engine, when set, is the durable storage engine behind DB and
+	// Tables (typically the *wal.Engine that recovered them): bind deltas
+	// are logged through it before being applied, and Tables is served
+	// as-is instead of cloned — the engine's snapshots must see the
+	// replica the server actually mutates. DB is expected to have the
+	// engine already attached (store.Database.WithEngine), so store
+	// requests log through Insert itself.
+	Engine store.StorageEngine
 }
 
 // Server timeout defaults (see ServerConfig.IdleTimeout / WriteTimeout).
@@ -116,13 +124,17 @@ type Server struct {
 }
 
 // NewServer wraps a component database for network duty. The mapping tables
-// are cloned: each server maintains its own replica, kept current through
-// bind deltas.
+// are cloned — each server maintains its own replica, kept current through
+// bind deltas — unless a durable Engine is set: then the recovered tables
+// ARE this site's replica and are served in place, so the engine's
+// snapshots and the served state stay one and the same.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.DB == nil || cfg.Global == nil || cfg.Tables == nil {
 		return nil, errors.New("remote: incomplete server config")
 	}
-	cfg.Tables = cfg.Tables.Clone()
+	if cfg.Engine == nil {
+		cfg.Tables = cfg.Tables.Clone()
+	}
 	log := cfg.Log
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
@@ -545,7 +557,19 @@ func (s *Server) handleBind(req Request) Response {
 		return Response{Err: "bind request without delta"}
 	}
 	d := req.Bind
-	if err := s.cfg.Tables.Table(d.Class).Bind(d.GOid, d.Site, d.LOid); err != nil {
+	t := s.cfg.Tables.Table(d.Class)
+	if t.Bound(d.GOid, d.Site, d.LOid) {
+		// An exact duplicate is a re-delivery — durable-log rebuild or
+		// resync replay overlapping deltas already applied — and acks
+		// idempotently.
+		return Response{}
+	}
+	if s.cfg.Engine != nil {
+		if err := s.cfg.Engine.LogBind(d.Class, d.GOid, d.Site, d.LOid); err != nil {
+			return Response{Err: err.Error()}
+		}
+	}
+	if err := t.Bind(d.GOid, d.Site, d.LOid); err != nil {
 		return Response{Err: err.Error()}
 	}
 	s.site.Cache().InvalidateClass(d.Class)

@@ -155,6 +155,11 @@ func (db *Database) CreateIndex(class, attr string) (*Index, error) {
 	if a.IsComplex() || a.MultiValued {
 		return nil, fmt.Errorf("index: attribute %s.%s is not a primitive single-valued attribute", class, attr)
 	}
+	if db.engine != nil {
+		if err := db.engine.LogCreateIndex(class, attr); err != nil {
+			return nil, fmt.Errorf("index %s.%s: %w", class, attr, err)
+		}
+	}
 	ix := &Index{attr: attr}
 	e.Scan(func(o *object.Object) bool {
 		ix.insert(o.Attr(attr), o.LOid)
@@ -170,4 +175,15 @@ func (db *Database) CreateIndex(class, attr string) (*Index, error) {
 // Index returns the extent's index on the attribute, or nil.
 func (e *Extent) Index(attr string) *Index {
 	return e.indexes[attr]
+}
+
+// IndexAttrs returns the attributes with secondary indexes, sorted. Used by
+// storage engines to enumerate indexes into a snapshot.
+func (e *Extent) IndexAttrs() []string {
+	out := make([]string, 0, len(e.indexes))
+	for attr := range e.indexes {
+		out = append(out, attr)
+	}
+	sort.Strings(out)
+	return out
 }

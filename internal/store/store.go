@@ -20,6 +20,7 @@ type Extent struct {
 	objects map[object.LOid]*object.Object
 	order   []object.LOid
 	indexes map[string]*Index
+	bytes   int // incrementally maintained sum of WireSize(nil) over objects
 }
 
 func newExtent(c *schema.Class) *Extent {
@@ -56,14 +57,10 @@ func (e *Extent) All() []*object.Object {
 }
 
 // Bytes returns the total stored size of the extent under the paper's cost
-// model (every object, all attributes).
-func (e *Extent) Bytes() int {
-	n := 0
-	for _, o := range e.objects {
-		n += o.WireSize(nil)
-	}
-	return n
-}
+// model (every object, all attributes). The count is maintained
+// incrementally on Insert, so this is O(1) — it sits on the planner's
+// catalog path and is called once per involved extent per query.
+func (e *Extent) Bytes() int { return e.bytes }
 
 // Database is one component database: a schema plus one extent per class and
 // a database-wide LOid index used to dereference complex attribute values.
@@ -72,6 +69,7 @@ type Database struct {
 	schema  *schema.Schema
 	extents map[string]*Extent
 	byLOid  map[object.LOid]*object.Object
+	engine  StorageEngine // nil means in-memory (equivalent to Mem)
 }
 
 // NewDatabase returns an empty database over the given schema. The schema
@@ -100,6 +98,18 @@ func MustNewDatabase(s *schema.Schema) *Database {
 	}
 	return db
 }
+
+// WithEngine attaches a storage engine: from here on every mutation is
+// logged to the engine before being applied. Attach AFTER recovery replay
+// (replay applies mutations without re-logging them) and before serving.
+// Returns db for chaining.
+func (db *Database) WithEngine(e StorageEngine) *Database {
+	db.engine = e
+	return db
+}
+
+// Engine returns the attached storage engine, or nil.
+func (db *Database) Engine() StorageEngine { return db.engine }
 
 // Site returns the owning site.
 func (db *Database) Site() object.SiteID { return db.site }
@@ -133,8 +143,14 @@ func (db *Database) Insert(o *object.Object) error {
 			return fmt.Errorf("insert %s attribute %s: %w", o.LOid, name, err)
 		}
 	}
+	if db.engine != nil {
+		if err := db.engine.LogInsert(o); err != nil {
+			return fmt.Errorf("insert %s into %s@%s: %w", o.LOid, o.Class, db.site, err)
+		}
+	}
 	e.objects[o.LOid] = o
 	e.order = append(e.order, o.LOid)
+	e.bytes += o.WireSize(nil)
 	db.byLOid[o.LOid] = o
 	for attr, ix := range e.indexes {
 		ix.insert(o.Attr(attr), o.LOid)

@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench_durability.sh — the storage-engine durability smoke: identical
+# school-style insert streams through the mem, wal and wal-fsync engines
+# plus a timed cold-start recovery of each durable directory, written to
+# BENCH_durability.json. Unlike the sim smoke, wall clocks here are
+# machine-dependent, so there is no cross-run baseline diff: the run gates
+# itself on its own invariants — recovery must reproduce every inserted
+# object, and the buffered WAL's write path must stay within 1.25x the
+# in-memory engine's (each engine's best of three interleaved rounds, so
+# a transient load spike can't fail the gate on its own).
+#
+# Usage:
+#   scripts/bench_durability.sh          run and gate; report to /tmp
+#   scripts/bench_durability.sh regen    regenerate the committed report
+#
+# BENCH_OUT overrides where the gated run writes its report
+# (default /tmp/BENCH_durability.json).
+set -eu
+cd "$(dirname "$0")/.."
+
+run() {
+    go run ./cmd/hetbench durability \
+        -objects 20000 -seed 42 -max-overhead 1.25 "$@"
+}
+
+if [ "${1:-}" = "regen" ]; then
+    run -out BENCH_durability.json
+    echo "report regenerated: BENCH_durability.json"
+else
+    run -out "${BENCH_OUT:-/tmp/BENCH_durability.json}"
+fi

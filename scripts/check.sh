@@ -40,11 +40,24 @@ go test -race -timeout 120s "$pkgs"
 echo "== bench smoke (1 iteration)"
 go test -run - -bench 'BenchmarkTraceOverhead|BenchmarkProfileOverhead' -benchtime 1x .
 
+# The recovery torture runs inside the package tests above, but a fresh
+# -count=1 pass here keeps the crash-recovery gate immune to test caching.
+echo "== recovery torture (kill -9, fresh run)"
+go test -count 1 -timeout 120s -run 'TestKillNineMidInsert' ./internal/store/wal/
+
 # BENCH_SMOKE=1 additionally runs the hetbench regression smoke: a tiny
 # deterministic sim matrix gated against the committed BENCH_smoke.json.
 if [ "${BENCH_SMOKE:-0}" = "1" ]; then
     echo "== hetbench smoke (vs committed BENCH_smoke.json)"
     scripts/bench_smoke.sh
+fi
+
+# BENCH_DURABILITY=1 additionally runs the storage-engine durability
+# smoke: it gates on its own invariants (recovery completeness and the
+# buffered WAL's write overhead vs the in-memory engine).
+if [ "${BENCH_DURABILITY:-0}" = "1" ]; then
+    echo "== hetbench durability (self-gating)"
+    scripts/bench_durability.sh
 fi
 
 echo "ok"
