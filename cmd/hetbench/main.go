@@ -26,6 +26,11 @@
 //	hetbench slo -qps 2000 -p99 50ms -max-maybe-frac 0.2 \
 //	    -runtimes live -strategies BL -workloads school -clients 8 -queries 200
 //
+// Measure what the cluster observability plane costs the cluster it
+// watches (live TCP, gated on relative overhead):
+//
+//	hetbench obs -queries 1200 -clients 4 -max-overhead 1.05
+//
 // Fault specs: none, kill:SITE, drop:SITE:N, delay:SITE:MICROS. Serving
 // specs: plain, cached, batch:WINDOW, cached+batch:WINDOW. On the sim
 // runtime identical seeds reproduce byte-identical cell results; the live
@@ -56,7 +61,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hetbench run|check|slo [flags] (-h for help)")
+		return fmt.Errorf("usage: hetbench run|check|slo|durability|obs [flags] (-h for help)")
 	}
 	switch args[0] {
 	case "run":
@@ -67,12 +72,66 @@ func run(args []string) error {
 		return sloCmd(args[1:])
 	case "durability":
 		return durabilityCmd(args[1:])
+	case "obs":
+		return obsCmd(args[1:])
 	case "-version", "--version", "version":
 		fmt.Println("hetbench", version.String())
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run, check, slo or durability)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, check, slo, durability or obs)", args[0])
 	}
+}
+
+// obsCmd measures the observability plane's cost: the identical live
+// school workload with and without the cluster scraper + SLO engine
+// polling the serving processes, written as BENCH_obs.json. The run gates
+// itself — -max-overhead bounds the scraped mode's wall clock over the
+// bare baseline's — so the command is CI-safe without a baseline diff.
+func obsCmd(args []string) error {
+	fs := flag.NewFlagSet("hetbench obs", flag.ContinueOnError)
+	var (
+		queries  = fs.Int("queries", 400, "queries driven per cell (both modes)")
+		clients  = fs.Int("clients", 4, "closed-loop client count")
+		rounds   = fs.Int("rounds", 0, "rounds per mode, best kept (0 = default 5)")
+		seed     = fs.Int64("seed", 42, "seed for the generated query stream")
+		interval = fs.Duration("interval", 100*time.Millisecond, "scrape cadence in the scraped mode")
+		maxOver  = fs.Float64("max-overhead", 0, "fail if the scraped mode's wall clock exceeds this multiple of the baseline (0 = report only)")
+		out      = fs.String("out", "BENCH_obs.json", "output path (\"-\" for stdout only)")
+		quiet    = fs.Bool("q", false, "suppress per-cell progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+	report, err := bench.RunObs(ctx, bench.ObsSpec{
+		Queries:        *queries,
+		Clients:        *clients,
+		Rounds:         *rounds,
+		Seed:           *seed,
+		ScrapeInterval: *interval,
+		MaxOverhead:    *maxOver,
+	}, progress)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	}
+	if err := report.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *out, len(report.Cells))
+	return nil
 }
 
 // durabilityCmd measures the storage engines against each other — identical

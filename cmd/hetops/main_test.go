@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/obs/agg"
+	"github.com/hetfed/hetfed/internal/obs/slo"
+)
+
+// fixture is a representative combined snapshot: one live site, one stale,
+// a firing alert, a degraded slow query.
+func fixture() snapshot {
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return snapshot{
+		Cluster: agg.Rollup{
+			Site: "G", Time: at, IntervalS: 2, WindowS: 60,
+			Fed: agg.FedStats{SitesLive: 1, SitesTotal: 2,
+				Window: agg.WindowStats{SpanS: 60, Queries: 120, QPS: 2,
+					P50Ms: 1.2, P99Ms: 8.4, DegradedPct: 5}},
+			Sites: []agg.SiteStatus{
+				{Site: "G", Live: true, StaleS: 0.5, Status: "ok",
+					Conditions: map[string]string{"DB1": "closed", "wal:engine": "ok(seq=9)"},
+					UptimeS:    100,
+					Window: agg.WindowStats{SpanS: 60, Queries: 120, QPS: 2,
+						P50Ms: 1.2, P99Ms: 8.4, DegradedPct: 5}},
+				{Site: "DB1", URL: "http://127.0.0.1:8101", Live: false, StaleS: 12,
+					ConsecFails: 6, LastError: "connection refused",
+					Status: "unreachable", Resets: 1},
+			},
+		},
+		Alerts: []slo.Alert{{
+			Rule: "availability >= 0.99", Raw: "availability >= 0.99",
+			State: "firing", Since: at, LastEval: at,
+			Value: 0.5, Short: 0.5, Threshold: 0.99, Unit: "ratio",
+		}},
+		Queries: []agg.QuerySummary{{
+			ID: "rq3-00001f", Alg: "BL", Status: "degraded", WallMicros: 12345,
+			Certain: 5, Maybe: 2, Unavailable: []string{"DB1"},
+			Sources: []string{"G"},
+		}},
+	}
+}
+
+// fakeCoordinator serves the three cluster endpoints from a fixture the
+// way the real coordinator does.
+func fakeCoordinator(t *testing.T, snap snapshot) *httptest.Server {
+	t.Helper()
+	serve := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			t.Errorf("encode: %v", err)
+		}
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/cluster":
+			serve(w, snap.Cluster)
+		case "/cluster/alerts":
+			serve(w, snap.Alerts)
+		case "/cluster/queries":
+			serve(w, snap.Queries)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// The -once -json document must round-trip: fetch → marshal → unmarshal
+// reproduces the exact snapshot, so scripts can consume and re-emit it.
+func TestOnceJSONRoundTrip(t *testing.T) {
+	want := fixture()
+	srv := fakeCoordinator(t, want)
+
+	var out bytes.Buffer
+	if err := run([]string{"-cluster", srv.URL, "-once", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var got snapshot
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("hetops -once -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// And the emitted document itself re-marshals byte-identically.
+	again, err := json.MarshalIndent(got, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(again)) != strings.TrimSpace(out.String()) {
+		t.Errorf("re-marshal differs from emitted document")
+	}
+}
+
+func TestOnceTextRender(t *testing.T) {
+	srv := fakeCoordinator(t, fixture())
+	var out bytes.Buffer
+	if err := run([]string{"-cluster", srv.URL, "-once"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"HETFED CLUSTER", "1/2 sites live",
+		"G", "live", "DB1", "STALE 12s", "unreachable",
+		"FIRING", "availability >= 0.99",
+		"rq3-00001f", "/debug/trace/rq3-00001f.json",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "\x1b[") {
+		t.Errorf("-once output contains ANSI escapes:\n%s", text)
+	}
+}
+
+func TestFetchPropagatesErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no aggregator here", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	client := &http.Client{Timeout: time.Second}
+	if _, err := fetch(context.Background(), client, srv.URL, 5); err == nil {
+		t.Error("404 surface accepted")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-cluster", srv.URL, "-once"}, &out); err == nil {
+		t.Error("run -once against a 404 surface succeeded")
+	}
+}

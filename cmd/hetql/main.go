@@ -75,6 +75,7 @@ func run(args []string) error {
 		explain     = fs.Bool("explain", false, "EXPLAIN ANALYZE: print the planner's predicted per-site/per-phase cost against the measured profile (runs the planner's choice unless -alg names a strategy)")
 		deadline    = fs.Duration("deadline", 0, "end-to-end wall-clock budget per query; an over-budget query returns its sound partial answer (0 = none)")
 		dataDir     = fs.String("data-dir", "", "query the durable state under this root (WAL+snapshot directories as written by hetserve) instead of the in-memory fixture; missing directories are seeded from the fixture")
+		obsBase     = fs.String("obs", "", "coordinator observability base URL; with -trace the footer prints a full /debug/trace/{id}.json link (e.g. http://127.0.0.1:8100)")
 		showVersion = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -279,6 +280,12 @@ func run(args []string) error {
 				fmt.Print(tracer.Render())
 				fmt.Println("\nspan tree:")
 				fmt.Print(tracer.RenderTree())
+				// The footer makes a slow query one click from its Perfetto
+				// trace: the recorded profile's ID is the trace ID every
+				// obs surface serves under /debug/trace/{id}.json.
+				if p := rec.Last(); p != nil {
+					fmt.Printf("\ntrace: %s  →  %s\n", p.ID, traceURL(*obsBase, p.ID))
+				}
 			}
 			if *showMetrics {
 				cur := reg.Snapshot()
@@ -289,6 +296,20 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// traceURL builds the link to a query's full trace on the coordinator's
+// observability surface. Without a base it stays a path, so the footer is
+// useful even when no coordinator is running.
+func traceURL(base, id string) string {
+	path := "/debug/trace/" + id + ".json"
+	if base == "" {
+		return path
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimSuffix(base, "/") + path
 }
 
 // parseFaults turns the -fail-sites and -site-delay flags into a fault-plan

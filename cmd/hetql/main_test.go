@@ -62,6 +62,37 @@ func TestRunTrace(t *testing.T) {
 			t.Errorf("trace missing %q:\n%s", want, out)
 		}
 	}
+	// The footer links the run to its full trace document.
+	for _, want := range []string{"trace: q", "/debug/trace/q"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace footer missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceObsURL(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-alg", "PL", "-trace", "-obs", "127.0.0.1:8100"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "http://127.0.0.1:8100/debug/trace/q") {
+		t.Errorf("footer missing full coordinator URL:\n%s", out)
+	}
+}
+
+func TestTraceURL(t *testing.T) {
+	for _, tc := range []struct{ base, want string }{
+		{"", "/debug/trace/rq1.json"},
+		{"127.0.0.1:8100", "http://127.0.0.1:8100/debug/trace/rq1.json"},
+		{"http://coord:8100/", "http://coord:8100/debug/trace/rq1.json"},
+		{"https://coord", "https://coord/debug/trace/rq1.json"},
+	} {
+		if got := traceURL(tc.base, "rq1"); got != tc.want {
+			t.Errorf("traceURL(%q) = %q, want %q", tc.base, got, tc.want)
+		}
+	}
 }
 
 func TestRunAuto(t *testing.T) {

@@ -28,6 +28,16 @@
 // recorder. -trace and -metrics print the coordinator's span tree and
 // metrics snapshot after the query.
 //
+// A coordinator started with -cluster-scrape SITE=HOST:PORT,... also runs
+// the federation aggregator: every listed observability surface (plus the
+// coordinator itself, in process) is polled each -scrape-interval and
+// folded into a rollup over a trailing -scrape-window; /cluster,
+// /cluster/queries and /cluster/alerts then serve the federation rollup,
+// the merged slow-query log (deduped by trace ID), and the SLO alert
+// state for rules given with -slo ("query_latency p99 < 50ms over 1m;
+// availability >= 0.67"). cmd/hetops renders the same three endpoints as
+// a live terminal dashboard.
+//
 // Fault-tolerance policy flags (both modes): -retries, -retry-backoff,
 // -call-timeout, -dial-timeout, -pool, -breaker-failures,
 // -breaker-cooldown. A coordinator queried against a partially-down
@@ -59,6 +69,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,6 +87,8 @@ import (
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/obs"
+	"github.com/hetfed/hetfed/internal/obs/agg"
+	"github.com/hetfed/hetfed/internal/obs/slo"
 	"github.com/hetfed/hetfed/internal/planner"
 	"github.com/hetfed/hetfed/internal/remote"
 	"github.com/hetfed/hetfed/internal/schema"
@@ -140,6 +153,11 @@ func run(args []string) error {
 		recorderLen = fs.Int("recorder-size", obs.DefaultRecorderSize, "flight-recorder ring capacity (profiles kept for /debug/queries)")
 		showVersion = fs.Bool("version", false, "print the build version and exit")
 
+		clusterScrape  = fs.String("cluster-scrape", "", "coordinator: poll these obs surfaces (SITE=HOST:PORT,...) into a federation rollup served at /cluster, /cluster/queries and /cluster/alerts on -metrics-addr; the coordinator observes itself in process as site G")
+		scrapeInterval = fs.Duration("scrape-interval", 2*time.Second, "polling interval for -cluster-scrape")
+		scrapeWindow   = fs.Duration("scrape-window", time.Minute, "trailing window for the /cluster rollup's rates")
+		sloRules       = fs.String("slo", "", "semicolon-separated SLO rules evaluated against the cluster rollup after every scrape (e.g. 'query_latency p99 < 50ms over 1m; availability >= 0.67'); requires -cluster-scrape")
+
 		dataDir   = fs.String("data-dir", "", "durable storage root: state is recovered from <data-dir>/<site> on boot (WAL+snapshot) and every mutation is logged; empty = in-memory only")
 		fsync     = fs.Bool("fsync", false, "with -data-dir, fsync the WAL after every append (each acked write survives power loss; off = buffered, a crash loses only the unsynced tail)")
 		snapEvery = fs.Int("snapshot-every", 0, "with -data-dir, compact the WAL into a snapshot every N appends (0 = default, negative = never)")
@@ -184,6 +202,8 @@ func run(args []string) error {
 			Concurrency: *concurrency, Clients: *clients, Repeat: *repeat,
 			Deadline:  *deadline,
 			SlowQuery: *slowQuery, RecorderSize: *recorderLen, MetricsAddr: *metricsAddr,
+			ClusterScrape: *clusterScrape, ScrapeInterval: *scrapeInterval,
+			ScrapeWindow: *scrapeWindow, SLO: *sloRules,
 			DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery,
 		})
 	case *siteName != "":
@@ -270,6 +290,57 @@ func breakerHealth(states func() map[object.SiteID]string) obs.Health {
 		}
 		return out
 	}
+}
+
+// mergeHealth folds several health sources into one conditions map — the
+// aggregator's local self-target view of what /healthz would report.
+func mergeHealth(srcs []obs.Health) func() map[string]string {
+	return func() map[string]string {
+		out := make(map[string]string)
+		for _, src := range srcs {
+			for k, v := range src() {
+				out[k] = v
+			}
+		}
+		return out
+	}
+}
+
+// profileSummaries maps the flight recorder's listing into the
+// aggregator's slow-query rows (same fields the remote sites serve on
+// /debug/queries).
+func profileSummaries(rec *obs.Recorder) []agg.QuerySummary {
+	profiles := rec.Profiles()
+	out := make([]agg.QuerySummary, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, agg.QuerySummary{
+			ID:          p.ID,
+			Alg:         p.Alg,
+			Status:      p.Status,
+			WallMicros:  p.WallMicros,
+			Certain:     p.Certain,
+			Maybe:       p.Maybe,
+			Unavailable: p.Unavailable,
+		})
+	}
+	return out
+}
+
+// parseScrapeTargets parses the -cluster-scrape flag: SITE=HOST:PORT (or
+// SITE=http://...) pairs naming each site's observability surface.
+func parseScrapeTargets(s string) ([]agg.Target, error) {
+	var out []agg.Target
+	for _, pair := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -cluster-scrape entry %q (want SITE=HOST:PORT)", pair)
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		out = append(out, agg.Target{Site: name, URL: strings.TrimSuffix(addr, "/")})
+	}
+	return out, nil
 }
 
 // siteOpts bundles a site's serving policy: networking, check batching,
@@ -398,7 +469,14 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 	}
 	rt := &siteRuntime{Server: srv, Tracer: tr, Metrics: reg, Recorder: rec, Engine: eng}
 	if metricsAddr != "" {
-		o, err := obs.Serve(metricsAddr, string(site), reg, tr, rec, breakerHealth(srv.PeerBreakers))
+		health := []obs.Health{breakerHealth(srv.PeerBreakers)}
+		if eng != nil {
+			// Durable sites surface their storage engine on /healthz
+			// ("wal:engine" → "ok(seq=N)") so the cluster rollup shows WAL
+			// state per site.
+			health = append(health, obs.PrefixHealth("wal", eng.Health))
+		}
+		o, err := obs.Serve(metricsAddr, string(site), reg, tr, rec, health...)
 		if err != nil {
 			srv.Close()
 			return nil, err
@@ -457,6 +535,16 @@ type coordOpts struct {
 	// surface (/metrics, /healthz, /debug/queries, /debug/trace/…) while the
 	// queries run.
 	MetricsAddr string
+	// ClusterScrape ("SITE=HOST:PORT,..."), when non-empty, runs the
+	// federation aggregator: every listed obs surface (plus the
+	// coordinator itself, in process) is polled each ScrapeInterval and
+	// folded into the /cluster rollup over a trailing ScrapeWindow. SLO,
+	// when also non-empty, evaluates burn-rate alert rules against the
+	// rollup after every scrape and serves them at /cluster/alerts.
+	ClusterScrape  string
+	ScrapeInterval time.Duration
+	ScrapeWindow   time.Duration
+	SLO            string
 	// DataDir, Fsync and SnapshotEvery make the coordinator durable: the
 	// global mapping table and its bind-delta log are recovered from
 	// <DataDir>/G on boot, every accepted bind is logged before it is
@@ -541,13 +629,78 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 			adapt.NewCalibrator(adapt.Config{Coordinator: "G"}), coord.BreakerStates)
 		coord.Selector = selector
 	}
-	if opts.MetricsAddr != "" {
-		// /healthz merges the peer breaker states with the replica-resync
-		// backlog ("resync:DB2" → "pending(3)"/"needs-rebuild"), so a
-		// coordinator holding undelivered bind deltas reports degraded.
-		o, err := obs.Serve(opts.MetricsAddr, "G", reg, tr, rec,
-			breakerHealth(coord.BreakerStates),
-			obs.PrefixHealth("resync", breakerHealth(coord.ResyncStates)))
+	// /healthz merges the peer breaker states with the replica-resync
+	// backlog ("resync:DB2" → "pending(3)"/"needs-rebuild") and, in durable
+	// mode, the WAL engine's state, so a coordinator holding undelivered
+	// bind deltas or a stopped log reports degraded.
+	healthSrcs := []obs.Health{
+		breakerHealth(coord.BreakerStates),
+		obs.PrefixHealth("resync", breakerHealth(coord.ResyncStates)),
+	}
+	if deltaLog != nil {
+		healthSrcs = append(healthSrcs, obs.PrefixHealth("wal", deltaLog.Health))
+	}
+	if opts.ClusterScrape != "" && opts.MetricsAddr == "" {
+		return fmt.Errorf("-cluster-scrape serves /cluster on the observability surface; pass -metrics-addr too")
+	}
+	if opts.SLO != "" && opts.ClusterScrape == "" {
+		return fmt.Errorf("-slo judges the cluster rollup; pass -cluster-scrape too")
+	}
+	switch {
+	case opts.MetricsAddr != "" && opts.ClusterScrape != "":
+		targets, err := parseScrapeTargets(opts.ClusterScrape)
+		if err != nil {
+			return err
+		}
+		// The coordinator observes itself in process: no HTTP round-trip,
+		// and its row carries the end-to-end query metrics.
+		targets = append([]agg.Target{{
+			Site:         "G",
+			Local:        reg.Snapshot,
+			LocalHealth:  mergeHealth(healthSrcs),
+			LocalQueries: func() []agg.QuerySummary { return profileSummaries(rec) },
+		}}, targets...)
+		scraper, err := agg.New(agg.Config{
+			Site:     "G",
+			Targets:  targets,
+			Interval: opts.ScrapeInterval,
+			Window:   opts.ScrapeWindow,
+			Metrics:  reg,
+			Log:      log,
+		})
+		if err != nil {
+			return err
+		}
+		var alerts http.Handler
+		if opts.SLO != "" {
+			rules, err := slo.ParseRules(opts.SLO)
+			if err != nil {
+				return err
+			}
+			engine, err := slo.New(slo.Config{
+				Site: "G", Source: scraper, Rules: rules, Metrics: reg, Log: log,
+			})
+			if err != nil {
+				return err
+			}
+			scraper.SetOnScrape(engine.Evaluate)
+			alerts = engine.Handler()
+		}
+		mux := obs.NewMux("G", reg, tr, time.Now(), rec, healthSrcs...)
+		scraper.Register(mux, alerts)
+		o, err := obs.ServeHandler(opts.MetricsAddr, "G", reg, mux)
+		if err != nil {
+			return err
+		}
+		defer o.Close()
+		scraper.Start()
+		defer scraper.Stop()
+		log.Info("observability serving",
+			slog.String("addr", o.Addr()),
+			slog.Int("scrape_targets", len(targets)),
+			slog.Bool("slo", opts.SLO != ""))
+	case opts.MetricsAddr != "":
+		o, err := obs.Serve(opts.MetricsAddr, "G", reg, tr, rec, healthSrcs...)
 		if err != nil {
 			return err
 		}

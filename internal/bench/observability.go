@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/obs/agg"
+	"github.com/hetfed/hetfed/internal/obs/slo"
+	"github.com/hetfed/hetfed/internal/version"
+)
+
+// ObsSpec shapes an observability-overhead run: the same live school
+// workload measured twice — once bare, once with the full cluster
+// observability plane (scraper polling every site's /metrics + /healthz
+// over HTTP, SLO engine evaluating on every pass) running against the
+// serving processes. The pair quantifies what /cluster costs the queries
+// it observes.
+type ObsSpec struct {
+	// Queries driven per cell (identical for both modes).
+	Queries int `json:"queries"`
+	// Clients is the closed-loop worker count.
+	Clients int `json:"clients"`
+	// Rounds is how many times each mode runs. The modes are interleaved
+	// within each round (alternating which goes first, so neither mode
+	// systematically collects warmup or frequency-scaling drift) and the
+	// gate judges the best same-round wall-clock ratio: pairing cancels
+	// machine drift between rounds, and taking the minimum makes the gate
+	// robust to one-sided load spikes — a real regression in the plane
+	// slows every round, a transient spike only one. 0 means 5.
+	Rounds int `json:"rounds,omitempty"`
+	// Seed roots the load generator, so both modes drive the identical
+	// query sequence.
+	Seed int64 `json:"seed"`
+	// ScrapeInterval is the scraped mode's polling cadence (0 = 100ms —
+	// deliberately 20× more aggressive than the production 2s default, so
+	// the measured overhead upper-bounds the real deployment's).
+	ScrapeInterval time.Duration `json:"scrape_interval,omitempty"`
+	// MaxOverhead, when positive, gates the run: it fails if the scraped
+	// mode's wall clock exceeds MaxOverhead × the baseline's.
+	MaxOverhead float64 `json:"max_overhead,omitempty"`
+}
+
+// ObsCell is one mode's measured run.
+type ObsCell struct {
+	// Mode is "baseline" (no observability plane) or "scraped" (scraper +
+	// SLO engine polling the cluster while it serves).
+	Mode   string      `json:"mode"`
+	Client ClientStats `json:"client"`
+	// Overhead is the best same-round ratio of this cell's wall clock over
+	// the baseline's (1.0 for the baseline itself) — the price of being
+	// watched, with cross-round machine drift paired away.
+	Overhead float64 `json:"overhead"`
+
+	// Scraper-side truth, scraped mode only: completed scrape passes per
+	// target, failures, and the federation rollup's final liveness.
+	Scrapes        int64 `json:"scrapes,omitempty"`
+	ScrapeFailures int64 `json:"scrape_failures,omitempty"`
+	SitesLive      int   `json:"sites_live,omitempty"`
+	SitesTotal     int   `json:"sites_total,omitempty"`
+}
+
+// ObsReport is an observability-overhead run's diffable record. Wall-clock
+// fields are machine-dependent; regression gating uses the run's own
+// invariant (the relative overhead), not cross-run diffs.
+type ObsReport struct {
+	Schema  int       `json:"schema"`
+	Topic   string    `json:"topic"`
+	Version string    `json:"version"`
+	Spec    ObsSpec   `json:"spec"`
+	Cells   []ObsCell `json:"cells"`
+}
+
+// JSON renders the report in its canonical indented form.
+func (r *ObsReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encode obs report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the report to path in canonical form.
+func (r *ObsReport) WriteFile(path string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// obsModes are the two cells of every observability run.
+var obsModes = []string{"baseline", "scraped"}
+
+// RunObs measures the observability plane's cost: the identical live BL
+// school workload with and without the scraper + SLO engine watching the
+// cluster. Rounds are interleaved across modes (a transient load spike
+// lands on both, not one mode's only sample) and the report keeps each
+// mode's best round. The scraped cell verifies its own wiring — every
+// scrape target must end the run live, and at least one full scrape pass
+// must have completed — and the relative overhead is gated by
+// spec.MaxOverhead, so the run doubles as a regression gate. progress,
+// when non-nil, receives one line per cell.
+func RunObs(ctx context.Context, spec ObsSpec, progress func(string)) (*ObsReport, error) {
+	if spec.Queries < 1 {
+		spec.Queries = 1
+	}
+	if spec.Clients < 1 {
+		spec.Clients = 1
+	}
+	if spec.Rounds < 1 {
+		spec.Rounds = 5
+	}
+	if spec.ScrapeInterval <= 0 {
+		spec.ScrapeInterval = 100 * time.Millisecond
+	}
+	report := &ObsReport{
+		Schema:  SchemaVersion,
+		Topic:   "obs",
+		Version: version.String(),
+		Spec:    spec,
+	}
+
+	// One-variant school bundle: both modes drive the same Q1 stream, so
+	// the delta between the cells is the observability plane alone.
+	bundle, err := BuildBundle("school", 1, 1, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	matrix := MatrixSpec{Queries: spec.Queries, Variants: 1, Seed: spec.Seed}
+	cell := Cell{Runtime: "live", Strategy: "BL", Workload: "school",
+		Clients: spec.Clients, Fault: "none", Serving: "plain", Seed: spec.Seed}
+
+	cells := make(map[string]*ObsCell, len(obsModes))
+	bestWall := make(map[string]float64, len(obsModes))
+	for _, mode := range obsModes {
+		cells[mode] = &ObsCell{Mode: mode}
+	}
+
+	bestRatio := 0.0
+	for round := 0; round < spec.Rounds; round++ {
+		order := obsModes
+		if round%2 == 1 {
+			order = []string{obsModes[1], obsModes[0]}
+		}
+		roundWall := make(map[string]float64, len(obsModes))
+		for _, mode := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			stats, scraped, err := runObsCell(ctx, spec, matrix, cell, bundle, mode == "scraped")
+			if err != nil {
+				return nil, fmt.Errorf("bench: obs %s round %d: %w", mode, round, err)
+			}
+			roundWall[mode] = stats.WallMillis
+			if prev, seen := bestWall[mode]; !seen || stats.WallMillis < prev {
+				bestWall[mode] = stats.WallMillis
+				c := cells[mode]
+				c.Client = stats
+				c.Scrapes = scraped.scrapes
+				c.ScrapeFailures = scraped.failures
+				c.SitesLive = scraped.live
+				c.SitesTotal = scraped.total
+			}
+		}
+		if roundWall["baseline"] > 0 {
+			ratio := roundWall["scraped"] / roundWall["baseline"]
+			if round == 0 || ratio < bestRatio {
+				bestRatio = ratio
+			}
+		}
+	}
+
+	for _, mode := range obsModes {
+		c := cells[mode]
+		if mode == "baseline" {
+			c.Overhead = 1.0
+		} else {
+			c.Overhead = round2(bestRatio)
+		}
+		report.Cells = append(report.Cells, *c)
+		if progress != nil {
+			progress(fmt.Sprintf("%-9s wall %9.2f ms (%7.0f qps, p99 %8.2f us, %.2fx baseline)  scrapes %d (%d failed)",
+				c.Mode, c.Client.WallMillis, c.Client.QPS, c.Client.P99Micros,
+				c.Overhead, c.Scrapes, c.ScrapeFailures))
+		}
+	}
+
+	// Invariant: being watched must not meaningfully slow the watched.
+	if spec.MaxOverhead > 0 {
+		for _, c := range report.Cells {
+			if c.Mode == "scraped" && c.Overhead > spec.MaxOverhead {
+				return report, fmt.Errorf("bench: scrape overhead %.2fx exceeds the %.2fx gate",
+					c.Overhead, spec.MaxOverhead)
+			}
+		}
+	}
+	return report, nil
+}
+
+// obsScrapeStats is the scraper-side truth of one scraped-mode round.
+type obsScrapeStats struct {
+	scrapes  int64
+	failures int64
+	live     int
+	total    int
+}
+
+// runObsCell runs one mode once: a fresh live cluster, optionally with the
+// observability plane polling it, driven by the closed-loop generator.
+func runObsCell(ctx context.Context, spec ObsSpec, matrix MatrixSpec, cell Cell,
+	bundle *Bundle, watch bool) (ClientStats, obsScrapeStats, error) {
+	lc, err := startLiveCluster(matrix, cell, bundle)
+	if err != nil {
+		return ClientStats{}, obsScrapeStats{}, err
+	}
+	defer lc.close()
+	_ = lc.coord.Ping()
+
+	var scraped obsScrapeStats
+	var scraper *agg.Scraper
+	aggReg := metrics.New()
+	if watch {
+		// The plane under test: the coordinator observing itself in
+		// process plus every site over its real HTTP obs surface, with the
+		// SLO engine evaluating on each pass — exactly the -cluster-scrape
+		// deployment shape.
+		targets := []agg.Target{{Site: coordinatorID, Local: lc.coordReg.Snapshot}}
+		for i, srv := range lc.servers {
+			base := lc.scrapes[i][:len(lc.scrapes[i])-len("/metrics")]
+			targets = append(targets, agg.Target{Site: string(srv.Site()), URL: base})
+		}
+		scraper, err = agg.New(agg.Config{
+			Site:     coordinatorID,
+			Targets:  targets,
+			Interval: spec.ScrapeInterval,
+			Window:   time.Minute,
+			Metrics:  aggReg,
+		})
+		if err != nil {
+			return ClientStats{}, obsScrapeStats{}, err
+		}
+		rules, err := slo.ParseRules("availability >= 0.99; query_latency p99 < 10s over 1m")
+		if err != nil {
+			return ClientStats{}, obsScrapeStats{}, err
+		}
+		engine, err := slo.New(slo.Config{Site: coordinatorID, Source: scraper,
+			Rules: rules, Metrics: aggReg})
+		if err != nil {
+			return ClientStats{}, obsScrapeStats{}, err
+		}
+		scraper.SetOnScrape(engine.Evaluate)
+		scraper.Start()
+		defer scraper.Stop()
+	}
+
+	rng := rand.New(rand.NewSource(cell.Seed))
+	variants := DrawVariants(zipfFor(rng, matrix, bundle), spec.Queries)
+	fn := func(ctx context.Context, variant int) Result {
+		ans, elapsed, err := lc.coord.QueryContext(ctx, bundle.Queries[variant], exec.BL)
+		if err != nil {
+			return Result{Err: err}
+		}
+		return Result{
+			Micros:      float64(elapsed.Nanoseconds()) / 1e3,
+			Degraded:    ans.Degraded,
+			Interrupted: ans.Interrupted(),
+		}
+	}
+	start := time.Now()
+	results := RunClosed(ctx, spec.Clients, variants, fn)
+	wallMicros := float64(time.Since(start).Nanoseconds()) / 1e3
+
+	if watch {
+		// One final synchronous pass so short rounds still have complete
+		// coverage, then verify the plane actually watched the cluster.
+		scraper.ScrapeOnce(ctx)
+		scraper.Stop()
+		roll := scraper.Rollup()
+		scraped.live, scraped.total = roll.Fed.SitesLive, roll.Fed.SitesTotal
+		snap := aggReg.Snapshot()
+		scraped.scrapes = snap.Sum("scrape_total")
+		scraped.failures = snap.Sum("scrape_failures_total")
+		if scraped.live != scraped.total {
+			return ClientStats{}, scraped, fmt.Errorf("scraped cell ended with %d/%d sites live",
+				scraped.live, scraped.total)
+		}
+		if scraped.scrapes == 0 {
+			return ClientStats{}, scraped, fmt.Errorf("scraper completed no passes")
+		}
+	}
+	return Summarize(results, wallMicros), scraped, nil
+}

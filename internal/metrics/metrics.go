@@ -64,6 +64,19 @@
 //	go_heap_alloc_bytes{site}          bytes of allocated heap objects
 //	go_gc_runs_total{site}             completed GC cycles (gauge: set, not added)
 //
+// Cluster-observability metrics (see the obs/agg and obs/slo packages;
+// site = the aggregating coordinator, peer = the scraped site):
+//
+//	scrape_total{site,peer}            scrape attempts against peer
+//	scrape_failures_total{site,peer}   scrapes that failed or timed out
+//	scrape_resets_total{site,peer}     scrapes that saw counters go backwards (peer restarted)
+//	scrape_duration_us{site}           wall time of one full scrape pass
+//	cluster_sites{site}                gauge: sites the aggregator tracks
+//	cluster_sites_live{site}           gauge: sites scraped within the staleness bound
+//	alerts_state{site,phase}           gauge per SLO rule (phase = rule name): 0 ok, 1 warn, 2 firing
+//	alerts_firing{site}                gauge: rules currently in the firing state
+//	alerts_transitions_total{site,phase}  alert state-machine transitions (phase = rule name)
+//
 // Histograms additionally carry per-bucket exemplars (last trace ID + value)
 // when fed through ObserveWithExemplar, so a latency bucket on /metrics
 // links to a recorded query profile.
@@ -504,30 +517,69 @@ func (r *Registry) Delta(prev Snapshot) Snapshot {
 // gauges keep their current value. Samples absent from prev pass through
 // unchanged (a series born between the snapshots starts from zero, so its
 // full value IS its delta); series present only in prev are dropped.
+//
+// Delta is reset-aware: when a counter's current value is below its
+// previous value — the signature of the process restarting and its
+// registry starting over — the current value IS the delta (everything the
+// new process counted happened since the previous snapshot). Histograms
+// reset when their total count or any bucket shrank. Without this, a
+// durable site restarting between two scrapes would yield negative deltas
+// that silently corrupt windowed rates. Use DeltaWithResets to learn how
+// many series reset.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d, _ := s.DeltaWithResets(prev)
+	return d
+}
+
+// DeltaWithResets is Delta plus the number of series whose counter (or
+// histogram) was observed to have reset — gone backwards — since prev.
+// Scrapers feed this into scrape_resets_total so operators can tell a
+// restarted site from a quiet one.
+func (s Snapshot) DeltaWithResets(prev Snapshot) (Snapshot, int) {
 	base := make(map[key]Sample, len(prev.Samples))
 	for _, smp := range prev.Samples {
 		base[key{smp.Name, smp.Labels}] = smp
 	}
+	resets := 0
 	out := make([]Sample, 0, len(s.Samples))
 	for _, smp := range s.Samples {
 		old, ok := base[key{smp.Name, smp.Labels}]
 		if ok && old.Kind == smp.Kind {
 			switch smp.Kind {
 			case "counter":
-				smp.Value -= old.Value
+				if smp.Value < old.Value {
+					resets++ // counter went backwards: process restarted
+				} else {
+					smp.Value -= old.Value
+				}
 			case "histogram":
-				smp.Hist = histDelta(smp.Hist, old.Hist)
+				var reset bool
+				smp.Hist, reset = histDelta(smp.Hist, old.Hist)
+				if reset {
+					resets++
+				}
 			}
 		}
 		out = append(out, smp)
 	}
-	return Snapshot{Samples: out}
+	return Snapshot{Samples: out}, resets
 }
 
-func histDelta(cur, old *HistogramSnapshot) *HistogramSnapshot {
+// histDelta differences two histogram snapshots. When the current
+// histogram shrank — fewer total observations, or any bucket with fewer
+// entries than before — the source process restarted, so the current
+// snapshot is returned whole and reset reports true.
+func histDelta(cur, old *HistogramSnapshot) (_ *HistogramSnapshot, reset bool) {
 	if cur == nil || old == nil || len(cur.Counts) != len(old.Counts) {
-		return cur
+		return cur, false
+	}
+	if cur.Count < old.Count {
+		return cur, true
+	}
+	for i := range cur.Counts {
+		if cur.Counts[i] < old.Counts[i] {
+			return cur, true
+		}
 	}
 	d := &HistogramSnapshot{
 		Bounds:    cur.Bounds,
@@ -539,7 +591,7 @@ func histDelta(cur, old *HistogramSnapshot) *HistogramSnapshot {
 	for i := range cur.Counts {
 		d.Counts[i] = cur.Counts[i] - old.Counts[i]
 	}
-	return d
+	return d, false
 }
 
 // Merge combines two snapshots (e.g. from different sites): counters and

@@ -137,6 +137,75 @@ func TestSnapshotOrderingAndDelta(t *testing.T) {
 	}
 }
 
+// A durable site that restarts starts a fresh registry: its counters come
+// back smaller than the previous scrape saw. The delta must treat the new
+// value as the whole delta (not go negative) and report the reset.
+func TestDeltaCounterReset(t *testing.T) {
+	before := New()
+	before.Counter("requests_total", Labels{Site: "DB1"}).Add(100)
+	before.Counter("steady_total", Labels{Site: "DB1"}).Add(5)
+	before.Histogram("lat_us", Labels{Site: "DB1"}).Observe(400)
+	before.Histogram("lat_us", Labels{Site: "DB1"}).Observe(900)
+	prev := before.Snapshot()
+
+	// "Restarted" process: same series names, smaller values.
+	after := New()
+	after.Counter("requests_total", Labels{Site: "DB1"}).Add(3)
+	after.Counter("steady_total", Labels{Site: "DB1"}).Add(7) // grew: normal
+	after.Histogram("lat_us", Labels{Site: "DB1"}).Observe(250)
+	cur := after.Snapshot()
+
+	d, resets := cur.DeltaWithResets(prev)
+	if resets != 2 {
+		t.Errorf("resets = %d, want 2 (counter + histogram)", resets)
+	}
+	if n := d.CounterValue("requests_total", Labels{Site: "DB1"}); n != 3 {
+		t.Errorf("reset counter delta = %d, want the new value 3", n)
+	}
+	if n := d.CounterValue("steady_total", Labels{Site: "DB1"}); n != 2 {
+		t.Errorf("grown counter delta = %d, want 2", n)
+	}
+	s, ok := d.Get("lat_us", Labels{Site: "DB1"})
+	if !ok || s.Hist == nil {
+		t.Fatalf("lat_us missing from delta")
+	}
+	if s.Hist.Count != 1 || s.Hist.Sum != 250 {
+		t.Errorf("reset histogram delta = count %d sum %.0f, want the new snapshot (1, 250)",
+			s.Hist.Count, s.Hist.Sum)
+	}
+
+	// Delta (without reset reporting) must agree and never go negative.
+	plain := cur.Delta(prev)
+	if n := plain.CounterValue("requests_total", Labels{Site: "DB1"}); n != 3 {
+		t.Errorf("Delta reset counter = %d, want 3", n)
+	}
+
+	// No resets on a normal monotone pair.
+	after.Counter("requests_total", Labels{Site: "DB1"}).Add(500)
+	if _, r := after.Snapshot().DeltaWithResets(cur); r != 0 {
+		t.Errorf("monotone growth counted %d resets", r)
+	}
+}
+
+// A histogram whose total count held steady but whose buckets moved
+// (impossible without a restart plus coincidental growth) still counts as
+// a reset: any shrinking bucket is the tell.
+func TestDeltaHistogramBucketReset(t *testing.T) {
+	a := New()
+	a.Histogram("h", Labels{}).Observe(50) // lands in a low bucket
+	prev := a.Snapshot()
+
+	b := New()
+	b.Histogram("h", Labels{}).Observe(5_000_000) // one obs, but a different bucket
+	d, resets := b.Snapshot().DeltaWithResets(prev)
+	if resets != 1 {
+		t.Errorf("resets = %d, want 1 (bucket shrank at equal count)", resets)
+	}
+	if s, _ := d.Get("h", Labels{}); s.Hist.Count != 1 || s.Hist.Sum != 5_000_000 {
+		t.Errorf("delta = %+v, want the new snapshot whole", s.Hist)
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a, b := New(), New()
 	a.Counter("n", Labels{Site: "DB1"}).Add(3)

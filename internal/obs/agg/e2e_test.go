@@ -1,0 +1,388 @@
+package agg_test
+
+// End-to-end acceptance for the observability plane, over real TCP: three
+// school sites each serving queries (remote.Server) and an obs surface
+// (/metrics, /healthz), a coordinator scraping all of them plus itself,
+// and an SLO engine judging the rollup. One site is killed mid-run — the
+// cluster view must mark it stale and the availability SLO must fire —
+// then restarted on the same addresses — the alert must resolve and the
+// scraper must count the counter reset instead of folding a negative delta
+// into the rollup. The whole plane must tear down without leaking
+// goroutines.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/obs"
+	"github.com/hetfed/hetfed/internal/obs/agg"
+	"github.com/hetfed/hetfed/internal/obs/slo"
+	"github.com/hetfed/hetfed/internal/remote"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/store"
+	"github.com/hetfed/hetfed/internal/trace"
+)
+
+const scrapeEvery = 50 * time.Millisecond
+
+// observedSite is one component site plus its observability surface.
+type observedSite struct {
+	srv *remote.Server
+	obs *obs.Server
+	reg *metrics.Registry
+}
+
+func (s *observedSite) close() {
+	if s.obs != nil {
+		s.obs.Close()
+	}
+	s.srv.Close()
+}
+
+// startObservedSite boots a site server on listenAddr and its obs surface
+// on obsAddr ("127.0.0.1:0" first boot, the recorded addresses on
+// restart). When deferObs is true the obs surface is NOT started — the
+// restart path serves queries first so the site's counters are non-zero
+// (but smaller than before the crash) by the time the scraper reconnects,
+// which is what makes the reset detectable.
+func startObservedSite(t *testing.T, fx *school.Fixture, sigs *signature.Index,
+	sid object.SiteID, db *store.Database, listenAddr, obsAddr string, deferObs bool) *observedSite {
+	t.Helper()
+	reg := metrics.New()
+	tr := &trace.Tracer{}
+	srv, err := remote.NewServer(remote.ServerConfig{
+		DB:         db,
+		Global:     fx.Global,
+		Tables:     fx.Mapping,
+		Signatures: sigs,
+		Tracer:     tr,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatalf("NewServer(%s): %v", sid, err)
+	}
+	if err := srv.Listen(listenAddr); err != nil {
+		t.Fatalf("Listen(%s, %s): %v", sid, listenAddr, err)
+	}
+	site := &observedSite{srv: srv, reg: reg}
+	if !deferObs {
+		site.serveObs(t, sid, obsAddr)
+	}
+	return site
+}
+
+func (s *observedSite) serveObs(t *testing.T, sid object.SiteID, addr string) {
+	t.Helper()
+	osrv, err := obs.Serve(addr, string(sid), s.reg, nil, nil)
+	if err != nil {
+		t.Fatalf("obs.Serve(%s, %s): %v", sid, addr, err)
+	}
+	s.obs = osrv
+}
+
+func waitFor(t *testing.T, desc string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %s waiting for %s", timeout, desc)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, body)
+	}
+}
+
+func siteRow(r agg.Rollup, name string) *agg.SiteStatus {
+	for i := range r.Sites {
+		if r.Sites[i].Site == name {
+			return &r.Sites[i]
+		}
+	}
+	return nil
+}
+
+func alertState(alerts []slo.Alert, metric string) string {
+	for _, a := range alerts {
+		if strings.Contains(a.Rule, metric) {
+			return a.State
+		}
+	}
+	return ""
+}
+
+func TestClusterObservabilityE2E(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	fx := school.New()
+	sigs := signature.Build(fx.Databases)
+	siteIDs := make([]object.SiteID, 0, len(fx.Databases))
+	for sid := range fx.Databases {
+		siteIDs = append(siteIDs, sid)
+	}
+	sort.Slice(siteIDs, func(i, j int) bool { return siteIDs[i] < siteIDs[j] })
+
+	sites := make(map[object.SiteID]*observedSite, len(siteIDs))
+	addrs := make(map[object.SiteID]string, len(siteIDs))
+	obsAddrs := make(map[object.SiteID]string, len(siteIDs))
+	for _, sid := range siteIDs {
+		s := startObservedSite(t, fx, sigs, sid, fx.Databases[sid], "127.0.0.1:0", "127.0.0.1:0", false)
+		sites[sid] = s
+		addrs[sid] = s.srv.Addr()
+		obsAddrs[sid] = s.obs.Addr()
+	}
+	defer func() {
+		for _, s := range sites {
+			s.close()
+		}
+	}()
+	for _, s := range sites {
+		s.srv.SetPeers(addrs)
+	}
+
+	// The coordinator: queries the sites over TCP, records profiles, and
+	// hosts the aggregation plane (scraper + SLO engine + /cluster).
+	coordReg := metrics.New()
+	coordTracer := &trace.Tracer{}
+	rec := obs.NewRecorder(obs.RecorderConfig{Site: "G", Metrics: coordReg})
+	coord := &remote.Coordinator{
+		ID:       "G",
+		Global:   fx.Global,
+		Tables:   fx.Mapping,
+		Sites:    addrs,
+		Tracer:   coordTracer,
+		Metrics:  coordReg,
+		Recorder: rec,
+	}
+	defer coord.Close()
+
+	targets := []agg.Target{{
+		Site:  "G",
+		Local: coordReg.Snapshot,
+		LocalQueries: func() []agg.QuerySummary {
+			var out []agg.QuerySummary
+			for _, p := range rec.Profiles() {
+				out = append(out, agg.QuerySummary{
+					ID: p.ID, Alg: p.Alg, Status: p.Status, WallMicros: p.WallMicros,
+					Certain: p.Certain, Maybe: p.Maybe, Unavailable: p.Unavailable,
+				})
+			}
+			return out
+		},
+	}}
+	for _, sid := range siteIDs {
+		targets = append(targets, agg.Target{Site: string(sid), URL: "http://" + obsAddrs[sid]})
+	}
+	scr, err := agg.New(agg.Config{
+		Site:     "G",
+		Targets:  targets,
+		Interval: scrapeEvery,
+		Window:   2 * time.Second,
+		Metrics:  coordReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := slo.ParseRules("availability >= 0.99; query_latency p99 < 30s over 2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := slo.New(slo.Config{Site: "G", Source: scr, Rules: rules, Metrics: coordReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr.SetOnScrape(engine.Evaluate)
+
+	mux := obs.NewMux("G", coordReg, coordTracer, time.Now(), rec)
+	scr.Register(mux, engine.Handler())
+	coordObs, err := obs.ServeHandler("127.0.0.1:0", "G", coordReg, mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordObs.Close()
+	base := "http://" + coordObs.Addr()
+	scr.Start()
+	defer scr.Stop()
+
+	// Phase 1: healthy cluster. Traffic flows, every target is scraped,
+	// the rollup sees all four sites and both SLOs hold. The burst is
+	// deliberately large: the restarted site's fresh counters must stay
+	// below these pre-crash values long enough for the scraper to observe
+	// the reset in phase 3.
+	for i := 0; i < 30; i++ {
+		if _, _, err := coord.Query(school.Q1, exec.BL); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	waitFor(t, "all sites live", 5*time.Second, func() bool {
+		live, total := scr.Liveness()
+		return total == len(siteIDs)+1 && live == total
+	})
+	waitFor(t, "federation window sees traffic and availability ok", 5*time.Second, func() bool {
+		if _, _, err := coord.Query(school.Q1, exec.BL); err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		return scr.Rollup().Fed.Window.Queries > 0 &&
+			alertState(engine.Alerts(), "availability") == "ok"
+	})
+
+	var roll agg.Rollup
+	getJSON(t, base+"/cluster?format=json", &roll)
+	if roll.Fed.SitesTotal != len(siteIDs)+1 || roll.Fed.SitesLive != roll.Fed.SitesTotal {
+		t.Fatalf("rollup liveness = %d/%d, want %d/%d",
+			roll.Fed.SitesLive, roll.Fed.SitesTotal, len(siteIDs)+1, len(siteIDs)+1)
+	}
+	if roll.Fed.Window.Queries == 0 {
+		t.Errorf("federation window saw no queries: %+v", roll.Fed.Window)
+	}
+
+	// Phase 2: kill DB3 (server and obs surface). /cluster must mark it
+	// stale and the availability SLO must fire — the instant rule flips on
+	// the first evaluation that sees the site past its staleness bound.
+	const victim = object.SiteID("DB3")
+	sites[victim].close()
+	killedAt := time.Now()
+	waitFor(t, "DB3 stale and availability firing", 5*time.Second, func() bool {
+		row := siteRow(scr.Rollup(), string(victim))
+		if row == nil || row.Live {
+			return false
+		}
+		return alertState(engine.Alerts(), "availability") == "firing"
+	})
+	detected := time.Since(killedAt)
+	// StaleAfter defaults to 3×interval; one more scrape pass notices. A
+	// generous CI bound still proves detection is interval-scale, not
+	// minutes-scale.
+	if limit := 20 * scrapeEvery; detected > limit {
+		t.Errorf("staleness detected after %s, want <= %s", detected, limit)
+	}
+	row := siteRow(scr.Rollup(), string(victim))
+	if row.Status != "unreachable" {
+		t.Errorf("dead site status = %q, want unreachable", row.Status)
+	}
+	var alerts []slo.Alert
+	getJSON(t, base+"/cluster/alerts?format=json", &alerts)
+	if alertState(alerts, "availability") != "firing" {
+		t.Errorf("/cluster/alerts does not show availability firing: %+v", alerts)
+	}
+
+	// Phase 3: restart DB3 on the same addresses with a fresh (zeroed)
+	// registry — the durable-site crash+restart shape. Queries run before
+	// the obs surface comes back, so the scraper's first post-restart
+	// scrape sees counters smaller than its last pre-crash raw snapshot
+	// and must count a reset instead of going negative.
+	fx2 := school.New()
+	reborn := startObservedSite(t, fx, sigs, victim, fx2.Databases[victim],
+		addrs[victim], obsAddrs[victim], true)
+	sites[victim] = reborn
+	reborn.srv.SetPeers(addrs)
+
+	waitFor(t, "restarted DB3 serving queries", 5*time.Second, func() bool {
+		// Tolerate failures while the coordinator's pool and breaker
+		// re-discover the site; traffic doubles as the breaker probe.
+		_, _, _ = coord.Query(school.Q1, exec.BL)
+		return reborn.reg.Snapshot().Sum("requests_total") > 0
+	})
+	reborn.serveObs(t, victim, obsAddrs[victim])
+
+	// No traffic while waiting: the restarted site's counters must stay
+	// below their pre-crash values until the scraper reconnects, or the
+	// reset would be indistinguishable from ordinary growth.
+	waitFor(t, "reset counted and availability resolved", 10*time.Second, func() bool {
+		resets := coordReg.Snapshot().CounterValue("scrape_resets_total",
+			metrics.Labels{Site: "G", Peer: string(victim)})
+		if resets < 1 {
+			return false
+		}
+		live, total := scr.Liveness()
+		return live == total && alertState(engine.Alerts(), "availability") == "ok"
+	})
+	row = siteRow(scr.Rollup(), string(victim))
+	if row.Resets < 1 {
+		t.Errorf("rollup resets = %d, want >= 1", row.Resets)
+	}
+	if row.Window.Queries < 0 || row.Window.QPS < 0 {
+		t.Errorf("post-restart window went negative: %+v", row.Window)
+	}
+
+	// The combined dashboard document round-trips: fetch the three
+	// endpoints the way hetops -once -json does, re-marshal, re-parse —
+	// identical structures.
+	type snapshot struct {
+		Cluster agg.Rollup         `json:"cluster"`
+		Alerts  []slo.Alert        `json:"alerts"`
+		Queries []agg.QuerySummary `json:"queries"`
+	}
+	var snap snapshot
+	getJSON(t, base+"/cluster?format=json", &snap.Cluster)
+	getJSON(t, base+"/cluster/alerts?format=json", &snap.Alerts)
+	getJSON(t, base+"/cluster/queries?format=json&n=5", &snap.Queries)
+	if len(snap.Queries) == 0 {
+		t.Errorf("federation slow-query log is empty after %d+ queries", 5)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again snapshot
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, again) {
+		t.Errorf("dashboard document does not round-trip:\n got %+v\nwant %+v", again, snap)
+	}
+
+	// Teardown everything and verify the plane leaks no goroutines: the
+	// scraper loop, obs servers, site accept loops and pooled connections
+	// must all unwind.
+	scr.Stop()
+	coordObs.Close()
+	coord.Close()
+	for _, s := range sites {
+		s.close()
+	}
+	settleGoroutines(t, baseline)
+}
+
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d running, baseline %d", n, baseline)
+}

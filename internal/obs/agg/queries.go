@@ -1,0 +1,147 @@
+package agg
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// QuerySummary is one row of the federation-wide slow-query log: the
+// fields of a trace.Profile that matter for triage (the JSON tags match,
+// so a site's /debug/queries listing decodes directly), plus Sources — the
+// scraped sites whose flight recorders hold the profile. The full span
+// tree stays one link away at /debug/trace/{id}.json on any source site.
+type QuerySummary struct {
+	ID          string   `json:"id"`
+	Alg         string   `json:"alg"`
+	Status      string   `json:"status"`
+	WallMicros  float64  `json:"wall_us"`
+	Certain     int      `json:"certain"`
+	Maybe       int      `json:"maybe"`
+	Unavailable []string `json:"unavailable,omitempty"`
+	Sources     []string `json:"sources,omitempty"`
+}
+
+// SlowQueries merges every target's flight-recorder listing into one
+// federation log: profiles deduped by trace ID (a query recorded by the
+// coordinator and by the sites it touched is one row, keeping the longest
+// wall clock — the end-to-end view), sorted slowest first, truncated to
+// limit (0 = no limit). Unreachable sites are skipped; the log is
+// best-effort by design.
+func (s *Scraper) SlowQueries(ctx context.Context, limit int) []QuerySummary {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	targets := make([]Target, len(s.sites))
+	for i, st := range s.sites {
+		targets[i] = st.target
+	}
+	s.mu.Unlock()
+
+	type listing struct {
+		site    string
+		queries []QuerySummary
+	}
+	results := make([]listing, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			if t.Local != nil {
+				if t.LocalQueries != nil {
+					results[i] = listing{t.Site, t.LocalQueries()}
+				}
+				return
+			}
+			qs, err := fetchQueries(ctx, s.client.Do, t.URL)
+			if err != nil {
+				return
+			}
+			results[i] = listing{t.Site, qs}
+		}(i, t)
+	}
+	wg.Wait()
+
+	byID := make(map[string]*QuerySummary)
+	var order []string
+	for _, l := range results {
+		for _, q := range l.queries {
+			if q.ID == "" {
+				continue
+			}
+			cur, seen := byID[q.ID]
+			if !seen {
+				q.Sources = []string{l.site}
+				cp := q
+				byID[q.ID] = &cp
+				order = append(order, q.ID)
+				continue
+			}
+			cur.Sources = append(cur.Sources, l.site)
+			if q.WallMicros > cur.WallMicros {
+				src := cur.Sources
+				*cur = q
+				cur.Sources = src
+			}
+		}
+	}
+	merged := make([]QuerySummary, 0, len(order))
+	for _, id := range order {
+		merged = append(merged, *byID[id])
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		return merged[i].WallMicros > merged[j].WallMicros
+	})
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged
+}
+
+func fetchQueries(ctx context.Context, do func(*http.Request) (*http.Response, error), base string) ([]QuerySummary, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/queries?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("agg: %s/debug/queries: status %s", base, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	var qs []QuerySummary
+	if err := json.Unmarshal(body, &qs); err != nil {
+		return nil, fmt.Errorf("agg: %s/debug/queries: %w", base, err)
+	}
+	return qs, nil
+}
+
+// queriesText renders the merged log as the /cluster/queries text body.
+func queriesText(qs []QuerySummary) string {
+	var b strings.Builder
+	if len(qs) == 0 {
+		b.WriteString("(no queries recorded federation-wide)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s %-8s %-9s %10s %8s %6s  %-16s %s\n",
+		"query", "alg", "status", "wall(ms)", "certain", "maybe", "sources", "trace")
+	for _, q := range qs {
+		fmt.Fprintf(&b, "%-14s %-8s %-9s %10.3f %8d %6d  %-16s /debug/trace/%s.json\n",
+			q.ID, q.Alg, q.Status, q.WallMicros/1e3, q.Certain, q.Maybe,
+			strings.Join(q.Sources, ","), q.ID)
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/metrics"
+)
+
+// WindowStats are a site's (or the federation's) rates over a trailing
+// window, computed from cumulative-snapshot deltas. A coordinator-style
+// target reports query metrics (queries_total / query_latency_us /
+// degraded_queries_total); a component site, which serves remote requests
+// rather than executing queries, reports the request family instead — the
+// Queries/QPS fields then count requests and Degraded counts errors.
+type WindowStats struct {
+	SpanS       float64 `json:"span_s"`
+	Queries     int64   `json:"queries"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	DegradedPct float64 `json:"degraded_pct"`
+}
+
+// SiteStatus is one target's row in the rollup.
+type SiteStatus struct {
+	Site string `json:"site"`
+	URL  string `json:"url,omitempty"`
+	// Live: scraped successfully within the staleness bound.
+	Live bool `json:"live"`
+	// StaleS: seconds since the last successful scrape; -1 if never.
+	StaleS      float64 `json:"stale_s"`
+	ConsecFails int     `json:"consec_fails,omitempty"`
+	LastError   string  `json:"last_error,omitempty"`
+	// Status: "ok" or "degraded" from the site's own /healthz,
+	// "unreachable" when stale, "unknown" before the first health fetch.
+	Status     string            `json:"status"`
+	Conditions map[string]string `json:"conditions,omitempty"`
+	UptimeS    float64           `json:"uptime_s,omitempty"`
+	// Resets: counter resets observed (restarts survived while scraped).
+	Resets int64       `json:"resets,omitempty"`
+	Window WindowStats `json:"window"`
+}
+
+// FedStats aggregate the whole federation.
+type FedStats struct {
+	SitesLive  int         `json:"sites_live"`
+	SitesTotal int         `json:"sites_total"`
+	Window     WindowStats `json:"window"`
+}
+
+// Rollup is the /cluster document: one snapshot of federation state.
+type Rollup struct {
+	Site      string       `json:"site"` // the aggregating coordinator
+	Time      time.Time    `json:"time"`
+	IntervalS float64      `json:"interval_s"`
+	WindowS   float64      `json:"window_s"`
+	Fed       FedStats     `json:"fed"`
+	Sites     []SiteStatus `json:"sites"`
+}
+
+// statsFromDelta derives WindowStats from a windowed snapshot delta,
+// preferring the coordinator's query metrics and falling back to the
+// request family a component site records about itself.
+func statsFromDelta(d metrics.Snapshot, span time.Duration) WindowStats {
+	countName, histName, badName := "queries_total", "query_latency_us", "degraded_queries_total"
+	if !hasMetric(d, countName) && hasMetric(d, "requests_total") {
+		countName, histName, badName = "requests_total", "request_latency_us", "request_errors_total"
+	}
+	ws := WindowStats{SpanS: span.Seconds()}
+	ws.Queries = d.Sum(countName)
+	if span > 0 {
+		ws.QPS = float64(ws.Queries) / span.Seconds()
+	}
+	if h := d.MergedHist(histName); h != nil && h.Count > 0 {
+		ws.P50Ms = h.Quantile(0.50) / 1e3
+		ws.P99Ms = h.Quantile(0.99) / 1e3
+	}
+	if ws.Queries > 0 {
+		ws.DegradedPct = 100 * float64(d.Sum(badName)) / float64(ws.Queries)
+	}
+	return ws
+}
+
+func hasMetric(s metrics.Snapshot, name string) bool {
+	for _, smp := range s.Samples {
+		if smp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Rollup computes the current federation rollup over the configured
+// window.
+func (s *Scraper) Rollup() Rollup {
+	now := s.nowFn()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	out := Rollup{
+		Site:      s.cfg.Site,
+		Time:      now,
+		IntervalS: s.cfg.Interval.Seconds(),
+		WindowS:   s.cfg.Window.Seconds(),
+	}
+	var fedDelta metrics.Snapshot
+	var fedSpan time.Duration
+	haveFed := false
+	for _, st := range s.sites {
+		row := SiteStatus{
+			Site:        st.target.Site,
+			URL:         st.target.URL,
+			StaleS:      -1,
+			ConsecFails: st.consecFails,
+			LastError:   st.lastErr,
+			Status:      "unknown",
+			Resets:      st.resets,
+		}
+		if !st.lastOK.IsZero() {
+			row.StaleS = now.Sub(st.lastOK).Seconds()
+			row.Live = now.Sub(st.lastOK) <= s.cfg.StaleAfter
+		}
+		if st.haveHealth {
+			row.Conditions = st.health.Breakers
+			row.UptimeS = st.health.UptimeS
+			row.Status = st.health.Status
+		}
+		if !row.Live {
+			row.Status = "unreachable"
+		}
+		if d, span, ok := windowDelta(st.history, now, s.cfg.Window); ok {
+			row.Window = statsFromDelta(d, span)
+			if !haveFed {
+				fedDelta, fedSpan, haveFed = d, span, true
+			} else {
+				fedDelta = fedDelta.Merge(d)
+				if span > fedSpan {
+					fedSpan = span
+				}
+			}
+		}
+		out.Sites = append(out.Sites, row)
+		out.Fed.SitesTotal++
+		if row.Live {
+			out.Fed.SitesLive++
+		}
+	}
+	if haveFed {
+		out.Fed.Window = statsFromDelta(fedDelta, fedSpan)
+	}
+	return out
+}
+
+// Text renders the rollup as an aligned operator-readable table (the
+// default /cluster body).
+func (r Rollup) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster @ %s  window=%.0fs interval=%.1fs\n",
+		r.Time.Format(time.RFC3339), r.WindowS, r.IntervalS)
+	fw := r.Fed.Window
+	fmt.Fprintf(&b, "fed: %d/%d live  qps=%.1f p50=%.2fms p99=%.2fms degraded=%.2f%% (%d queries / %.1fs)\n\n",
+		r.Fed.SitesLive, r.Fed.SitesTotal, fw.QPS, fw.P50Ms, fw.P99Ms, fw.DegradedPct, fw.Queries, fw.SpanS)
+	fmt.Fprintf(&b, "%-6s %-12s %-11s %8s %9s %9s %7s %8s  %s\n",
+		"site", "state", "status", "qps", "p50(ms)", "p99(ms)", "degr%", "up(s)", "conditions")
+	for _, s := range r.Sites {
+		state := "live"
+		if !s.Live {
+			if s.StaleS < 0 {
+				state = "never"
+			} else {
+				state = fmt.Sprintf("stale(%.0fs)", s.StaleS)
+			}
+		}
+		fmt.Fprintf(&b, "%-6s %-12s %-11s %8.1f %9.2f %9.2f %7.2f %8.0f  %s\n",
+			s.Site, state, s.Status, s.Window.QPS, s.Window.P50Ms, s.Window.P99Ms,
+			s.Window.DegradedPct, s.UptimeS, conditionsText(s.Conditions))
+	}
+	return b.String()
+}
+
+// conditionsText compresses a conditions map for the table: healthy
+// entries collapse into a count, unhealthy ones are spelled out.
+func conditionsText(conds map[string]string) string {
+	if len(conds) == 0 {
+		return "-"
+	}
+	var bad []string
+	okCount := 0
+	for k, v := range conds {
+		if v == "closed" || v == "ok" || strings.HasPrefix(v, "ok(") {
+			okCount++
+		} else {
+			bad = append(bad, k+"="+v)
+		}
+	}
+	if len(bad) == 0 {
+		return fmt.Sprintf("%d ok", okCount)
+	}
+	sort.Strings(bad)
+	out := strings.Join(bad, " ")
+	if okCount > 0 {
+		out += fmt.Sprintf(" (+%d ok)", okCount)
+	}
+	return out
+}

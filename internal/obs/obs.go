@@ -5,9 +5,15 @@
 // Endpoints:
 //
 //	/healthz                liveness: 200 with a JSON status body; reports
-//	                        version, uptime and peer circuit-breaker states,
-//	                        and flips status to "degraded" when any breaker
-//	                        is not closed
+//	                        version, uptime and per-source conditions
+//	                        (breakers, resync backlog, WAL), and flips
+//	                        status to "degraded" when any entry is not
+//	                        Healthy
+//
+// The coordinator additionally mounts the cluster rollup surface from the
+// obs/agg and obs/slo subpackages on the same mux (via ServeHandler):
+// /cluster, /cluster/alerts, /cluster/queries.
+//
 //	/metrics                registry snapshot, JSON by default, ?format=text;
 //	                        each scrape refreshes the go_* runtime gauges
 //	/debug/queries          flight-recorder listing, newest first (text by
@@ -45,11 +51,23 @@ import (
 // The canonical source is circuit-breaker states (peer site name →
 // "closed"/"half-open"/"open"); other sources report under a namespacing
 // prefix (see PrefixHealth), e.g. the coordinator's replica-resync backlog
-// as "resync:DB2" → "needs-rebuild". Any state other than "closed" turns
+// as "resync:DB2" → "needs-rebuild", or a durable site's storage engine as
+// "wal:engine" → "ok(seq=412)". Any entry whose state is not Healthy turns
 // the reported status from "ok" to "degraded"; the endpoint still answers
 // 200, because the process itself is alive — it is the federation around
 // it that is partially down.
 type Health func() map[string]string
+
+// Healthy reports whether a health-entry state counts as healthy when
+// /healthz folds its sources into one status. Healthy states are "closed"
+// (a circuit breaker at rest), "ok", and "ok(...)" (a source annotating a
+// healthy state with detail, like the WAL's "ok(seq=412)"). Everything
+// else — "open", "half-open", "pending(3)", "needs-rebuild" — degrades.
+// Precedence is strict: one unhealthy entry from any source outweighs any
+// number of healthy ones.
+func Healthy(state string) bool {
+	return state == "closed" || state == "ok" || strings.HasPrefix(state, "ok(")
+}
 
 // PrefixHealth namespaces a health source: each key is reported as
 // "<prefix>:<key>", so one /healthz can combine breaker states with other
@@ -136,7 +154,7 @@ func NewMux(site string, reg *metrics.Registry, tr *trace.Tracer, start time.Tim
 					body.Breakers = make(map[string]string)
 				}
 				body.Breakers[peer] = state
-				if state != "closed" {
+				if !Healthy(state) {
 					body.Degraded = append(body.Degraded, peer)
 				}
 			}
@@ -256,6 +274,27 @@ func Serve(addr, site string, reg *metrics.Registry, tr *trace.Tracer, rec *Reco
 		ln:    ln,
 		http:  &http.Server{Handler: NewMux(site, reg, tr, start, rec, health...)},
 		start: start,
+	}
+	go s.http.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return s, nil
+}
+
+// ServeHandler is Serve for a caller-composed handler: build the base
+// surface with NewMux, register extra routes on it (the coordinator adds
+// /cluster, /cluster/alerts, /cluster/queries), then bind and serve. The
+// handler must be fully assembled before the call — http.ServeMux does not
+// allow registration after requests start.
+func ServeHandler(addr, site string, reg *metrics.Registry, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	publishExpvar(site, reg)
+	s := &Server{
+		site:  site,
+		ln:    ln,
+		http:  &http.Server{Handler: h},
+		start: time.Now(),
 	}
 	go s.http.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
 	return s, nil

@@ -1,0 +1,215 @@
+// Package slo evaluates declarative service-level objectives against the
+// cluster aggregator's windowed metrics and runs a burn-rate alert state
+// machine per rule.
+//
+// Rule grammar (one rule; hetserve's -slo flag takes a semicolon-
+// separated list):
+//
+//	[name:] metric [agg] op value [over window]
+//
+//	query_latency p99 < 50ms over 1m
+//	degraded_queries ratio < 1% over 1m
+//	request_errors ratio < 0.5% over 30s
+//	slow: query_latency mean < 5ms over 2m
+//	availability >= 0.99
+//
+// Metrics: query_latency (federation-merged query_latency_us histogram;
+// agg pNN or mean, default p99; value is a duration), degraded_queries
+// (degraded_queries_total over queries_total; value a percent or
+// fraction), request_errors (request_errors_total over requests_total),
+// and availability (sites live over sites tracked — instant, no window).
+//
+// Burn-rate evaluation: each windowed rule is measured twice per pass,
+// over its stated long window and over a short window of long/12 (floored
+// at 5s) — the multiwindow burn-rate shape from the SRE literature. Both
+// windows violating means the error budget is burning now: firing.
+// Exactly one violating means the burn is starting or draining: warn.
+// Neither: ok. Transitions land in the slog stream (firing at Warn,
+// resolution at Info) and in the alerts_* metrics family; /cluster/alerts
+// serves the current state.
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/metrics"
+)
+
+// Source supplies the measurements rules are judged against. *agg.Scraper
+// implements it.
+type Source interface {
+	// WindowDelta returns the federation-merged metrics delta over the
+	// trailing window; ok=false when no data exists yet.
+	WindowDelta(w time.Duration) (metrics.Snapshot, bool)
+	// Liveness returns how many scrape targets are live, out of how many.
+	Liveness() (live, total int)
+}
+
+// State is an alert's position in the ok → warn → firing machine.
+type State int
+
+const (
+	StateOK State = iota
+	StateWarn
+	StateFiring
+)
+
+func (s State) String() string {
+	switch s {
+	case StateWarn:
+		return "warn"
+	case StateFiring:
+		return "firing"
+	default:
+		return "ok"
+	}
+}
+
+// Rule is one parsed SLO rule.
+type Rule struct {
+	Name      string        // display name; defaults to the rule text
+	Raw       string        // the text it was parsed from
+	Metric    string        // query_latency | degraded_queries | request_errors | availability
+	Agg       string        // p50..p99.9 | mean | ratio
+	Q         float64       // quantile for pNN aggs
+	Op        string        // < <= > >=
+	Threshold float64       // µs for latency, fraction for ratios
+	Unit      string        // "us" | "ratio"
+	Window    time.Duration // long window; 0 for instant rules
+	Instant   bool          // availability: judged on liveness, not a window
+}
+
+// ParseRules parses a semicolon-separated rule list, skipping empty
+// segments.
+func ParseRules(s string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := ParseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("slo: no rules in %q", s)
+	}
+	return rules, nil
+}
+
+// ParseRule parses one rule; see the package comment for the grammar.
+func ParseRule(s string) (Rule, error) {
+	r := Rule{Raw: strings.TrimSpace(s), Window: time.Minute}
+	fields := strings.Fields(r.Raw)
+	fail := func(format string, args ...any) (Rule, error) {
+		return Rule{}, fmt.Errorf("slo: rule %q: %s", r.Raw, fmt.Sprintf(format, args...))
+	}
+	if len(fields) > 0 && strings.HasSuffix(fields[0], ":") {
+		r.Name = strings.TrimSuffix(fields[0], ":")
+		fields = fields[1:]
+	}
+	if len(fields) < 3 {
+		return fail("want `metric [agg] op value [over window]`")
+	}
+	r.Metric = fields[0]
+	fields = fields[1:]
+	switch r.Metric {
+	case "query_latency":
+		r.Agg, r.Unit = "p99", "us"
+	case "degraded", "degraded_queries":
+		r.Metric, r.Agg, r.Unit = "degraded_queries", "ratio", "ratio"
+	case "errors", "request_errors":
+		r.Metric, r.Agg, r.Unit = "request_errors", "ratio", "ratio"
+	case "availability":
+		r.Agg, r.Unit, r.Instant, r.Window = "ratio", "ratio", true, 0
+	default:
+		return fail("unknown metric (want query_latency, degraded_queries, request_errors, or availability)")
+	}
+	if !isOp(fields[0]) { // optional agg token before the operator
+		agg := fields[0]
+		fields = fields[1:]
+		switch {
+		case agg == "mean" && r.Metric == "query_latency":
+			r.Agg = "mean"
+		case strings.HasPrefix(agg, "p") && r.Metric == "query_latency":
+			pct, err := strconv.ParseFloat(agg[1:], 64)
+			if err != nil || pct <= 0 || pct >= 100 {
+				return fail("bad quantile %q (want p50..p99.9)", agg)
+			}
+			r.Agg, r.Q = agg, pct/100
+		case agg == "ratio" && r.Unit == "ratio":
+			// the default, stated explicitly
+		default:
+			return fail("aggregation %q does not apply to %s", agg, r.Metric)
+		}
+	}
+	if r.Agg == "p99" && r.Q == 0 {
+		r.Q = 0.99
+	}
+	if len(fields) < 2 || !isOp(fields[0]) {
+		return fail("want a comparison operator (<, <=, >, >=)")
+	}
+	r.Op = fields[0]
+	val := fields[1]
+	fields = fields[2:]
+	switch r.Unit {
+	case "us":
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fail("bad latency threshold %q (want a duration like 50ms)", val)
+		}
+		r.Threshold = float64(d.Microseconds())
+	case "ratio":
+		pct := strings.HasSuffix(val, "%")
+		f, err := strconv.ParseFloat(strings.TrimSuffix(val, "%"), 64)
+		if err != nil || f < 0 {
+			return fail("bad threshold %q (want a fraction like 0.01 or a percent like 1%%)", val)
+		}
+		if pct {
+			f /= 100
+		}
+		r.Threshold = f
+	}
+	switch {
+	case len(fields) == 0:
+	case len(fields) == 2 && fields[0] == "over":
+		if r.Instant {
+			return fail("availability is instant; it takes no window")
+		}
+		w, err := time.ParseDuration(fields[1])
+		if err != nil || w <= 0 {
+			return fail("bad window %q", fields[1])
+		}
+		r.Window = w
+	default:
+		return fail("trailing tokens %v", fields)
+	}
+	if r.Name == "" {
+		r.Name = r.Raw
+	}
+	return r, nil
+}
+
+func isOp(s string) bool {
+	return s == "<" || s == "<=" || s == ">" || s == ">="
+}
+
+// holds reports whether a measured value satisfies the rule's objective.
+func (r Rule) holds(v float64) bool {
+	switch r.Op {
+	case "<":
+		return v < r.Threshold
+	case "<=":
+		return v <= r.Threshold
+	case ">":
+		return v > r.Threshold
+	default:
+		return v >= r.Threshold
+	}
+}

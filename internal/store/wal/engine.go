@@ -437,6 +437,22 @@ func (e *Engine) Seq() uint64 {
 	return e.seq
 }
 
+// Health reports the engine's state for an /healthz source (wire through
+// obs.PrefixHealth("wal", ...)): "ok(seq=N)" while the log is open,
+// "closed" tagged unhealthy as "stopped" once Close ran. Nil-safe so a
+// site without durability can pass its engine through unconditionally.
+func (e *Engine) Health() map[string]string {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return map[string]string{"engine": "stopped"}
+	}
+	return map[string]string{"engine": fmt.Sprintf("ok(seq=%d)", e.seq)}
+}
+
 // snapshotLocked writes the current state as a compacted log to
 // snapshot.tmp, atomically renames it over snapshot.snap, syncs the
 // directory, and truncates wal.log. State records carry sequence 0 — the

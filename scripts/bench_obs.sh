@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_obs.sh — the observability-overhead smoke: the identical live
+# school workload driven twice, once bare and once with the full cluster
+# observability plane (scraper polling every site's /metrics + /healthz
+# over HTTP at 100ms — 20x the production cadence — SLO engine evaluating
+# each pass) watching the serving processes, written to BENCH_obs.json.
+# Wall clocks are machine-dependent,
+# so there is no cross-run baseline diff: the run gates itself — the
+# scraped mode's wall clock must stay within 1.05x the bare baseline's
+# (judged on the best same-round ratio of five interleaved rounds with
+# alternating order, so a transient load spike can't fail the gate on
+# its own).
+#
+# Usage:
+#   scripts/bench_obs.sh          run and gate; report to /tmp
+#   scripts/bench_obs.sh regen    regenerate the committed report
+#
+# BENCH_OUT overrides where the gated run writes its report
+# (default /tmp/BENCH_obs.json).
+set -eu
+cd "$(dirname "$0")/.."
+
+run() {
+    go run ./cmd/hetbench obs \
+        -queries 1200 -clients 4 -seed 42 -interval 100ms -max-overhead 1.05 "$@"
+}
+
+if [ "${1:-}" = "regen" ]; then
+    run -out BENCH_obs.json
+    echo "report regenerated: BENCH_obs.json"
+else
+    run -out "${BENCH_OUT:-/tmp/BENCH_obs.json}"
+fi

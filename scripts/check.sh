@@ -60,4 +60,12 @@ if [ "${BENCH_DURABILITY:-0}" = "1" ]; then
     scripts/bench_durability.sh
 fi
 
+# BENCH_OBS=1 additionally runs the observability-overhead smoke: the
+# live cluster measured bare and under the scraper + SLO plane, gated on
+# the relative wall-clock overhead.
+if [ "${BENCH_OBS:-0}" = "1" ]; then
+    echo "== hetbench obs (self-gating)"
+    scripts/bench_obs.sh
+fi
+
 echo "ok"
