@@ -61,7 +61,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hetbench run|check|slo|durability|obs [flags] (-h for help)")
+		return fmt.Errorf("usage: hetbench run|check|slo|durability|chaos|obs [flags] (-h for help)")
 	}
 	switch args[0] {
 	case "run":
@@ -72,13 +72,15 @@ func run(args []string) error {
 		return sloCmd(args[1:])
 	case "durability":
 		return durabilityCmd(args[1:])
+	case "chaos":
+		return chaosCmd(args[1:])
 	case "obs":
 		return obsCmd(args[1:])
 	case "-version", "--version", "version":
 		fmt.Println("hetbench", version.String())
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run, check, slo, durability or obs)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, check, slo, durability, chaos or obs)", args[0])
 	}
 }
 
@@ -192,6 +194,61 @@ func durabilityCmd(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d cells)\n", *out, len(report.Cells))
+	return nil
+}
+
+// chaosCmd runs the partition/kill/restart chaos schedule against a
+// WAL-durable live cluster and writes BENCH_chaos.json. The run gates
+// itself — no certain row under faults may contradict the fault-free
+// ground truth, and the replicas must converge within -max-rounds
+// anti-entropy rounds after everything heals — so the command is CI-safe
+// without a baseline diff.
+func chaosCmd(args []string) error {
+	fs := flag.NewFlagSet("hetbench chaos", flag.ContinueOnError)
+	var (
+		steps     = fs.Int("steps", 60, "length of the seeded chaos schedule")
+		seed      = fs.Int64("seed", 42, "seed for the chaos schedule")
+		maxRounds = fs.Int("max-rounds", 5, "fail if convergence needs more repair rounds than this")
+		out       = fs.String("out", "BENCH_chaos.json", "output path (\"-\" for stdout only)")
+		dir       = fs.String("dir", "", "scratch directory for the site WALs (default: a fresh temp dir, removed after)")
+		quiet     = fs.Bool("q", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scratch := *dir
+	if scratch == "" {
+		tmp, err := os.MkdirTemp("", "hetbench-chaos-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		scratch = tmp
+	}
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+	report, err := bench.RunChaos(bench.ChaosSpec{
+		Steps:                *steps,
+		Seed:                 *seed,
+		MaxConvergenceRounds: *maxRounds,
+	}, scratch, progress)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	}
+	if err := report.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d steps, converged in %d rounds)\n", *out, report.Spec.Steps, report.ConvergenceRounds)
 	return nil
 }
 

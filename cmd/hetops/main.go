@@ -1,9 +1,11 @@
 // Command hetops is the federation's live terminal dashboard: it polls a
 // coordinator's cluster endpoints (/cluster, /cluster/alerts,
 // /cluster/queries — served when hetserve runs with -cluster-scrape) and
-// renders per-site QPS/p50/p99/degraded%, breaker/resync/WAL conditions,
-// firing SLO alerts, and the slowest queries federation-wide with their
-// trace IDs. Plain ANSI, stdlib only.
+// renders per-site QPS/p50/p99/degraded%, each replica's anti-entropy
+// repair state (the REPAIR column, from the "antientropy:state" /healthz
+// condition — suspect mapping classes show up red), breaker/resync/WAL
+// conditions, firing SLO alerts, and the slowest queries federation-wide
+// with their trace IDs. Plain ANSI, stdlib only.
 //
 //	hetops -cluster http://127.0.0.1:8100            # live, refreshed in place
 //	hetops -cluster http://127.0.0.1:8100 -once      # one render, no clearing
@@ -180,8 +182,8 @@ func render(w io.Writer, s snapshot, base string, color bool) {
 	fmt.Fprintf(w, "federation: %s sites live   qps %.1f   p50 %.2fms   p99 %.2fms   degraded %.2f%%   window %.0fs\n\n",
 		liveness, fw.QPS, fw.P50Ms, fw.P99Ms, fw.DegradedPct, s.Cluster.WindowS)
 
-	fmt.Fprintf(w, "%-6s %-12s %-12s %8s %9s %9s %7s %7s  %s\n",
-		"SITE", "STATE", "STATUS", "QPS", "P50", "P99", "DEGR%", "RESETS", "CONDITIONS")
+	fmt.Fprintf(w, "%-6s %-12s %-12s %8s %9s %9s %7s %7s %-14s %s\n",
+		"SITE", "STATE", "STATUS", "QPS", "P50", "P99", "DEGR%", "RESETS", "REPAIR", "CONDITIONS")
 	for _, site := range s.Cluster.Sites {
 		state := paint(ansiGreen, "live")
 		if !site.Live {
@@ -195,9 +197,13 @@ func render(w io.Writer, s snapshot, base string, color bool) {
 		if status != "ok" {
 			status = paint(ansiYellow, status)
 		}
-		fmt.Fprintf(w, "%-6s %-12s %-12s %8.1f %8.2fm %8.2fm %7.2f %7d  %s\n",
+		repair, suspect := repairState(site.Conditions)
+		if suspect {
+			repair = paint(ansiRed, repair)
+		}
+		fmt.Fprintf(w, "%-6s %-12s %-12s %8.1f %8.2fm %8.2fm %7.2f %7d %-14s %s\n",
 			site.Site, state, status, site.Window.QPS, site.Window.P50Ms,
-			site.Window.P99Ms, site.Window.DegradedPct, site.Resets,
+			site.Window.P99Ms, site.Window.DegradedPct, site.Resets, repair,
 			conditionsLine(site.Conditions))
 	}
 
@@ -235,6 +241,31 @@ func render(w io.Writer, s snapshot, base string, color bool) {
 	}
 }
 
+// repairState compacts a site's anti-entropy condition (the
+// "antientropy:state" /healthz entry) for the REPAIR column: a clean
+// replica renders as "ok r<round>", a diverged one keeps its suspect class
+// list ("SUSPECT(Teacher)"), and a site reporting no anti-entropy state at
+// all shows "-".
+func repairState(conds map[string]string) (text string, suspect bool) {
+	v, ok := conds["antientropy:state"]
+	if !ok {
+		return "-", false
+	}
+	if rest, found := strings.CutPrefix(v, "ok(round="); found {
+		if i := strings.IndexAny(rest, ",)"); i >= 0 {
+			rest = rest[:i]
+		}
+		return "ok r" + rest, false
+	}
+	if rest, found := strings.CutPrefix(v, "suspect"); found {
+		if i := strings.Index(rest, ")"); i >= 0 {
+			rest = rest[:i+1]
+		}
+		return "SUSPECT" + rest, true
+	}
+	return v, true
+}
+
 func conditionsLine(conds map[string]string) string {
 	if len(conds) == 0 {
 		return "-"
@@ -242,6 +273,9 @@ func conditionsLine(conds map[string]string) string {
 	var bad []string
 	ok := 0
 	for k, v := range conds {
+		if k == "antientropy:state" {
+			continue // broken out into the REPAIR column
+		}
 		if v == "closed" || v == "ok" || strings.HasPrefix(v, "ok(") {
 			ok++
 		} else {

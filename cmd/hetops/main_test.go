@@ -27,8 +27,9 @@ func fixture() snapshot {
 					P50Ms: 1.2, P99Ms: 8.4, DegradedPct: 5}},
 			Sites: []agg.SiteStatus{
 				{Site: "G", Live: true, StaleS: 0.5, Status: "ok",
-					Conditions: map[string]string{"DB1": "closed", "wal:engine": "ok(seq=9)"},
-					UptimeS:    100,
+					Conditions: map[string]string{"DB1": "closed", "wal:engine": "ok(seq=9)",
+						"antientropy:state": "ok(round=4, repaired=123B)"},
+					UptimeS: 100,
 					Window: agg.WindowStats{SpanS: 60, Queries: 120, QPS: 2,
 						P50Ms: 1.2, P99Ms: 8.4, DegradedPct: 5}},
 				{Site: "DB1", URL: "http://127.0.0.1:8101", Live: false, StaleS: 12,
@@ -112,6 +113,7 @@ func TestOnceTextRender(t *testing.T) {
 	for _, want := range []string{
 		"HETFED CLUSTER", "1/2 sites live",
 		"G", "live", "DB1", "STALE 12s", "unreachable",
+		"REPAIR", "ok r4",
 		"FIRING", "availability >= 0.99",
 		"rq3-00001f", "/debug/trace/rq3-00001f.json",
 	} {
@@ -121,6 +123,40 @@ func TestOnceTextRender(t *testing.T) {
 	}
 	if strings.Contains(text, "\x1b[") {
 		t.Errorf("-once output contains ANSI escapes:\n%s", text)
+	}
+}
+
+// TestRepairStateColumn pins the REPAIR column's compaction of the
+// "antientropy:state" healthz condition, and that conditionsLine hands the
+// entry off to the column instead of repeating it.
+func TestRepairStateColumn(t *testing.T) {
+	cases := []struct {
+		conds   map[string]string
+		want    string
+		suspect bool
+	}{
+		{nil, "-", false},
+		{map[string]string{"antientropy:state": "ok(round=7, repaired=42B)"}, "ok r7", false},
+		{map[string]string{"antientropy:state": "suspect(Teacher,Student) round=3 repaired=0B"},
+			"SUSPECT(Teacher,Student)", true},
+		{map[string]string{"antientropy:state": "weird"}, "weird", true},
+	}
+	for _, tc := range cases {
+		got, suspect := repairState(tc.conds)
+		if got != tc.want || suspect != tc.suspect {
+			t.Errorf("repairState(%v) = (%q, %v), want (%q, %v)",
+				tc.conds, got, suspect, tc.want, tc.suspect)
+		}
+	}
+	line := conditionsLine(map[string]string{
+		"antientropy:state": "suspect(Teacher) round=1 repaired=0B",
+		"DB2":               "open",
+	})
+	if strings.Contains(line, "antientropy") {
+		t.Errorf("conditions line repeats the repair column: %q", line)
+	}
+	if !strings.Contains(line, "DB2=open") {
+		t.Errorf("conditions line lost the breaker condition: %q", line)
 	}
 }
 

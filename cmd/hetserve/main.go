@@ -50,8 +50,16 @@
 // answer instead of an error; ctrl-C cancels in-flight queries the same
 // way. Sites protect themselves with -max-frame (oversized request
 // frames), -idle-timeout (dead-client connection reaping) and
-// -write-timeout (wedged readers); -inject-delay and -inject-down inject
-// site faults for resilience drills.
+// -write-timeout (wedged readers); -inject-delay, -inject-down and
+// -inject-partition (cut the links to listed peers, both directions)
+// inject site faults for resilience drills.
+//
+// Self-healing replication: -anti-entropy runs a background digest
+// exchange against the peers at the given cadence (jittered by
+// -anti-entropy-jitter), detecting and repairing mapping-table divergence;
+// the repair state surfaces on /healthz as the "antientropy:state"
+// condition ("ok(round=N, repaired=NB)", or "suspect(...)" when a replica
+// disagrees with the quorum or sits on the minority side of a partition).
 //
 // Multi-tenant serving: a site started with -cache keeps a read-through
 // lookup cache (GOid mappings, checked assistant verdicts; invalidated by
@@ -148,6 +156,10 @@ func run(args []string) error {
 		writeTimeout = fs.Duration("write-timeout", 0, "per-response write deadline in -site mode (0 = default 30s, negative = none)")
 		injectDelay  = fs.Duration("inject-delay", 0, "fault injection: stall every served operation at this site by this long")
 		injectDown   = fs.Bool("inject-down", false, "fault injection: answer every non-ping request with site-unavailable")
+		injectPart   = fs.String("inject-partition", "", "fault injection: cut this process's links to these comma-separated peer sites in both directions, as if a network partition separated them")
+
+		antiEntropy       = fs.Duration("anti-entropy", 0, "run a background anti-entropy round against the peers at this cadence, repairing mapping-table divergence (0 = disabled; digest/repair requests are served either way)")
+		antiEntropyJitter = fs.Float64("anti-entropy-jitter", 0, "spread each anti-entropy wait by ±interval·jitter so the cluster's loops decorrelate (0 = default 0.2, negative = none)")
 
 		slowQuery   = fs.Duration("slow-query", 0, "log queries at/over this latency and always retain their profiles in the flight recorder (0 = percentile-based tail retention only)")
 		recorderLen = fs.Int("recorder-size", obs.DefaultRecorderSize, "flight-recorder ring capacity (profiles kept for /debug/queries)")
@@ -194,6 +206,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cutPeers, err := parseSiteList(*injectPart)
+	if err != nil {
+		return fmt.Errorf("bad -inject-partition: %w", err)
+	}
+	ae := remote.AntiEntropyConfig{Interval: *antiEntropy, Jitter: *antiEntropyJitter}
 
 	switch {
 	case *coordinator:
@@ -205,14 +222,16 @@ func run(args []string) error {
 			ClusterScrape: *clusterScrape, ScrapeInterval: *scrapeInterval,
 			ScrapeWindow: *scrapeWindow, SLO: *sloRules,
 			DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery,
+			AntiEntropy: ae, InjectPartition: cutPeers,
 		})
 	case *siteName != "":
 		return runSite(fed, object.SiteID(*siteName), *listen, *metricsAddr, peers,
 			siteOpts{Call: call, Batch: batch, Cache: *useCache,
 				MaxFrameBytes: *maxFrame, IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
-				InjectDelay: *injectDelay, InjectDown: *injectDown,
+				InjectDelay: *injectDelay, InjectDown: *injectDown, InjectPartition: cutPeers,
 				SlowQuery: *slowQuery, RecorderSize: *recorderLen,
-				DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery})
+				DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery,
+				AntiEntropy: ae})
 	default:
 		return fmt.Errorf("pass -site NAME or -coordinator")
 	}
@@ -235,6 +254,19 @@ func loadFederation(path string) (*federationBundle, error) {
 		return nil, err
 	}
 	return &federationBundle{Global: fed.Global, Databases: fed.Databases, Mapping: fed.Tables}, nil
+}
+
+// parseSiteList reads a comma-separated list of site names.
+func parseSiteList(s string) ([]object.SiteID, error) {
+	var out []object.SiteID
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, object.SiteID(name))
+		} else if s != "" {
+			return nil, fmt.Errorf("empty site name in %q", s)
+		}
+	}
+	return out, nil
 }
 
 func parsePeers(s string) (map[object.SiteID]string, error) {
@@ -354,11 +386,18 @@ type siteOpts struct {
 	MaxFrameBytes int
 	IdleTimeout   time.Duration
 	WriteTimeout  time.Duration
-	// InjectDelay and InjectDown inject faults at this site: every served
-	// operation stalls by InjectDelay (cancellable by the request's budget),
-	// and InjectDown answers every non-ping request site-unavailable.
-	InjectDelay time.Duration
-	InjectDown  bool
+	// InjectDelay, InjectDown and InjectPartition inject faults at this
+	// site: every served operation stalls by InjectDelay (cancellable by
+	// the request's budget), InjectDown answers every non-ping request
+	// site-unavailable, and InjectPartition cuts this site's links to the
+	// listed peers in both directions.
+	InjectDelay     time.Duration
+	InjectDown      bool
+	InjectPartition []object.SiteID
+	// AntiEntropy configures the background digest-exchange repair loop
+	// (zero Interval disables it; the repair wire kinds are served either
+	// way).
+	AntiEntropy remote.AntiEntropyConfig
 	// SlowQuery marks served requests at/over this latency slow: logged and
 	// always retained in the flight recorder (0 = percentile retention only).
 	SlowQuery time.Duration
@@ -392,13 +431,17 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 		Metrics:       reg,
 	})
 	var faults *fabric.FaultPlan
-	if opts.InjectDelay > 0 || opts.InjectDown {
+	if opts.InjectDelay > 0 || opts.InjectDown || len(opts.InjectPartition) > 0 {
 		faults = fabric.NewFaultPlan()
 		if opts.InjectDelay > 0 {
 			faults.Delay(site, float64(opts.InjectDelay.Microseconds()))
 		}
 		if opts.InjectDown {
 			faults.Kill(site)
+		}
+		for _, peer := range opts.InjectPartition {
+			faults.DropLink(site, peer)
+			faults.DropLink(peer, site)
 		}
 	}
 	// Durable mode: recover this site's state from its WAL+snapshot
@@ -450,6 +493,7 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 		IdleTimeout:   opts.IdleTimeout,
 		WriteTimeout:  opts.WriteTimeout,
 		Faults:        faults,
+		AntiEntropy:   opts.AntiEntropy,
 	}
 	if eng != nil {
 		cfg.Engine = eng
@@ -469,7 +513,13 @@ func startSite(fed *federationBundle, site object.SiteID, listen, metricsAddr st
 	}
 	rt := &siteRuntime{Server: srv, Tracer: tr, Metrics: reg, Recorder: rec, Engine: eng}
 	if metricsAddr != "" {
-		health := []obs.Health{breakerHealth(srv.PeerBreakers)}
+		// The divergence tracker reports on /healthz ("antientropy:state" →
+		// "ok(round=N, repaired=NB)" or "suspect(C1,C2) …") so the cluster
+		// rollup and hetops show each replica's repair state.
+		health := []obs.Health{
+			breakerHealth(srv.PeerBreakers),
+			obs.PrefixHealth("antientropy", srv.Tracker().Health),
+		}
 		if eng != nil {
 			// Durable sites surface their storage engine on /healthz
 			// ("wal:engine" → "ok(seq=N)") so the cluster rollup shows WAL
@@ -553,6 +603,12 @@ type coordOpts struct {
 	DataDir       string
 	Fsync         bool
 	SnapshotEvery int
+	// AntiEntropy configures the coordinator's background repair loop
+	// against the site replicas (zero Interval disables it).
+	AntiEntropy remote.AntiEntropyConfig
+	// InjectPartition cuts the coordinator's links to the listed sites in
+	// both directions — a partition drill from the global site's side.
+	InjectPartition []object.SiteID
 }
 
 func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, queryText, algName string, opts coordOpts) error {
@@ -601,6 +657,15 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 			slog.Uint64("seq", deltaLog.Seq()),
 			slog.Bool("fsync", opts.Fsync))
 	}
+	call := opts.Call
+	if len(opts.InjectPartition) > 0 {
+		plan := fabric.NewFaultPlan()
+		for _, peer := range opts.InjectPartition {
+			plan.DropLink("G", peer)
+			plan.DropLink(peer, "G")
+		}
+		call.Faults = plan
+	}
 	coord := &remote.Coordinator{
 		ID:            "G",
 		Global:        fed.Global,
@@ -610,14 +675,17 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 		Metrics:       reg,
 		Recorder:      rec,
 		Log:           log,
-		Call:          opts.Call,
+		Call:          call,
 		MaxConcurrent: opts.Concurrency,
 		Deadline:      opts.Deadline,
+		AntiEntropy:   opts.AntiEntropy,
 	}
 	if deltaLog != nil {
 		coord.DeltaLog = deltaLog
 	}
 	defer coord.Close()
+	// The repair loop stops before Close (LIFO defer order).
+	defer coord.StartAntiEntropy()()
 	// Adaptive mode: the selector plans over the bundle's catalog (the
 	// coordinator holds the same federation document the sites serve from),
 	// calibrated by each query's measured profile and steered by the live
@@ -636,6 +704,7 @@ func runCoordinator(fed *federationBundle, peers map[object.SiteID]string, query
 	healthSrcs := []obs.Health{
 		breakerHealth(coord.BreakerStates),
 		obs.PrefixHealth("resync", breakerHealth(coord.ResyncStates)),
+		obs.PrefixHealth("antientropy", coord.Tracker().Health),
 	}
 	if deltaLog != nil {
 		healthSrcs = append(healthSrcs, obs.PrefixHealth("wal", deltaLog.Health))

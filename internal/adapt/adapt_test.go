@@ -99,6 +99,9 @@ func TestRankPenalty(t *testing.T) {
 		{"healthy", nil, exec.PL},
 		{"half-open", map[object.SiteID]string{"DB2": "half-open"}, exec.BL},
 		{"open", map[object.SiteID]string{"DB2": "open"}, exec.CA},
+		// A replica with suspect mapping classes (anti-entropy divergence)
+		// weighs like a half-open breaker: reachable but unconfirmed.
+		{"suspect", map[object.SiteID]string{"DB2": "suspect(course) round=3 repaired=0B"}, exec.BL},
 		// A degraded site outside the query's fan-out is irrelevant.
 		{"unrelated-open", map[object.SiteID]string{"DB9": "open"}, exec.PL},
 	}

@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"strings"
 	"sync"
 
 	"github.com/hetfed/hetfed/internal/exec"
@@ -116,10 +117,13 @@ func (s *Selector) LastDecision() *Decision {
 func Rank(ests []planner.Estimate, sites []object.SiteID, health map[object.SiteID]string) (planner.Estimate, map[exec.Algorithm]float64) {
 	w := 0.0
 	for _, site := range sites {
-		switch health[site] {
-		case "open":
+		switch state := health[site]; {
+		case state == "open":
 			w = penaltyOpen
-		case "half-open":
+		case state == "half-open" || strings.HasPrefix(state, "suspect"):
+			// A replica whose mappings diverged ("suspect(C1,...)", from the
+			// anti-entropy tracker) is reachable but unconfirmed — the same
+			// caution as a half-open breaker: prefer check-light plans.
 			if w < penaltyHalfOpen {
 				w = penaltyHalfOpen
 			}
@@ -143,10 +147,10 @@ func Rank(ests []planner.Estimate, sites []object.SiteID, health map[object.Site
 }
 
 func severity(state string) int {
-	switch state {
-	case "open":
+	switch {
+	case state == "open":
 		return 2
-	case "half-open":
+	case state == "half-open", strings.HasPrefix(state, "suspect"):
 		return 1
 	default:
 		return 0

@@ -1,0 +1,42 @@
+package antientropy
+
+import (
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/store"
+)
+
+// hookEngine decorates a store.StorageEngine so every successfully logged
+// bind also updates the tracker's digest — the O(1) per-BindDelta
+// maintenance hook for durable replicas, where the engine's LogBind is
+// already the single choke point every table mutation passes through.
+type hookEngine struct {
+	store.StorageEngine
+	tr *Tracker
+}
+
+// HookEngine wraps an engine with digest maintenance: a bind the engine
+// accepts is folded into tracker before the caller applies it in memory.
+// The wrap preserves the engine's write-ahead contract (an engine error
+// still vetoes the mutation, and the digest is only updated on success).
+// Callers that mutate tables without an engine (in-memory replicas) call
+// Tracker.Observe directly instead; never both, or bindings fold in twice
+// and XOR-cancel.
+func HookEngine(inner store.StorageEngine, tr *Tracker) store.StorageEngine {
+	if inner == nil || tr == nil {
+		return inner
+	}
+	return &hookEngine{StorageEngine: inner, tr: tr}
+}
+
+// LogBind implements store.StorageEngine.
+func (h *hookEngine) LogBind(class string, goid object.GOid, site object.SiteID, loid object.LOid) error {
+	if err := h.StorageEngine.LogBind(class, goid, site, loid); err != nil {
+		return err
+	}
+	h.tr.Observe(class, goid, site, loid)
+	return nil
+}
+
+// Unwrap exposes the decorated engine (the coordinator needs the concrete
+// *wal.Engine behind its DeltaLog even when the serving path is hooked).
+func (h *hookEngine) Unwrap() store.StorageEngine { return h.StorageEngine }

@@ -1,0 +1,423 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/antientropy"
+	"github.com/hetfed/hetfed/internal/exec"
+	"github.com/hetfed/hetfed/internal/fabric"
+	"github.com/hetfed/hetfed/internal/isomer"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+	"github.com/hetfed/hetfed/internal/remote"
+	"github.com/hetfed/hetfed/internal/school"
+	"github.com/hetfed/hetfed/internal/signature"
+	"github.com/hetfed/hetfed/internal/store/wal"
+	"github.com/hetfed/hetfed/internal/trace"
+	"github.com/hetfed/hetfed/internal/version"
+)
+
+// ChaosSpec shapes a chaos run: a WAL-durable school cluster over real TCP
+// driven by a seeded random schedule of partitions, heals, site kills,
+// restarts, inserts and queries, with anti-entropy repair converging the
+// replicas afterwards.
+type ChaosSpec struct {
+	// Steps is the schedule length (default 60).
+	Steps int `json:"steps"`
+	// Seed roots the schedule; the same seed replays the same chaos.
+	Seed int64 `json:"seed"`
+	// MaxConvergenceRounds gates the post-heal repair: the run fails if
+	// the replicas have not converged within this many full-mesh rounds
+	// (default 5; the repair topology is a complete graph over four
+	// replicas, so two rounds suffice in principle).
+	MaxConvergenceRounds int `json:"max_convergence_rounds"`
+}
+
+// ChaosReport is a chaos run's diffable record. The wall clock is
+// machine-dependent; the gates are the run's own invariants — zero
+// certain-answer violations and bounded convergence — so the report is
+// CI-safe without a cross-run baseline.
+type ChaosReport struct {
+	Schema  int       `json:"schema"`
+	Topic   string    `json:"topic"`
+	Version string    `json:"version"`
+	Spec    ChaosSpec `json:"spec"`
+
+	// Schedule composition.
+	Queries    int `json:"queries"`
+	Inserts    int `json:"inserts"`
+	Partitions int `json:"partitions"`
+	Heals      int `json:"heals"`
+	Kills      int `json:"kills"`
+	Restarts   int `json:"restarts"`
+	Repairs    int `json:"repairs"`
+
+	// CertainViolations counts certain rows returned under faults that
+	// contradict the fault-free ground truth. The gate: always 0.
+	CertainViolations int `json:"certain_violations"`
+	// ConvergenceRounds is how many post-heal repair rounds the replicas
+	// needed to agree on every digest. Gated by MaxConvergenceRounds.
+	ConvergenceRounds int `json:"convergence_rounds"`
+	// RepairedBindings and RepairBytes total the anti-entropy repair work
+	// across every replica (coordinator included) over the whole run.
+	RepairedBindings int64 `json:"repaired_bindings"`
+	RepairBytes      int64 `json:"repair_bytes"`
+
+	WallMillis float64 `json:"wall_ms"`
+}
+
+// JSON renders the report in its canonical indented form.
+func (r *ChaosReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encode chaos report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the report to path in canonical form.
+func (r *ChaosReport) WriteFile(path string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// chaosNode is one durable site of the chaos cluster.
+type chaosNode struct {
+	srv *remote.Server
+	eng *wal.Engine
+}
+
+func (n *chaosNode) close() {
+	n.srv.Close()
+	n.eng.Close()
+}
+
+// chaosRig is the cluster under chaos: live sites, the shared fault plan,
+// and the coordinator.
+type chaosRig struct {
+	root  string
+	plan  *fabric.FaultPlan
+	nodes map[object.SiteID]*chaosNode
+	addrs map[object.SiteID]string
+	coord *remote.Coordinator
+}
+
+// chaosCall is the rig's call policy: one attempt and tight timeouts, so a
+// partitioned or dead peer degrades the operation promptly.
+func chaosCall(plan *fabric.FaultPlan) remote.CallConfig {
+	return remote.CallConfig{
+		Attempts:         1,
+		DialTimeout:      time.Second,
+		CallTimeout:      5 * time.Second,
+		BreakerThreshold: 0,
+		Faults:           plan,
+	}
+}
+
+func (rig *chaosRig) startSite(site object.SiteID) error {
+	fx := school.New()
+	eng, db, tables, err := wal.Open(fx.Databases[site].Schema(), wal.Options{
+		Dir:  filepath.Join(rig.root, string(site)),
+		Site: string(site),
+	})
+	if err != nil {
+		return fmt.Errorf("bench: wal.Open(%s): %w", site, err)
+	}
+	if err := eng.Import(fx.Databases[site], fx.Mapping); err != nil {
+		eng.Close()
+		return fmt.Errorf("bench: import %s: %w", site, err)
+	}
+	srv, err := remote.NewServer(remote.ServerConfig{
+		DB:         db,
+		Global:     fx.Global,
+		Tables:     tables,
+		Engine:     eng,
+		Signatures: signature.Build(fx.Databases),
+		Tracer:     &trace.Tracer{},
+		Metrics:    metrics.New(),
+		Faults:     rig.plan,
+		Call:       chaosCall(rig.plan),
+	})
+	if err != nil {
+		eng.Close()
+		return fmt.Errorf("bench: server %s: %w", site, err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		eng.Close()
+		return fmt.Errorf("bench: listen %s: %w", site, err)
+	}
+	rig.nodes[site] = &chaosNode{srv: srv, eng: eng}
+	rig.addrs[site] = srv.Addr()
+	rig.rewire()
+	return nil
+}
+
+func (rig *chaosRig) killSite(site object.SiteID) {
+	rig.nodes[site].close()
+	delete(rig.nodes, site)
+	delete(rig.addrs, site)
+	rig.rewire()
+}
+
+func (rig *chaosRig) rewire() {
+	addrs := make(map[object.SiteID]string, len(rig.addrs))
+	for site, addr := range rig.addrs {
+		addrs[site] = addr
+	}
+	for _, n := range rig.nodes {
+		n.srv.SetPeers(addrs)
+	}
+	if rig.coord != nil {
+		rig.coord.Sites = addrs
+	}
+}
+
+func (rig *chaosRig) liveSites() []object.SiteID {
+	out := make([]object.SiteID, 0, len(rig.nodes))
+	for site := range rig.nodes {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (rig *chaosRig) converged() bool {
+	snaps := []map[string]antientropy.Digest{rig.coord.Tracker().Snapshot()}
+	for _, site := range rig.liveSites() {
+		snaps = append(snaps, rig.nodes[site].srv.DigestSnapshot())
+	}
+	for i := 1; i < len(snaps); i++ {
+		if len(antientropy.DiffClasses(snaps[0], snaps[i])) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (rig *chaosRig) repairRound(ctx context.Context) {
+	for _, site := range rig.liveSites() {
+		rig.nodes[site].srv.RunAntiEntropyRound(ctx)
+	}
+	rig.coord.RunAntiEntropyRound(ctx)
+}
+
+// RunChaos executes the chaos schedule and gates itself on the run's own
+// invariants: no certain row under faults may contradict the fault-free
+// ground truth, and once everything heals the replicas must converge
+// within spec.MaxConvergenceRounds full-mesh repair rounds. progress, when
+// non-nil, receives one line per phase.
+func RunChaos(spec ChaosSpec, dir string, progress func(string)) (*ChaosReport, error) {
+	if spec.Steps < 1 {
+		spec.Steps = 60
+	}
+	if spec.MaxConvergenceRounds < 1 {
+		spec.MaxConvergenceRounds = 5
+	}
+	report := &ChaosReport{
+		Schema:  SchemaVersion,
+		Topic:   "chaos",
+		Version: version.String(),
+		Spec:    spec,
+	}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	ctx := context.Background()
+	start := time.Now()
+
+	rig := &chaosRig{
+		root:  dir,
+		plan:  fabric.NewFaultPlan(),
+		nodes: make(map[object.SiteID]*chaosNode),
+		addrs: make(map[object.SiteID]string),
+	}
+	defer func() {
+		for _, n := range rig.nodes {
+			n.close()
+		}
+		if rig.coord != nil {
+			rig.coord.Close()
+		}
+	}()
+	for _, site := range school.Sites {
+		if err := rig.startSite(site); err != nil {
+			return nil, err
+		}
+	}
+	fx := school.New()
+	deltaLog, gtables, err := wal.OpenLog(wal.Options{Dir: filepath.Join(dir, "G"), Site: "G"})
+	if err != nil {
+		return nil, err
+	}
+	defer deltaLog.Close()
+	if err := deltaLog.Import(nil, fx.Mapping); err != nil {
+		return nil, err
+	}
+	matcher := isomer.NewMatcher(fx.Global)
+	if err := matcher.Adopt(fx.Databases, gtables); err != nil {
+		return nil, err
+	}
+	rig.coord = &remote.Coordinator{
+		ID:       "G",
+		Global:   fx.Global,
+		Tables:   matcher.Tables(),
+		Matcher:  matcher,
+		DeltaLog: deltaLog,
+		Metrics:  metrics.New(),
+		Call:     chaosCall(rig.plan),
+	}
+	rig.rewire()
+
+	truth, _, err := rig.coord.Query(school.Q1, exec.CA)
+	if err != nil {
+		return nil, fmt.Errorf("bench: ground-truth query: %w", err)
+	}
+	if truth.Degraded {
+		return nil, fmt.Errorf("bench: fault-free baseline degraded: %v", truth.Unavailable)
+	}
+	truthCertain := make(map[string]bool, len(truth.Certain))
+	for _, row := range truth.Certain {
+		truthCertain[row.String()] = true
+	}
+	say("ground truth: %d certain, %d maybe", len(truth.Certain), len(truth.Maybe))
+
+	algs := []exec.Algorithm{exec.CA, exec.BL, exec.PL}
+	splits := [][2][]object.SiteID{
+		{{"G", "DB1"}, {"DB2", "DB3"}},
+		{{"G", "DB1", "DB2"}, {"DB3"}},
+		{{"G"}, {"DB1", "DB2", "DB3"}},
+		{{"G", "DB3"}, {"DB1", "DB2"}},
+	}
+	var (
+		partitioned bool
+		dead        []object.SiteID
+	)
+	for step := 0; step < spec.Steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3:
+			alg := algs[rng.Intn(len(algs))]
+			ans, _, err := rig.coord.Query(school.Q1, alg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: step %d: query(%v) failed hard: %w", step, alg, err)
+			}
+			report.Queries++
+			for _, row := range ans.Certain {
+				if !truthCertain[row.String()] {
+					report.CertainViolations++
+					say("step %d: VIOLATION: %v certain row %q not in ground truth", step, alg, row)
+				}
+			}
+		case op < 5:
+			site := rig.liveSites()[rng.Intn(len(rig.nodes))]
+			if site == "DB3" {
+				site = "DB1" // keep chaos inserts on the uniform Teacher shape
+			}
+			report.Inserts++
+			o := object.New(object.LOid(fmt.Sprintf("tc%03d'", report.Inserts)), "Teacher",
+				map[string]object.Value{"name": object.Str(fmt.Sprintf("Chaos%03d", report.Inserts))})
+			_, _ = rig.coord.Insert(site, o) // partial failure is repair's job
+		case op < 7:
+			if partitioned {
+				rig.plan.HealPartitions()
+				partitioned = false
+				report.Heals++
+			} else {
+				split := splits[rng.Intn(len(splits))]
+				rig.plan.Partition(fabric.Partition{A: split[0], B: split[1]})
+				partitioned = true
+				report.Partitions++
+			}
+		case op < 8:
+			if len(dead) > 0 {
+				site := dead[0]
+				dead = dead[1:]
+				if err := rig.startSite(site); err != nil {
+					return nil, err
+				}
+				report.Restarts++
+			} else if len(rig.nodes) > 2 {
+				site := rig.liveSites()[rng.Intn(len(rig.nodes))]
+				rig.killSite(site)
+				dead = append(dead, site)
+				report.Kills++
+			}
+		case op < 9:
+			rig.repairRound(ctx)
+			report.Repairs++
+		default:
+			_ = rig.coord.Ping()
+		}
+	}
+	say("schedule done: %d queries, %d inserts, %d partitions, %d kills",
+		report.Queries, report.Inserts, report.Partitions, report.Kills)
+
+	// Heal, restart, converge.
+	rig.plan.HealPartitions()
+	for _, site := range dead {
+		if err := rig.startSite(site); err != nil {
+			return nil, err
+		}
+		report.Restarts++
+	}
+	_ = rig.coord.Ping()
+	// At least one post-heal round always runs: a clean quorum round is
+	// what clears suspect marks left over from partition-era exchanges,
+	// even when the digests already agree.
+	rounds := 0
+	for {
+		rig.repairRound(ctx)
+		rounds++
+		if rig.converged() {
+			break
+		}
+		if rounds >= spec.MaxConvergenceRounds {
+			return nil, fmt.Errorf("bench: replicas did not converge within %d repair rounds",
+				spec.MaxConvergenceRounds)
+		}
+	}
+	report.ConvergenceRounds = rounds
+	say("converged after %d repair rounds", rounds)
+
+	final, _, err := rig.coord.Query(school.Q1, exec.CA)
+	if err != nil {
+		return nil, fmt.Errorf("bench: final query: %w", err)
+	}
+	if final.Degraded {
+		return nil, fmt.Errorf("bench: final answer degraded after convergence: %v", final.Unavailable)
+	}
+	if len(final.Certain) != len(truth.Certain) || len(final.Maybe) != len(truth.Maybe) {
+		return nil, fmt.Errorf("bench: final answer (%d certain, %d maybe) differs from ground truth (%d, %d)",
+			len(final.Certain), len(final.Maybe), len(truth.Certain), len(truth.Maybe))
+	}
+	if report.CertainViolations > 0 {
+		return report, fmt.Errorf("bench: %d certain rows contradicted ground truth under faults",
+			report.CertainViolations)
+	}
+
+	stats := rig.coord.Tracker().Stats()
+	report.RepairedBindings = int64(stats.RepairedBindings)
+	report.RepairBytes = int64(stats.RepairedBytes)
+	for _, site := range rig.liveSites() {
+		s := rig.nodes[site].srv.Tracker().Stats()
+		report.RepairedBindings += int64(s.RepairedBindings)
+		report.RepairBytes += int64(s.RepairedBytes)
+	}
+	report.WallMillis = float64(time.Since(start).Microseconds()) / 1e3
+	return report, nil
+}

@@ -453,17 +453,22 @@ func (q *runCtx) dead() map[object.SiteID]bool {
 	return m
 }
 
-// siteDown consults the runtime's fault plan before a site-bound operation:
-// it injects the site's configured delay, counts the operation against a
-// drop-after budget, and reports whether the site is down for it. With no
-// fault plan every site serves.
-func siteDown(p fabric.Proc, site object.SiteID) (string, bool) {
+// siteDown consults the runtime's fault plan before a site-bound operation
+// sent over the from→site edge: it injects the site's configured delay,
+// checks the link (a partition or dropped link makes the site unreachable
+// for this caller even though the process is alive), counts the operation
+// against a drop-after budget, and reports whether the site is down for
+// it. With no fault plan every site serves.
+func siteDown(p fabric.Proc, from, site object.SiteID) (string, bool) {
 	fp := p.Faults()
 	if fp == nil {
 		return "", false
 	}
 	if d := fp.DelayMicros(site); d > 0 {
 		p.Sleep(d)
+	}
+	if !fp.BeginLinkOp(from, site) {
+		return fp.LinkReason(from, site), true
 	}
 	if fp.BeginOp(site) {
 		return "", false
@@ -558,7 +563,7 @@ func (e *Engine) runCA(q *runCtx, p fabric.Proc, b *query.Bound) *federation.Ans
 		i, siteID := i, siteID
 		fns[i] = func(p fabric.Proc) {
 			c1 := e.begin(q, p, g1.ID(), siteID, "CA_C1", "O")
-			if reason, down := siteDown(p, siteID); down {
+			if reason, down := siteDown(p, coord, siteID); down {
 				q.siteFailed(siteID, reason)
 				c1.Detailf("unavailable: %s", reason).EndV(p.Now())
 				return
@@ -627,7 +632,7 @@ func (e *Engine) dispatchChecks(q *runCtx, parent trace.SpanID, origin object.Si
 			// A dead check target fails no query: its verdicts simply never
 			// arrive, the unsolved predicates stay unknown, and the
 			// dependent results stay maybe.
-			if reason, down := siteDown(p, target); down {
+			if reason, down := siteDown(p, origin, target); down {
 				q.siteFailed(target, reason)
 				c3.Detailf("unavailable: %s", reason).EndV(p.Now())
 				return
@@ -686,7 +691,7 @@ func (e *Engine) runBL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 			// Phase P (local predicates) then phase O (assistant lookup) at
 			// the site — the paper's P → O ordering in one local step.
 			c12 := e.begin(q, p, g1.ID(), siteID, "BL_C1+C2", "PO")
-			if reason, down := siteDown(p, siteID); down {
+			if reason, down := siteDown(p, coord, siteID); down {
 				q.siteFailed(siteID, reason)
 				markDeadRoot(siteID)
 				c12.Detailf("unavailable: %s", reason).EndV(p.Now())
@@ -762,7 +767,7 @@ func (e *Engine) runPL(q *runCtx, p fabric.Proc, b *query.Bound, sigs *signature
 		i, siteID := i, siteID
 		fns[i] = func(p fabric.Proc) {
 			site := e.sites[siteID]
-			if reason, down := siteDown(p, siteID); down {
+			if reason, down := siteDown(p, coord, siteID); down {
 				q.siteFailed(siteID, reason)
 				markDeadRoot(siteID)
 				return

@@ -26,15 +26,28 @@ type FaultPlan struct {
 	dropAt  map[object.SiteID]int // ops remaining before the site goes dark
 	served  map[object.SiteID]int
 	delayUS map[object.SiteID]float64
+
+	// Link-level faults (partition.go). Partitions block traffic between
+	// two site sets symmetrically; links are individual directed edges for
+	// asymmetric loss; dups/linkDelay model duplication and reorder.
+	parts     []*partitionState
+	links     map[Pair]bool
+	dups      map[Pair]int // duplicate every nth transfer
+	dupSeen   map[Pair]int
+	linkDelay map[Pair]float64
 }
 
 // NewFaultPlan returns an empty plan (no faults).
 func NewFaultPlan() *FaultPlan {
 	return &FaultPlan{
-		killed:  make(map[object.SiteID]bool),
-		dropAt:  make(map[object.SiteID]int),
-		served:  make(map[object.SiteID]int),
-		delayUS: make(map[object.SiteID]float64),
+		killed:    make(map[object.SiteID]bool),
+		dropAt:    make(map[object.SiteID]int),
+		served:    make(map[object.SiteID]int),
+		delayUS:   make(map[object.SiteID]float64),
+		links:     make(map[Pair]bool),
+		dups:      make(map[Pair]int),
+		dupSeen:   make(map[Pair]int),
+		linkDelay: make(map[Pair]float64),
 	}
 }
 
@@ -149,6 +162,23 @@ func (f *FaultPlan) String() string {
 	}
 	for site, d := range f.delayUS {
 		parts = append(parts, fmt.Sprintf("delay(%s,%gµs)", site, d))
+	}
+	for _, p := range f.parts {
+		if !p.blocked {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("partition(%s|%s)", joinSites(p.a), joinSites(p.b)))
+	}
+	for pair, down := range f.links {
+		if down {
+			parts = append(parts, fmt.Sprintf("droplink(%s→%s)", pair.From, pair.To))
+		}
+	}
+	for pair, n := range f.dups {
+		parts = append(parts, fmt.Sprintf("dup(%s→%s,%d)", pair.From, pair.To, n))
+	}
+	for pair, d := range f.linkDelay {
+		parts = append(parts, fmt.Sprintf("delaylink(%s→%s,%gµs)", pair.From, pair.To, d))
 	}
 	if len(parts) == 0 {
 		return "none"

@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+func sites(ids ...string) []object.SiteID {
+	out := make([]object.SiteID, len(ids))
+	for i, id := range ids {
+		out[i] = object.SiteID(id)
+	}
+	return out
+}
+
+func TestPartitionCutsBothDirections(t *testing.T) {
+	fp := NewFaultPlan().Partition(Partition{A: sites("G", "DB1"), B: sites("DB2", "DB3")})
+	for _, pair := range [][2]object.SiteID{
+		{"G", "DB2"}, {"DB2", "G"}, {"DB1", "DB3"}, {"DB3", "DB1"},
+	} {
+		if !fp.LinkDown(pair[0], pair[1]) {
+			t.Fatalf("partition did not cut %s→%s", pair[0], pair[1])
+		}
+		if fp.BeginLinkOp(pair[0], pair[1]) {
+			t.Fatalf("BeginLinkOp let %s→%s through a partition", pair[0], pair[1])
+		}
+		if r := fp.LinkReason(pair[0], pair[1]); !strings.Contains(r, "partition") {
+			t.Fatalf("LinkReason(%s→%s) = %q", pair[0], pair[1], r)
+		}
+	}
+	// Same-side and uninvolved traffic flows.
+	for _, pair := range [][2]object.SiteID{
+		{"G", "DB1"}, {"DB2", "DB3"}, {"G", "DB9"}, {"DB9", "DB2"},
+	} {
+		if fp.LinkDown(pair[0], pair[1]) || !fp.BeginLinkOp(pair[0], pair[1]) {
+			t.Fatalf("partition wrongly cut %s→%s", pair[0], pair[1])
+		}
+	}
+	// Site-level views are unaffected: the processes are alive.
+	if fp.Unavailable("DB2") || !fp.BeginOp("DB2") {
+		t.Fatalf("partition killed a process")
+	}
+	fp.HealPartitions()
+	if fp.LinkDown("G", "DB2") {
+		t.Fatalf("HealPartitions left the link down")
+	}
+}
+
+func TestPartitionHealAfterOps(t *testing.T) {
+	fp := NewFaultPlan().Partition(Partition{A: sites("G"), B: sites("DB1"), HealAfterOps: 3})
+	for i := 0; i < 3; i++ {
+		if fp.BeginLinkOp("G", "DB1") {
+			t.Fatalf("op %d went through before heal budget was spent", i)
+		}
+	}
+	if !fp.BeginLinkOp("G", "DB1") || !fp.BeginLinkOp("DB1", "G") {
+		t.Fatalf("partition did not self-heal after its op budget")
+	}
+}
+
+func TestAsymmetricLinkLoss(t *testing.T) {
+	fp := NewFaultPlan().DropLink("G", "DB1")
+	if fp.BeginLinkOp("G", "DB1") {
+		t.Fatalf("dropped link let traffic through")
+	}
+	if !fp.BeginLinkOp("DB1", "G") {
+		t.Fatalf("DropLink cut the reverse direction too")
+	}
+	if r := fp.LinkReason("G", "DB1"); !strings.Contains(r, "dropped") {
+		t.Fatalf("LinkReason = %q", r)
+	}
+	fp.HealLink("G", "DB1")
+	if !fp.BeginLinkOp("G", "DB1") {
+		t.Fatalf("HealLink did not restore the edge")
+	}
+}
+
+func TestDuplicateAndDelayLink(t *testing.T) {
+	fp := NewFaultPlan().DuplicateLink("G", "DB1", 2).DelayLink("G", "DB1", 500)
+	if got := fp.TransferCopies("G", "DB1"); got != 1 {
+		t.Fatalf("first transfer copies = %d, want 1", got)
+	}
+	if got := fp.TransferCopies("G", "DB1"); got != 2 {
+		t.Fatalf("second transfer copies = %d, want 2 (every 2nd duplicates)", got)
+	}
+	if got := fp.TransferCopies("DB1", "G"); got != 1 {
+		t.Fatalf("reverse direction duplicated: %d", got)
+	}
+	if d := fp.LinkDelayMicros("G", "DB1"); d != 500 {
+		t.Fatalf("LinkDelayMicros = %g", d)
+	}
+	if d := fp.LinkDelayMicros("DB1", "G"); d != 0 {
+		t.Fatalf("reverse direction delayed: %g", d)
+	}
+	fp.Heal()
+	if fp.TransferCopies("G", "DB1") != 1 || fp.LinkDelayMicros("G", "DB1") != 0 {
+		t.Fatalf("Heal left link faults behind")
+	}
+}
+
+func TestNilPlanLinkOps(t *testing.T) {
+	var fp *FaultPlan
+	if !fp.BeginLinkOp("G", "DB1") || fp.LinkDown("G", "DB1") ||
+		fp.TransferCopies("G", "DB1") != 1 || fp.LinkDelayMicros("G", "DB1") != 0 ||
+		fp.LinkReason("G", "DB1") != "" {
+		t.Fatalf("nil plan injected link faults")
+	}
+	// Callers without link identity are never partitioned.
+	fp = NewFaultPlan().Partition(Partition{A: sites("G"), B: sites("DB1")})
+	if !fp.BeginLinkOp("", "DB1") || fp.LinkDown("", "DB1") {
+		t.Fatalf("anonymous caller was partitioned")
+	}
+}
+
+func TestFaultPlanStringWithLinks(t *testing.T) {
+	fp := NewFaultPlan().
+		Partition(Partition{A: sites("G"), B: sites("DB1", "DB2")}).
+		DropLink("DB1", "DB2").
+		DuplicateLink("G", "DB1", 3)
+	s := fp.String()
+	for _, want := range []string{"partition(G|DB1,DB2)", "droplink(DB1→DB2)", "dup(G→DB1,3)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -173,11 +173,17 @@ func (p *realProc) Fork(fns ...func(Proc)) { forkImpl(p, fns) }
 // Sink implements Proc.
 func (p *realProc) Sink(site object.SiteID) cost.Sink { return p.run.sink(site) }
 
-// Transfer implements Proc.
+// Transfer implements Proc. A duplicating link fault charges the transfer
+// twice (the retransmit the receiver absorbs); link delay is injected by
+// the remote client on this runtime, not here, so it shows up in measured
+// wall-clock latency rather than as a second accounting entry.
 func (p *realProc) Transfer(from, to object.SiteID, bytes int) {
+	copies := p.run.rt.faults.TransferCopies(from, to)
 	p.run.mu.Lock()
-	p.run.net += int64(bytes)
-	p.run.pairs[Pair{From: from, To: to}] += int64(bytes)
+	for i := 0; i < copies; i++ {
+		p.run.net += int64(bytes)
+		p.run.pairs[Pair{From: from, To: to}] += int64(bytes)
+	}
 	p.run.mu.Unlock()
 }
 

@@ -155,14 +155,23 @@ func (sp *simProc) Sink(site object.SiteID) cost.Sink {
 	return &simSink{rt: sp.rt, p: sp.p, site: site, cpu: cpu, disk: disk}
 }
 
-// Transfer implements Proc.
+// Transfer implements Proc. Link faults apply here: a delayed link sleeps
+// the sender first (so its payloads land after later sends on fast links —
+// reorder in virtual time), and a duplicating link charges the transfer
+// twice, modeling the retransmit the receiver must absorb idempotently.
 func (sp *simProc) Transfer(from, to object.SiteID, bytes int) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("fabric: negative transfer %d", bytes))
 	}
-	sp.rt.netBytes += int64(bytes)
-	sp.rt.pairs[Pair{From: from, To: to}] += int64(bytes)
-	sp.p.Use(sp.rt.net, float64(bytes)*sp.rt.rates.NetPerByte)
+	if d := sp.rt.faults.LinkDelayMicros(from, to); d > 0 {
+		sp.Sleep(d)
+	}
+	copies := sp.rt.faults.TransferCopies(from, to)
+	for i := 0; i < copies; i++ {
+		sp.rt.netBytes += int64(bytes)
+		sp.rt.pairs[Pair{From: from, To: to}] += int64(bytes)
+		sp.p.Use(sp.rt.net, float64(bytes)*sp.rt.rates.NetPerByte)
+	}
 }
 
 // Now implements Proc: the current virtual time.

@@ -74,6 +74,19 @@ func (f SiteFailure) String() string {
 	return fmt.Sprintf("%s: %s", f.Site, f.Reason)
 }
 
+// DivergenceFailure records a replica whose mapping tables for the given
+// classes are suspect (its digests disagreed with a quorum of peers at the
+// last anti-entropy round). The site is up and answering — but its GOid
+// mappings for those classes may be stale, so everything resting on them
+// is maybe: the same missingness mechanism as an unreachable site, scoped
+// to classes instead of a whole site.
+func DivergenceFailure(site object.SiteID, classes []string) SiteFailure {
+	return SiteFailure{
+		Site:   site,
+		Reason: fmt.Sprintf("mapping divergence: suspect classes %s", strings.Join(classes, ",")),
+	}
+}
+
 // Answer is the result of a global query: the certain results and, because
 // of missing data, the maybe results. Rows are sorted by GOid.
 type Answer struct {

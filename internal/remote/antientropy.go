@@ -1,0 +1,226 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hetfed/hetfed/internal/antientropy"
+	"github.com/hetfed/hetfed/internal/metrics"
+	"github.com/hetfed/hetfed/internal/object"
+)
+
+// Anti-entropy rounds: the symmetric replica-repair protocol both site
+// servers and the coordinator run. One round, for one process:
+//
+//  1. For every peer (sorted, so schedules are deterministic): send the
+//     local per-class digest snapshot (kindDigest) and diff it against the
+//     peer's reply.
+//  2. For every divergent class: diff the buckets, collect the local
+//     bindings in those buckets, and run one kindRepair exchange — the
+//     peer applies what it is missing and replies with its own bindings in
+//     the same buckets, which are applied locally. Both replicas hold the
+//     union afterwards; application is idempotent, so duplicated or
+//     re-ordered repair traffic is harmless.
+//  3. Quorum accounting: a class that could not be converged with a peer
+//     (repair unreachable, or conflicts remained) disagrees with that
+//     peer. A class disagreeing with a majority of the reached peers — or
+//     any class, when fewer than half the peers were reachable at all (a
+//     minority partition cannot confirm its replica with quorum) — is
+//     marked suspect; answers touching it degrade until a later round
+//     clears it. With no peers reached the previous marks are kept: no
+//     information is not good news.
+//
+// The protocol replaces nothing the coordinator's needs-rebuild replay
+// does for fresh restarts — it catches what replay cannot: divergence
+// where *either* end was partitioned, killed, or restarted from stale
+// durable state, with no coordinator in the loop.
+
+// aeReplica is the local-replica surface a round needs; the server and the
+// coordinator provide it over their own locking disciplines.
+type aeReplica struct {
+	self    object.SiteID
+	client  *client
+	tracker *antientropy.Tracker
+	reg     *metrics.Registry
+	timeout time.Duration
+	// bindings returns the local bindings of class hashing into buckets,
+	// under the replica's read lock.
+	bindings func(class string, buckets []int) []antientropy.Binding
+	// apply applies a peer's bindings under the replica's write lock,
+	// returning how many were newly applied and how many conflicted.
+	apply func(class string, bs []antientropy.Binding) (applied, conflicts int)
+	// lockPeer, when set, serializes this round's traffic to one peer
+	// against the replica's other maintenance streams to the same peer
+	// (the coordinator's resync replay); it returns the unlock.
+	lockPeer func(site object.SiteID) func()
+}
+
+// runAntiEntropyRound executes one round against the given peers and
+// returns the number of classes that were divergent with at least one
+// reached peer (0 means the replicas agreed everywhere they could be
+// compared).
+func runAntiEntropyRound(ctx context.Context, r aeReplica, peers map[object.SiteID]string) int {
+	sites := make([]object.SiteID, 0, len(peers))
+	for site := range peers {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+
+	var (
+		reached   int
+		repaired  int
+		bytes     int64
+		divergent = make(map[string]bool)
+		disagree  = make(map[string]int) // class → peers it could not converge with
+	)
+	exchange := func(site object.SiteID) {
+		req := Request{Kind: kindDigest, Digests: r.tracker.Snapshot(), Trace: TraceContext{From: r.self}}
+		resp, w, err := r.client.callTimeout(ctx, site, peers[site], req, r.timeout)
+		bytes += w.Sent + w.Received
+		r.reg.Counter("antientropy_exchanges_total",
+			metrics.Labels{Site: string(r.self), Peer: string(site)}).Inc()
+		if err != nil {
+			return
+		}
+		reached++
+		// Diff against a fresh snapshot: repairs against earlier peers in
+		// this same round have already moved the local digest.
+		for _, class := range antientropy.DiffClasses(r.tracker.Snapshot(), resp.Digests) {
+			divergent[class] = true
+			buckets := antientropy.DiffBuckets(r.tracker.Digest(class), resp.Digests[class])
+			mine := r.bindings(class, buckets)
+			rreq := Request{
+				Kind:  kindRepair,
+				Trace: TraceContext{From: r.self},
+				Repair: &RepairRequest{
+					Class:    class,
+					Buckets:  buckets,
+					Bindings: mine,
+				},
+			}
+			rresp, rw, rerr := r.client.callTimeout(ctx, site, peers[site], rreq, r.timeout)
+			bytes += rw.Sent + rw.Received
+			if rerr != nil || rresp.Repair == nil {
+				// Divergence seen but not converged (the peer vanished
+				// between the digest and the repair): it still counts
+				// against the quorum.
+				disagree[class]++
+				continue
+			}
+			applied, conflicts := r.apply(class, rresp.Repair.Bindings)
+			repaired += applied + rresp.Repair.Applied
+			if conflicts+rresp.Repair.Conflicts > 0 {
+				// The replicas hold genuinely contradictory bindings;
+				// repair never overwrites, so they will not converge
+				// without intervention. Stay suspect.
+				disagree[class]++
+			}
+		}
+	}
+	for _, site := range sites {
+		if ctx.Err() != nil {
+			break
+		}
+		if r.lockPeer != nil {
+			unlock := r.lockPeer(site)
+			exchange(site)
+			unlock()
+		} else {
+			exchange(site)
+		}
+	}
+
+	// Quorum marks. Classes to judge: everything in the local snapshot plus
+	// everything that diverged (a class the peer has and we lack shows up
+	// only in the diff).
+	classes := make(map[string]bool)
+	for class := range r.tracker.Snapshot() {
+		classes[class] = true
+	}
+	for class := range divergent {
+		classes[class] = true
+	}
+	switch {
+	case len(peers) == 0:
+		// A cluster of one has nothing to agree with.
+	case reached == 0:
+		// Total isolation: no new information, keep previous marks.
+	case reached*2 < len(peers):
+		// Minority partition: this replica cannot confirm any class with a
+		// quorum of peers, so every class it serves is suspect.
+		for class := range classes {
+			r.tracker.MarkSuspect(class, fmt.Sprintf("reached %d of %d peers", reached, len(peers)))
+		}
+	default:
+		for class := range classes {
+			if disagree[class]*2 > reached {
+				r.tracker.MarkSuspect(class, fmt.Sprintf("diverged with %d of %d reached peers", disagree[class], reached))
+			} else {
+				r.tracker.ClearSuspect(class)
+			}
+		}
+	}
+
+	r.tracker.EndRound(repaired, bytes)
+	r.reg.Counter("antientropy_rounds_total", metrics.Labels{Site: string(r.self)}).Inc()
+	r.reg.Counter("antientropy_repair_bytes_total", metrics.Labels{Site: string(r.self)}).Add(bytes)
+	if repaired > 0 {
+		r.reg.Counter("antientropy_repair_bindings_total",
+			metrics.Labels{Site: string(r.self)}).Add(int64(repaired))
+	}
+	r.reg.Gauge("antientropy_suspect_classes",
+		metrics.Labels{Site: string(r.self)}).Set(int64(len(r.tracker.Suspects())))
+	return len(divergent)
+}
+
+// RunAntiEntropyRound runs one digest-exchange round against this server's
+// peers and returns the number of divergent classes found. The background
+// loop (ServerConfig.AntiEntropy) calls it on its cadence; tests and
+// operators may call it directly for an on-demand repair pass.
+func (s *Server) RunAntiEntropyRound(ctx context.Context) int {
+	s.mu.Lock()
+	peers := make(map[object.SiteID]string, len(s.cfg.Peers))
+	for site, addr := range s.cfg.Peers {
+		peers[site] = addr
+	}
+	s.mu.Unlock()
+	return runAntiEntropyRound(ctx, aeReplica{
+		self:    s.Site(),
+		client:  s.client,
+		tracker: s.tracker,
+		reg:     s.cfg.Metrics,
+		timeout: s.cfg.AntiEntropy.timeout(),
+		bindings: func(class string, buckets []int) []antientropy.Binding {
+			s.stateMu.RLock()
+			defer s.stateMu.RUnlock()
+			return antientropy.BucketBindings(s.cfg.Tables.Table(class), buckets)
+		},
+		apply: func(class string, bs []antientropy.Binding) (int, int) {
+			s.stateMu.Lock()
+			defer s.stateMu.Unlock()
+			var applied, conflicts int
+			for _, b := range bs {
+				ok, err := s.applyBindLocked(class, b.GOid, b.Site, b.LOid)
+				switch {
+				case err != nil:
+					conflicts++
+					s.tracker.NoteConflict()
+				case ok:
+					applied++
+				}
+			}
+			return applied, conflicts
+		},
+	}, peers)
+}
+
+// Tracker exposes the server's divergence tracker (health surfaces, tests).
+func (s *Server) Tracker() *antientropy.Tracker { return s.tracker }
+
+// DigestSnapshot returns the server's current per-class digests — the
+// convergence check chaos schedules assert on.
+func (s *Server) DigestSnapshot() map[string]antientropy.Digest {
+	return s.tracker.Snapshot()
+}

@@ -211,7 +211,9 @@ func (b *batcher) send(target object.SiteID, entries []*pendingChecks, bytes int
 	}
 	addr, ok := b.s.peerAddr(target)
 	if !ok {
-		fail(fmt.Errorf("no address for peer site %s", target))
+		// An unwired peer degrades like an unreachable one (see
+		// dispatchChecks): the waiting queries mark it unavailable.
+		fail(&SiteError{Site: target, Err: errPeerNotWired})
 		return
 	}
 	charged := b.inflight.acquire(bytes)

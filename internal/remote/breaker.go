@@ -63,30 +63,47 @@ func (b *breaker) State() string {
 	return b.state
 }
 
-// Allow reports whether a call may proceed. While open it fails fast;
-// after the cooldown it admits exactly one probe at a time (half-open).
-func (b *breaker) Allow() bool {
+// Allow reports whether a call may proceed and, when it may, whether the
+// caller holds the half-open probe slot. While open it fails fast; after
+// the cooldown it admits exactly one probe at a time (half-open) and every
+// extra caller fast-fails as if the circuit were still open. A probe
+// holder MUST settle the slot: Success or Failure when the transport
+// produced a verdict, ProbeDone when the call was abandoned without one
+// (context death) — otherwise the slot leaks and no later caller can ever
+// probe the peer again.
+func (b *breaker) Allow() (ok, probe bool) {
 	b.mu.Lock()
 	switch b.state {
 	case BreakerClosed:
 		b.mu.Unlock()
-		return true
+		return true, false
 	case BreakerHalfOpen:
 		admit := !b.probing
 		b.probing = admit || b.probing
 		b.mu.Unlock()
-		return admit
+		return admit, admit
 	default: // open
 		if b.now().Sub(b.openedAt) < b.cooldown {
 			b.mu.Unlock()
-			return false
+			return false, false
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
 		b.mu.Unlock()
 		b.notify(BreakerOpen, BreakerHalfOpen)
-		return true
+		return true, true
 	}
+}
+
+// ProbeDone releases the half-open probe slot without deciding the
+// circuit: the probe's call was abandoned (its context died) before the
+// transport produced a verdict, so the peer's health is still unknown and
+// the next caller gets to probe. A slot already settled by Success or
+// Failure is unaffected.
+func (b *breaker) ProbeDone() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
 }
 
 // Success records a completed call and closes the circuit.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/metrics"
 	"github.com/hetfed/hetfed/internal/object"
 )
@@ -43,6 +44,13 @@ type CallConfig struct {
 	// BreakerCooldown is how long an open breaker waits before admitting a
 	// half-open probe.
 	BreakerCooldown time.Duration
+	// Faults, when set, injects network faults into real-TCP calls: a
+	// partitioned or dropped link fails the call before dialing (the
+	// partitioned peer is unreachable even though its process is alive),
+	// and a delayed link sleeps before the exchange. The same plan is
+	// normally shared with the peers' ServerConfig.Faults so both
+	// directions of an asymmetric cut are enforced.
+	Faults *fabric.FaultPlan
 }
 
 // DefaultCallConfig returns the production policy: modest retries with
@@ -252,11 +260,42 @@ func (cl *client) callCtx(ctx context.Context, site object.SiteID, addr string, 
 // callTimeout is callCtx with an explicit per-exchange timeout (health
 // probes use a tighter bound than queries).
 func (cl *client) callTimeout(ctx context.Context, site object.SiteID, addr string, req Request, timeout time.Duration) (Response, wireStats, error) {
+	// Injected network faults come first: a cut link makes the peer
+	// unreachable for this caller regardless of breaker state, and the
+	// failure must not dial (nothing crosses a partition).
+	if fp := cl.cfg.Faults; fp != nil {
+		reason := fp.LinkReason(cl.self, site)
+		if !fp.BeginLinkOp(cl.self, site) {
+			cl.reg.Counter("partition_blocked_total",
+				metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
+			return Response{}, wireStats{}, &SiteError{Site: site, Err: fmt.Errorf("%s: %s", addr, reason)}
+		}
+		if d := fp.LinkDelayMicros(cl.self, site); d > 0 {
+			if !sleepCtx(ctx, time.Duration(d)*time.Microsecond) {
+				return Response{}, wireStats{}, fmt.Errorf("remote: call %s: %w", addr, ctx.Err())
+			}
+		}
+	}
+
 	br := cl.breaker(site)
-	if br != nil && !br.Allow() {
-		cl.reg.Counter("breaker_fastfail_total",
-			metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
-		return Response{}, wireStats{}, &SiteError{Site: site, Err: fmt.Errorf("%w (%s)", ErrCircuitOpen, addr)}
+	probe := false
+	if br != nil {
+		var ok bool
+		ok, probe = br.Allow()
+		if !ok {
+			cl.reg.Counter("breaker_fastfail_total",
+				metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
+			return Response{}, wireStats{}, &SiteError{Site: site, Err: fmt.Errorf("%w (%s)", ErrCircuitOpen, addr)}
+		}
+	}
+	// abandon releases a held half-open probe slot on the neutral exits
+	// (context death says nothing about the peer, so neither Success nor
+	// Failure applies) — without it the slot would leak and the breaker
+	// could never probe this peer again.
+	abandon := func() {
+		if probe {
+			br.ProbeDone()
+		}
 	}
 
 	var (
@@ -266,12 +305,14 @@ func (cl *client) callTimeout(ctx context.Context, site object.SiteID, addr stri
 	p := cl.pool(addr)
 	for attempt := 1; attempt <= cl.cfg.Attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
+			abandon()
 			return Response{}, stats, fmt.Errorf("remote: call %s: %w", addr, err)
 		}
 		if attempt > 1 {
 			cl.reg.Counter("call_retries_total",
 				metrics.Labels{Site: string(cl.self), Peer: string(site)}).Inc()
 			if !sleepCtx(ctx, cl.cfg.backoff(attempt-1)) {
+				abandon()
 				return Response{}, stats, fmt.Errorf("remote: call %s: %w", addr, ctx.Err())
 			}
 		}
@@ -282,6 +323,7 @@ func (cl *client) callTimeout(ctx context.Context, site object.SiteID, addr stri
 		if dl, ok := ctx.Deadline(); ok {
 			rem := time.Until(dl)
 			if rem <= 0 {
+				abandon()
 				return Response{}, stats, fmt.Errorf("remote: call %s: %w", addr, context.DeadlineExceeded)
 			}
 			if rem < t {
@@ -320,6 +362,7 @@ func (cl *client) callTimeout(ctx context.Context, site object.SiteID, addr stri
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				// The context tore it, not the peer: typed return, no retry,
 				// no breaker charge.
+				abandon()
 				return Response{}, stats, fmt.Errorf("remote: call %s: %w", addr, ctxErr)
 			}
 			lastErr = fmt.Errorf("%s: %w", addr, err)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hetfed/hetfed/internal/antientropy"
 	"github.com/hetfed/hetfed/internal/exec"
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/federation"
@@ -76,6 +77,11 @@ type Coordinator struct {
 	// the gap from the log on the next successful Ping instead of losing
 	// the dropped deltas. Typically a *wal.Engine opened with OpenLog.
 	DeltaLog DeltaLog
+	// AntiEntropy configures the coordinator's replica-repair loop: the
+	// cadence of StartAntiEntropy's background rounds and the per-exchange
+	// timeout of RunAntiEntropyRound. The zero value disables the loop;
+	// rounds can still be run on demand.
+	AntiEntropy AntiEntropyConfig
 
 	// mu guards Tables (and the Matcher behind it) between concurrent
 	// Query and Insert calls.
@@ -99,6 +105,22 @@ type Coordinator struct {
 	resyncMu    sync.Mutex
 	resync      map[object.SiteID][]pendingDelta
 	rebuildFrom map[object.SiteID]uint64
+
+	// trMu guards the lazily-built divergence tracker (the tracker itself
+	// is internally synchronized). Lazy for the same reason as the client:
+	// the zero-value-plus-fields construction pattern, with Tables often
+	// populated after the struct literal.
+	trMu sync.Mutex
+	tr   *antientropy.Tracker
+
+	// peerOpMu guards peerOps, the per-peer serialization locks. Resync
+	// replay (Ping) and anti-entropy repair both stream bindings to a
+	// peer; interleaving them against the SAME peer could re-deliver a
+	// delta around a repair that already converged it and double-charge
+	// repair accounting, so each peer's maintenance traffic runs one
+	// stream at a time. Different peers proceed in parallel.
+	peerOpMu sync.Mutex
+	peerOps  map[object.SiteID]*sync.Mutex
 }
 
 // DeltaLog is the durable bind-delta log behind the coordinator's replica
@@ -153,6 +175,163 @@ func (c *Coordinator) Close() {
 // coordinator, for the health surface.
 func (c *Coordinator) BreakerStates() map[object.SiteID]string {
 	return c.client().BreakerStates()
+}
+
+// tracker lazily builds the coordinator's divergence tracker, seeded from
+// the current mapping tables. It takes c.mu.RLock on first use, so callers
+// must NOT hold c.mu — fetch the tracker before locking.
+func (c *Coordinator) tracker() *antientropy.Tracker {
+	c.trMu.Lock()
+	defer c.trMu.Unlock()
+	if c.tr == nil {
+		c.tr = antientropy.NewTracker()
+		c.mu.RLock()
+		c.tr.Seed(c.Tables)
+		c.mu.RUnlock()
+	}
+	return c.tr
+}
+
+// Tracker exposes the coordinator's divergence tracker (health surfaces,
+// tests). Its Health() map, prefixed "antientropy", is the /healthz
+// condition hetops reads the repair column from.
+func (c *Coordinator) Tracker() *antientropy.Tracker { return c.tracker() }
+
+// peerLock serializes maintenance streams (resync replay, anti-entropy
+// repair) against one peer; different peers proceed in parallel. Returns
+// the unlock.
+func (c *Coordinator) peerLock(peer object.SiteID) func() {
+	c.peerOpMu.Lock()
+	if c.peerOps == nil {
+		c.peerOps = make(map[object.SiteID]*sync.Mutex)
+	}
+	m := c.peerOps[peer]
+	if m == nil {
+		m = new(sync.Mutex)
+		c.peerOps[peer] = m
+	}
+	c.peerOpMu.Unlock()
+	m.Lock()
+	return m.Unlock
+}
+
+// RunAntiEntropyRound runs one digest-exchange round against every site and
+// returns the number of divergent classes found. The coordinator is the
+// mapping authority, so its replica usually leads — but after a restart
+// from a stale log, repair pulls the bindings the sites kept and the
+// coordinator lost. Pulled bindings are appended to the DeltaLog (when
+// configured) so future rebuild replays stay complete; they do NOT update
+// the Matcher's entity-key index, so a pulled entity matches by GOid but
+// not yet by key until re-seeded (documented limitation).
+func (c *Coordinator) RunAntiEntropyRound(ctx context.Context) int {
+	tr := c.tracker()
+	peers := make(map[object.SiteID]string, len(c.Sites))
+	for site, addr := range c.Sites {
+		peers[site] = addr
+	}
+	return runAntiEntropyRound(ctx, aeReplica{
+		self:     c.ID,
+		client:   c.client(),
+		tracker:  tr,
+		reg:      c.Metrics,
+		timeout:  c.AntiEntropy.timeout(),
+		lockPeer: c.peerLock,
+		bindings: func(class string, buckets []int) []antientropy.Binding {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return antientropy.BucketBindings(c.Tables.Table(class), buckets)
+		},
+		apply: func(class string, bs []antientropy.Binding) (int, int) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			t := c.Tables.Table(class)
+			var applied, conflicts int
+			for _, b := range bs {
+				if t.Bound(b.GOid, b.Site, b.LOid) {
+					continue
+				}
+				if g, ok := t.GOidOf(b.Site, b.LOid); ok && g != b.GOid {
+					conflicts++
+					tr.NoteConflict()
+					continue
+				}
+				if l, ok := t.LOidAt(b.GOid, b.Site); ok && l != b.LOid {
+					conflicts++
+					tr.NoteConflict()
+					continue
+				}
+				if c.DeltaLog != nil {
+					if _, err := c.DeltaLog.AppendBind(class, b.GOid, b.Site, b.LOid); err != nil {
+						// An unloggable binding is not applied: the in-memory
+						// table must never get ahead of the durable log, or a
+						// rebuild replay would silently lose the binding.
+						continue
+					}
+				}
+				if err := t.Bind(b.GOid, b.Site, b.LOid); err != nil {
+					conflicts++
+					tr.NoteConflict()
+					continue
+				}
+				tr.Observe(class, b.GOid, b.Site, b.LOid)
+				applied++
+			}
+			return applied, conflicts
+		},
+	}, peers)
+}
+
+// StartAntiEntropy launches the background repair loop on the configured
+// cadence (AntiEntropy.Interval; zero or negative is a no-op) and returns
+// its stop function. Stop before Close.
+func (c *Coordinator) StartAntiEntropy() (stop func()) {
+	if c.AntiEntropy.Interval <= 0 {
+		return func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTimer(c.AntiEntropy.jittered())
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.RunAntiEntropyRound(ctx)
+				t.Reset(c.AntiEntropy.jittered())
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// DivergenceStates reports the coordinator's suspect classes for the
+// health surface: class → suspicion reason. Converged classes are absent.
+func (c *Coordinator) DivergenceStates() map[string]string {
+	return c.tracker().SuspectReasons()
+}
+
+// suspectFailures folds replica divergence into an answer's degradation
+// report: every answering site that flagged suspect classes among the
+// query's, plus the coordinator's own suspect marks. These failures are
+// advisory (the sites DID answer) — they mark the answer degraded but are
+// never treated as dead sites for certification.
+func (c *Coordinator) suspectFailures(b *query.Bound, resps []siteResponse) []federation.SiteFailure {
+	var out []federation.SiteFailure
+	for _, r := range resps {
+		if len(r.Resp.Suspect) > 0 {
+			out = append(out, federation.DivergenceFailure(r.Site, r.Resp.Suspect))
+		}
+	}
+	if sus := c.tracker().SuspectOf(b.Classes()); len(sus) > 0 {
+		out = append(out, federation.DivergenceFailure(c.ID, sus))
+	}
+	return out
 }
 
 // admit blocks until the query is admitted under MaxConcurrent, the context
@@ -245,7 +424,8 @@ func (c *Coordinator) Ping() error {
 		wg.Add(1)
 		go func(i int, site object.SiteID) {
 			defer wg.Done()
-			if _, _, err := cl.callTimeout(context.Background(), site, c.Sites[site], Request{Kind: kindPing}, pingTimeout); err != nil {
+			req := Request{Kind: kindPing, Trace: TraceContext{From: c.ID}}
+			if _, _, err := cl.callTimeout(context.Background(), site, c.Sites[site], req, pingTimeout); err != nil {
 				errs[i] = fmt.Errorf("remote: site %s unreachable: %w", site, err)
 				return
 			}
@@ -465,7 +645,8 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 
 	// 1. Store at the owning site.
 	cl := c.client()
-	if _, _, err := cl.call(site, addr, Request{Kind: kindStore, Store: o}); err != nil {
+	tr := c.tracker() // before c.mu: the lazy seed takes c.mu.RLock
+	if _, _, err := cl.call(site, addr, Request{Kind: kindStore, Store: o, Trace: TraceContext{From: c.ID}}); err != nil {
 		return "", err
 	}
 	// 2. Assign the GOid (entity match by key) and persist the binding.
@@ -479,6 +660,9 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 		if err != nil {
 			err = fmt.Errorf("remote: delta log: %w", err)
 		}
+	}
+	if err == nil {
+		tr.Observe(gc.Name, goid, site, o.LOid)
 	}
 	c.mu.Unlock()
 	if err != nil {
@@ -500,7 +684,7 @@ func (c *Coordinator) Insert(site object.SiteID, o *object.Object) (object.GOid,
 		wg.Add(1)
 		go func(i int, peer object.SiteID) {
 			defer wg.Done()
-			if _, _, err := cl.call(peer, c.Sites[peer], Request{Kind: kindBind, Bind: delta}); err != nil {
+			if _, _, err := cl.call(peer, c.Sites[peer], Request{Kind: kindBind, Bind: delta, Trace: TraceContext{From: c.ID}}); err != nil {
 				c.Metrics.Counter("replica_stale_total",
 					metrics.Labels{Site: string(c.ID), Peer: string(peer)}).Inc()
 				c.queueResync(peer, delta, seq)
@@ -562,7 +746,11 @@ func (c *Coordinator) markRebuildLocked(peer object.SiteID, seq uint64) {
 // fails again puts itself and everything after it back at the front of the
 // queue (preserving order against deltas queued meanwhile) for the next
 // Ping to retry; a failed rebuild keeps the rebuild mark.
+//
+// The whole replay holds the peer's maintenance lock, so it never
+// interleaves with an anti-entropy repair stream to the same peer.
 func (c *Coordinator) replayResync(peer object.SiteID) {
+	defer c.peerLock(peer)()
 	c.resyncMu.Lock()
 	pending := c.resync[peer]
 	delete(c.resync, peer)
@@ -584,7 +772,7 @@ func (c *Coordinator) replayResync(peer object.SiteID) {
 	if rebuild && c.DeltaLog != nil {
 		err := c.DeltaLog.ReplayBinds(rebuildSeq, func(class string, goid object.GOid, site object.SiteID, loid object.LOid) error {
 			d := &BindDelta{Class: class, GOid: goid, Site: site, LOid: loid}
-			if _, _, err := cl.call(peer, addr, Request{Kind: kindBind, Bind: d}); err != nil {
+			if _, _, err := cl.call(peer, addr, Request{Kind: kindBind, Bind: d, Trace: TraceContext{From: c.ID}}); err != nil {
 				return err
 			}
 			c.Metrics.Counter("replica_resync_total", labels).Inc()
@@ -608,7 +796,7 @@ func (c *Coordinator) replayResync(peer object.SiteID) {
 	}
 
 	for i, pd := range pending {
-		if _, _, err := cl.call(peer, addr, Request{Kind: kindBind, Bind: pd.delta}); err != nil {
+		if _, _, err := cl.call(peer, addr, Request{Kind: kindBind, Bind: pd.delta, Trace: TraceContext{From: c.ID}}); err != nil {
 			c.resyncMu.Lock()
 			if c.resync == nil {
 				c.resync = make(map[object.SiteID][]pendingDelta)
@@ -665,27 +853,28 @@ type siteResponse struct {
 // bytes are accounted per site pair in both directions as seen from the
 // coordinator.
 //
-// Every address is validated before any worker is spawned: an unknown site
-// is a configuration error, and returning early with workers still writing
-// the shared slices would leak goroutines racing the caller. Transport
-// failures (dead sites, open breakers) become SiteFailures — the query
-// degrades; an error a site answered (bad query) is deterministic and fails
-// the fan-out.
+// Transport failures (dead sites, open breakers) become SiteFailures — the
+// query degrades; an error a site answered (bad query) is deterministic and
+// fails the fan-out. A site absent from the address map entirely (killed
+// and unwired) degrades exactly like one that stopped answering: its
+// contribution stays unknown, never an error.
 func (c *Coordinator) fanOut(ctx context.Context, q *qctx, phases string, sites []object.SiteID, req Request) ([]siteResponse, []federation.SiteFailure, error) {
-	addrs := make([]string, len(sites))
-	for i, site := range sites {
-		addr, ok := c.Sites[site]
-		if !ok {
-			return nil, nil, fmt.Errorf("remote: no address for site %s", site)
-		}
-		addrs[i] = addr
-	}
-
 	cl := c.client()
 	resps := make([]Response, len(sites))
 	errs := make([]error, len(sites))
+	addrs := make([]string, len(sites))
+	for i, site := range sites {
+		if addr, ok := c.Sites[site]; ok {
+			addrs[i] = addr
+		} else {
+			errs[i] = &SiteError{Site: site, Err: errPeerNotWired}
+		}
+	}
 	var wg sync.WaitGroup
 	for i, site := range sites {
+		if errs[i] != nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, site object.SiteID, addr string) {
 			defer wg.Done()
@@ -782,7 +971,11 @@ func (c *Coordinator) runCA(ctx context.Context, q *qctx, text string, b *query.
 		g3.End()
 	})
 	if ans != nil {
+		// Suspect replicas degrade the answer too, but never enter the
+		// dead map above: their sites answered, their mappings are merely
+		// unconfirmed.
 		ans.MarkDegraded(failures)
+		ans.MarkDegraded(c.suspectFailures(b, resps))
 	}
 	return ans, err
 }
@@ -819,6 +1012,7 @@ func (c *Coordinator) runLocalized(ctx context.Context, q *qctx, text string, b 
 	})
 	if ans != nil {
 		ans.MarkDegraded(allFailures)
+		ans.MarkDegraded(c.suspectFailures(b, resps))
 	}
 	return ans, err
 }

@@ -23,6 +23,7 @@ package remote
 import (
 	"io"
 
+	"github.com/hetfed/hetfed/internal/antientropy"
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/object"
 	"github.com/hetfed/hetfed/internal/trace"
@@ -37,6 +38,15 @@ const (
 	kindCheckBatch = "checkbatch"
 	kindStore      = "store"
 	kindBind       = "bind"
+	// kindDigest exchanges per-class mapping-table digests: the reply
+	// carries the server's digest snapshot, and the caller diffs it against
+	// its own to find divergent classes (anti-entropy round, phase one).
+	kindDigest = "digest"
+	// kindRepair converges one divergent class: the request ships the
+	// caller's bindings in the divergent buckets, the server applies the
+	// ones it is missing and replies with its own bindings in those
+	// buckets for the caller to apply — symmetric repair in one exchange.
+	kindRepair = "repair"
 )
 
 // Local query modes.
@@ -108,6 +118,35 @@ type Request struct {
 	// Bind is the mapping-table delta for bind requests (replicated-table
 	// maintenance).
 	Bind *BindDelta
+	// Digests carries the caller's per-class digest snapshot on digest
+	// requests, so one exchange compares both replicas.
+	Digests map[string]antientropy.Digest
+	// Repair carries one class's divergent ranges for repair requests.
+	Repair *RepairRequest
+}
+
+// RepairRequest converges one class between two replicas: Buckets names
+// the divergent digest buckets, Bindings ships the caller's bindings in
+// those buckets. The server applies the bindings it is missing
+// (idempotently — a binding already present is skipped, a conflicting one
+// is refused and counted, never overwritten) and answers with its own
+// bindings in the same buckets.
+type RepairRequest struct {
+	Class    string
+	Buckets  []int
+	Bindings []antientropy.Binding
+}
+
+// RepairReply is the server's half of a repair exchange.
+type RepairReply struct {
+	// Bindings are the server's bindings in the requested buckets, for the
+	// caller to apply on its side.
+	Bindings []antientropy.Binding
+	// Applied counts the caller's bindings the server was missing and
+	// applied; Conflicts counts the ones it refused (same GOid or local
+	// object already bound differently).
+	Applied   int
+	Conflicts int
 }
 
 // BindDelta is one new mapping-table binding, broadcast by the mapping
@@ -146,6 +185,16 @@ type Response struct {
 	// forwards the spans it imported from peers (check dispatch) the same
 	// way; the importer deduplicates by span ID.
 	Spans []trace.Span
+	// Digests answers a digest request with the server's snapshot.
+	Digests map[string]antientropy.Digest
+	// Repair answers a repair request.
+	Repair *RepairReply
+	// Suspect lists the answering replica's suspect classes among those the
+	// request touched: its digest for them disagreed with a quorum of peers
+	// at the last anti-entropy round, so mappings may be stale. The
+	// coordinator folds them into the answer's degradation report — the
+	// same maybe semantics as a dead site, scoped to classes.
+	Suspect []string
 }
 
 // wireStats counts one exchange's bytes on the wire as seen by the caller.

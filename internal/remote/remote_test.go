@@ -129,11 +129,24 @@ func TestClusterErrors(t *testing.T) {
 		t.Error("unknown algorithm accepted")
 	}
 
-	// Unknown site address.
+	// A site absent from the address map entirely (killed and unwired)
+	// degrades exactly like one that stopped answering: the query still
+	// returns, with the missing sites reported unavailable — not an error.
 	bad := &Coordinator{ID: "G", Global: coord.Global, Tables: coord.Tables,
 		Sites: map[object.SiteID]string{"DB1": coord.Sites["DB1"]}}
-	if _, _, err := bad.Query(school.Q1, exec.BL); err == nil {
-		t.Error("missing site address accepted")
+	defer bad.Close()
+	ans, _, err := bad.Query(school.Q1, exec.BL)
+	if err != nil {
+		t.Errorf("missing site addresses errored instead of degrading: %v", err)
+	} else {
+		if !ans.Degraded || len(ans.Unavailable) == 0 {
+			t.Errorf("missing site addresses did not degrade the answer: %+v", ans)
+		}
+		for _, f := range ans.Unavailable {
+			if f.Site != "DB2" && f.Site != "DB3" {
+				t.Errorf("unexpected unavailable site %s: %v", f.Site, ans.Unavailable)
+			}
+		}
 	}
 
 	// Unreachable server.

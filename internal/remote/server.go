@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/hetfed/hetfed/internal/antientropy"
 	"github.com/hetfed/hetfed/internal/fabric"
 	"github.com/hetfed/hetfed/internal/federation"
 	"github.com/hetfed/hetfed/internal/gmap"
@@ -93,6 +95,44 @@ type ServerConfig struct {
 	// engine already attached (store.Database.WithEngine), so store
 	// requests log through Insert itself.
 	Engine store.StorageEngine
+	// AntiEntropy configures the background digest-exchange loop that
+	// detects and repairs mapping-table divergence against the peers. The
+	// zero value disables the loop; the digest/repair request kinds are
+	// served either way, so a peer's loop can still repair this site.
+	AntiEntropy AntiEntropyConfig
+}
+
+// AntiEntropyConfig tunes a process's background anti-entropy loop.
+type AntiEntropyConfig struct {
+	// Interval is the cadence between rounds; 0 disables the loop.
+	Interval time.Duration
+	// Jitter spreads each wait by ±Interval·Jitter so the cluster's loops
+	// decorrelate instead of synchronizing into exchange storms. Defaults
+	// to 0.2; negative disables jitter.
+	Jitter float64
+	// Timeout bounds one digest or repair exchange. Defaults to 2s.
+	Timeout time.Duration
+}
+
+// jittered returns the next wait before a round.
+func (c AntiEntropyConfig) jittered() time.Duration {
+	j := c.Jitter
+	if j == 0 {
+		j = 0.2
+	}
+	if j < 0 {
+		return c.Interval
+	}
+	f := 1 + (rand.Float64()*2-1)*j
+	return time.Duration(float64(c.Interval) * f)
+}
+
+// timeout resolves the per-exchange bound.
+func (c AntiEntropyConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 2 * time.Second
 }
 
 // Server timeout defaults (see ServerConfig.IdleTimeout / WriteTimeout).
@@ -105,13 +145,16 @@ const (
 // persistent: each one carries a sequence of gob-encoded requests until the
 // client closes it (or Close tears it down).
 type Server struct {
-	cfg     ServerConfig
-	site    *federation.Site
-	client  *client
-	batcher *batcher
-	log     *slog.Logger
-	ln      net.Listener
-	wg      sync.WaitGroup
+	cfg      ServerConfig
+	site     *federation.Site
+	client   *client
+	batcher  *batcher
+	tracker  *antientropy.Tracker
+	aeCtx    context.Context
+	aeCancel context.CancelFunc
+	log      *slog.Logger
+	ln       net.Listener
+	wg       sync.WaitGroup
 
 	// stateMu guards the component database and the mapping-table replica
 	// against writes (store/bind requests) concurrent with query
@@ -139,16 +182,34 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
+	// The digest tracker mirrors every mutation of the replica. With a
+	// durable engine the engine's LogBind is the single choke point, so the
+	// hook observes there; without one the bind paths observe directly
+	// (one path or the other, never both — see antientropy.HookEngine).
+	tracker := antientropy.NewTracker()
+	tracker.Seed(cfg.Tables)
+	if cfg.Engine != nil {
+		cfg.Engine = antientropy.HookEngine(cfg.Engine, tracker)
+	}
+	// The server's outbound calls (check dispatch, anti-entropy) live on
+	// the same injected network as its inbound side.
+	if cfg.Call.Faults == nil {
+		cfg.Call.Faults = cfg.Faults
+	}
 	site := federation.NewSite(cfg.DB, cfg.Global, cfg.Tables)
 	if cfg.Cache {
 		site.WithCache(federation.NewLookupCache(cfg.Metrics, cfg.DB.Site()))
 	}
+	aeCtx, aeCancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		site:   site,
-		client: newClient(cfg.DB.Site(), cfg.Call, cfg.Metrics),
-		log:    log.With("site", string(cfg.DB.Site())),
-		conns:  make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		site:     site,
+		client:   newClient(cfg.DB.Site(), cfg.Call, cfg.Metrics),
+		tracker:  tracker,
+		aeCtx:    aeCtx,
+		aeCancel: aeCancel,
+		log:      log.With("site", string(cfg.DB.Site())),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	if cfg.Batch.Window > 0 {
 		s.batcher = newBatcher(s, cfg.Batch)
@@ -166,7 +227,27 @@ func (s *Server) Listen(addr string) error {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.cfg.AntiEntropy.Interval > 0 {
+		s.wg.Add(1)
+		go s.antiEntropyLoop()
+	}
 	return nil
+}
+
+// antiEntropyLoop runs digest-exchange rounds on a jittered cadence until
+// Close.
+func (s *Server) antiEntropyLoop() {
+	defer s.wg.Done()
+	for {
+		t := time.NewTimer(s.cfg.AntiEntropy.jittered())
+		select {
+		case <-s.aeCtx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		s.RunAntiEntropyRound(s.aeCtx)
+	}
 }
 
 // SetPeers installs the peer address map once every server in the cluster
@@ -206,6 +287,7 @@ func (s *Server) Site() object.SiteID { return s.cfg.DB.Site() }
 // waits for the handlers to drain. It also releases the server's own
 // outbound connection pools.
 func (s *Server) Close() error {
+	s.aeCancel()
 	s.mu.Lock()
 	s.closed = true
 	conns := make([]net.Conn, 0, len(s.conns))
@@ -480,6 +562,16 @@ func (s *Server) profile(req Request, resp Response, d time.Duration) {
 }
 
 func (s *Server) dispatch(ctx context.Context, req Request, sp trace.Handle) Response {
+	// Link faults are checked before the ping bypass: a partition cuts the
+	// transport itself, so even liveness probes across it must fail — a
+	// coordinator on the far side of a cut must see this site as
+	// unreachable, not as alive-but-slow. Callers without link identity
+	// (no Trace.From) are exempt; injected partitions only bind site pairs.
+	if fp := s.cfg.Faults; fp != nil && !fp.BeginLinkOp(req.Trace.From, s.Site()) {
+		s.cfg.Metrics.Counter("partition_blocked_total",
+			metrics.Labels{Site: string(s.Site()), Peer: string(req.Trace.From)}).Inc()
+		return Response{Err: errUnavailable}
+	}
 	if req.Kind == kindPing {
 		// Liveness probes bypass fault injection and budgets: Ping asks
 		// whether the transport works, and the resync path depends on it.
@@ -527,6 +619,14 @@ func (s *Server) dispatch(ctx context.Context, req Request, sp trace.Handle) Res
 		s.stateMu.Lock()
 		defer s.stateMu.Unlock()
 		return s.handleBind(req)
+	case kindDigest:
+		// The tracker serializes itself; a snapshot mid-bind is merely one
+		// binding stale, which the next round reconciles.
+		return Response{Digests: s.tracker.Snapshot()}
+	case kindRepair:
+		s.stateMu.Lock()
+		defer s.stateMu.Unlock()
+		return s.handleRepair(req)
 	default:
 		return Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
 	}
@@ -557,23 +657,78 @@ func (s *Server) handleBind(req Request) Response {
 		return Response{Err: "bind request without delta"}
 	}
 	d := req.Bind
-	t := s.cfg.Tables.Table(d.Class)
-	if t.Bound(d.GOid, d.Site, d.LOid) {
-		// An exact duplicate is a re-delivery — durable-log rebuild or
-		// resync replay overlapping deltas already applied — and acks
-		// idempotently.
-		return Response{}
-	}
-	if s.cfg.Engine != nil {
-		if err := s.cfg.Engine.LogBind(d.Class, d.GOid, d.Site, d.LOid); err != nil {
-			return Response{Err: err.Error()}
-		}
-	}
-	if err := t.Bind(d.GOid, d.Site, d.LOid); err != nil {
+	if _, err := s.applyBindLocked(d.Class, d.GOid, d.Site, d.LOid); err != nil {
 		return Response{Err: err.Error()}
 	}
-	s.site.Cache().InvalidateClass(d.Class)
 	return Response{}
+}
+
+// applyBindLocked applies one binding to the replica under stateMu: log
+// (durable engines), bind, observe (digest), invalidate cache. An exact
+// duplicate is a re-delivery — durable-log rebuild, resync replay, or a
+// repair stream overlapping deltas already applied — and acks idempotently
+// (applied=false, no error). A conflicting binding errors without
+// mutating anything.
+func (s *Server) applyBindLocked(class string, goid object.GOid, site object.SiteID, loid object.LOid) (applied bool, err error) {
+	t := s.cfg.Tables.Table(class)
+	if t.Bound(goid, site, loid) {
+		return false, nil
+	}
+	// Detect conflicts before logging: a binding Bind would refuse must
+	// reach neither the WAL nor the digest, or the durable record and the
+	// replica (and every digest exchange thereafter) disagree forever.
+	if prev, ok := t.GOidOf(site, loid); ok && prev != goid {
+		return false, fmt.Errorf("gmap %s: %s@%s already bound to %s", class, loid, site, prev)
+	}
+	if prev, ok := t.LOidAt(goid, site); ok && prev != loid {
+		return false, fmt.Errorf("gmap %s: %s already has %s at site %s", class, goid, prev, site)
+	}
+	if s.cfg.Engine != nil {
+		// The engine hook observes the digest on LogBind success.
+		if err := s.cfg.Engine.LogBind(class, goid, site, loid); err != nil {
+			return false, err
+		}
+	}
+	if err := t.Bind(goid, site, loid); err != nil {
+		return false, err
+	}
+	if s.cfg.Engine == nil {
+		s.tracker.Observe(class, goid, site, loid)
+	}
+	s.site.Cache().InvalidateClass(class)
+	return true, nil
+}
+
+// handleRepair serves the symmetric half of one repair exchange: apply the
+// caller's bindings this replica is missing (conflicts are counted and
+// skipped, never overwritten — the class stays divergent for an operator),
+// then answer with this replica's own bindings in the divergent buckets so
+// the caller converges too. The reply's bindings are collected before the
+// caller's are applied, so the caller is not echoed its own stream back.
+func (s *Server) handleRepair(req Request) Response {
+	r := req.Repair
+	if r == nil {
+		return Response{Err: "repair request without payload"}
+	}
+	mine := antientropy.BucketBindings(s.cfg.Tables.Table(r.Class), r.Buckets)
+	reply := &RepairReply{Bindings: mine}
+	for _, b := range r.Bindings {
+		applied, err := s.applyBindLocked(r.Class, b.GOid, b.Site, b.LOid)
+		switch {
+		case err != nil:
+			reply.Conflicts++
+			s.tracker.NoteConflict()
+			s.cfg.Metrics.Counter("antientropy_conflicts_total",
+				metrics.Labels{Site: string(s.Site())}).Inc()
+		case applied:
+			reply.Applied++
+		}
+	}
+	if reply.Applied > 0 {
+		s.cfg.Metrics.Counter("antientropy_repair_bindings_total",
+			metrics.Labels{Site: string(s.Site()), Peer: string(req.Trace.From)}).Add(int64(reply.Applied))
+	}
+	return Response{Repair: reply}
 }
 
 // bind parses and binds a query text against the site's global schema.
@@ -620,7 +775,7 @@ func (s *Server) handleRetrieve(ctx context.Context, req Request, sp trace.Handl
 		// integrate, so answer the marker instead of shipping dead bytes.
 		return Response{Err: errDeadline}
 	}
-	return Response{Retrieve: reply}
+	return Response{Retrieve: reply, Suspect: s.tracker.SuspectOf(b.Classes())}
 }
 
 func (s *Server) handleCheck(ctx context.Context, req Request, sp trace.Handle) Response {
@@ -761,8 +916,13 @@ func (s *Server) handleLocal(ctx context.Context, req Request, sp trace.Handle) 
 		reply.CheckReplies = outcome.replies
 		reply.Unavailable = outcome.dead
 	}
-	return Response{Local: reply}
+	return Response{Local: reply, Suspect: s.tracker.SuspectOf(b.Classes())}
 }
+
+// errPeerNotWired marks a check target with no entry in the peer address
+// map. Wrapped in a SiteError it classifies as "site unavailable", so the
+// dependent predicates degrade to maybe instead of failing the query.
+var errPeerNotWired = errors.New("no address in peer wiring")
 
 // dispatchChecks sends the check items to their target peers in parallel
 // and collects the verdicts. The peers' check spans are parented on this
@@ -771,10 +931,10 @@ func (s *Server) handleLocal(ctx context.Context, req Request, sp trace.Handle) 
 //
 // A dead or unreachable peer does not fail the local request: its checks
 // are reported as unavailable and the corresponding predicates stay
-// unknown, so the coordinator degrades the dependent results to maybe. All
-// peer addresses are validated before any goroutine is spawned (a missing
-// address is a configuration error, and returning early with workers still
-// writing the shared slices would race).
+// unknown, so the coordinator degrades the dependent results to maybe.
+// That includes a peer absent from the wiring entirely — a site that was
+// killed and removed from the peer map degrades exactly like one that
+// stopped answering mid-flight.
 func (s *Server) dispatchChecks(ctx context.Context, req Request, sp trace.Handle,
 	checks map[object.SiteID][]federation.CheckItem) ([]federation.CheckReply, []federation.SiteFailure, error) {
 	targets := make([]object.SiteID, 0, len(checks))
@@ -782,15 +942,6 @@ func (s *Server) dispatchChecks(ctx context.Context, req Request, sp trace.Handl
 		targets = append(targets, t)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
-
-	addrs := make([]string, len(targets))
-	for i, target := range targets {
-		addr, ok := s.peerAddr(target)
-		if !ok {
-			return nil, nil, fmt.Errorf("no address for peer site %s", target)
-		}
-		addrs[i] = addr
-	}
 
 	if s.batcher != nil {
 		return s.dispatchChecksBatched(ctx, req, sp, checks, targets)
@@ -800,8 +951,19 @@ func (s *Server) dispatchChecks(ctx context.Context, req Request, sp trace.Handl
 	alg := reqAlg(req)
 	replies := make([]federation.CheckReply, len(targets))
 	errs := make([]error, len(targets))
+	addrs := make([]string, len(targets))
+	for i, target := range targets {
+		if addr, ok := s.peerAddr(target); ok {
+			addrs[i] = addr
+		} else {
+			errs[i] = &SiteError{Site: target, Err: errPeerNotWired}
+		}
+	}
 	var wg sync.WaitGroup
 	for i, target := range targets {
+		if errs[i] != nil {
+			continue
+		}
 		items := checks[target]
 		s.cfg.Metrics.Counter("checks_dispatched_total",
 			metrics.Labels{Site: self, Alg: alg}).Add(int64(len(items)))

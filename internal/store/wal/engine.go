@@ -569,20 +569,46 @@ func (e *Engine) snapshotLocked() error {
 // log order (snapshot state first when from predates the snapshot).
 // Implements remote.DeltaLog: the coordinator rebuilds an overflowed
 // replica by replaying the gap from here instead of losing it.
+//
+// The binds are collected under the engine lock first and delivered to fn
+// unlocked: fn is typically a network send per bind (replica rebuild), and
+// holding the lock across the stream would stall every concurrent append —
+// and deadlock outright if a delivery ever re-entered the engine (a
+// snapshot compaction triggered by an append mid-replay). The collected
+// set is a consistent cut at call time; binds appended afterwards are the
+// caller's to deliver by other means (they are, by construction, in the
+// coordinator's pending queue or a later replay).
 func (e *Engine) ReplayBinds(from uint64, fn func(class string, goid object.GOid, site object.SiteID, loid object.LOid) error) error {
+	binds, err := e.collectBinds(from)
+	if err != nil {
+		return err
+	}
+	for _, rec := range binds {
+		if err := fn(rec.class, rec.goid, rec.site, rec.loid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectBinds gathers the bind records with sequence >= from, in log
+// order, under the engine lock.
+func (e *Engine) collectBinds(from uint64) ([]record, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return fmt.Errorf("wal: engine is closed")
+		return nil, fmt.Errorf("wal: engine is closed")
 	}
 	if err := e.w.Flush(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
+		return nil, fmt.Errorf("wal: flush: %w", err)
 	}
+	var binds []record
 	emit := func(rec record) error {
 		if rec.kind != recBind {
 			return nil
 		}
-		return fn(rec.class, rec.goid, rec.site, rec.loid)
+		binds = append(binds, rec)
+		return nil
 	}
 	if from <= e.baseSeq {
 		// The gap predates the snapshot: individual frames are gone, so
@@ -592,7 +618,7 @@ func (e *Engine) ReplayBinds(from uint64, fn func(class string, goid object.GOid
 		snapPath := filepath.Join(e.opts.Dir, snapFile)
 		sf, err := os.Open(snapPath)
 		if err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("wal: %w", err)
+			return nil, fmt.Errorf("wal: %w", err)
 		}
 		if err == nil {
 			st, err := sf.Stat()
@@ -608,22 +634,24 @@ func (e *Engine) ReplayBinds(from uint64, fn func(class string, goid object.GOid
 			}
 			sf.Close()
 			if err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
 	rf, err := os.Open(filepath.Join(e.opts.Dir, walFile))
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return nil, fmt.Errorf("wal: %w", err)
 	}
 	defer rf.Close()
-	_, err = scanFrames(bufio.NewReader(rf), e.off, func(rec record) error {
+	if _, err := scanFrames(bufio.NewReader(rf), e.off, func(rec record) error {
 		if rec.seq <= e.baseSeq || rec.seq < from {
 			return nil
 		}
 		return emit(rec)
-	})
-	return err
+	}); err != nil {
+		return nil, err
+	}
+	return binds, nil
 }
 
 // Import merges an in-memory fixture into the durable store: every

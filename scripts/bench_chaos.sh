@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench_chaos.sh — the partition-tolerance chaos smoke: a WAL-durable
+# school cluster over real TCP driven by a seeded schedule of partitions,
+# heals, site kills, restarts, inserts and queries, written to
+# BENCH_chaos.json. Wall clocks here are machine-dependent, so there is no
+# cross-run baseline diff: the run gates itself on its own invariants — no
+# certain row returned under faults may contradict the fault-free ground
+# truth, and once everything heals the replicas must converge within 5
+# anti-entropy repair rounds (the documented bound; one round moves a
+# binding one hop across the full repair mesh).
+#
+# Usage:
+#   scripts/bench_chaos.sh          run and gate; report to /tmp
+#   scripts/bench_chaos.sh regen    regenerate the committed report
+#
+# BENCH_OUT overrides where the gated run writes its report
+# (default /tmp/BENCH_chaos.json).
+set -eu
+cd "$(dirname "$0")/.."
+
+run() {
+    go run ./cmd/hetbench chaos \
+        -steps 60 -seed 42 -max-rounds 5 "$@"
+}
+
+if [ "${1:-}" = "regen" ]; then
+    run -out BENCH_chaos.json
+    echo "report regenerated: BENCH_chaos.json"
+else
+    run -out "${BENCH_OUT:-/tmp/BENCH_chaos.json}"
+fi

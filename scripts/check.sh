@@ -68,4 +68,13 @@ if [ "${BENCH_OBS:-0}" = "1" ]; then
     scripts/bench_obs.sh
 fi
 
+# BENCH_CHAOS=1 additionally runs the partition-tolerance chaos smoke: a
+# seeded partition/kill/restart schedule over a durable live cluster,
+# gated on zero certain-answer contradictions and bounded anti-entropy
+# convergence.
+if [ "${BENCH_CHAOS:-0}" = "1" ]; then
+    echo "== hetbench chaos (self-gating)"
+    scripts/bench_chaos.sh
+fi
+
 echo "ok"
